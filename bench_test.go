@@ -1,0 +1,194 @@
+package arkfs
+
+// One testing.B benchmark per table/figure in the paper's evaluation (§IV).
+// Each runs the corresponding harness experiment at a reduced scale and
+// reports paper-shaped metrics (kIOPS, GiB/s, seconds) as custom benchmark
+// metrics, so `go test -bench=. -benchmem` regenerates the full evaluation.
+// cmd/arkbench runs the same experiments at the default (larger) scale.
+
+import (
+	"testing"
+
+	"arkfs/internal/harness"
+)
+
+// benchRunner builds a quiet Runner at bench scale.
+func benchRunner(b *testing.B) *harness.Runner {
+	b.Helper()
+	r := harness.NewRunner()
+	r.Scale = harness.QuickScale()
+	return r
+}
+
+// reportCells republishes experiment cells as benchmark metrics.
+func reportCells(b *testing.B, exp *harness.Experiment) {
+	for _, c := range exp.Cells {
+		if c.Failed {
+			continue
+		}
+		name := sanitize(c.System) + "/" + sanitize(c.Metric) + "_" + c.Unit
+		b.ReportMetric(c.Value, name)
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig1MDSScalability regenerates Figure 1: single-MDS creation
+// throughput collapsing as the client count grows.
+func BenchmarkFig1MDSScalability(b *testing.B) {
+	r := benchRunner(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := r.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, exp)
+		}
+	}
+}
+
+// BenchmarkFig4MdtestEasy regenerates Figure 4: mdtest-easy CREATE/STAT/
+// DELETE throughput across ArkFS, CephFS-K (1/16 MDS), CephFS-F, and MarFS.
+func BenchmarkFig4MdtestEasy(b *testing.B) {
+	r := benchRunner(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := r.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, exp)
+		}
+	}
+}
+
+// BenchmarkFig5MdtestHard regenerates Figure 5: mdtest-hard WRITE/STAT/READ/
+// DELETE with small files in shared directories.
+func BenchmarkFig5MdtestHard(b *testing.B) {
+	r := benchRunner(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := r.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, exp)
+		}
+	}
+}
+
+// BenchmarkFig6aRADOSBandwidth regenerates Figure 6(a): large-file
+// sequential WRITE/READ bandwidth on the RADOS profile.
+func BenchmarkFig6aRADOSBandwidth(b *testing.B) {
+	r := benchRunner(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := r.Fig6a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, exp)
+		}
+	}
+}
+
+// BenchmarkFig6bS3Bandwidth regenerates Figure 6(b): bandwidth on the S3
+// profile for ArkFS (8 MiB and 400 MiB read-ahead), S3FS, and goofys.
+func BenchmarkFig6bS3Bandwidth(b *testing.B) {
+	r := benchRunner(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := r.Fig6b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, exp)
+		}
+	}
+}
+
+// BenchmarkFig7Scalability regenerates Figure 7: normalized creation
+// throughput vs client count for ArkFS with/without permission caching and
+// CephFS-K with 1/16 MDSs.
+func BenchmarkFig7Scalability(b *testing.B) {
+	r := benchRunner(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := r.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, exp)
+		}
+	}
+}
+
+// BenchmarkTable2Archiving regenerates Table II: tar archiving/unarchiving
+// execution times on CephFS-F, CephFS-K, and ArkFS.
+func BenchmarkTable2Archiving(b *testing.B) {
+	r := benchRunner(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := r.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, exp)
+		}
+	}
+}
+
+// BenchmarkAblationJournal isolates §III-E: per-directory journals with
+// compound transactions vs a serialized journal path vs per-op commits.
+func BenchmarkAblationJournal(b *testing.B) {
+	r := benchRunner(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := r.AblationJournal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, exp)
+		}
+	}
+}
+
+// BenchmarkAblationReadahead sweeps the read-ahead window (§III-D).
+func BenchmarkAblationReadahead(b *testing.B) {
+	r := benchRunner(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := r.AblationReadahead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, exp)
+		}
+	}
+}
+
+// BenchmarkAblationEntrySize sweeps the cache entry / chunk size (§III-D).
+func BenchmarkAblationEntrySize(b *testing.B) {
+	r := benchRunner(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := r.AblationEntrySize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, exp)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command arkbench regenerates every table and figure of the ArkFS paper's
+// evaluation (IPDPS 2023 §IV) on the simulated substrate.
+//
+// Usage:
+//
+//	arkbench [flags] <experiment>...
+//	arkbench all
+//
+// Experiments: fig1 fig4 fig5 fig6a fig6b fig7 table2 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"arkfs/internal/harness"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "use the quick (smoke-test) workload scale")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		files   = flag.Int("mdtest-files", 0, "override mdtest files per process")
+		procs   = flag.Int("procs", 0, "override mdtest/fio process count")
+		clients = flag.String("clients", "", "override scalability client counts, e.g. 1,4,16,64")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: arkbench [flags] <fig1|fig4|fig5|fig6a|fig6b|fig7|table2|all|ablate|ablate-journal|ablate-readahead|ablate-entrysize>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r := harness.NewRunner()
+	if *quick {
+		r.Scale = harness.QuickScale()
+	}
+	if *files > 0 {
+		r.Scale.MdtestFilesPerProc = *files
+	}
+	if *procs > 0 {
+		r.Scale.MdtestProcs = *procs
+		r.Scale.FioProcs = *procs
+	}
+	if *clients != "" {
+		var cs []int
+		for _, part := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "arkbench: bad -clients value %q\n", part)
+				os.Exit(2)
+			}
+			cs = append(cs, n)
+		}
+		r.Scale.ScaleClients = cs
+	}
+	if !*quiet {
+		r.Log = func(s string) { fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), s) }
+	}
+
+	run := map[string]func() (*harness.Experiment, error){
+		"fig1":             r.Fig1,
+		"fig4":             r.Fig4,
+		"fig5":             r.Fig5,
+		"fig6a":            r.Fig6a,
+		"fig6b":            r.Fig6b,
+		"fig7":             r.Fig7,
+		"table2":           r.Table2,
+		"ablate-journal":   r.AblationJournal,
+		"ablate-readahead": r.AblationReadahead,
+		"ablate-entrysize": r.AblationEntrySize,
+		"ablate-leasemgr":  r.AblationLeaseManager,
+	}
+	order := []string{"fig1", "fig4", "fig5", "fig6a", "fig6b", "fig7", "table2"}
+	ablations := []string{"ablate-journal", "ablate-readahead", "ablate-entrysize", "ablate-leasemgr"}
+
+	var wanted []string
+	for _, arg := range flag.Args() {
+		if arg == "all" {
+			wanted = order
+			break
+		}
+		if arg == "ablate" {
+			wanted = append(wanted, ablations...)
+			continue
+		}
+		if _, ok := run[arg]; !ok {
+			fmt.Fprintf(os.Stderr, "arkbench: unknown experiment %q\n", arg)
+			os.Exit(2)
+		}
+		wanted = append(wanted, arg)
+	}
+
+	failed := false
+	for _, name := range wanted {
+		exp, err := run[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arkbench: %s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		if *csv {
+			fmt.Print(exp.RenderCSV())
+		} else {
+			fmt.Println(exp.Render())
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,302 @@
+// Command arkfs is the interactive ArkFS client: a shell-style CLI over a
+// live deployment. It can run fully self-contained (in-memory store +
+// embedded lease manager) or join a multi-process cluster (HTTP object
+// store via objstored, lease manager via leasemgr, peer clients over TCP
+// bridges).
+//
+// Usage:
+//
+//	arkfs [flags] <command> [args...]
+//	arkfs [flags] shell          # interactive mode
+//
+// Commands:
+//
+//	format                        initialize the file system
+//	mkdir <path>                  create a directory
+//	ls <path>                     list a directory
+//	stat <path>                   show inode details
+//	put <local> <path>            copy a local file in
+//	get <path> <local>            copy a file out
+//	cat <path>                    print a file
+//	write <path> <text>           write text to a file
+//	rm <path> | rmdir <path>      remove entries
+//	mv <src> <dst>                rename
+//	ln -s <target> <path>         create a symlink
+//	chmod <octal> <path>          change permissions
+//	tree <path>                   recursive listing
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"arkfs/internal/core"
+	"arkfs/internal/lease"
+	"arkfs/internal/objstore"
+	"arkfs/internal/prt"
+	"arkfs/internal/rpc"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+func main() {
+	var (
+		storeURL = flag.String("store", "", "objstored base URL (empty: in-memory store)")
+		mgrAddr  = flag.String("leasemgr", "", "lease manager address, e.g. tcp!127.0.0.1:7400 (empty: embedded)")
+		id       = flag.String("id", "cli", "client id")
+		serve    = flag.String("serve", "", "TCP bind for serving forwarded ops from peer clients")
+		uid      = flag.Uint("uid", 1000, "credential uid")
+		gid      = flag.Uint("gid", 1000, "credential gid")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	net := rpc.NewNetwork(env, sim.NetModel{})
+
+	var store objstore.Store
+	if *storeURL != "" {
+		store = objstore.NewHTTPStore(*storeURL)
+	} else {
+		store = objstore.NewMemStore()
+	}
+	tr := prt.New(store, 0)
+
+	leaseAddr := rpc.Addr(*mgrAddr)
+	if leaseAddr == "" {
+		mgr := lease.NewManager(net, lease.Options{})
+		defer mgr.Close()
+		leaseAddr = mgr.Addr()
+	}
+
+	opts := core.Options{
+		ID:       *id,
+		Cred:     types.Cred{Uid: uint32(*uid), Gid: uint32(*gid)},
+		LeaseMgr: leaseAddr,
+	}
+	var bridge *rpc.TCPServer
+	if *serve != "" {
+		// Bind first so the advertised address is known before New.
+		opts.Advertise = "" // set after bridging below
+	}
+	client := core.New(net, tr, opts)
+	defer client.Close()
+	if *serve != "" {
+		var err error
+		bridge, err = net.Bridge(*serve, client.ServiceName())
+		if err != nil {
+			log.Fatalf("arkfs: bridge: %v", err)
+		}
+		defer bridge.Close()
+		fmt.Fprintf(os.Stderr, "arkfs: serving peers on tcp!%s\n", bridge.Addr())
+	}
+
+	args := flag.Args()
+	if args[0] == "shell" {
+		runShell(client, tr)
+		return
+	}
+	if err := runCommand(client, tr, args); err != nil {
+		fmt.Fprintf(os.Stderr, "arkfs: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runShell(c *core.Client, tr *prt.Translator) {
+	fmt.Println("arkfs shell — type 'help' or 'quit'")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("arkfs> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if line == "help" {
+			fmt.Println("commands: format mkdir ls stat put get cat write rm rmdir mv ln chmod tree fsync quit")
+			continue
+		}
+		if err := runCommand(c, tr, strings.Fields(line)); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
+	cmd, rest := args[0], args[1:]
+	need := func(n int) error {
+		if len(rest) < n {
+			return fmt.Errorf("%s: need %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "format":
+		return core.Format(tr)
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return c.Mkdir(rest[0], 0755)
+	case "ls":
+		if err := need(1); err != nil {
+			return err
+		}
+		ents, err := c.Readdir(rest[0])
+		if err != nil {
+			return err
+		}
+		for _, de := range ents {
+			fmt.Printf("%-8s %s\n", de.Type, de.Name)
+		}
+		return nil
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		st, err := c.Stat(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ino:   %s\ntype:  %s\nmode:  %04o\nuid:   %d\ngid:   %d\nsize:  %d\nnlink: %d\nacl:   %s\n",
+			st.Ino, st.Type, st.Mode, st.Uid, st.Gid, st.Size, st.Nlink, st.ACL)
+		return nil
+	case "put":
+		if err := need(2); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		f, err := c.Create(rest[1], 0644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(data); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		return f.Close()
+	case "get":
+		if err := need(2); err != nil {
+			return err
+		}
+		f, err := c.Open(rest[0], types.ORdonly, 0)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out, err := os.Create(rest[1])
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		_, err = io.Copy(out, f)
+		return err
+	case "cat":
+		if err := need(1); err != nil {
+			return err
+		}
+		f, err := c.Open(rest[0], types.ORdonly, 0)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = io.Copy(os.Stdout, f)
+		return err
+	case "write":
+		if err := need(2); err != nil {
+			return err
+		}
+		f, err := c.Create(rest[0], 0644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte(strings.Join(rest[1:], " ") + "\n")); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		return f.Close()
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return c.Unlink(rest[0])
+	case "rmdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return c.Rmdir(rest[0])
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return c.Rename(rest[0], rest[1])
+	case "ln":
+		if len(rest) == 3 && rest[0] == "-s" {
+			return c.Symlink(rest[1], rest[2])
+		}
+		return fmt.Errorf("ln: only 'ln -s <target> <path>' is supported")
+	case "chmod":
+		if err := need(2); err != nil {
+			return err
+		}
+		mode, err := strconv.ParseUint(rest[0], 8, 16)
+		if err != nil {
+			return fmt.Errorf("chmod: bad mode %q", rest[0])
+		}
+		return c.Chmod(rest[1], types.Mode(mode))
+	case "fsync":
+		return c.FlushAll()
+	case "tree":
+		if err := need(1); err != nil {
+			return err
+		}
+		return tree(c, rest[0], "")
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func tree(c *core.Client, path, indent string) error {
+	ents, err := c.Readdir(path)
+	if err != nil {
+		return err
+	}
+	for _, de := range ents {
+		fmt.Printf("%s%s\n", indent, de.Name)
+		if de.Type == types.TypeDir {
+			sub := path + "/" + de.Name
+			if path == "/" {
+				sub = "/" + de.Name
+			}
+			if err := tree(c, sub, indent+"  "); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+// Command arkfsck checks the consistency of an ArkFS object-store image:
+// namespace reachability, dangling dentries, orphan inodes/chunks, chunk
+// extents, and pending or torn journal records.
+//
+// Usage:
+//
+//	arkfsck -store http://localhost:9000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arkfs/internal/fsck"
+	"arkfs/internal/objstore"
+)
+
+func main() {
+	storeURL := flag.String("store", "", "objstored base URL (required)")
+	flag.Parse()
+	if *storeURL == "" {
+		fmt.Fprintln(os.Stderr, "arkfsck: -store is required (an objstored URL)")
+		os.Exit(2)
+	}
+	store := objstore.NewHTTPStore(*storeURL)
+	rep, err := fsck.Check(store)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arkfsck: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("scanned: %d dirs, %d files, %d symlinks, %d chunks\n",
+		rep.Dirs, rep.Files, rep.Symlinks, rep.Chunks)
+	if rep.PendingJournalRecords > 0 {
+		fmt.Printf("note: %d journal record(s) pending recovery (unclean shutdown)\n",
+			rep.PendingJournalRecords)
+	}
+	if rep.Clean() {
+		fmt.Println("clean: no inconsistencies found")
+		return
+	}
+	fmt.Printf("%d problem(s):\n", len(rep.Problems))
+	for _, p := range rep.Problems {
+		fmt.Printf("  %s\n", p)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Command leasemgr runs the ArkFS lease manager as a standalone process,
+// bridged onto a TCP port. ArkFS clients in other processes point their
+// -leasemgr flag at it ("tcp!host:port").
+//
+// Usage:
+//
+//	leasemgr [-listen :7400] [-period 5s] [-restarted]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"arkfs/internal/lease"
+	"arkfs/internal/rpc"
+	"arkfs/internal/sim"
+)
+
+func main() {
+	listen := flag.String("listen", ":7400", "TCP listen address")
+	period := flag.Duration("period", lease.DefaultPeriod, "lease period")
+	restarted := flag.Bool("restarted", false, "start in the post-crash quiesce state")
+	flag.Parse()
+
+	env := sim.NewRealEnv()
+	net := rpc.NewNetwork(env, sim.NetModel{})
+	mgr := lease.NewManager(net, lease.Options{
+		Period:    *period,
+		Workers:   8,
+		Restarted: *restarted,
+	})
+	srv, err := net.Bridge(*listen, mgr.Addr())
+	if err != nil {
+		log.Fatalf("leasemgr: %v", err)
+	}
+	fmt.Printf("leasemgr: serving leases on %s (period %v)\n", srv.Addr(), *period)
+	fmt.Printf("leasemgr: clients connect with -leasemgr 'tcp!%s'\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+	mgr.Close()
+	env.Shutdown()
+}

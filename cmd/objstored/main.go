@@ -1,0 +1,26 @@
+// Command objstored serves an object store over the REST API the PRT module
+// consumes (PUT/GET/HEAD/DELETE /o/<key>, GET /list?prefix=). It is the
+// S3-compatible backend for live multi-process ArkFS demos.
+//
+// Usage:
+//
+//	objstored [-listen :9000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"arkfs/internal/objstore"
+)
+
+func main() {
+	listen := flag.String("listen", ":9000", "HTTP listen address")
+	flag.Parse()
+	store := objstore.NewMemStore()
+	gw := objstore.NewGateway(store)
+	fmt.Printf("objstored: serving object REST API on %s\n", *listen)
+	log.Fatal(http.ListenAndServe(*listen, gw))
+}

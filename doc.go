@@ -1,0 +1,17 @@
+// Package arkfs is a from-scratch reproduction of "ArkFS: A Distributed
+// File System on Object Storage for Archiving Data in HPC Environment"
+// (Cho, Kang, Kim — IPDPS 2023).
+//
+// The public surface lives in the internal packages by design — this module
+// is a research artifact whose entry points are the executables and the
+// benchmark harness:
+//
+//   - cmd/arkbench regenerates every table and figure of the paper.
+//   - cmd/arkfs is an interactive client; cmd/objstored and cmd/leasemgr
+//     run the storage and lease-manager services for multi-process demos.
+//   - examples/ holds runnable programs built on the client API.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package arkfs

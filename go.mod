@@ -1,0 +1,3 @@
+module arkfs
+
+go 1.22

@@ -1,0 +1,118 @@
+package goofyssim
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"arkfs/internal/fsapi"
+	"arkfs/internal/fsapi/fstest"
+	"arkfs/internal/objstore"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+func newMount(t *testing.T) (*Mount, *objstore.MemStore) {
+	t.Helper()
+	env := sim.NewRealEnv()
+	t.Cleanup(env.Shutdown)
+	store := objstore.NewMemStore()
+	opts := DefaultOptions()
+	opts.FUSEOverhead = 0
+	return New(env, store, opts), store
+}
+
+func TestGoofysConformance(t *testing.T) {
+	m, _ := newMount(t)
+	fstest.Run(t, m, fstest.LevelObject)
+}
+
+func TestSequentialStreamRead(t *testing.T) {
+	m, store := newMount(t)
+	payload := bytes.Repeat([]byte{0xAB}, 1<<20)
+	if err := store.Put("stream", payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Open("/stream", types.ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("streamed %d bytes", len(got))
+	}
+	// The prefetch pipeline should have fetched the object exactly once
+	// (the whole window covers it).
+	// Re-reading is served from the prefetch buffer.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	again, err := io.ReadAll(f)
+	if err != nil || !bytes.Equal(again, payload) {
+		t.Fatalf("re-read: %d bytes, %v", len(again), err)
+	}
+	_ = f.Close()
+}
+
+func TestWritesBufferedUntilClose(t *testing.T) {
+	m, store := newMount(t)
+	f, err := fsapi.Create(m, "/out", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing uploaded yet.
+	if _, err := store.Get("out"); err == nil {
+		t.Fatal("write was not buffered")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get("out")
+	if err != nil || string(got) != "buffered" {
+		t.Fatalf("after close: %q, %v", got, err)
+	}
+}
+
+func TestRewriteInvalidatesPrefetch(t *testing.T) {
+	m, store := newMount(t)
+	if err := store.Put("f", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Open("/f", types.ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	_ = r.Close()
+	// Rewrite through goofys.
+	w, err := m.Open("/f", types.OWronly|types.OTrunc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("NEW")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Open("/f", types.ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	_ = r2.Close()
+	if string(buf) != "NEW" {
+		t.Fatalf("stale prefetch served: %q", buf)
+	}
+}

@@ -1,0 +1,63 @@
+package marfssim
+
+import (
+	"errors"
+	"testing"
+
+	"arkfs/internal/fsapi"
+	"arkfs/internal/fsapi/fstest"
+	"arkfs/internal/objstore"
+	"arkfs/internal/prt"
+	"arkfs/internal/rpc"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+func newCluster(t *testing.T, readFails bool) *Cluster {
+	t.Helper()
+	env := sim.NewRealEnv()
+	t.Cleanup(env.Shutdown)
+	net := rpc.NewNetwork(env, sim.NetModel{})
+	tr := prt.New(objstore.NewMemStore(), 4096)
+	opts := DefaultOptions("marfs-test")
+	opts.ServiceTime = 1 // functional tests: negligible sleep
+	opts.FUSEOverhead = 0
+	opts.ReadFails = readFails
+	c := NewCluster(net, tr, opts)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestMarFSConformance(t *testing.T) {
+	c := newCluster(t, false)
+	fstest.Run(t, c.NewMount(types.Cred{Uid: 1, Gid: 1}), fstest.LevelPOSIX)
+}
+
+func TestMarFSReadFailureMode(t *testing.T) {
+	// The paper's environment saw MarFS READ erroring in mdtest-hard; the
+	// ReadFails knob reproduces that: writes succeed, reads return EIO.
+	c := newCluster(t, true)
+	m := c.NewMount(types.Cred{Uid: 1, Gid: 1})
+	if err := m.Mkdir("/d", 0777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsapi.Create(m, "/d/x", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Open("/d/x", types.ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := r.Read(buf); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("expected EIO from interactive read, got %v", err)
+	}
+	_ = r.Close()
+}

@@ -1,0 +1,138 @@
+package s3fssim
+
+import (
+	"strings"
+	"testing"
+
+	"arkfs/internal/fsapi"
+	"arkfs/internal/fsapi/fstest"
+	"arkfs/internal/objstore"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+func newMount(t *testing.T) (*Mount, *objstore.MemStore) {
+	t.Helper()
+	env := sim.NewRealEnv()
+	t.Cleanup(env.Shutdown)
+	store := objstore.NewMemStore()
+	opts := DefaultOptions()
+	opts.FUSEOverhead = 0
+	opts.DiskBandwidth = 1 << 40 // no real sleeping in functional tests
+	return New(env, store, opts), store
+}
+
+func TestS3FSConformance(t *testing.T) {
+	m, _ := newMount(t)
+	fstest.Run(t, m, fstest.LevelObject)
+}
+
+func TestPathAsKeyLayout(t *testing.T) {
+	m, store := newMount(t)
+	if err := m.Mkdir("/photos", 0777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsapi.Create(m, "/photos/cat.jpg", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("jpeg")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The object key is the full path, as in s3fs.
+	if _, err := store.Get("photos/cat.jpg"); err != nil {
+		t.Fatalf("object not stored under path key: %v", err)
+	}
+}
+
+func TestDirectoryRenameCopiesEveryObject(t *testing.T) {
+	m, store := newMount(t)
+	if err := m.Mkdir("/old", 0777); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		f, err := fsapi.Create(m, "/old/"+name, 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(name)); err != nil {
+			t.Fatal(err)
+		}
+		_ = f.Close()
+	}
+	putsBefore := store.Len()
+	_ = putsBefore
+	if err := m.Rename("/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := store.List("")
+	for _, k := range keys {
+		if strings.HasPrefix(k, "old/") || k == "old" {
+			t.Fatalf("source object %q survived rename", k)
+		}
+	}
+	got, err := store.Get("new/b")
+	if err != nil || string(got) != "b" {
+		t.Fatalf("moved object: %q, %v", got, err)
+	}
+	st, err := m.Stat("/new/c")
+	if err != nil || st.Size != 1 {
+		t.Fatalf("stat after dir rename: %+v, %v", st, err)
+	}
+}
+
+func TestWholeObjectRewriteOnPartialWrite(t *testing.T) {
+	m, store := newMount(t)
+	f, err := fsapi.Create(m, "/big", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 10000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Patch 1 byte in the middle: the stored object must still be complete
+	// (10000 bytes), proving a full-object rewrite.
+	g, err := m.Open("/big", types.OWronly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteAt([]byte{0xFF}, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := store.Get("big")
+	if err != nil || len(data) != 10000 || data[5000] != 0xFF {
+		t.Fatalf("whole-object rewrite broken: len=%d err=%v", len(data), err)
+	}
+}
+
+func TestImplicitDirectories(t *testing.T) {
+	m, _ := newMount(t)
+	if err := m.Mkdir("/x", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mkdir("/x/y", 0777); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fsapi.Create(m, "/x/y/z", 0644)
+	_ = f.Close()
+	// /x/y is a directory by marker; /x also by marker; stat both.
+	for _, p := range []string{"/x", "/x/y"} {
+		st, err := m.Stat(p)
+		if err != nil || st.Type != types.TypeDir {
+			t.Fatalf("stat %s: %+v, %v", p, st, err)
+		}
+	}
+	ents, err := m.Readdir("/x")
+	if err != nil || len(ents) != 1 || ents[0].Name != "y" || ents[0].Type != types.TypeDir {
+		t.Fatalf("readdir /x: %v, %v", ents, err)
+	}
+}

@@ -1,0 +1,542 @@
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"arkfs/internal/prt"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// Config tunes the data object cache.
+type Config struct {
+	// EntrySize is the cache entry granularity; it must equal the PRT chunk
+	// size so one entry maps to one data object (2 MiB by default).
+	EntrySize int64
+	// MaxEntries bounds the cache; LRU eviction writes dirty entries back.
+	MaxEntries int
+	// MaxReadahead bounds the sequential read-ahead window (8 MiB default,
+	// as in CephFS; the paper's goofys comparison raises it to 400 MiB).
+	MaxReadahead int64
+	// FlushParallelism bounds the concurrent write-backs one Flush issues
+	// (the write-back thread pool); default 8.
+	FlushParallelism int
+	// PrefetchParallelism bounds in-flight read-ahead fetches (the FUSE
+	// daemon's read-ahead thread pool); default 64.
+	PrefetchParallelism int
+	// Cost charges CPU time for memory copies in simulation.
+	Cost sim.CostModel
+}
+
+// DefaultConfig mirrors the paper's defaults.
+func DefaultConfig() Config {
+	return Config{EntrySize: 2 << 20, MaxEntries: 1024, MaxReadahead: 8 << 20}
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses, Readaheads, Writebacks, Evictions atomic.Int64
+}
+
+// Cache is one client's user-level data object cache. It is write-back: WRITE
+// dirties entries; Flush (the fsync path) and evictions write them to the
+// object store through the PRT.
+type Cache struct {
+	env sim.Env
+	tr  *prt.Translator
+	cfg Config
+
+	mu          sync.Mutex
+	files       map[types.Ino]*fileCache
+	lru         *list.List // *entry; front = most recent
+	prefetchSem *sim.Chan[struct{}]
+	// flushLocks serialize Flush per file: a lease recall must wait for any
+	// in-flight background write-back, or its PUTs could land after a
+	// subsequent truncate/rewrite and resurrect stale chunks.
+	flushLocks map[types.Ino]*sim.Mutex
+	stats      Stats
+}
+
+// fileCache is the per-file cache state.
+type fileCache struct {
+	ino  types.Ino
+	tree radix[entry]
+
+	// Read-ahead state (paper §III-D): window grows while reads stay
+	// sequential, and jumps to the maximum when reading starts at offset 0.
+	raNextOff int64 // next sequential offset expected
+	raWindow  int64 // current window size in bytes
+	raEdge    int64 // offset up to which prefetches have been issued
+}
+
+// entry is one cached data object.
+type entry struct {
+	ino     types.Ino
+	idx     uint64
+	data    []byte // valid prefix of the chunk
+	dirty   bool
+	loading *sim.Chan[struct{}] // non-nil while a fetch is in flight; Close = ready
+	lruElem *list.Element
+}
+
+// New creates a cache over the translator. The entry size is forced to the
+// translator's chunk size.
+func New(env sim.Env, tr *prt.Translator, cfg Config) *Cache {
+	if cfg.EntrySize <= 0 || cfg.EntrySize != tr.ChunkSize() {
+		cfg.EntrySize = tr.ChunkSize()
+	}
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 1024
+	}
+	if cfg.MaxReadahead < 0 {
+		cfg.MaxReadahead = 0
+	}
+	if cfg.FlushParallelism <= 0 {
+		cfg.FlushParallelism = 8
+	}
+	if cfg.PrefetchParallelism <= 0 {
+		cfg.PrefetchParallelism = 64
+	}
+	c := &Cache{
+		env: env, tr: tr, cfg: cfg,
+		files:      make(map[types.Ino]*fileCache),
+		lru:        list.New(),
+		flushLocks: make(map[types.Ino]*sim.Mutex),
+	}
+	c.prefetchSem = sim.NewChan[struct{}](env)
+	for i := 0; i < cfg.PrefetchParallelism; i++ {
+		c.prefetchSem.Send(struct{}{})
+	}
+	return c
+}
+
+// Stat returns the cache counters.
+func (c *Cache) Stat() *Stats { return &c.stats }
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func (c *Cache) file(ino types.Ino) *fileCache {
+	fc := c.files[ino]
+	if fc == nil {
+		fc = &fileCache{ino: ino}
+		c.files[ino] = fc
+	}
+	return fc
+}
+
+// Read copies file bytes [off, off+len(buf)) into buf through the cache,
+// returning the bytes read (clipped to size, the caller-tracked file size).
+// Sequential access triggers asynchronous read-ahead.
+func (c *Cache) Read(ino types.Ino, buf []byte, off, size int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("cache: negative offset: %w", types.ErrInval)
+	}
+	if off >= size {
+		return 0, nil
+	}
+	if max := size - off; int64(len(buf)) > max {
+		buf = buf[:max]
+	}
+	c.readahead(ino, off, int64(len(buf)), size)
+	read := 0
+	for read < len(buf) {
+		pos := off + int64(read)
+		idx := uint64(pos / c.cfg.EntrySize)
+		inOff := pos % c.cfg.EntrySize
+		want := int64(len(buf) - read)
+		if r := c.cfg.EntrySize - inOff; want > r {
+			want = r
+		}
+		e, err := c.ensure(ino, idx, true, false)
+		if err != nil {
+			return read, err
+		}
+		// Copy out; bytes beyond the entry's valid prefix are zero (hole).
+		n := 0
+		if inOff < int64(len(e.data)) {
+			n = copy(buf[read:read+int(want)], e.data[inOff:])
+		}
+		for i := n; int64(i) < want; i++ {
+			buf[read+i] = 0
+		}
+		c.env.Sleep(c.cfg.Cost.MemCopy(want))
+		read += int(want)
+	}
+	return read, nil
+}
+
+// Write stores buf at off in the cache (write-back). The caller updates the
+// inode size; partially covered, previously unseen chunks are fetched first
+// so a later flush cannot clobber bytes outside the write.
+func (c *Cache) Write(ino types.Ino, buf []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("cache: negative offset: %w", types.ErrInval)
+	}
+	written := 0
+	for written < len(buf) {
+		pos := off + int64(written)
+		idx := uint64(pos / c.cfg.EntrySize)
+		inOff := pos % c.cfg.EntrySize
+		want := int64(len(buf) - written)
+		if r := c.cfg.EntrySize - inOff; want > r {
+			want = r
+		}
+		full := inOff == 0 && want == c.cfg.EntrySize
+		e, err := c.ensure(ino, idx, !full, false)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		need := inOff + want
+		if int64(len(e.data)) < need {
+			grown := make([]byte, need, c.cfg.EntrySize)
+			copy(grown, e.data)
+			e.data = grown
+		}
+		copy(e.data[inOff:], buf[written:written+int(want)])
+		e.dirty = true
+		c.touchLocked(e)
+		c.mu.Unlock()
+		c.env.Sleep(c.cfg.Cost.MemCopy(want))
+		written += int(want)
+	}
+	return nil
+}
+
+// ensure returns the entry for (ino, idx), fetching it from the object store
+// when fetch is true and it is absent. It may block on an in-flight fetch.
+// prefetch suppresses the miss counter for read-ahead-initiated fetches.
+func (c *Cache) ensure(ino types.Ino, idx uint64, fetch, prefetch bool) (*entry, error) {
+	for {
+		c.mu.Lock()
+		fc := c.file(ino)
+		if e, ok := fc.tree.Get(idx); ok {
+			if e.loading == nil {
+				c.stats.Hits.Add(1)
+				c.touchLocked(e)
+				c.mu.Unlock()
+				return e, nil
+			}
+			ready := e.loading
+			c.mu.Unlock()
+			ready.Recv() // closed when the fetch completes
+			continue
+		}
+		// Absent: create (and maybe fetch).
+		e := &entry{ino: ino, idx: idx}
+		if fetch {
+			e.loading = sim.NewChan[struct{}](c.env)
+		}
+		fc.tree.Insert(idx, e)
+		e.lruElem = c.lru.PushFront(e)
+		if !prefetch {
+			c.stats.Misses.Add(1)
+		}
+		c.evictLocked(e)
+		c.mu.Unlock()
+		if !fetch {
+			return e, nil
+		}
+		data, err := c.fetchChunk(ino, idx)
+		c.mu.Lock()
+		e.data = data
+		ready := e.loading
+		e.loading = nil
+		c.mu.Unlock()
+		ready.Close()
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+}
+
+// fetchChunk reads one data object; a missing object is a hole (empty data).
+func (c *Cache) fetchChunk(ino types.Ino, idx uint64) ([]byte, error) {
+	data, err := c.tr.Store().Get(prt.DataKey(ino, int64(idx)))
+	if err != nil {
+		if isNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("cache: fetch chunk %d of %s: %w", idx, ino.Short(), err)
+	}
+	return data, nil
+}
+
+// readahead updates the sequential window and issues asynchronous prefetches
+// (paper: window doubles while reads stay sequential, capped at
+// MaxReadahead; a read starting at offset 0 jumps straight to the maximum).
+func (c *Cache) readahead(ino types.Ino, off, n, size int64) {
+	if c.cfg.MaxReadahead < c.cfg.EntrySize {
+		return
+	}
+	c.mu.Lock()
+	fc := c.file(ino)
+	switch {
+	case off == 0 && fc.raNextOff == 0:
+		fc.raWindow = c.cfg.MaxReadahead
+	case off == fc.raNextOff:
+		if fc.raWindow == 0 {
+			fc.raWindow = c.cfg.EntrySize
+		} else if fc.raWindow < c.cfg.MaxReadahead {
+			fc.raWindow *= 2
+			if fc.raWindow > c.cfg.MaxReadahead {
+				fc.raWindow = c.cfg.MaxReadahead
+			}
+		}
+	default:
+		// Non-sequential: reset.
+		fc.raWindow = 0
+		fc.raEdge = 0
+	}
+	fc.raNextOff = off + n
+	window := fc.raWindow
+	if window == 0 {
+		c.mu.Unlock()
+		return
+	}
+	target := off + n + window
+	if target > size {
+		target = size
+	}
+	start := fc.raEdge
+	if start < off+n {
+		start = off + n
+	}
+	firstIdx := start / c.cfg.EntrySize
+	lastIdx := (target - 1) / c.cfg.EntrySize
+	fc.raEdge = target
+	c.mu.Unlock()
+
+	for idx := firstIdx; idx <= lastIdx && idx*c.cfg.EntrySize < size; idx++ {
+		idx := idx
+		c.mu.Lock()
+		_, present := c.file(ino).tree.Get(uint64(idx))
+		c.mu.Unlock()
+		if present {
+			continue
+		}
+		c.stats.Readaheads.Add(1)
+		c.env.Go(func() {
+			if _, ok := c.prefetchSem.Recv(); !ok {
+				return
+			}
+			defer c.prefetchSem.Send(struct{}{})
+			_, _ = c.ensure(ino, uint64(idx), true, true)
+		})
+	}
+}
+
+// touchLocked moves e to the LRU front. Callers hold c.mu.
+func (c *Cache) touchLocked(e *entry) {
+	if e.lruElem != nil {
+		c.lru.MoveToFront(e.lruElem)
+	}
+}
+
+// evictLocked evicts LRU entries (sparing keep) until the cache fits.
+// Callers hold c.mu; dirty victims are written back with the lock dropped.
+func (c *Cache) evictLocked(keep *entry) {
+	for c.lru.Len() > c.cfg.MaxEntries {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		victim := el.Value.(*entry)
+		if victim == keep || victim.loading != nil {
+			// In-use or in-flight: move it up and stop rather than spin.
+			c.lru.MoveToFront(el)
+			return
+		}
+		if victim.dirty {
+			// Write back while the entry is still visible, so concurrent
+			// readers never fall through to pre-writeback store state.
+			victim.dirty = false
+			data, off := victim.data, int64(victim.idx)*c.cfg.EntrySize
+			c.stats.Writebacks.Add(1)
+			c.mu.Unlock()
+			err := c.tr.WriteAt(victim.ino, data, off)
+			c.mu.Lock()
+			_ = err // eviction write-back errors surface at the next Flush
+			if victim.dirty || victim.lruElem == nil {
+				continue // redirtied or already removed while unlocked
+			}
+		}
+		c.lru.Remove(el)
+		victim.lruElem = nil
+		if fc := c.files[victim.ino]; fc != nil {
+			fc.tree.Delete(victim.idx)
+			if fc.tree.Len() == 0 {
+				delete(c.files, victim.ino)
+			}
+		}
+		c.stats.Evictions.Add(1)
+	}
+}
+
+// flushLock returns the per-file flush serializer.
+func (c *Cache) flushLock(ino types.Ino) *sim.Mutex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.flushLocks[ino]
+	if m == nil {
+		m = sim.NewMutex(c.env)
+		c.flushLocks[ino] = m
+	}
+	return m
+}
+
+// Flush writes back every dirty entry of ino (fsync). Entries stay resident.
+// Flushes of the same file serialize, so a lease recall observing Flush's
+// return knows no earlier write-back is still in flight.
+func (c *Cache) Flush(ino types.Ino) error {
+	lock := c.flushLock(ino)
+	lock.Lock()
+	defer lock.Unlock()
+	type pending struct {
+		e    *entry
+		data []byte
+	}
+	c.mu.Lock()
+	fc := c.files[ino]
+	if fc == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	var work []pending
+	fc.tree.Range(func(idx uint64, e *entry) bool {
+		if e.dirty {
+			work = append(work, pending{e: e, data: e.data})
+		}
+		return true
+	})
+	c.mu.Unlock()
+	// Write back with bounded parallelism: independent chunks flush
+	// concurrently, which is what lets the write-back path saturate the
+	// object store instead of serializing one PUT at a time.
+	sem := sim.NewChan[struct{}](c.env)
+	for i := 0; i < c.cfg.FlushParallelism; i++ {
+		sem.Send(struct{}{})
+	}
+	g := sim.NewGroup(c.env)
+	errs := make([]error, len(work))
+	for i := range work {
+		i := i
+		if _, ok := sem.Recv(); !ok {
+			return fmt.Errorf("cache: shut down during flush: %w", types.ErrIO)
+		}
+		g.Go(func() {
+			defer sem.Send(struct{}{})
+			p := work[i]
+			off := int64(p.e.idx) * c.cfg.EntrySize
+			if err := c.tr.WriteAt(ino, p.data, off); err != nil {
+				errs[i] = fmt.Errorf("cache: flush %s: %w", ino.Short(), err)
+				return
+			}
+			c.mu.Lock()
+			p.e.dirty = false
+			c.mu.Unlock()
+			c.stats.Writebacks.Add(1)
+		})
+	}
+	g.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushAll writes back every dirty entry of every file (fsync of the whole
+// mount; the benchmark phase barrier).
+func (c *Cache) FlushAll() error {
+	c.mu.Lock()
+	inos := make([]types.Ino, 0, len(c.files))
+	for ino := range c.files {
+		inos = append(inos, ino)
+	}
+	c.mu.Unlock()
+	for _, ino := range inos {
+		if err := c.Flush(ino); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Invalidate drops every entry of ino without writing anything back — the
+// flush-broadcast path that prevents stale reads when another client gains a
+// write lease. Callers flush first when they hold dirty data they care about.
+func (c *Cache) Invalidate(ino types.Ino) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc := c.files[ino]
+	if fc == nil {
+		return
+	}
+	fc.tree.Range(func(idx uint64, e *entry) bool {
+		if e.lruElem != nil {
+			c.lru.Remove(e.lruElem)
+			e.lruElem = nil
+		}
+		return true
+	})
+	delete(c.files, ino)
+	// The flush lock is retained deliberately: deleting it while a Flush
+	// holds it would let a later Flush run concurrently with that one.
+}
+
+// Clear drops every entry of every file without write-back (the global
+// "echo 3 > drop_caches" benchmark step; callers flush first).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.files = make(map[types.Ino]*fileCache)
+	c.lru.Init()
+}
+
+// Dirty reports whether ino has unwritten data.
+func (c *Cache) Dirty(ino types.Ino) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc := c.files[ino]
+	if fc == nil {
+		return false
+	}
+	dirty := false
+	fc.tree.Range(func(idx uint64, e *entry) bool {
+		if e.dirty {
+			dirty = true
+			return false
+		}
+		return true
+	})
+	return dirty
+}
+
+// isNotExist matches wrapped not-found errors from any backend.
+func isNotExist(err error) bool {
+	return errors.Is(err, types.ErrNotExist)
+}
+
+// Readahead state accessors used by tests and the fio harness.
+
+// Window returns ino's current read-ahead window in bytes.
+func (c *Cache) Window(ino types.Ino) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fc := c.files[ino]; fc != nil {
+		return fc.raWindow
+	}
+	return 0
+}

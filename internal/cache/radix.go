@@ -1,0 +1,169 @@
+// Package cache implements ArkFS's user-level data object cache (paper
+// §III-D): write-back caching of 2 MiB data objects indexed by a radix tree,
+// with a sequential read-ahead window that grows to a configurable maximum
+// (8 MiB by default, jumping straight to the maximum when a file is read from
+// offset zero).
+package cache
+
+// The radix tree maps a file-local chunk index to a cache entry. Because the
+// entries are large (2 MiB), even terabyte files index with a shallow tree —
+// the property the paper relies on for fast lookups.
+
+const (
+	radixBits   = 6
+	radixFanout = 1 << radixBits // 64
+	radixMask   = radixFanout - 1
+)
+
+// radix is a height-adaptive radix tree with 64-way fanout. Values are
+// stored at level 0; internal nodes hold child pointers. The zero value is
+// an empty tree.
+type radix[V any] struct {
+	root   *radixNode[V]
+	height int // levels below the root; capacity = 64^(height+1)
+	size   int
+}
+
+type radixNode[V any] struct {
+	children [radixFanout]*radixNode[V]
+	values   [radixFanout]*V
+	count    int
+}
+
+// capacity returns the largest index storable at the current height.
+func (t *radix[V]) capacity() uint64 {
+	bits := uint((t.height + 1) * radixBits)
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<bits - 1
+}
+
+// grow raises the tree height until idx fits.
+func (t *radix[V]) grow(idx uint64) {
+	if t.root == nil {
+		t.root = &radixNode[V]{}
+	}
+	for idx > t.capacity() {
+		newRoot := &radixNode[V]{}
+		if t.size > 0 || t.root.count > 0 {
+			newRoot.children[0] = t.root
+			newRoot.count = 1
+		}
+		t.root = newRoot
+		t.height++
+	}
+}
+
+// slot returns the child slot of idx at the given level (level 0 = leaves).
+func slot(idx uint64, level int) int {
+	return int(idx >> (uint(level) * radixBits) & radixMask)
+}
+
+// Get returns the value at idx.
+func (t *radix[V]) Get(idx uint64) (*V, bool) {
+	if t.root == nil || idx > t.capacity() {
+		return nil, false
+	}
+	n := t.root
+	for level := t.height; level > 0; level-- {
+		n = n.children[slot(idx, level)]
+		if n == nil {
+			return nil, false
+		}
+	}
+	v := n.values[slot(idx, 0)]
+	if v == nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// Insert stores v at idx, replacing any existing value.
+func (t *radix[V]) Insert(idx uint64, v *V) {
+	t.grow(idx)
+	n := t.root
+	for level := t.height; level > 0; level-- {
+		s := slot(idx, level)
+		if n.children[s] == nil {
+			n.children[s] = &radixNode[V]{}
+			n.count++
+		}
+		n = n.children[s]
+	}
+	s := slot(idx, 0)
+	if n.values[s] == nil {
+		n.count++
+		t.size++
+	}
+	n.values[s] = v
+}
+
+// Delete removes the value at idx, pruning empty nodes, and reports whether
+// a value was present.
+func (t *radix[V]) Delete(idx uint64) bool {
+	if t.root == nil || idx > t.capacity() {
+		return false
+	}
+	var path [12]*radixNode[V] // 64-bit keys need at most ⌈64/6⌉+1 levels
+	n := t.root
+	for level := t.height; level > 0; level-- {
+		path[level] = n
+		n = n.children[slot(idx, level)]
+		if n == nil {
+			return false
+		}
+	}
+	s := slot(idx, 0)
+	if n.values[s] == nil {
+		return false
+	}
+	n.values[s] = nil
+	n.count--
+	t.size--
+	// Prune emptied nodes bottom-up.
+	child := n
+	for level := 1; level <= t.height; level++ {
+		if child.count > 0 {
+			break
+		}
+		parent := path[level]
+		parent.children[slot(idx, level)] = nil
+		parent.count--
+		child = parent
+	}
+	return true
+}
+
+// Len returns the number of stored values.
+func (t *radix[V]) Len() int { return t.size }
+
+// Range calls fn on every (idx, value) pair in ascending index order until
+// fn returns false.
+func (t *radix[V]) Range(fn func(idx uint64, v *V) bool) {
+	if t.root == nil {
+		return
+	}
+	t.walk(t.root, t.height, 0, fn)
+}
+
+func (t *radix[V]) walk(n *radixNode[V], level int, prefix uint64, fn func(uint64, *V) bool) bool {
+	if level == 0 {
+		for s := 0; s < radixFanout; s++ {
+			if v := n.values[s]; v != nil {
+				if !fn(prefix|uint64(s), v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for s := 0; s < radixFanout; s++ {
+		if c := n.children[s]; c != nil {
+			if !t.walk(c, level-1, prefix|uint64(s)<<(uint(level)*radixBits), fn) {
+				return false
+			}
+		}
+	}
+	return true
+}

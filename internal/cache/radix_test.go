@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRadixBasic(t *testing.T) {
+	var r radix[int]
+	if _, ok := r.Get(0); ok {
+		t.Fatal("empty tree returned a value")
+	}
+	v1, v2 := 10, 20
+	r.Insert(0, &v1)
+	r.Insert(1<<30, &v2) // forces height growth
+	if got, ok := r.Get(0); !ok || *got != 10 {
+		t.Fatalf("Get(0) = %v, %v", got, ok)
+	}
+	if got, ok := r.Get(1 << 30); !ok || *got != 20 {
+		t.Fatalf("Get(big) = %v, %v", got, ok)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// Replace.
+	v3 := 30
+	r.Insert(0, &v3)
+	if got, _ := r.Get(0); *got != 30 {
+		t.Fatal("Insert did not replace")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len after replace = %d", r.Len())
+	}
+	// Delete.
+	if !r.Delete(0) {
+		t.Fatal("Delete(0) failed")
+	}
+	if r.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := r.Get(0); ok {
+		t.Fatal("deleted key still present")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len after delete = %d", r.Len())
+	}
+}
+
+func TestRadixRangeOrdered(t *testing.T) {
+	var r radix[int]
+	idxs := []uint64{5, 1, 1 << 20, 64, 63, 4096, 0}
+	for i := range idxs {
+		v := int(idxs[i])
+		r.Insert(idxs[i], &v)
+	}
+	var got []uint64
+	r.Range(func(idx uint64, v *int) bool {
+		got = append(got, idx)
+		if uint64(*v) != idx {
+			t.Fatalf("value mismatch at %d", idx)
+		}
+		return true
+	})
+	want := []uint64{0, 1, 5, 63, 64, 4096, 1 << 20}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	r.Range(func(idx uint64, v *int) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestRadixHugeIndexes(t *testing.T) {
+	var r radix[int]
+	v := 1
+	max := ^uint64(0)
+	r.Insert(max, &v)
+	if got, ok := r.Get(max); !ok || *got != 1 {
+		t.Fatalf("max index: %v %v", got, ok)
+	}
+	if !r.Delete(max) {
+		t.Fatal("delete max failed")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+// Property: the tree behaves identically to a map under random ops.
+func TestRadixMatchesMapQuick(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Idx  uint32
+	}
+	f := func(ops []op) bool {
+		var r radix[uint32]
+		model := map[uint64]uint32{}
+		for _, o := range ops {
+			idx := uint64(o.Idx) % 100000
+			switch o.Kind % 3 {
+			case 0:
+				v := o.Idx
+				r.Insert(idx, &v)
+				model[idx] = o.Idx
+			case 1:
+				got, ok := r.Get(idx)
+				want, wok := model[idx]
+				if ok != wok {
+					return false
+				}
+				if ok && *got != want {
+					return false
+				}
+			case 2:
+				if r.Delete(idx) != (func() bool { _, ok := model[idx]; return ok })() {
+					return false
+				}
+				delete(model, idx)
+			}
+		}
+		if r.Len() != len(model) {
+			return false
+		}
+		// Full sweep comparison.
+		seen := 0
+		okAll := true
+		r.Range(func(idx uint64, v *uint32) bool {
+			seen++
+			if model[idx] != *v {
+				okAll = false
+				return false
+			}
+			return true
+		})
+		return okAll && seen == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRadixGet(b *testing.B) {
+	var r radix[int]
+	for i := 0; i < 4096; i++ {
+		v := i
+		r.Insert(uint64(i), &v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Get(uint64(i % 4096))
+	}
+}

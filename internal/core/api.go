@@ -1,0 +1,392 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"arkfs/internal/types"
+	"arkfs/internal/wire"
+)
+
+// Public near-POSIX API. Every call charges the FUSE overhead once (the
+// application-visible request) and then routes per-directory: local metatable
+// operations when this client leads the parent, forwarded RPCs otherwise.
+
+// maxOpRetries bounds retries when leadership moves mid-operation (ESTALE).
+const maxOpRetries = 8
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string, mode types.Mode) error {
+	c.chargeFUSE()
+	res, err := c.resolvePath(path, true)
+	if err != nil {
+		return errnoWrap("mkdir", path, err)
+	}
+	if res.name == "" || res.node != nil {
+		return errnoWrap("mkdir", path, types.ErrExist)
+	}
+	_, err = c.create(res.parent, CreateReq{
+		Dir: res.parent, Name: res.name, Type: types.TypeDir,
+		Mode: mode, Cred: c.opts.Cred, NewIno: c.inoSrc.Next(), Exclusive: true,
+	})
+	return errnoWrap("mkdir", path, err)
+}
+
+// Symlink creates a symbolic link at path pointing to target.
+func (c *Client) Symlink(target, path string) error {
+	c.chargeFUSE()
+	res, err := c.resolvePath(path, false)
+	if err != nil {
+		return errnoWrap("symlink", path, err)
+	}
+	if res.name == "" || res.node != nil {
+		return errnoWrap("symlink", path, types.ErrExist)
+	}
+	_, err = c.create(res.parent, CreateReq{
+		Dir: res.parent, Name: res.name, Type: types.TypeSymlink,
+		Mode: 0777, Target: target, Cred: c.opts.Cred,
+		NewIno: c.inoSrc.Next(), Exclusive: true,
+	})
+	return errnoWrap("symlink", path, err)
+}
+
+// Readlink returns the target of a symlink.
+func (c *Client) Readlink(path string) (string, error) {
+	c.chargeFUSE()
+	res, err := c.resolvePath(path, false)
+	if err != nil {
+		return "", errnoWrap("readlink", path, err)
+	}
+	if res.node == nil {
+		return "", errnoWrap("readlink", path, types.ErrNotExist)
+	}
+	if res.node.Type != types.TypeSymlink {
+		return "", errnoWrap("readlink", path, types.ErrInval)
+	}
+	return res.node.Target, nil
+}
+
+// Stat returns the inode at path, following symlinks.
+func (c *Client) Stat(path string) (*types.Inode, error) {
+	c.chargeFUSE()
+	res, err := c.resolvePath(path, true)
+	if err != nil {
+		return nil, errnoWrap("stat", path, err)
+	}
+	if res.node == nil {
+		return nil, errnoWrap("stat", path, types.ErrNotExist)
+	}
+	return res.node, nil
+}
+
+// Lstat returns the inode at path without following a final symlink.
+func (c *Client) Lstat(path string) (*types.Inode, error) {
+	c.chargeFUSE()
+	res, err := c.resolvePath(path, false)
+	if err != nil {
+		return nil, errnoWrap("lstat", path, err)
+	}
+	if res.node == nil {
+		return nil, errnoWrap("lstat", path, types.ErrNotExist)
+	}
+	return res.node, nil
+}
+
+// Unlink removes a file or symlink.
+func (c *Client) Unlink(path string) error {
+	c.chargeFUSE()
+	res, err := c.resolvePath(path, false)
+	if err != nil {
+		return errnoWrap("unlink", path, err)
+	}
+	if res.name == "" {
+		return errnoWrap("unlink", path, types.ErrIsDir)
+	}
+	err = c.unlink(res.parent, UnlinkReq{Dir: res.parent, Name: res.name, Cred: c.opts.Cred})
+	c.pcacheInvalidate(res.parent)
+	return errnoWrap("unlink", path, err)
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(path string) error {
+	c.chargeFUSE()
+	res, err := c.resolvePath(path, false)
+	if err != nil {
+		return errnoWrap("rmdir", path, err)
+	}
+	if res.name == "" {
+		return errnoWrap("rmdir", path, types.ErrBusy) // removing "/"
+	}
+	if res.node == nil {
+		return errnoWrap("rmdir", path, types.ErrNotExist)
+	}
+	if !res.node.IsDir() {
+		return errnoWrap("rmdir", path, types.ErrNotDir)
+	}
+	// Emptiness is the target directory's business: consult its leader (or
+	// become it). The window between this check and the unlink is accepted,
+	// as directory creation requires the parent lease we are about to use.
+	entries, err := c.readdirIno(res.node.Ino)
+	if err != nil {
+		return errnoWrap("rmdir", path, err)
+	}
+	if len(entries) > 0 {
+		return errnoWrap("rmdir", path, types.ErrNotEmpty)
+	}
+	// Give up our own lease on the dying directory before removing it.
+	_ = c.ReleaseDir(res.node.Ino)
+	err = c.unlink(res.parent, UnlinkReq{Dir: res.parent, Name: res.name, Rmdir: true, Cred: c.opts.Cred})
+	c.pcacheInvalidate(res.parent)
+	return errnoWrap("rmdir", path, err)
+}
+
+// Readdir lists a directory.
+func (c *Client) Readdir(path string) ([]wire.Dentry, error) {
+	c.chargeFUSE()
+	res, err := c.resolvePath(path, true)
+	if err != nil {
+		return nil, errnoWrap("readdir", path, err)
+	}
+	if res.node == nil {
+		return nil, errnoWrap("readdir", path, types.ErrNotExist)
+	}
+	if !res.node.IsDir() {
+		return nil, errnoWrap("readdir", path, types.ErrNotDir)
+	}
+	entries, err := c.readdirIno(res.node.Ino)
+	return entries, errnoWrap("readdir", path, err)
+}
+
+// Chmod changes permission bits.
+func (c *Client) Chmod(path string, mode types.Mode) error {
+	_, err := c.setAttr(path, AttrPatch{SetMode: true, Mode: mode})
+	return errnoWrap("chmod", path, err)
+}
+
+// Chown changes ownership (root only, as in POSIX without CAP_CHOWN games).
+func (c *Client) Chown(path string, uid, gid uint32) error {
+	_, err := c.setAttr(path, AttrPatch{SetOwner: true, Uid: uid, Gid: gid})
+	return errnoWrap("chown", path, err)
+}
+
+// SetACL installs a POSIX.1e-style access control list.
+func (c *Client) SetACL(path string, acl types.ACL) error {
+	_, err := c.setAttr(path, AttrPatch{SetACL: true, ACL: acl})
+	return errnoWrap("setfacl", path, err)
+}
+
+// Utimes sets the modification time.
+func (c *Client) Utimes(path string, mtime time.Duration) error {
+	_, err := c.setAttr(path, AttrPatch{SetTimes: true, Mtime: mtime})
+	return errnoWrap("utimes", path, err)
+}
+
+// Truncate sets the file size.
+func (c *Client) Truncate(path string, size int64) error {
+	if size < 0 {
+		return errnoWrap("truncate", path, types.ErrInval)
+	}
+	_, err := c.setAttr(path, AttrPatch{SetSize: true, Size: size})
+	return errnoWrap("truncate", path, err)
+}
+
+// Fsync flushes the journal of the directory containing path — the
+// metadata-durability half of fsync(2); File.Sync covers data.
+func (c *Client) Fsync(path string) error {
+	c.chargeFUSE()
+	res, err := c.resolvePath(path, true)
+	if err != nil {
+		return errnoWrap("fsync", path, err)
+	}
+	dir := res.parent
+	if res.node != nil && res.node.IsDir() {
+		dir = res.node.Ino
+	}
+	if _, ok := c.ledDirFor(dir); ok {
+		return errnoWrap("fsync", path, c.jrnl.Flush(dir))
+	}
+	return nil // a remote leader owns the journal; its commit cadence applies
+}
+
+// FlushAll writes back all cached data and commits and checkpoints every
+// journal this client owns (the fsync-per-phase behavior the benchmarks use).
+func (c *Client) FlushAll() error {
+	if err := c.data.FlushAll(); err != nil {
+		return err
+	}
+	return c.jrnl.FlushAll()
+}
+
+// --- dispatch helpers --------------------------------------------------------
+
+// create routes a CreateReq to the parent's leader.
+func (c *Client) create(parent types.Ino, req CreateReq) (*types.Inode, error) {
+	for attempt := 0; ; attempt++ {
+		ld, leader, err := c.routeFor(parent)
+		if err != nil {
+			return nil, err
+		}
+		if ld != nil {
+			return c.localCreate(ld, parent, req)
+		}
+		c.stats.RemoteMetaOps.Add(1)
+		resp, err := c.callLeader(leader, parent, req)
+		if err = retryable(err, attempt); err != nil {
+			return nil, err
+		} else if resp == nil {
+			continue
+		}
+		cr := resp.(CreateResp)
+		if cr.Err == "ESTALE" && attempt < maxOpRetries {
+			c.invalidateLeader(parent)
+			c.retryBackoff(attempt)
+			continue
+		}
+		if err := errFromString(cr.Err); err != nil {
+			return nil, err
+		}
+		node, err := wire.DecodeInode(cr.Inode)
+		if err != nil {
+			return nil, err
+		}
+		c.pcachePutLookup(parent, req.Name, node)
+		return node, nil
+	}
+}
+
+// unlink routes an UnlinkReq to the parent's leader.
+func (c *Client) unlink(parent types.Ino, req UnlinkReq) error {
+	for attempt := 0; ; attempt++ {
+		ld, leader, err := c.routeFor(parent)
+		if err != nil {
+			return err
+		}
+		if ld != nil {
+			return c.localUnlink(ld, parent, req)
+		}
+		c.stats.RemoteMetaOps.Add(1)
+		resp, err := c.callLeader(leader, parent, req)
+		if err = retryable(err, attempt); err != nil {
+			return err
+		} else if resp == nil {
+			continue
+		}
+		ur := resp.(UnlinkResp)
+		if ur.Err == "ESTALE" && attempt < maxOpRetries {
+			c.invalidateLeader(parent)
+			c.retryBackoff(attempt)
+			continue
+		}
+		return errFromString(ur.Err)
+	}
+}
+
+// setAttr resolves path and routes the patch to the right leader.
+func (c *Client) setAttr(path string, patch AttrPatch) (*types.Inode, error) {
+	c.chargeFUSE()
+	res, err := c.resolvePath(path, true)
+	if err != nil {
+		return nil, err
+	}
+	if res.node == nil {
+		return nil, types.ErrNotExist
+	}
+	// Attribute ownership follows the dentry: the parent directory's leader
+	// holds the authoritative inode copy of every child, directories
+	// included. Only the root, which has no parent entry, is handled by its
+	// own leader (name "").
+	node, err := c.setAttrIno(res.parent, res.name, patch, false)
+	if err != nil {
+		return nil, err
+	}
+	c.pcacheInvalidate(res.parent)
+	if node.IsDir() {
+		c.pcacheInvalidate(node.Ino)
+		// If we lead the directory whose attributes changed, refresh the
+		// snapshot its own metatable uses for access checks. Other leaders
+		// refresh at their next lease turnover (bounded staleness, like the
+		// permission-cache relaxation).
+		if ld, ok := c.ledDirFor(node.Ino); ok {
+			ld.opMu.Lock()
+			ld.table.SetDirInode(node)
+			ld.opMu.Unlock()
+		}
+	}
+	return node, nil
+}
+
+// setAttrIno routes a SetAttrReq for (dir, name) to its leader.
+func (c *Client) setAttrIno(dir types.Ino, name string, patch AttrPatch, implicit bool) (*types.Inode, error) {
+	req := SetAttrReq{Dir: dir, Name: name, Cred: c.opts.Cred, Patch: patch, Implicit: implicit}
+	for attempt := 0; ; attempt++ {
+		ld, leader, err := c.routeFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		if ld != nil {
+			return c.localSetAttr(ld, dir, req)
+		}
+		c.stats.RemoteMetaOps.Add(1)
+		resp, err := c.callLeader(leader, dir, req)
+		if err = retryable(err, attempt); err != nil {
+			return nil, err
+		} else if resp == nil {
+			continue
+		}
+		sr := resp.(SetAttrResp)
+		if sr.Err == "ESTALE" && attempt < maxOpRetries {
+			c.invalidateLeader(dir)
+			c.retryBackoff(attempt)
+			continue
+		}
+		if err := errFromString(sr.Err); err != nil {
+			return nil, err
+		}
+		return wire.DecodeInode(sr.Inode)
+	}
+}
+
+// readdirIno lists a directory by inode through its leader.
+func (c *Client) readdirIno(dir types.Ino) ([]wire.Dentry, error) {
+	req := ReaddirReq{Dir: dir, Cred: c.opts.Cred}
+	for attempt := 0; ; attempt++ {
+		ld, leader, err := c.routeFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		if ld != nil {
+			return c.localReaddir(ld, req)
+		}
+		c.stats.RemoteMetaOps.Add(1)
+		resp, err := c.callLeader(leader, dir, req)
+		if err = retryable(err, attempt); err != nil {
+			return nil, err
+		} else if resp == nil {
+			continue
+		}
+		rr := resp.(ReaddirResp)
+		if rr.Err == "ESTALE" && attempt < maxOpRetries {
+			c.invalidateLeader(dir)
+			c.retryBackoff(attempt)
+			continue
+		}
+		if err := errFromString(rr.Err); err != nil {
+			return nil, err
+		}
+		return rr.Entries, nil
+	}
+}
+
+// retryable maps a callLeader error to retry/stop: leadership changes
+// (ErrStale) retry by returning (nil error, nil resp signal); anything else
+// stops. attempt counting guards against livelock.
+func retryable(err error, attempt int) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, types.ErrStale) && attempt < maxOpRetries {
+		return nil
+	}
+	return fmt.Errorf("core: forwarded op: %w", err)
+}

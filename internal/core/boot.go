@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"arkfs/internal/prt"
+	"arkfs/internal/types"
+)
+
+// Format initializes an empty ArkFS file system on the object store: it
+// writes the superblock (formatting parameters, used by later mounts and by
+// arkfsck) and the root directory's inode (mode 0777 so any credential can
+// build a namespace underneath; tighten with Chmod afterwards if desired).
+// Format is idempotent; re-formatting with a different chunk size fails.
+func Format(tr *prt.Translator) error {
+	if raw, err := tr.Store().Get(prt.SuperblockKey); err == nil {
+		sb, derr := prt.DecodeSuperblock(raw)
+		if derr != nil {
+			return fmt.Errorf("core: format: %w", derr)
+		}
+		if sb.ChunkSize != tr.ChunkSize() {
+			return fmt.Errorf("core: format: image has chunk size %d, mount uses %d: %w",
+				sb.ChunkSize, tr.ChunkSize(), types.ErrInval)
+		}
+		return nil // already formatted, compatible
+	} else if !errors.Is(err, types.ErrNotExist) {
+		return fmt.Errorf("core: format probe: %w", err)
+	}
+	sb := prt.Superblock{Version: 1, ChunkSize: tr.ChunkSize()}
+	if err := tr.Store().Put(prt.SuperblockKey, prt.EncodeSuperblock(sb)); err != nil {
+		return fmt.Errorf("core: format superblock: %w", err)
+	}
+	root := &types.Inode{
+		Ino:   types.RootIno,
+		Type:  types.TypeDir,
+		Mode:  0777,
+		Nlink: 2,
+	}
+	if err := tr.SaveInode(root); err != nil {
+		return fmt.Errorf("core: format: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arkfs/internal/cache"
+	"arkfs/internal/journal"
+	"arkfs/internal/lease"
+	"arkfs/internal/metatable"
+	"arkfs/internal/prt"
+	"arkfs/internal/rpc"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// Options configures one ArkFS client.
+type Options struct {
+	// ID names the client; its RPC address is "arkfs-<ID>".
+	ID string
+	// Cred is the identity used for permission checks.
+	Cred types.Cred
+	// LeaseMgr is the lease manager's address.
+	LeaseMgr rpc.Addr
+	// LeaseRoute selects a lease-manager shard per directory (the paper's
+	// future-work "cluster of lease managers"); nil uses LeaseMgr for all.
+	LeaseRoute func(types.Ino) rpc.Addr
+	// PermCache enables the permission caching mode (paper §III-C): remote
+	// directory permissions and lookups are cached for one lease period,
+	// trading strict ACL-change visibility for locality in path resolution.
+	PermCache bool
+	// FUSEOverhead is charged once per file-system request, modelling the
+	// user/kernel context switch of the FUSE framework; zero disables it.
+	FUSEOverhead time.Duration
+	// Cost models local CPU charges (metadata ops, memcpy).
+	Cost sim.CostModel
+	// Journal configures per-directory journaling.
+	Journal journal.Config
+	// Cache configures the data object cache.
+	Cache cache.Config
+	// RPCWorkers sizes the leader-side service pool.
+	RPCWorkers int
+	// LeaseMargin: extend held leases when within this margin of expiry.
+	LeaseMargin time.Duration
+	// LeasePeriod mirrors the manager's lease duration; it bounds the
+	// lifetime of permission-cache entries (default lease.DefaultPeriod).
+	LeasePeriod time.Duration
+	// Seed seeds the client's inode number generator.
+	Seed int64
+	// AcquireRetries bounds waits on recovering/quiescing directories.
+	AcquireRetries int
+	// Advertise overrides the client's public address — the one the lease
+	// manager hands to other clients. Multi-process deployments set it to
+	// rpc.TCPAddr(<bridge endpoint>) and bridge ServiceName to that port.
+	Advertise rpc.Addr
+}
+
+// Client is one ArkFS mount: the public near-POSIX API plus the leader-side
+// metadata service for the directories this client leads.
+type Client struct {
+	env         sim.Env
+	net         *rpc.Network
+	tr          *prt.Translator
+	jrnl        *journal.Journal
+	data        *cache.Cache
+	lm          *lease.Client
+	addr        rpc.Addr
+	serviceName rpc.Addr
+	opts        Options
+	server      *rpc.Server
+
+	mu      sync.Mutex
+	led     map[types.Ino]*ledDir
+	remote  map[types.Ino]rpc.Addr // last known leader of remote directories
+	pcache  map[types.Ino]*permEntry
+	handles map[types.Ino]map[*File]bool // open handles, for lease-conflict flips
+	closed  bool
+
+	// pending2pc tracks this client's participant-side prepared renames
+	// awaiting the coordinator's decision (txid -> pendingRename).
+	pending2pc sync.Map
+
+	inoSrc *types.InoSource
+	stats  Stats
+}
+
+// ledDir is a directory this client currently leads.
+type ledDir struct {
+	// opMu serializes compound metadata operations (lookup-then-insert
+	// sequences) across the client's own calls and RPC service workers. It
+	// is env-aware because leader-side operations charge simulated time and
+	// perform store I/O while holding it.
+	opMu    *sim.Mutex
+	table   *metatable.Table
+	leaseID uint64
+	expiry  time.Duration
+	// dataLeases tracks per-child-file read/write leases issued by this
+	// leader (paper §III-D).
+	dataLeases map[types.Ino]*dataLease
+}
+
+// dataLease is the lease state of one child file.
+type dataLease struct {
+	readers map[rpc.Addr]bool
+	writer  rpc.Addr
+	direct  bool // conflict detected: everyone does direct I/O
+}
+
+// permEntry is one permission-cache record: a remote directory's inode and
+// its resolved lookups, valid for one lease period.
+type permEntry struct {
+	inode   *types.Inode
+	lookups map[string]*types.Inode
+	expiry  time.Duration
+}
+
+// Stats counts client-side activity for the benchmark reports.
+type Stats struct {
+	LocalMetaOps, RemoteMetaOps, LeaseAcquires, PcacheHits atomic.Int64
+}
+
+// New creates and starts a client on net.
+func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
+	if opts.ID == "" {
+		opts.ID = "0"
+	}
+	if opts.LeaseMgr == "" {
+		opts.LeaseMgr = "leasemgr"
+	}
+	if opts.RPCWorkers <= 0 {
+		opts.RPCWorkers = 16
+	}
+	if opts.LeasePeriod <= 0 {
+		opts.LeasePeriod = lease.DefaultPeriod
+	}
+	if opts.LeaseMargin <= 0 {
+		opts.LeaseMargin = opts.LeasePeriod / 4
+	}
+	if opts.AcquireRetries <= 0 {
+		opts.AcquireRetries = 16
+	}
+	if opts.Seed == 0 {
+		opts.Seed = int64(len(opts.ID)) + 7919
+		for _, r := range opts.ID {
+			opts.Seed = opts.Seed*131 + int64(r)
+		}
+	}
+	env := net.Env()
+	c := &Client{
+		env:     env,
+		net:     net,
+		tr:      tr,
+		jrnl:    journal.New(env, tr, opts.Journal),
+		data:    cache.New(env, tr, opts.Cache),
+		addr:    rpc.Addr("arkfs-" + opts.ID),
+		opts:    opts,
+		led:     make(map[types.Ino]*ledDir),
+		remote:  make(map[types.Ino]rpc.Addr),
+		pcache:  make(map[types.Ino]*permEntry),
+		handles: make(map[types.Ino]map[*File]bool),
+		inoSrc:  types.NewInoSource(opts.Seed),
+	}
+	c.jrnl.SetTxnIDBase(uint64(opts.Seed) & 0xFFFFFFFF)
+	c.lm = &lease.Client{Net: net, Mgr: opts.LeaseMgr, Self: c.addr, Route: opts.LeaseRoute}
+	c.serviceName = rpc.Addr("arkfs-svc-" + opts.ID)
+	if opts.Advertise == "" {
+		c.serviceName = c.addr
+	}
+	c.server = net.Listen(c.serviceName, opts.RPCWorkers, c.serve)
+	env.Go(c.leaseKeeper)
+	return c
+}
+
+// leaseKeeper extends the leases of led directories before they lapse, so an
+// active leader is never mistaken for a crashed one (paper §III-B: "if there
+// is not enough time ... the leader tries to extend the lease").
+func (c *Client) leaseKeeper() {
+	interval := c.opts.LeasePeriod / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		c.env.Sleep(interval)
+		if c.env.Stopped() {
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		var due []types.Ino
+		now := c.env.Now()
+		for ino, ld := range c.led {
+			if ld.expiry-now < c.opts.LeasePeriod/2 {
+				due = append(due, ino)
+			}
+		}
+		c.mu.Unlock()
+		for _, ino := range due {
+			_, _, _ = c.acquireLease(ino)
+		}
+	}
+}
+
+// Addr returns the client's public RPC address.
+func (c *Client) Addr() rpc.Addr { return c.addr }
+
+// ServiceName returns the in-process listener name; multi-process
+// deployments bridge this to the TCP port named by Options.Advertise.
+func (c *Client) ServiceName() rpc.Addr { return c.serviceName }
+
+// SetAdvertise replaces the client's public address. Multi-process
+// deployments must bridge ServiceName to a TCP port before they know the
+// bound address, so they pass a placeholder Advertise to New and fix it up
+// here — strictly before the client performs any file-system operation.
+func (c *Client) SetAdvertise(addr rpc.Addr) {
+	c.mu.Lock()
+	c.addr = addr
+	c.mu.Unlock()
+	c.lm.Self = addr
+}
+
+// Stat returns the client's counters.
+func (c *Client) StatCounters() *Stats { return &c.stats }
+
+// CacheStats exposes the data cache counters.
+func (c *Client) CacheStats() *cache.Stats { return c.data.Stat() }
+
+// Close flushes all state, releases every lease, and stops the client.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	held := make(map[types.Ino]*ledDir, len(c.led))
+	for ino, ld := range c.led {
+		held[ino] = ld
+	}
+	c.mu.Unlock()
+
+	err := c.jrnl.FlushAll()
+	for ino, ld := range held {
+		clean := err == nil
+		_ = c.lm.Release(ino, ld.leaseID, clean)
+	}
+	c.mu.Lock()
+	c.led = make(map[types.Ino]*ledDir)
+	c.mu.Unlock()
+	c.jrnl.Close()
+	c.server.Close()
+	return err
+}
+
+// Crash simulates a client failure: the process vanishes without flushing
+// buffered transactions or releasing leases. Used by recovery tests.
+func (c *Client) Crash() {
+	c.mu.Lock()
+	c.closed = true
+	c.led = make(map[types.Ino]*ledDir)
+	c.mu.Unlock()
+	c.jrnl.Close()
+	c.server.Close()
+}
+
+// chargeFUSE models the FUSE request overhead for one application-visible
+// file-system call.
+func (c *Client) chargeFUSE() {
+	if c.opts.FUSEOverhead > 0 {
+		c.env.Sleep(c.opts.FUSEOverhead)
+	}
+}
+
+// chargeMetaOp models the in-memory metadata table operation cost.
+func (c *Client) chargeMetaOp() {
+	if c.opts.Cost.LocalMetaOp > 0 {
+		c.env.Sleep(c.opts.Cost.LocalMetaOp)
+	}
+}
+
+// routeFor resolves who serves metadata for dir, preferring what the client
+// already knows: its own leadership, then the cached remote-leader pointer
+// (the "remote metatable" entry of Fig. 3c), and only then the lease
+// manager. This keeps steady-state forwarding free of manager round trips.
+func (c *Client) routeFor(dir types.Ino) (*ledDir, rpc.Addr, error) {
+	c.mu.Lock()
+	if ld, ok := c.led[dir]; ok && c.env.Now() < ld.expiry-c.opts.LeaseMargin {
+		c.mu.Unlock()
+		return ld, "", nil
+	}
+	if addr, ok := c.remote[dir]; ok {
+		c.mu.Unlock()
+		return nil, addr, nil
+	}
+	c.mu.Unlock()
+	return c.leaderFor(dir)
+}
+
+// invalidateLeader drops the cached remote-leader pointer for dir, forcing
+// the next routeFor through the lease manager.
+func (c *Client) invalidateLeader(dir types.Ino) {
+	c.mu.Lock()
+	delete(c.remote, dir)
+	c.mu.Unlock()
+}
+
+// leaderFor resolves who serves metadata for dir: this client (returns a
+// live *ledDir) or a remote leader (returns its address). It acquires or
+// extends the directory lease as needed and runs journal recovery when the
+// manager signals a predecessor crash.
+func (c *Client) leaderFor(dir types.Ino) (*ledDir, rpc.Addr, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, "", fmt.Errorf("core: client closed: %w", types.ErrIO)
+	}
+	if ld, ok := c.led[dir]; ok {
+		if c.env.Now() < ld.expiry-c.opts.LeaseMargin {
+			c.mu.Unlock()
+			return ld, "", nil
+		}
+		// Near or past expiry: try to extend outside the lock.
+		c.mu.Unlock()
+		return c.acquireLease(dir)
+	}
+	c.mu.Unlock()
+	return c.acquireLease(dir)
+}
+
+// acquireLease obtains (or extends) the lease for dir, building the
+// metatable when this client becomes a fresh leader.
+func (c *Client) acquireLease(dir types.Ino) (*ledDir, rpc.Addr, error) {
+	c.stats.LeaseAcquires.Add(1)
+	for attempt := 0; attempt < c.opts.AcquireRetries; attempt++ {
+		resp, err := c.lm.Acquire(dir)
+		if err != nil {
+			return nil, "", fmt.Errorf("core: lease acquire: %w", err)
+		}
+		switch {
+		case resp.Granted:
+			return c.becomeLeader(dir, resp)
+		case resp.Redirect:
+			// If we believed we led this directory, that leadership is gone:
+			// drop the stale table (its journal was flushed at the last
+			// clean hand-off or will be recovered by the new leader).
+			c.mu.Lock()
+			delete(c.led, dir)
+			c.remote[dir] = resp.Leader
+			c.mu.Unlock()
+			c.jrnl.DropDir(dir)
+			return nil, resp.Leader, nil
+		case resp.Wait:
+			delay := resp.RetryAfter - c.env.Now()
+			if delay < time.Millisecond {
+				delay = time.Millisecond
+			}
+			c.env.Sleep(delay)
+		default:
+			return nil, "", fmt.Errorf("core: lease denied for %s: %w", dir.Short(), types.ErrBusy)
+		}
+	}
+	return nil, "", fmt.Errorf("core: lease acquire retries exhausted for %s: %w", dir.Short(), types.ErrTimedOut)
+}
+
+// becomeLeader installs leadership state after a granted lease: running
+// journal recovery if required and (re)building the metadata table unless
+// the manager confirmed our copy is still current.
+func (c *Client) becomeLeader(dir types.Ino, grant lease.AcquireResp) (*ledDir, rpc.Addr, error) {
+	if grant.NeedRecovery {
+		rep, err := journal.Recover(c.tr, dir)
+		if err != nil {
+			_ = c.lm.Release(dir, grant.LeaseID, false)
+			return nil, "", fmt.Errorf("core: recovery of %s: %w", dir.Short(), err)
+		}
+		c.jrnl.SetNextSeq(dir, rep.NextSeq)
+		done, err := c.lm.RecoveryDone(dir, grant.LeaseID)
+		if err != nil || !done.OK {
+			return nil, "", fmt.Errorf("core: recovery handshake for %s failed: %w", dir.Short(), types.ErrIO)
+		}
+		grant.Expiry = done.Expiry
+	}
+
+	c.mu.Lock()
+	if ld, ok := c.led[dir]; ok && grant.SameLeader {
+		// Extension of a lease we already hold: keep the table.
+		ld.leaseID = grant.LeaseID
+		ld.expiry = grant.Expiry
+		c.mu.Unlock()
+		return ld, "", nil
+	}
+	c.mu.Unlock()
+
+	// Fresh leadership (or re-grant after release): load the metadata table
+	// from the object store. The paper's SameLeader shortcut only helps when
+	// the client also kept its table; after Close we always reload.
+	tbl, err := metatable.Load(c.tr, dir)
+	if err != nil {
+		_ = c.lm.Release(dir, grant.LeaseID, true)
+		return nil, "", fmt.Errorf("core: build metatable for %s: %w", dir.Short(), err)
+	}
+	// Check our own access to the directory (paper: release and report a
+	// permission error if the leader-to-be cannot access it).
+	if err := tbl.DirInode().Access(c.opts.Cred, types.MayExec); err != nil {
+		_ = c.lm.Release(dir, grant.LeaseID, true)
+		return nil, "", fmt.Errorf("core: access %s: %w", dir.Short(), err)
+	}
+	ld := &ledDir{
+		opMu:       sim.NewMutex(c.env),
+		table:      tbl,
+		leaseID:    grant.LeaseID,
+		expiry:     grant.Expiry,
+		dataLeases: make(map[types.Ino]*dataLease),
+	}
+	c.mu.Lock()
+	c.led[dir] = ld
+	delete(c.remote, dir)
+	c.mu.Unlock()
+	return ld, "", nil
+}
+
+// ledDirFor returns the ledDir if this client leads dir (without acquiring).
+func (c *Client) ledDirFor(dir types.Ino) (*ledDir, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ld, ok := c.led[dir]
+	if !ok || c.env.Now() >= ld.expiry {
+		return nil, false
+	}
+	return ld, true
+}
+
+// ReleaseDir flushes and gives up leadership of dir, e.g. when an archiving
+// job finishes a directory.
+func (c *Client) ReleaseDir(dir types.Ino) error {
+	c.mu.Lock()
+	ld, ok := c.led[dir]
+	if ok {
+		delete(c.led, dir)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	err := c.jrnl.Flush(dir)
+	c.jrnl.DropDir(dir)
+	_ = c.lm.Release(dir, ld.leaseID, err == nil)
+	return err
+}
+
+// retryBackoff pauses before re-resolving leadership: a freshly granted
+// leader may still be loading its metadata table when redirected clients
+// arrive (thundering herd on a new directory).
+func (c *Client) retryBackoff(attempt int) {
+	c.env.Sleep(time.Duration(1<<uint(attempt)) * 500 * time.Microsecond)
+}
+
+// errnoWrap adds operation context while preserving errors.Is matching.
+func errnoWrap(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("arkfs %s %s: %w", op, path, err)
+}
+
+// isNotExist is a local convenience.
+func isNotExist(err error) bool { return errors.Is(err, types.ErrNotExist) }

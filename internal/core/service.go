@@ -1,0 +1,132 @@
+package core
+
+import (
+	"arkfs/internal/types"
+	"arkfs/internal/wire"
+)
+
+// serve dispatches one forwarded operation on a directory this client leads
+// (paper §III-B: "the rest of the clients ... send their requests to the
+// directory leader so that the directory leader can perform the requested
+// operations on behalf of the other clients").
+func (c *Client) serve(req any) any {
+	switch r := req.(type) {
+	case LookupReq:
+		return c.serveLookup(r)
+	case CreateReq:
+		return c.serveCreate(r)
+	case UnlinkReq:
+		return c.serveUnlink(r)
+	case StatReq:
+		return c.serveStat(r)
+	case SetAttrReq:
+		return c.serveSetAttr(r)
+	case ReaddirReq:
+		return c.serveReaddir(r)
+	case RenameReq:
+		return RenameResp{Err: errString(c.coordinateRename(r))}
+	case PrepareRenameReq:
+		return c.servePrepareRename(r)
+	case DecideRenameReq:
+		return c.serveDecideRename(r)
+	case OpenReq:
+		return c.serveOpen(r)
+	case WriteLeaseReq:
+		return c.serveWriteLease(r)
+	case CloseFileReq:
+		return c.serveCloseFile(r)
+	case FlushCacheReq:
+		return c.serveFlushCache(r)
+	default:
+		return StatResp{Err: "EINVAL"}
+	}
+}
+
+// mustLead returns the ledDir for dir or an ESTALE error string: the caller
+// was redirected here but our lease is gone, so they must rediscover.
+func (c *Client) mustLead(dir types.Ino) (*ledDir, string) {
+	if ld, ok := c.ledDirFor(dir); ok {
+		return ld, ""
+	}
+	return nil, "ESTALE"
+}
+
+func (c *Client) serveLookup(r LookupReq) LookupResp {
+	ld, errStr := c.mustLead(r.Dir)
+	if errStr != "" {
+		return LookupResp{Err: errStr}
+	}
+	var resp LookupResp
+	dirNode := ld.table.DirInode()
+	if r.WantDirInode {
+		resp.DirInode = wire.EncodeInode(dirNode)
+	}
+	if err := dirNode.Access(r.Cred, types.MayExec); err != nil {
+		resp.Err = errString(err)
+		return resp
+	}
+	c.chargeMetaOp()
+	_, child, err := ld.table.Lookup(r.Name)
+	if err != nil {
+		resp.Err = errString(err)
+		return resp
+	}
+	resp.Inode = wire.EncodeInode(child)
+	return resp
+}
+
+func (c *Client) serveCreate(r CreateReq) CreateResp {
+	ld, errStr := c.mustLead(r.Dir)
+	if errStr != "" {
+		return CreateResp{Err: errStr}
+	}
+	node, err := c.localCreate(ld, r.Dir, r)
+	if err != nil {
+		return CreateResp{Err: errString(err)}
+	}
+	return CreateResp{Inode: wire.EncodeInode(node)}
+}
+
+func (c *Client) serveUnlink(r UnlinkReq) UnlinkResp {
+	ld, errStr := c.mustLead(r.Dir)
+	if errStr != "" {
+		return UnlinkResp{Err: errStr}
+	}
+	return UnlinkResp{Err: errString(c.localUnlink(ld, r.Dir, r))}
+}
+
+func (c *Client) serveStat(r StatReq) StatResp {
+	ld, errStr := c.mustLead(r.Dir)
+	if errStr != "" {
+		return StatResp{Err: errStr}
+	}
+	node, err := c.localStat(ld, r)
+	if err != nil {
+		return StatResp{Err: errString(err)}
+	}
+	return StatResp{Inode: wire.EncodeInode(node)}
+}
+
+func (c *Client) serveSetAttr(r SetAttrReq) SetAttrResp {
+	ld, errStr := c.mustLead(r.Dir)
+	if errStr != "" {
+		return SetAttrResp{Err: errStr}
+	}
+	node, err := c.localSetAttr(ld, r.Dir, r)
+	if err != nil {
+		return SetAttrResp{Err: errString(err)}
+	}
+	return SetAttrResp{Inode: wire.EncodeInode(node)}
+}
+
+func (c *Client) serveReaddir(r ReaddirReq) ReaddirResp {
+	ld, errStr := c.mustLead(r.Dir)
+	if errStr != "" {
+		return ReaddirResp{Err: errStr}
+	}
+	entries, err := c.localReaddir(ld, r)
+	if err != nil {
+		return ReaddirResp{Err: errString(err)}
+	}
+	return ReaddirResp{Entries: entries}
+}

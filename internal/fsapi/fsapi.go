@@ -1,0 +1,64 @@
+// Package fsapi defines the file-system interface shared by ArkFS and every
+// baseline (CephFS-like, MarFS-like, S3FS-like, goofys-like), so workloads
+// and the benchmark harness drive all systems through identical code.
+package fsapi
+
+import (
+	"io"
+
+	"arkfs/internal/core"
+	"arkfs/internal/types"
+	"arkfs/internal/wire"
+)
+
+// File is an open file handle.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	// Sync flushes the handle's data and metadata (fsync).
+	Sync() error
+	// Size returns the handle's view of the file size.
+	Size() int64
+}
+
+// FileSystem is the near-POSIX surface the workloads exercise.
+type FileSystem interface {
+	Mkdir(path string, mode types.Mode) error
+	Open(path string, flags types.OpenFlag, mode types.Mode) (File, error)
+	Stat(path string) (*types.Inode, error)
+	Unlink(path string) error
+	Rmdir(path string) error
+	Rename(src, dst string) error
+	Readdir(path string) ([]wire.Dentry, error)
+	// FlushAll makes all buffered state durable (the fsync-per-phase step).
+	FlushAll() error
+	// Close shuts the mount down cleanly.
+	Close() error
+}
+
+// Create is the creat(2) shorthand over any FileSystem.
+func Create(fs FileSystem, path string, mode types.Mode) (File, error) {
+	return fs.Open(path, types.OWronly|types.OCreate|types.OTrunc, mode)
+}
+
+// arkFS adapts *core.Client to FileSystem (the method sets match except for
+// Open's concrete return type).
+type arkFS struct {
+	*core.Client
+}
+
+// Adapt wraps an ArkFS client in the common interface.
+func Adapt(c *core.Client) FileSystem { return arkFS{c} }
+
+// Open implements FileSystem.
+func (a arkFS) Open(path string, flags types.OpenFlag, mode types.Mode) (File, error) {
+	f, err := a.Client.Open(path, flags, mode)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,229 @@
+// Package fsck implements an offline consistency checker for an ArkFS
+// object-store image. It walks the namespace from the root inode and
+// validates the invariants the journaling design guarantees:
+//
+//   - every dentry references an existing, decodable inode;
+//   - directory inodes have (or may legitimately lack) a dentry block, and
+//     every dentry block belongs to a reachable directory;
+//   - every data chunk belongs to a reachable regular file and lies inside
+//     its size (no orphan or out-of-bounds chunks);
+//   - journals are empty, or contain only records a recovery pass would
+//     resolve (reported, since they imply an unclean shutdown);
+//   - inode and dentry objects that no dentry references are orphans.
+//
+// The checker is read-only; cmd/arkfsck drives it.
+package fsck
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"arkfs/internal/objstore"
+	"arkfs/internal/prt"
+	"arkfs/internal/types"
+	"arkfs/internal/wire"
+)
+
+// Problem is one detected inconsistency.
+type Problem struct {
+	// Kind is a stable identifier, e.g. "dangling-dentry".
+	Kind string
+	// Path locates the problem when known ("/a/b"), else the object key.
+	Path string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%-18s %-30s %s", p.Kind, p.Path, p.Detail)
+}
+
+// Report is the checker's outcome.
+type Report struct {
+	// Counts of scanned entities.
+	Dirs, Files, Symlinks, Chunks int
+	// PendingJournalRecords counts valid journal records awaiting recovery
+	// (an unclean shutdown, not corruption).
+	PendingJournalRecords int
+	Problems              []Problem
+}
+
+// Clean reports whether no inconsistencies were found.
+func (r *Report) Clean() bool { return len(r.Problems) == 0 }
+
+func (r *Report) add(kind, path, format string, args ...any) {
+	r.Problems = append(r.Problems, Problem{Kind: kind, Path: path, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Check validates the file-system image in store.
+func Check(store objstore.Store) (*Report, error) {
+	rep := &Report{}
+	chunkSize := prt.DefaultChunkSize
+	if raw, err := store.Get(prt.SuperblockKey); err == nil {
+		if sb, derr := prt.DecodeSuperblock(raw); derr == nil {
+			chunkSize = sb.ChunkSize
+		} else {
+			rep.add("bad-superblock", prt.SuperblockKey, "%v", derr)
+		}
+	} else {
+		rep.add("missing-superblock", prt.SuperblockKey,
+			"no formatting record; extent checks assume the default chunk size")
+	}
+	tr := prt.New(store, chunkSize)
+
+	// Inventory every object by prefix.
+	keys, err := store.List("")
+	if err != nil {
+		return nil, fmt.Errorf("fsck: list: %w", err)
+	}
+	inodeKeys := map[string]bool{}  // ino hex -> present
+	dentryKeys := map[string]bool{} // dir ino hex -> present
+	journalKeys := map[string][]string{}
+	chunkKeys := map[string][]int64{} // file ino hex -> chunk indices
+	for _, k := range keys {
+		switch {
+		case strings.HasPrefix(k, prt.PrefixInode):
+			inodeKeys[strings.TrimPrefix(k, prt.PrefixInode)] = true
+		case strings.HasPrefix(k, prt.PrefixDentry):
+			dentryKeys[strings.TrimPrefix(k, prt.PrefixDentry)] = true
+		case strings.HasPrefix(k, prt.PrefixJournal):
+			rest := strings.TrimPrefix(k, prt.PrefixJournal)
+			if i := strings.IndexByte(rest, ':'); i > 0 {
+				journalKeys[rest[:i]] = append(journalKeys[rest[:i]], k)
+			} else {
+				rep.add("bad-journal-key", k, "journal key without sequence")
+			}
+		case strings.HasPrefix(k, prt.PrefixData):
+			rest := strings.TrimPrefix(k, prt.PrefixData)
+			i := strings.IndexByte(rest, ':')
+			if i <= 0 {
+				rep.add("bad-data-key", k, "data key without chunk index")
+				continue
+			}
+			idx, err := strconv.ParseInt(rest[i+1:], 10, 64)
+			if err != nil {
+				rep.add("bad-data-key", k, "unparsable chunk index: %v", err)
+				continue
+			}
+			chunkKeys[rest[:i]] = append(chunkKeys[rest[:i]], idx)
+		case k == prt.SuperblockKey:
+			// formatting record, consumed above
+		default:
+			rep.add("unknown-key", k, "object key outside the PRT scheme")
+		}
+	}
+
+	// Walk the namespace.
+	reachedInodes := map[string]*types.Inode{}
+	reachedDirs := map[string]bool{}
+	root, err := tr.LoadInode(types.RootIno)
+	if err != nil {
+		rep.add("missing-root", "/", "root inode unreadable: %v", err)
+		return rep, nil
+	}
+	var walk func(path string, dir *types.Inode)
+	walk = func(path string, dir *types.Inode) {
+		rep.Dirs++
+		reachedInodes[dir.Ino.String()] = dir
+		reachedDirs[dir.Ino.String()] = true
+		entries, err := tr.LoadDentries(dir.Ino)
+		if err != nil {
+			rep.add("bad-dentry-block", path, "undecodable dentry block: %v", err)
+			return
+		}
+		names := map[string]bool{}
+		for _, de := range entries {
+			childPath := path + "/" + de.Name
+			if path == "/" {
+				childPath = "/" + de.Name
+			}
+			if err := types.ValidName(de.Name); err != nil {
+				rep.add("bad-name", childPath, "%v", err)
+			}
+			if names[de.Name] {
+				rep.add("duplicate-dentry", childPath, "name appears twice")
+				continue
+			}
+			names[de.Name] = true
+			child, err := tr.LoadInode(de.Ino)
+			if err != nil {
+				rep.add("dangling-dentry", childPath, "inode %s unreadable: %v", de.Ino.Short(), err)
+				continue
+			}
+			if child.Type != de.Type {
+				rep.add("type-mismatch", childPath, "dentry says %v, inode says %v", de.Type, child.Type)
+			}
+			switch child.Type {
+			case types.TypeDir:
+				if reachedDirs[child.Ino.String()] {
+					rep.add("dir-cycle", childPath, "directory reachable twice")
+					continue
+				}
+				walk(childPath, child)
+			case types.TypeSymlink:
+				rep.Symlinks++
+				reachedInodes[child.Ino.String()] = child
+				if child.Target == "" {
+					rep.add("empty-symlink", childPath, "symlink without target")
+				}
+			default:
+				rep.Files++
+				reachedInodes[child.Ino.String()] = child
+				// Validate chunk extents.
+				maxChunks := (child.Size + tr.ChunkSize() - 1) / tr.ChunkSize()
+				for _, idx := range chunkKeys[child.Ino.String()] {
+					rep.Chunks++
+					if idx >= maxChunks {
+						rep.add("chunk-beyond-eof", childPath,
+							"chunk %d outside size %d", idx, child.Size)
+					}
+				}
+				delete(chunkKeys, child.Ino.String())
+			}
+		}
+	}
+	walk("/", root)
+
+	// Anything left in chunkKeys has no owning file.
+	for ino, idxs := range chunkKeys {
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		rep.add("orphan-chunks", prt.PrefixData+ino, "%d chunk(s) with no reachable file", len(idxs))
+		rep.Chunks += len(idxs)
+	}
+	// Unreachable inode objects.
+	for ino := range inodeKeys {
+		if _, ok := reachedInodes[ino]; !ok {
+			rep.add("orphan-inode", prt.PrefixInode+ino, "inode object not reachable from /")
+		}
+	}
+	// Dentry blocks of unreachable directories.
+	for dir := range dentryKeys {
+		if !reachedDirs[dir] {
+			rep.add("orphan-dentries", prt.PrefixDentry+dir, "dentry block of unreachable directory")
+		}
+	}
+	// Journals: decodable records mean an unclean shutdown (recovery due);
+	// undecodable ones are torn tails recovery would drop.
+	for dir, keys := range journalKeys {
+		for _, k := range keys {
+			raw, err := store.Get(k)
+			if err != nil {
+				if errors.Is(err, types.ErrNotExist) {
+					continue
+				}
+				rep.add("journal-read", k, "%v", err)
+				continue
+			}
+			if _, err := wire.DecodeTxn(raw); err != nil {
+				rep.add("torn-journal", k, "undecodable record (crash tail): %v", err)
+				continue
+			}
+			rep.PendingJournalRecords++
+		}
+		_ = dir
+	}
+	return rep, nil
+}

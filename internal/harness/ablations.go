@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"arkfs/internal/cache"
+	"arkfs/internal/core"
+	"arkfs/internal/fsapi"
+	"arkfs/internal/journal"
+	"arkfs/internal/lease"
+	"arkfs/internal/objstore"
+	"arkfs/internal/prt"
+	"arkfs/internal/rpc"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+	"arkfs/internal/workload"
+)
+
+// Ablation experiments isolate the design choices the paper credits for
+// ArkFS's performance (DESIGN.md §5): per-directory journal parallelism,
+// the 1-second compound-transaction window, the read-ahead window, and the
+// cache entry size.
+
+// buildArkFSJournal is BuildArkFS with an explicit journal configuration.
+func buildArkFSJournal(env sim.Env, cal Calibration, prof objstore.Profile, n int,
+	jc journal.Config, o ArkFSOptions) (*Deployment, error) {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 2 << 20
+	}
+	if o.Readahead <= 0 {
+		o.Readahead = 8 << 20
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 40
+	}
+	prof.MaxObjectSize = maxI64(prof.MaxObjectSize, o.ChunkSize)
+	cluster := objstore.NewCluster(env, prof)
+	tr := prt.New(cluster, o.ChunkSize)
+	if err := core.Format(tr); err != nil {
+		return nil, err
+	}
+	net := rpc.NewNetwork(env, cal.ClientNet)
+	mgr := lease.NewManager(net, lease.Options{Period: cal.LeasePeriod, Workers: 8})
+	d := &Deployment{Cluster: cluster}
+	d.close = append(d.close, cluster.Close, mgr.Close)
+	for i := 0; i < n; i++ {
+		c := core.New(net, tr, core.Options{
+			ID:           fmt.Sprintf("abl%04d", i),
+			Cred:         types.Cred{Uid: 1000, Gid: 1000},
+			PermCache:    true,
+			FUSEOverhead: cal.FUSEOverhead,
+			Cost: sim.CostModel{
+				LocalMetaOp:    cal.ArkMetaOp,
+				MemCopyPerByte: cal.MemCopyPerByte,
+			},
+			Journal: jc,
+			Cache: cache.Config{
+				EntrySize:        o.ChunkSize,
+				MaxEntries:       o.CacheEntries,
+				MaxReadahead:     o.Readahead,
+				FlushParallelism: 16,
+				Cost:             sim.CostModel{MemCopyPerByte: cal.MemCopyPerByte},
+			},
+			RPCWorkers:  cal.RPCWorkers,
+			LeasePeriod: cal.LeasePeriod,
+			Seed:        int64(5000 + i),
+		})
+		d.Mounts = append(d.Mounts, fsapi.Adapt(c))
+		cc := c
+		d.close = append(d.close, func() { _ = cc.Close() })
+	}
+	return d, nil
+}
+
+// AblationJournal compares journaling configurations under the mdtest-easy
+// CREATE workload: the paper's design (per-directory journals, parallel
+// commit/checkpoint workers, 1 s compound transactions) against a serialized
+// journal path (the "single journal area" bottleneck of §III-E) and against
+// unbatched per-operation commits.
+func (h *Runner) AblationJournal() (*Experiment, error) {
+	exp := &Experiment{ID: "ablate-journal", Title: "Ablation: per-directory journaling (CREATE kIOPS)"}
+	cal := h.Cal
+	rados := objstore.RADOSProfile()
+	configs := []struct {
+		name string
+		jc   journal.Config
+	}{
+		{"per-dir journals, 1s batching (paper)", journal.Config{
+			CommitInterval: time.Second, CommitWorkers: 4, CheckpointWorkers: 4, CheckpointFanout: 64}},
+		{"serialized journal path", journal.Config{
+			CommitInterval: time.Second, CommitWorkers: 1, CheckpointWorkers: 1, CheckpointFanout: 1}},
+		{"no batching (commit per op)", journal.Config{
+			CommitInterval: time.Nanosecond, CommitWorkers: 4, CheckpointWorkers: 4, CheckpointFanout: 64}},
+	}
+	for _, cfg := range configs {
+		h.logf("ablate-journal: %s", cfg.name)
+		var phases []workload.PhaseResult
+		var err error
+		env := sim.NewVirtEnv()
+		env.Run(func() {
+			var d *Deployment
+			d, err = buildArkFSJournal(env, cal, rados, h.Scale.MdtestProcs, cfg.jc, ArkFSOptions{PermCache: true})
+			if err != nil {
+				return
+			}
+			defer d.Close()
+			phases, err = workload.MdtestEasy(env, d.Mounts, workload.MdtestConfig{
+				FilesPerProc: h.Scale.MdtestFilesPerProc,
+			})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablate-journal %s: %w", cfg.name, err)
+		}
+		exp.Cells = append(exp.Cells, Cell{
+			System: cfg.name, Metric: "CREATE",
+			Value: phases[0].OpsPerSec() / 1000, Unit: "kIOPS",
+		})
+	}
+	exp.Notes = append(exp.Notes,
+		"isolates §III-E: parallel per-directory journals + compound transactions vs a serialized journal and per-op commits")
+	return exp, nil
+}
+
+// AblationReadahead sweeps the max read-ahead window (the Fig. 6(b)
+// ArkFS-ra8MB vs ArkFS-ra400MB axis, in more points) on the S3 profile.
+func (h *Runner) AblationReadahead() (*Experiment, error) {
+	exp := &Experiment{ID: "ablate-readahead", Title: "Ablation: read-ahead window vs sequential READ (GiB/s)"}
+	cal := h.Cal
+	s3 := objstore.S3Profile()
+	for _, ra := range []int64{0, 2 << 20, 8 << 20, 32 << 20, 400 << 20} {
+		ra := ra
+		name := fmt.Sprintf("ra=%dMiB", ra>>20)
+		if ra == 0 {
+			name = "ra=off"
+		}
+		h.logf("ablate-readahead: %s", name)
+		entries := 40
+		if ra > 32<<20 {
+			entries = 250
+		}
+		_, read, err := h.fioRun(name, func(env sim.Env, n int) (*Deployment, error) {
+			o := ArkFSOptions{PermCache: true, Readahead: ra, CacheEntries: entries}
+			if ra == 0 {
+				o.Readahead = -1 // forces the "disabled" path (below entry size)
+			}
+			return BuildArkFS(env, cal, s3, n, o)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablate-readahead %s: %w", name, err)
+		}
+		exp.Cells = append(exp.Cells, Cell{System: "ArkFS", Metric: name, Value: read.GiBps(), Unit: "GiB/s"})
+	}
+	exp.Notes = append(exp.Notes, "S3 profile; the window is the only variable (paper §III-D / Fig. 6(b))")
+	return exp, nil
+}
+
+// AblationLeaseManager compares the single lease manager against a sharded
+// cluster (the paper's future work) at the largest client count of the
+// scalability sweep — validating the paper's observation that the manager is
+// not a bottleneck in the controlled environment.
+func (h *Runner) AblationLeaseManager() (*Experiment, error) {
+	exp := &Experiment{ID: "ablate-leasemgr", Title: "Ablation: lease manager sharding (CREATE kIOPS)"}
+	cal := h.Cal
+	rados := objstore.RADOSProfile()
+	clients := h.Scale.ScaleClients[len(h.Scale.ScaleClients)-1]
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		name := "1 manager (paper)"
+		if shards > 1 {
+			name = fmt.Sprintf("%d sharded managers", shards)
+		}
+		h.logf("ablate-leasemgr: %s @ %d clients", name, clients)
+		thr, err := h.scaleCreate(func(env sim.Env, n int) (*Deployment, error) {
+			return BuildArkFS(env, cal, rados, n, ArkFSOptions{PermCache: true, LeaseShards: shards})
+		}, clients)
+		if err != nil {
+			return nil, fmt.Errorf("ablate-leasemgr %s: %w", name, err)
+		}
+		exp.Cells = append(exp.Cells, Cell{
+			System: name, Metric: fmt.Sprintf("%d clients", clients),
+			Value: thr / 1000, Unit: "kIOPS",
+		})
+	}
+	exp.Notes = append(exp.Notes,
+		"the paper reports no degradation from the single manager; sharding (its future work) should confirm that")
+	return exp, nil
+}
+
+// AblationEntrySize sweeps the cache entry / data chunk size on the RADOS
+// profile (paper §III-D: 2 MiB default, "large entries risk internal
+// fragmentation but suit sequential archiving I/O").
+func (h *Runner) AblationEntrySize() (*Experiment, error) {
+	exp := &Experiment{ID: "ablate-entrysize", Title: "Ablation: cache entry size vs sequential bandwidth (GiB/s)"}
+	cal := h.Cal
+	rados := objstore.RADOSProfile()
+	for _, es := range []int64{256 << 10, 1 << 20, 2 << 20, 4 << 20} {
+		es := es
+		name := fmt.Sprintf("entry=%dKiB", es>>10)
+		h.logf("ablate-entrysize: %s", name)
+		entries := int((80 << 20) / es) // hold the cache byte budget constant
+		write, read, err := h.fioRun(name, func(env sim.Env, n int) (*Deployment, error) {
+			return BuildArkFS(env, cal, rados, n, ArkFSOptions{
+				PermCache: true, ChunkSize: es, Readahead: 8 << 20, CacheEntries: entries,
+			})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablate-entrysize %s: %w", name, err)
+		}
+		exp.Cells = append(exp.Cells,
+			Cell{System: "WRITE", Metric: name, Value: write.GiBps(), Unit: "GiB/s"},
+			Cell{System: "READ", Metric: name, Value: read.GiBps(), Unit: "GiB/s"})
+	}
+	exp.Notes = append(exp.Notes, "RADOS profile; chunk size = cache entry size, cache byte budget constant")
+	return exp, nil
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats an experiment as an aligned text table (systems as rows,
+// metrics as columns), matching the rows/series the paper reports.
+func (e *Experiment) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", e.Title)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("=", len(e.Title)))
+
+	systems := e.SystemsOf()
+	metrics := e.MetricsOf()
+
+	unit := ""
+	for _, c := range e.Cells {
+		if c.Unit != "" {
+			unit = c.Unit
+			break
+		}
+	}
+
+	// Column widths.
+	sysW := len("system")
+	for _, s := range systems {
+		if len(s) > sysW {
+			sysW = len(s)
+		}
+	}
+	colW := make([]int, len(metrics))
+	for i, m := range metrics {
+		colW[i] = len(m)
+		for _, s := range systems {
+			if c, ok := e.Value(s, m); ok {
+				if w := len(formatCell(c)); w > colW[i] {
+					colW[i] = w
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "%-*s", sysW, "system")
+	for i, m := range metrics {
+		fmt.Fprintf(&b, "  %*s", colW[i], m)
+	}
+	if unit != "" {
+		fmt.Fprintf(&b, "   [%s]", unit)
+	}
+	b.WriteByte('\n')
+	for _, s := range systems {
+		fmt.Fprintf(&b, "%-*s", sysW, s)
+		for i, m := range metrics {
+			if c, ok := e.Value(s, m); ok {
+				fmt.Fprintf(&b, "  %*s", colW[i], formatCell(c))
+			} else {
+				fmt.Fprintf(&b, "  %*s", colW[i], "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func formatCell(c Cell) string {
+	if c.Failed {
+		return "ERR"
+	}
+	switch {
+	case c.Value >= 1000:
+		return fmt.Sprintf("%.0f", c.Value)
+	case c.Value >= 10:
+		return fmt.Sprintf("%.1f", c.Value)
+	default:
+		return fmt.Sprintf("%.2f", c.Value)
+	}
+}
+
+// RenderCSV emits the experiment as CSV for plotting.
+func (e *Experiment) RenderCSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment,system,metric,value,unit,failed\n")
+	for _, c := range e.Cells {
+		fmt.Fprintf(&b, "%s,%q,%q,%g,%s,%v\n", e.ID, c.System, c.Metric, c.Value, c.Unit, c.Failed)
+	}
+	return b.String()
+}

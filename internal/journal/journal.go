@@ -1,0 +1,469 @@
+// Package journal implements ArkFS's per-directory journaling (paper §III-E).
+//
+// Each directory a client leads gets its own journal: a sequence of objects
+// "j:<dir>:<seq>" holding CRC-protected compound transactions. Metadata
+// mutations accumulate in an in-memory running transaction for up to the
+// commit interval (1 s by default); commit workers turn running transactions
+// into committing transactions and write them to the journal; checkpoint
+// workers then apply them to the original inode/dentry objects and invalidate
+// (delete) the journal objects. Directories are statically mapped to commit
+// and checkpoint workers by inode number, so independent directories journal
+// in parallel while each directory stays strictly ordered.
+//
+// Operations spanning two directories (RENAME) use a two-phase commit: both
+// journals receive a prepare record, the coordinating directory's journal
+// receives the decision record, and recovery resolves prepared-but-undecided
+// transactions by consulting the coordinator's journal (presumed abort).
+package journal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"arkfs/internal/prt"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+	"arkfs/internal/wire"
+)
+
+// Config tunes a client's journaling machinery.
+type Config struct {
+	// CommitInterval is how long a running transaction buffers mutations
+	// before being committed (paper: 1 second).
+	CommitInterval time.Duration
+	// CommitWorkers and CheckpointWorkers size the two thread pools.
+	CommitWorkers     int
+	CheckpointWorkers int
+	// CheckpointFanout bounds the concurrent inode-object writes one
+	// transaction's checkpoint issues (they are independent objects).
+	CheckpointFanout int
+}
+
+// DefaultConfig matches the paper's settings.
+func DefaultConfig() Config {
+	return Config{CommitInterval: time.Second, CommitWorkers: 4, CheckpointWorkers: 4, CheckpointFanout: 16}
+}
+
+// Journal manages every per-directory journal owned by one client.
+type Journal struct {
+	env sim.Env
+	tr  *prt.Translator
+	cfg Config
+
+	commitQs []*sim.Chan[*commitItem]
+	ckptQs   []*sim.Chan[*ckptItem]
+
+	mu     sync.Mutex
+	dirs   map[types.Ino]*dirJournal
+	seqs   uint64 // txn id counter
+	idBase uint64 // client-unique high bits for txn ids
+}
+
+// dirJournal is the journal state of a single led directory.
+type dirJournal struct {
+	dir types.Ino
+
+	mu        sync.Mutex
+	running   []wire.Op // the running compound transaction
+	scheduled bool      // a timed commit is already queued
+	cancel    func() bool
+	nextSeq   uint64
+	prepared  map[uint64]uint64 // txid -> journal seq of the prepare record
+	prepOps   map[uint64][]wire.Op
+	decisions map[uint64]uint64 // txid -> journal seq of the decision record
+	err       error             // first async commit/checkpoint error, surfaced at Flush
+}
+
+type commitItem struct {
+	dj    *dirJournal
+	force bool
+	done  *sim.Chan[error] // non-nil: flush barrier, reply after checkpoint
+}
+
+type ckptItem struct {
+	dj   *dirJournal
+	txn  *wire.Txn
+	seq  uint64
+	ops  []wire.Op // ops to apply (may differ from txn.Ops for 2PC applies)
+	del  []string  // journal object keys to delete after applying
+	done *sim.Chan[error]
+}
+
+// New starts a client's journaling workers.
+func New(env sim.Env, tr *prt.Translator, cfg Config) *Journal {
+	if cfg.CommitInterval <= 0 {
+		cfg.CommitInterval = time.Second
+	}
+	if cfg.CommitWorkers <= 0 {
+		cfg.CommitWorkers = 1
+	}
+	if cfg.CheckpointWorkers <= 0 {
+		cfg.CheckpointWorkers = 1
+	}
+	if cfg.CheckpointFanout <= 0 {
+		cfg.CheckpointFanout = 16
+	}
+	j := &Journal{env: env, tr: tr, cfg: cfg, dirs: make(map[types.Ino]*dirJournal)}
+	for i := 0; i < cfg.CommitWorkers; i++ {
+		q := sim.NewChan[*commitItem](env)
+		j.commitQs = append(j.commitQs, q)
+		env.Go(func() { j.commitLoop(q) })
+	}
+	for i := 0; i < cfg.CheckpointWorkers; i++ {
+		q := sim.NewChan[*ckptItem](env)
+		j.ckptQs = append(j.ckptQs, q)
+		env.Go(func() { j.ckptLoop(q) })
+	}
+	return j
+}
+
+// Close stops the workers. Buffered but uncommitted mutations are dropped —
+// call FlushAll first for a clean shutdown.
+func (j *Journal) Close() {
+	for _, q := range j.commitQs {
+		q.Close()
+	}
+	for _, q := range j.ckptQs {
+		q.Close()
+	}
+}
+
+// commitQ returns the commit queue statically assigned to dir.
+func (j *Journal) commitQ(dir types.Ino) *sim.Chan[*commitItem] {
+	return j.commitQs[int(dir.Lo()%uint64(len(j.commitQs)))]
+}
+
+// ckptQ returns the checkpoint queue statically assigned to dir.
+func (j *Journal) ckptQ(dir types.Ino) *sim.Chan[*ckptItem] {
+	return j.ckptQs[int(dir.Lo()%uint64(len(j.ckptQs)))]
+}
+
+// dirJournal returns (creating if needed) the journal of dir.
+func (j *Journal) dirJournal(dir types.Ino) *dirJournal {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	dj := j.dirs[dir]
+	if dj == nil {
+		dj = &dirJournal{
+			dir:      dir,
+			prepared: make(map[uint64]uint64),
+			prepOps:  make(map[uint64][]wire.Op),
+		}
+		j.dirs[dir] = dj
+	}
+	return dj
+}
+
+// SetNextSeq primes the journal sequence for dir; the new leader calls this
+// after recovery with one past the highest sequence it observed.
+func (j *Journal) SetNextSeq(dir types.Ino, seq uint64) {
+	dj := j.dirJournal(dir)
+	dj.mu.Lock()
+	dj.nextSeq = seq
+	dj.mu.Unlock()
+}
+
+// NewTxnID returns a fresh transaction id for 2PC: the client-unique base
+// (see SetTxnIDBase) plus a local counter, so ids never collide across the
+// clients whose journals a recovery scan may compare.
+func (j *Journal) NewTxnID() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seqs++
+	return j.idBase | j.seqs
+}
+
+// SetTxnIDBase installs the client-unique high bits of transaction ids.
+func (j *Journal) SetTxnIDBase(base uint64) {
+	j.mu.Lock()
+	j.idBase = base << 32
+	j.mu.Unlock()
+}
+
+// Log appends metadata mutations to dir's running transaction and schedules
+// a timed commit. It is the fast path: pure memory work.
+func (j *Journal) Log(dir types.Ino, ops []wire.Op) {
+	dj := j.dirJournal(dir)
+	dj.mu.Lock()
+	dj.running = append(dj.running, ops...)
+	if !dj.scheduled {
+		dj.scheduled = true
+		dj.cancel = j.env.After(j.cfg.CommitInterval, func() {
+			j.commitQ(dir).Send(&commitItem{dj: dj})
+		})
+	}
+	dj.mu.Unlock()
+}
+
+// Flush commits dir's running transaction immediately and waits until it is
+// checkpointed — the fsync path. It also surfaces any earlier async error.
+func (j *Journal) Flush(dir types.Ino) error {
+	dj := j.dirJournal(dir)
+	done := sim.NewChan[error](j.env)
+	j.commitQ(dir).Send(&commitItem{dj: dj, force: true, done: done})
+	err, ok := done.Recv()
+	if !ok {
+		return fmt.Errorf("journal: shut down during flush: %w", types.ErrIO)
+	}
+	return err
+}
+
+// FlushAll flushes every directory this client has journaled.
+func (j *Journal) FlushAll() error {
+	j.mu.Lock()
+	dirs := make([]types.Ino, 0, len(j.dirs))
+	for d := range j.dirs {
+		dirs = append(dirs, d)
+	}
+	j.mu.Unlock()
+	var firstErr error
+	for _, d := range dirs {
+		if err := j.Flush(d); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// DropDir forgets dir's journal state (after a clean flush + lease release).
+func (j *Journal) DropDir(dir types.Ino) {
+	j.mu.Lock()
+	delete(j.dirs, dir)
+	j.mu.Unlock()
+}
+
+// commitLoop is a commit worker: it turns running transactions into
+// committing transactions and writes them to the journal.
+func (j *Journal) commitLoop(q *sim.Chan[*commitItem]) {
+	for {
+		it, ok := q.Recv()
+		if !ok {
+			return
+		}
+		dj := it.dj
+		dj.mu.Lock()
+		ops := dj.running
+		dj.running = nil
+		if dj.scheduled && it.force && dj.cancel != nil {
+			dj.cancel() // a flush superseded the timed commit
+		}
+		dj.scheduled = false
+		dj.cancel = nil
+		seq := dj.nextSeq
+		if len(ops) > 0 {
+			dj.nextSeq++
+		}
+		dj.mu.Unlock()
+
+		if len(ops) == 0 {
+			if it.done != nil {
+				// Barrier only: ride through the checkpoint queue so every
+				// previously queued item for this dir completes first.
+				j.ckptQ(dj.dir).Send(&ckptItem{dj: dj, done: it.done})
+			}
+			continue
+		}
+		txn := &wire.Txn{
+			ID:    j.NewTxnID(),
+			Dir:   dj.dir,
+			Kind:  wire.TxnNormal,
+			Stamp: j.env.Now(),
+			Ops:   ops,
+		}
+		key := prt.JournalKey(dj.dir, seq)
+		if err := j.tr.Store().Put(key, wire.EncodeTxn(txn)); err != nil {
+			j.recordErr(dj, fmt.Errorf("journal: commit %s: %w", key, err))
+			if it.done != nil {
+				it.done.Send(dj.takeErr())
+			}
+			continue
+		}
+		j.ckptQ(dj.dir).Send(&ckptItem{
+			dj: dj, txn: txn, seq: seq, ops: ops, del: []string{key}, done: it.done,
+		})
+	}
+}
+
+// ckptLoop is a checkpoint worker: it applies committed transactions to the
+// original objects and invalidates the journal entries.
+func (j *Journal) ckptLoop(q *sim.Chan[*ckptItem]) {
+	for {
+		it, ok := q.Recv()
+		if !ok {
+			return
+		}
+		if it.ops != nil {
+			if err := applyOps(j.env, j.tr, it.dj.dir, it.ops, j.cfg.CheckpointFanout); err != nil {
+				j.recordErr(it.dj, err)
+			} else {
+				for _, key := range it.del {
+					if err := j.tr.Store().Delete(key); err != nil {
+						j.recordErr(it.dj, fmt.Errorf("journal: invalidate %s: %w", key, err))
+					}
+				}
+			}
+		}
+		if it.done != nil {
+			it.done.Send(it.dj.takeErr())
+		}
+	}
+}
+
+func (j *Journal) recordErr(dj *dirJournal, err error) {
+	dj.mu.Lock()
+	if dj.err == nil {
+		dj.err = err
+	}
+	dj.mu.Unlock()
+}
+
+func (dj *dirJournal) takeErr() error {
+	dj.mu.Lock()
+	defer dj.mu.Unlock()
+	err := dj.err
+	dj.err = nil
+	return err
+}
+
+// ApplyOps checkpoints a transaction's operations sequentially; recovery
+// uses it. The checkpoint workers use applyOps with an environment, which
+// fans independent inode writes out in parallel.
+func ApplyOps(tr *prt.Translator, dir types.Ino, ops []wire.Op) error {
+	return applyOps(nil, tr, dir, ops, 1)
+}
+
+// applyOps checkpoints a transaction's operations onto the original objects:
+// inode records are written/deleted individually (in parallel when env is
+// non-nil — they are independent objects), dentry mutations are applied in
+// one read-modify-write of the directory's dentry block, and deleting an
+// inode also drops its data chunks (and dentry block, for directories).
+// Replay is idempotent.
+func applyOps(env sim.Env, tr *prt.Translator, dir types.Ino, ops []wire.Op, parallelism int) error {
+	var dentryDirty bool
+	for i := range ops {
+		k := ops[i].Kind
+		if k == wire.OpAddDentry || k == wire.OpDelDentry {
+			dentryDirty = true
+		}
+	}
+	var entries []wire.Dentry
+	if dentryDirty {
+		var err error
+		entries, err = tr.LoadDentries(dir)
+		if err != nil {
+			return fmt.Errorf("journal: checkpoint load dentries: %w", err)
+		}
+	}
+	byName := make(map[string]int, len(entries))
+	for i, de := range entries {
+		byName[de.Name] = i
+	}
+
+	// Inode-object work items, executed with bounded fan-out below.
+	applyInodeOp := func(op *wire.Op) error {
+		switch op.Kind {
+		case wire.OpSetInode:
+			if err := tr.SaveInode(op.Inode); err != nil {
+				return fmt.Errorf("journal: checkpoint: %w", err)
+			}
+		case wire.OpDelInode:
+			if err := tr.DeleteInode(op.Ino); err != nil {
+				return fmt.Errorf("journal: checkpoint: %w", err)
+			}
+			if op.Size > 0 {
+				if err := tr.DeleteData(op.Ino, op.Size); err != nil {
+					return fmt.Errorf("journal: checkpoint: %w", err)
+				}
+			}
+			if op.FType == wire.DirHint {
+				// Directories leave a dentry block behind.
+				if err := tr.DeleteDentries(op.Ino); err != nil {
+					return fmt.Errorf("journal: checkpoint: %w", err)
+				}
+			}
+		}
+		return nil
+	}
+
+	// A compound transaction often updates the same inode many times (the
+	// directory mtime changes on every create); only the final state needs
+	// checkpointing. Later inode ops supersede earlier ones (inode numbers
+	// are UUIDs and never reused).
+	lastInodeOp := make(map[types.Ino]int)
+	var inodeOps []*wire.Op
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case wire.OpSetInode, wire.OpDelInode:
+			ino := op.Ino
+			if op.Kind == wire.OpSetInode {
+				ino = op.Inode.Ino
+			}
+			if j, seen := lastInodeOp[ino]; seen {
+				inodeOps[j] = op
+				continue
+			}
+			lastInodeOp[ino] = len(inodeOps)
+			inodeOps = append(inodeOps, op)
+		case wire.OpAddDentry:
+			de := wire.Dentry{Name: op.Name, Ino: op.Ino, Type: op.FType}
+			if idx, ok := byName[op.Name]; ok {
+				entries[idx] = de
+			} else {
+				byName[op.Name] = len(entries)
+				entries = append(entries, de)
+			}
+		case wire.OpDelDentry:
+			if idx, ok := byName[op.Name]; ok {
+				entries = append(entries[:idx], entries[idx+1:]...)
+				delete(byName, op.Name)
+				for n, j := range byName {
+					if j > idx {
+						byName[n] = j - 1
+					}
+				}
+			}
+		}
+	}
+
+	if env == nil || parallelism <= 1 || len(inodeOps) < 2 {
+		for _, op := range inodeOps {
+			if err := applyInodeOp(op); err != nil {
+				return err
+			}
+		}
+	} else {
+		sem := sim.NewChan[struct{}](env)
+		for i := 0; i < parallelism; i++ {
+			sem.Send(struct{}{})
+		}
+		g := sim.NewGroup(env)
+		errs := make([]error, len(inodeOps))
+		for i, op := range inodeOps {
+			i, op := i, op
+			if _, ok := sem.Recv(); !ok {
+				return fmt.Errorf("journal: shut down during checkpoint: %w", types.ErrIO)
+			}
+			g.Go(func() {
+				defer sem.Send(struct{}{})
+				errs[i] = applyInodeOp(op)
+			})
+		}
+		g.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	if dentryDirty {
+		sort.Slice(entries, func(a, b int) bool { return entries[a].Name < entries[b].Name })
+		if err := tr.SaveDentries(dir, entries); err != nil {
+			return fmt.Errorf("journal: checkpoint: %w", err)
+		}
+	}
+	return nil
+}

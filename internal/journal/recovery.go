@@ -1,0 +1,184 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"arkfs/internal/prt"
+	"arkfs/internal/types"
+	"arkfs/internal/wire"
+)
+
+// Report summarizes one directory's journal recovery.
+type Report struct {
+	// Replayed counts committed transactions applied to the originals.
+	Replayed int
+	// Committed2PC and Aborted2PC count resolved prepared transactions.
+	Committed2PC int
+	Aborted2PC   int
+	// Corrupt counts records dropped for CRC/decode failures (torn writes).
+	Corrupt int
+	// NextSeq is one past the highest sequence observed; the new leader
+	// primes its journal with it.
+	NextSeq uint64
+}
+
+// Recover scans dir's journal after a leadership change. Valid transactions
+// remaining in the journal mean the previous leader crashed before
+// checkpointing (paper §III-E-1); they are replayed in sequence order.
+// Prepared transactions are resolved through the coordinator's journal with
+// presumed abort. All of dir's journal objects are removed on success.
+func Recover(tr *prt.Translator, dir types.Ino) (Report, error) {
+	var rep Report
+	keys, err := tr.Store().List(prt.JournalPrefix(dir))
+	if err != nil {
+		return rep, fmt.Errorf("journal: recovery list: %w", err)
+	}
+	// Keys encode the sequence in fixed-width hex, so lexical order is
+	// sequence order; List already sorts.
+	type rec struct {
+		key string
+		seq uint64
+		txn *wire.Txn
+	}
+	var recs []rec
+	for _, key := range keys {
+		seq, err := prt.ParseJournalSeq(key)
+		if err != nil {
+			rep.Corrupt++
+			continue
+		}
+		if seq+1 > rep.NextSeq {
+			rep.NextSeq = seq + 1
+		}
+		raw, err := tr.Store().Get(key)
+		if err != nil {
+			if errors.Is(err, types.ErrNotExist) {
+				continue // raced with a concurrent invalidation
+			}
+			return rep, fmt.Errorf("journal: recovery read %s: %w", key, err)
+		}
+		txn, err := wire.DecodeTxn(raw)
+		if err != nil {
+			// Torn write at the crash point: discard the record.
+			rep.Corrupt++
+			if derr := tr.Store().Delete(key); derr != nil {
+				return rep, fmt.Errorf("journal: recovery drop %s: %w", key, derr)
+			}
+			continue
+		}
+		recs = append(recs, rec{key: key, seq: seq, txn: txn})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+
+	for _, r := range recs {
+		switch r.txn.Kind {
+		case wire.TxnNormal:
+			if err := ApplyOps(tr, dir, r.txn.Ops); err != nil {
+				return rep, fmt.Errorf("journal: recovery replay seq %d: %w", r.seq, err)
+			}
+			rep.Replayed++
+		case wire.TxnPrepare:
+			committed, err := decisionFor(tr, r.txn)
+			if err != nil {
+				return rep, err
+			}
+			if committed {
+				if err := ApplyOps(tr, dir, r.txn.Ops); err != nil {
+					return rep, fmt.Errorf("journal: recovery 2pc apply txn %d: %w", r.txn.ID, err)
+				}
+				rep.Committed2PC++
+			} else {
+				rep.Aborted2PC++
+			}
+		case wire.TxnCommit, wire.TxnAbort:
+			// Decision records are consumed by the peer's recovery. Keep the
+			// record while the participant's prepare is still outstanding —
+			// deleting it early would flip a committed rename into a
+			// presumed abort on the participant's side.
+			if outstanding, err := hasPrepare(tr, r.txn.Peer, r.txn.ID); err != nil {
+				return rep, err
+			} else if outstanding {
+				continue // retain; the participant's recovery needs it
+			}
+		default:
+			rep.Corrupt++
+		}
+		if err := tr.Store().Delete(r.key); err != nil {
+			return rep, fmt.Errorf("journal: recovery invalidate %s: %w", r.key, err)
+		}
+	}
+	return rep, nil
+}
+
+// hasPrepare reports whether dir's journal still holds a prepare record for
+// txid.
+func hasPrepare(tr *prt.Translator, dir types.Ino, txid uint64) (bool, error) {
+	if dir.IsNil() {
+		return false, nil
+	}
+	keys, err := tr.Store().List(prt.JournalPrefix(dir))
+	if err != nil {
+		return false, fmt.Errorf("journal: prepare scan: %w", err)
+	}
+	for _, key := range keys {
+		raw, err := tr.Store().Get(key)
+		if err != nil {
+			continue
+		}
+		txn, err := wire.DecodeTxn(raw)
+		if err != nil {
+			continue
+		}
+		if txn.Kind == wire.TxnPrepare && txn.ID == txid {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// decisionFor locates the coordinator's decision for a prepared transaction.
+// For a coordinator's own prepare (peer journal holds no decision), its own
+// journal is scanned too. Missing decision = presumed abort.
+func decisionFor(tr *prt.Translator, prepare *wire.Txn) (bool, error) {
+	for _, dir := range []types.Ino{prepare.Peer, prepare.Dir} {
+		if dir.IsNil() {
+			continue
+		}
+		keys, err := tr.Store().List(prt.JournalPrefix(dir))
+		if err != nil {
+			return false, fmt.Errorf("journal: decision scan: %w", err)
+		}
+		for _, key := range keys {
+			raw, err := tr.Store().Get(key)
+			if err != nil {
+				continue
+			}
+			txn, err := wire.DecodeTxn(raw)
+			if err != nil {
+				continue
+			}
+			if txn.ID != prepare.ID {
+				continue
+			}
+			switch txn.Kind {
+			case wire.TxnCommit:
+				return true, nil
+			case wire.TxnAbort:
+				return false, nil
+			}
+		}
+	}
+	return false, nil // presumed abort
+}
+
+// HasValidEntries reports whether dir's journal contains any records — the
+// check a new leader performs to decide if recovery is needed.
+func HasValidEntries(tr *prt.Translator, dir types.Ino) (bool, error) {
+	keys, err := tr.Store().List(prt.JournalPrefix(dir))
+	if err != nil {
+		return false, fmt.Errorf("journal: entry check: %w", err)
+	}
+	return len(keys) > 0, nil
+}

@@ -1,0 +1,272 @@
+package journal
+
+import (
+	"testing"
+	"time"
+
+	"arkfs/internal/objstore"
+	"arkfs/internal/prt"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+	"arkfs/internal/wire"
+)
+
+// renameFixture builds two directories, each containing one file, and
+// returns the ops that move "src/f" to "dst/g".
+type renameFixture struct {
+	tr       *prt.Translator
+	src, dst types.Ino
+	file     *types.Inode
+	srcOps   []wire.Op
+	dstOps   []wire.Op
+}
+
+func newRenameFixture(t *testing.T, tr *prt.Translator) *renameFixture {
+	t.Helper()
+	isrc := types.NewInoSource(21)
+	fx := &renameFixture{tr: tr, src: isrc.Next(), dst: isrc.Next()}
+	fx.file = &types.Inode{Ino: isrc.Next(), Type: types.TypeRegular, Mode: 0644, Nlink: 1}
+	if err := tr.SaveInode(fx.file); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SaveDentries(fx.src, []wire.Dentry{{Name: "f", Ino: fx.file.Ino, Type: types.TypeRegular}}); err != nil {
+		t.Fatal(err)
+	}
+	fx.srcOps = []wire.Op{{Kind: wire.OpDelDentry, Name: "f"}}
+	fx.dstOps = []wire.Op{{Kind: wire.OpAddDentry, Name: "g", Ino: fx.file.Ino, FType: types.TypeRegular}}
+	return fx
+}
+
+func (fx *renameFixture) assertRenamed(t *testing.T) {
+	t.Helper()
+	srcEnts, _ := fx.tr.LoadDentries(fx.src)
+	dstEnts, _ := fx.tr.LoadDentries(fx.dst)
+	if len(srcEnts) != 0 {
+		t.Fatalf("src still has %v", srcEnts)
+	}
+	if len(dstEnts) != 1 || dstEnts[0].Name != "g" || dstEnts[0].Ino != fx.file.Ino {
+		t.Fatalf("dst has %v", dstEnts)
+	}
+}
+
+func (fx *renameFixture) assertUnrenamed(t *testing.T) {
+	t.Helper()
+	srcEnts, _ := fx.tr.LoadDentries(fx.src)
+	dstEnts, _ := fx.tr.LoadDentries(fx.dst)
+	if len(srcEnts) != 1 || srcEnts[0].Name != "f" {
+		t.Fatalf("src lost the file: %v", srcEnts)
+	}
+	if len(dstEnts) != 0 {
+		t.Fatalf("dst gained %v", dstEnts)
+	}
+}
+
+func twoPCSetup(t *testing.T) (*prt.Translator, *Journal, func()) {
+	t.Helper()
+	env := sim.NewRealEnv()
+	tr := prt.New(objstore.NewMemStore(), 64)
+	j := New(env, tr, Config{CommitInterval: time.Hour, CommitWorkers: 2, CheckpointWorkers: 2})
+	return tr, j, func() { j.Close(); env.Shutdown() }
+}
+
+func TestTwoPCHappyPath(t *testing.T) {
+	tr, j, stop := twoPCSetup(t)
+	defer stop()
+	fx := newRenameFixture(t, tr)
+	txid := j.NewTxnID()
+
+	if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WritePrepare(fx.dst, txid, fx.src, fx.dstOps); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteDecision(fx.src, txid, fx.dst, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.ResolvePrepared(fx.src, txid, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.ResolvePrepared(fx.dst, txid, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.DeleteDecision(fx.src, txid); err != nil {
+		t.Fatal(err)
+	}
+	fx.assertRenamed(t)
+	// All journal records cleaned up, including the GC'd decision.
+	srcKeys, _ := tr.Store().List(prt.JournalPrefix(fx.src))
+	dstKeys, _ := tr.Store().List(prt.JournalPrefix(fx.dst))
+	if len(srcKeys)+len(dstKeys) != 0 {
+		t.Fatalf("journal residue: %v %v", srcKeys, dstKeys)
+	}
+}
+
+func TestTwoPCAbortDiscardsOps(t *testing.T) {
+	tr, j, stop := twoPCSetup(t)
+	defer stop()
+	fx := newRenameFixture(t, tr)
+	txid := j.NewTxnID()
+	if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WritePrepare(fx.dst, txid, fx.src, fx.dstOps); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteDecision(fx.src, txid, fx.dst, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.ResolvePrepared(fx.src, txid, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.ResolvePrepared(fx.dst, txid, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.DeleteDecision(fx.src, txid); err != nil {
+		t.Fatal(err)
+	}
+	fx.assertUnrenamed(t)
+}
+
+func TestTwoPCRecoveryCommitted(t *testing.T) {
+	// Both sides prepared, decision=commit written, then both leaders crash
+	// before applying. Recovery of both directories must complete the
+	// rename regardless of order.
+	for _, order := range [][2]string{{"src", "dst"}, {"dst", "src"}} {
+		t.Run(order[0]+"-first", func(t *testing.T) {
+			tr, j, stop := twoPCSetup(t)
+			fx := newRenameFixture(t, tr)
+			txid := j.NewTxnID()
+			if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.WritePrepare(fx.dst, txid, fx.src, fx.dstOps); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.WriteDecision(fx.src, txid, fx.dst, true); err != nil {
+				t.Fatal(err)
+			}
+			stop() // crash: nothing applied
+
+			dirs := map[string]types.Ino{"src": fx.src, "dst": fx.dst}
+			var reports []Report
+			for _, which := range order {
+				rep, err := Recover(tr, dirs[which])
+				if err != nil {
+					t.Fatal(err)
+				}
+				reports = append(reports, rep)
+			}
+			if reports[0].Committed2PC+reports[1].Committed2PC != 2 {
+				t.Fatalf("2PC commits = %d+%d, want 2 total: %+v",
+					reports[0].Committed2PC, reports[1].Committed2PC, reports)
+			}
+			fx.assertRenamed(t)
+		})
+	}
+}
+
+func TestTwoPCRecoveryPresumedAbort(t *testing.T) {
+	// Both sides prepared but the coordinator crashed before writing any
+	// decision: recovery must abort on both sides.
+	tr, j, stop := twoPCSetup(t)
+	fx := newRenameFixture(t, tr)
+	txid := j.NewTxnID()
+	if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WritePrepare(fx.dst, txid, fx.src, fx.dstOps); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	for _, dir := range []types.Ino{fx.dst, fx.src} {
+		rep, err := Recover(tr, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Aborted2PC != 1 {
+			t.Fatalf("dir %s: %+v", dir.Short(), rep)
+		}
+	}
+	fx.assertUnrenamed(t)
+}
+
+func TestTwoPCRecoveryOneSideApplied(t *testing.T) {
+	// The coordinator applied and cleaned up; the participant crashed before
+	// applying. Participant recovery must find the retained decision record
+	// and commit.
+	tr, j, stop := twoPCSetup(t)
+	fx := newRenameFixture(t, tr)
+	txid := j.NewTxnID()
+	if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WritePrepare(fx.dst, txid, fx.src, fx.dstOps); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteDecision(fx.src, txid, fx.dst, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.ResolvePrepared(fx.src, txid, true); err != nil {
+		t.Fatal(err)
+	}
+	stop() // participant crashes before applying
+
+	// Coordinator recovery first: it must retain the decision record
+	// because the participant's prepare is still outstanding.
+	if _, err := Recover(tr, fx.src); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Recover(tr, fx.dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed2PC != 1 {
+		t.Fatalf("participant recovery: %+v", rep)
+	}
+	fx.assertRenamed(t)
+	// A final coordinator recovery sweep garbage-collects the decision.
+	if _, err := Recover(tr, fx.src); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := tr.Store().List(prt.JournalPrefix(fx.src))
+	if len(keys) != 0 {
+		t.Fatalf("decision record leaked: %v", keys)
+	}
+}
+
+func TestPrepareFlushesRunningTxnFirst(t *testing.T) {
+	// Ordering: a buffered create in src must land in the journal before the
+	// prepare record, so crash replay preserves operation order.
+	tr, j, stop := twoPCSetup(t)
+	fx := newRenameFixture(t, tr)
+	src := types.NewInoSource(33)
+	extra := &types.Inode{Ino: src.Next(), Type: types.TypeRegular, Nlink: 1}
+	j.Log(fx.src, []wire.Op{
+		{Kind: wire.OpSetInode, Inode: extra},
+		{Kind: wire.OpAddDentry, Name: "pending", Ino: extra.Ino, FType: types.TypeRegular},
+	})
+	txid := j.NewTxnID()
+	if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	// Crash now: replay must apply the create (it was flushed by the
+	// prepare), then presume-abort the prepare.
+	rep, err := Recover(tr, fx.src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aborted2PC != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	ents, _ := tr.LoadDentries(fx.src)
+	names := map[string]bool{}
+	for _, e := range ents {
+		names[e.Name] = true
+	}
+	if !names["pending"] || !names["f"] {
+		t.Fatalf("expected both pending and f present: %v", ents)
+	}
+}

@@ -1,0 +1,94 @@
+// Package lease implements ArkFS's directory lease protocol (paper §III-B).
+//
+// A single lightweight lease manager issues per-directory leases
+// first-come-first-served. The holder — the *directory leader* — is the only
+// client allowed to modify that directory's metadata and to manage data
+// read/write leases for its children. Other clients are redirected to the
+// leader and forward their operations to it.
+//
+// The manager additionally:
+//   - supports extension, remembering the previous leader so that an unbroken
+//     re-acquire can skip reloading the metadata table;
+//   - gates recovery: when a lease expires without a clean release, the next
+//     acquirer is told to run journal recovery, and everyone else waits;
+//   - quiesces for one lease period after its own restart so that no two
+//     clients can ever hold the same directory simultaneously.
+package lease
+
+import (
+	"encoding/gob"
+	"time"
+
+	"arkfs/internal/rpc"
+	"arkfs/internal/types"
+)
+
+// DefaultPeriod is the paper's default lease duration (5 seconds).
+const DefaultPeriod = 5 * time.Second
+
+// AcquireReq asks for (or extends) the lease of Dir on behalf of Client.
+type AcquireReq struct {
+	Dir    types.Ino
+	Client rpc.Addr
+}
+
+// AcquireResp is the manager's answer to an AcquireReq.
+type AcquireResp struct {
+	// Granted: the caller is now the directory leader until Expiry.
+	Granted bool
+	// LeaseID is a fencing token, unique per grant chain; extensions keep it.
+	LeaseID uint64
+	// Expiry is the absolute environment time at which the lease lapses.
+	Expiry time.Duration
+	// SameLeader: the caller held this directory last and nobody else has
+	// touched it since, so its in-memory metatable is still valid.
+	SameLeader bool
+	// NeedRecovery: the previous leader crashed (lease lapsed without a
+	// clean release); the caller must run journal recovery before serving.
+	NeedRecovery bool
+	// Redirect: the lease is held by Leader; forward operations there.
+	Redirect bool
+	Leader   rpc.Addr
+	// Wait: the directory is under recovery or the manager is quiescing
+	// after a restart; retry after RetryAfter.
+	Wait       bool
+	RetryAfter time.Duration
+}
+
+// ReleaseReq gives up a lease. Clean indicates all metadata was flushed.
+type ReleaseReq struct {
+	Dir     types.Ino
+	LeaseID uint64
+	Client  rpc.Addr
+	Clean   bool
+}
+
+// ReleaseResp acknowledges a ReleaseReq.
+type ReleaseResp struct {
+	OK bool
+}
+
+// RecoveryDoneReq reports that the caller finished journal recovery for Dir;
+// the manager renews the caller's lease and unblocks waiters.
+type RecoveryDoneReq struct {
+	Dir     types.Ino
+	LeaseID uint64
+	Client  rpc.Addr
+}
+
+// RecoveryDoneResp carries the renewed lease.
+type RecoveryDoneResp struct {
+	OK      bool
+	Expiry  time.Duration
+	LeaseID uint64
+}
+
+func init() {
+	// Registered for the TCP transport used by the live tools.
+	gob.Register(AcquireReq{})
+	gob.Register(AcquireResp{})
+	gob.Register(ReleaseReq{})
+	gob.Register(ReleaseResp{})
+	gob.Register(RecoveryDoneReq{})
+	gob.Register(RecoveryDoneResp{})
+}

@@ -1,0 +1,260 @@
+package lease
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arkfs/internal/rpc"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// ManagerStats counts lease traffic for the benchmark reports.
+type ManagerStats struct {
+	Acquires, Extensions, Redirects, Releases, Recoveries atomic.Int64
+}
+
+// dirState tracks one directory's lease chain.
+type dirState struct {
+	holder     rpc.Addr
+	leaseID    uint64
+	expiry     time.Duration
+	clean      bool     // the current/last holder released (or will hand off) cleanly
+	prevHolder rpc.Addr // last holder that ended cleanly, for SameLeader
+	recovering bool     // a grantee is running journal recovery
+	recoverID  uint64   // lease id of the recovering grantee
+	quietUntil time.Duration
+}
+
+// Manager is the cluster's lease manager. Acquiring and extending are cheap
+// map operations (the paper found a single manager is not a bottleneck);
+// expiries are detected lazily at the next acquire rather than with timers.
+type Manager struct {
+	env    sim.Env
+	net    *rpc.Network
+	addr   rpc.Addr
+	period time.Duration
+	server *rpc.Server
+
+	mu      sync.Mutex
+	dirs    map[types.Ino]*dirState
+	nextID  uint64
+	readyAt time.Duration // restart quiesce deadline
+
+	stats ManagerStats
+}
+
+// Options configures a Manager.
+type Options struct {
+	Addr    rpc.Addr      // network address to listen on (default "leasemgr")
+	Period  time.Duration // lease duration (default DefaultPeriod)
+	Workers int           // server worker goroutines (default 4)
+	// Restarted: begin in the post-crash quiesce state, refusing grants for
+	// one lease period so stale leaders can expire (paper §III-E-2).
+	Restarted bool
+}
+
+// NewManager starts a lease manager on net.
+func NewManager(net *rpc.Network, opts Options) *Manager {
+	if opts.Addr == "" {
+		opts.Addr = "leasemgr"
+	}
+	if opts.Period <= 0 {
+		opts.Period = DefaultPeriod
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	m := &Manager{
+		env:    net.Env(),
+		net:    net,
+		addr:   opts.Addr,
+		period: opts.Period,
+		dirs:   make(map[types.Ino]*dirState),
+	}
+	if opts.Restarted {
+		m.readyAt = m.env.Now() + m.period
+	}
+	m.server = net.Listen(opts.Addr, opts.Workers, m.handle)
+	return m
+}
+
+// Addr returns the manager's network address.
+func (m *Manager) Addr() rpc.Addr { return m.addr }
+
+// Period returns the lease duration.
+func (m *Manager) Period() time.Duration { return m.period }
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() *ManagerStats { return &m.stats }
+
+// Close stops the manager's server. State is retained so a subsequent
+// NewManager with Restarted simulates a manager crash + restart.
+func (m *Manager) Close() { m.server.Close() }
+
+func (m *Manager) handle(req any) any {
+	switch r := req.(type) {
+	case AcquireReq:
+		return m.acquire(r)
+	case ReleaseReq:
+		return m.release(r)
+	case RecoveryDoneReq:
+		return m.recoveryDone(r)
+	default:
+		return AcquireResp{} // unknown message: deny
+	}
+}
+
+func (m *Manager) acquire(r AcquireReq) AcquireResp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.env.Now()
+	m.stats.Acquires.Add(1)
+
+	if now < m.readyAt {
+		return AcquireResp{Wait: true, RetryAfter: m.readyAt}
+	}
+
+	d := m.dirs[r.Dir]
+	if d == nil {
+		d = &dirState{clean: true}
+		m.dirs[r.Dir] = d
+	}
+
+	switch {
+	case d.recovering:
+		// A recovery is in flight; its owner may extend, others wait.
+		if d.holder == r.Client && d.leaseID == d.recoverID {
+			d.expiry = now + m.period
+			return AcquireResp{Granted: true, LeaseID: d.leaseID, Expiry: d.expiry, SameLeader: true}
+		}
+		return AcquireResp{Wait: true, RetryAfter: now + m.period/2}
+
+	case d.holder != "" && now < d.expiry:
+		if d.holder == r.Client {
+			// Extension: same chain, metadata stays valid.
+			m.stats.Extensions.Add(1)
+			d.expiry = now + m.period
+			return AcquireResp{Granted: true, LeaseID: d.leaseID, Expiry: d.expiry, SameLeader: true}
+		}
+		m.stats.Redirects.Add(1)
+		return AcquireResp{Redirect: true, Leader: d.holder}
+
+	case d.holder != "" && !d.clean && d.holder == r.Client:
+		// The holder itself re-acquires after letting its lease lapse (an
+		// idle period, not a crash): its in-memory state is authoritative,
+		// its data leases are its own, so re-grant in place.
+		m.stats.Extensions.Add(1)
+		d.expiry = now + m.period
+		return AcquireResp{Granted: true, LeaseID: d.leaseID, Expiry: d.expiry, SameLeader: true}
+
+	case d.holder != "" && !d.clean:
+		// The lease lapsed without a clean release: the holder crashed.
+		// Honor the paper's grace: wait one full period past expiry so any
+		// data read/write leases the dead leader issued have lapsed too.
+		if now < d.expiry+m.period {
+			return AcquireResp{Wait: true, RetryAfter: d.expiry + m.period}
+		}
+		m.stats.Recoveries.Add(1)
+		m.nextID++
+		d.holder, d.leaseID, d.expiry = r.Client, m.nextID, now+m.period
+		d.recovering, d.recoverID = true, m.nextID
+		d.clean = false
+		return AcquireResp{Granted: true, LeaseID: d.leaseID, Expiry: d.expiry, NeedRecovery: true}
+
+	default:
+		// Free (never held, cleanly released, or expired after a clean
+		// hand-off). Grant; tell an unbroken repeat leader it may keep its
+		// metatable.
+		same := d.prevHolder == r.Client && d.prevHolder != ""
+		m.nextID++
+		d.holder, d.leaseID, d.expiry = r.Client, m.nextID, now+m.period
+		d.clean = false // not clean until released; expiry without release = crash
+		return AcquireResp{Granted: true, LeaseID: d.leaseID, Expiry: d.expiry, SameLeader: same}
+	}
+}
+
+func (m *Manager) release(r ReleaseReq) ReleaseResp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Releases.Add(1)
+	d := m.dirs[r.Dir]
+	if d == nil || d.holder != r.Client || d.leaseID != r.LeaseID {
+		return ReleaseResp{OK: false}
+	}
+	d.holder = ""
+	d.recovering = false
+	d.clean = r.Clean
+	if r.Clean {
+		d.prevHolder = r.Client
+	} else {
+		d.prevHolder = ""
+	}
+	return ReleaseResp{OK: true}
+}
+
+func (m *Manager) recoveryDone(r RecoveryDoneReq) RecoveryDoneResp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.dirs[r.Dir]
+	if d == nil || !d.recovering || d.holder != r.Client || d.recoverID != r.LeaseID {
+		return RecoveryDoneResp{OK: false}
+	}
+	// Renew the lease on the leader who performed the recovery (§III-E-1).
+	d.recovering = false
+	d.expiry = m.env.Now() + m.period
+	return RecoveryDoneResp{OK: true, Expiry: d.expiry, LeaseID: d.leaseID}
+}
+
+// expireForTest force-lapses a directory's lease; used by tests to simulate
+// the passage of time without waiting.
+func (m *Manager) expireForTest(dir types.Ino) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d := m.dirs[dir]; d != nil {
+		d.expiry = 0
+	}
+}
+
+// Client is the client-side stub of the lease protocol. With a sharded
+// manager cluster, Route selects the shard per directory; otherwise every
+// request goes to Mgr.
+type Client struct {
+	Net   *rpc.Network
+	Mgr   rpc.Addr
+	Self  rpc.Addr
+	Route func(types.Ino) rpc.Addr
+}
+
+func (c *Client) mgrFor(dir types.Ino) rpc.Addr {
+	if c.Route != nil {
+		return c.Route(dir)
+	}
+	return c.Mgr
+}
+
+// Acquire requests (or extends) the lease of dir.
+func (c *Client) Acquire(dir types.Ino) (AcquireResp, error) {
+	resp, err := c.Net.Call(c.mgrFor(dir), AcquireReq{Dir: dir, Client: c.Self})
+	if err != nil {
+		return AcquireResp{}, err
+	}
+	return resp.(AcquireResp), nil
+}
+
+// Release gives the lease back; clean reports a full metadata flush.
+func (c *Client) Release(dir types.Ino, id uint64, clean bool) error {
+	_, err := c.Net.Call(c.mgrFor(dir), ReleaseReq{Dir: dir, LeaseID: id, Client: c.Self, Clean: clean})
+	return err
+}
+
+// RecoveryDone reports a finished journal recovery and returns the renewed
+// expiry.
+func (c *Client) RecoveryDone(dir types.Ino, id uint64) (RecoveryDoneResp, error) {
+	resp, err := c.Net.Call(c.mgrFor(dir), RecoveryDoneReq{Dir: dir, LeaseID: id, Client: c.Self})
+	if err != nil {
+		return RecoveryDoneResp{}, err
+	}
+	return resp.(RecoveryDoneResp), nil
+}

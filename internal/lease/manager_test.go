@@ -1,0 +1,315 @@
+package lease
+
+import (
+	"testing"
+	"time"
+
+	"arkfs/internal/rpc"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+func TestAcquireExtendRelease(t *testing.T) {
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second})
+		defer m.Close()
+		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		dir := types.RootIno
+
+		resp, err := c1.Acquire(dir)
+		if err != nil || !resp.Granted || resp.SameLeader || resp.NeedRecovery {
+			t.Fatalf("first acquire: %+v, %v", resp, err)
+		}
+		id := resp.LeaseID
+
+		// Extension keeps the lease id and reports SameLeader.
+		env.Sleep(500 * time.Millisecond)
+		ext, err := c1.Acquire(dir)
+		if err != nil || !ext.Granted || !ext.SameLeader || ext.LeaseID != id {
+			t.Fatalf("extension: %+v, %v", ext, err)
+		}
+		if ext.Expiry <= resp.Expiry {
+			t.Fatalf("extension did not push expiry: %v <= %v", ext.Expiry, resp.Expiry)
+		}
+
+		// Clean release; re-acquire by the same client keeps the metatable.
+		if err := c1.Release(dir, id, true); err != nil {
+			t.Fatal(err)
+		}
+		again, err := c1.Acquire(dir)
+		if err != nil || !again.Granted || !again.SameLeader {
+			t.Fatalf("re-acquire after clean release: %+v, %v", again, err)
+		}
+		if again.LeaseID == id {
+			t.Fatal("new grant chain must change the lease id")
+		}
+	})
+}
+
+func TestFCFSRedirect(t *testing.T) {
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second})
+		defer m.Close()
+		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
+		dir := types.RootIno
+
+		if r, _ := c1.Acquire(dir); !r.Granted {
+			t.Fatal("c1 grant failed")
+		}
+		r2, err := c2.Acquire(dir)
+		if err != nil || r2.Granted || !r2.Redirect || r2.Leader != "c1" {
+			t.Fatalf("c2 should be redirected to c1: %+v, %v", r2, err)
+		}
+		if m.Stats().Redirects.Load() != 1 {
+			t.Fatalf("redirects = %d", m.Stats().Redirects.Load())
+		}
+	})
+}
+
+func TestLeaseExpiryHandsOver(t *testing.T) {
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second})
+		defer m.Close()
+		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
+		dir := types.RootIno
+
+		r1, _ := c1.Acquire(dir)
+		if !r1.Granted {
+			t.Fatal("grant failed")
+		}
+		// c1 releases cleanly; c2 acquires without recovery and without the
+		// SameLeader shortcut.
+		if err := c1.Release(dir, r1.LeaseID, true); err != nil {
+			t.Fatal(err)
+		}
+		r2, _ := c2.Acquire(dir)
+		if !r2.Granted || r2.SameLeader || r2.NeedRecovery {
+			t.Fatalf("c2 grant: %+v", r2)
+		}
+		// After c2 releases cleanly, c1 re-acquiring must NOT see SameLeader
+		// (someone else held the directory in between).
+		if err := c2.Release(dir, r2.LeaseID, true); err != nil {
+			t.Fatal(err)
+		}
+		r3, _ := c1.Acquire(dir)
+		if !r3.Granted || r3.SameLeader {
+			t.Fatalf("c1 after interleaved holder: %+v", r3)
+		}
+	})
+}
+
+func TestCrashTriggersRecoveryFlow(t *testing.T) {
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second})
+		defer m.Close()
+		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
+		c3 := &Client{Net: net, Mgr: m.Addr(), Self: "c3"}
+		dir := types.RootIno
+
+		r1, _ := c1.Acquire(dir)
+		if !r1.Granted {
+			t.Fatal("grant failed")
+		}
+		// c1 "crashes": never releases. Within the grace window, acquires
+		// must wait.
+		env.Sleep(1500 * time.Millisecond) // expired at 1s, grace until 2s
+		w, _ := c2.Acquire(dir)
+		if !w.Wait {
+			t.Fatalf("expected Wait during grace window: %+v", w)
+		}
+		env.Sleep(w.RetryAfter - env.Now() + time.Millisecond)
+
+		// Past the grace window: the next acquirer is told to recover.
+		r2, _ := c2.Acquire(dir)
+		if !r2.Granted || !r2.NeedRecovery {
+			t.Fatalf("expected recovery grant: %+v", r2)
+		}
+		// Others wait while recovery is in flight.
+		w3, _ := c3.Acquire(dir)
+		if !w3.Wait {
+			t.Fatalf("expected Wait during recovery: %+v", w3)
+		}
+		// Recovery completes; the recoverer's lease is renewed.
+		done, err := c2.RecoveryDone(dir, r2.LeaseID)
+		if err != nil || !done.OK {
+			t.Fatalf("RecoveryDone: %+v, %v", done, err)
+		}
+		// Now c3 is redirected to c2 (the lease is live again).
+		r3, _ := c3.Acquire(dir)
+		if !r3.Redirect || r3.Leader != "c2" {
+			t.Fatalf("post-recovery: %+v", r3)
+		}
+		if m.Stats().Recoveries.Load() != 1 {
+			t.Fatalf("recoveries = %d", m.Stats().Recoveries.Load())
+		}
+	})
+}
+
+func TestManagerRestartQuiesce(t *testing.T) {
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second, Restarted: true})
+		defer m.Close()
+		c := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		w, err := c.Acquire(types.RootIno)
+		if err != nil || !w.Wait {
+			t.Fatalf("acquire during quiesce: %+v, %v", w, err)
+		}
+		env.Sleep(w.RetryAfter - env.Now() + time.Millisecond)
+		r, err := c.Acquire(types.RootIno)
+		if err != nil || !r.Granted {
+			t.Fatalf("acquire after quiesce: %+v, %v", r, err)
+		}
+	})
+}
+
+func TestReleaseValidatesOwnership(t *testing.T) {
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second})
+		defer m.Close()
+		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
+		dir := types.RootIno
+		r1, _ := c1.Acquire(dir)
+		// Wrong client and wrong id must both be rejected.
+		if err := c2.Release(dir, r1.LeaseID, true); err != nil {
+			t.Fatal(err)
+		}
+		if r, _ := c2.Acquire(dir); !r.Redirect {
+			t.Fatalf("foreign release must not free the lease: %+v", r)
+		}
+		if err := c1.Release(dir, r1.LeaseID+99, true); err != nil {
+			t.Fatal(err)
+		}
+		if r, _ := c2.Acquire(dir); !r.Redirect {
+			t.Fatalf("stale-id release must not free the lease: %+v", r)
+		}
+	})
+}
+
+func TestManyDirectoriesIndependent(t *testing.T) {
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second})
+		defer m.Close()
+		src := types.NewInoSource(1)
+		g := sim.NewGroup(env)
+		for i := 0; i < 64; i++ {
+			i := i
+			dir := src.Next()
+			g.Go(func() {
+				c := &Client{Net: net, Mgr: m.Addr(), Self: rpc.Addr("c" + string(rune('a'+i%26)) + string(rune('a'+i/26)))}
+				r, err := c.Acquire(dir)
+				if err != nil || !r.Granted {
+					t.Errorf("client %d: %+v, %v", i, r, err)
+					return
+				}
+				if err := c.Release(dir, r.LeaseID, true); err != nil {
+					t.Errorf("client %d release: %v", i, err)
+				}
+			})
+		}
+		g.Wait()
+		if got := m.Stats().Acquires.Load(); got != 64 {
+			t.Fatalf("acquires = %d", got)
+		}
+	})
+}
+
+func TestExpireForTestHelper(t *testing.T) {
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Hour})
+		defer m.Close()
+		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
+		r1, _ := c1.Acquire(types.RootIno)
+		if !r1.Granted {
+			t.Fatal("grant failed")
+		}
+		m.expireForTest(types.RootIno)
+		// Lapsed without clean release → crash path (grace window first).
+		w, _ := c2.Acquire(types.RootIno)
+		if !w.Wait && !w.NeedRecovery {
+			t.Fatalf("expected crash handling: %+v", w)
+		}
+	})
+}
+
+func TestRecoveryDoneValidation(t *testing.T) {
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second})
+		defer m.Close()
+		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
+		dir := types.RootIno
+		r1, _ := c1.Acquire(dir)
+		if !r1.Granted {
+			t.Fatal("grant failed")
+		}
+		// RecoveryDone without a recovery in flight is rejected.
+		if done, _ := c1.RecoveryDone(dir, r1.LeaseID); done.OK {
+			t.Fatal("RecoveryDone accepted outside recovery")
+		}
+		// Crash + grace, then c2 recovers.
+		env.Sleep(2500 * time.Millisecond)
+		r2, _ := c2.Acquire(dir)
+		if !r2.NeedRecovery {
+			t.Fatalf("expected recovery grant: %+v", r2)
+		}
+		// The wrong client cannot complete someone else's recovery.
+		if done, _ := c1.RecoveryDone(dir, r2.LeaseID); done.OK {
+			t.Fatal("foreign RecoveryDone accepted")
+		}
+		// The wrong lease id is rejected too.
+		if done, _ := c2.RecoveryDone(dir, r2.LeaseID+1); done.OK {
+			t.Fatal("stale-id RecoveryDone accepted")
+		}
+		if done, _ := c2.RecoveryDone(dir, r2.LeaseID); !done.OK {
+			t.Fatal("legitimate RecoveryDone rejected")
+		}
+	})
+}
+
+func TestSameHolderReacquireAfterLapse(t *testing.T) {
+	// An idle leader whose lease lapsed re-acquires in place: no crash
+	// handling, no metadata reload (SameLeader).
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second})
+		defer m.Close()
+		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		dir := types.RootIno
+		r1, _ := c1.Acquire(dir)
+		if !r1.Granted {
+			t.Fatal("grant failed")
+		}
+		env.Sleep(3 * time.Second) // well past expiry, no release
+		r2, _ := c1.Acquire(dir)
+		if !r2.Granted || !r2.SameLeader || r2.NeedRecovery {
+			t.Fatalf("same-holder reacquire: %+v", r2)
+		}
+		if r2.LeaseID != r1.LeaseID {
+			t.Fatalf("lease chain broken: %d -> %d", r1.LeaseID, r2.LeaseID)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package lease
+
+import (
+	"fmt"
+
+	"arkfs/internal/rpc"
+	"arkfs/internal/types"
+)
+
+// Sharded lease management is the paper's stated future work ("it would be
+// beneficial to implement distributed coordination using a cluster of lease
+// managers"). Directories hash statically onto managers; each shard is an
+// ordinary Manager, so every property of the single-manager protocol (FCFS,
+// extension, recovery gating, restart quiesce) holds per directory. There is
+// no cross-shard state: a directory's entire lease lifecycle lives on one
+// shard.
+type Shards struct {
+	mgrs []*Manager
+}
+
+// NewShards starts n managers at "<prefix>-0" … "<prefix>-(n-1)".
+func NewShards(net *rpc.Network, n int, prefix string, opts Options) *Shards {
+	if n <= 0 {
+		n = 1
+	}
+	if prefix == "" {
+		prefix = "leasemgr"
+	}
+	s := &Shards{}
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Addr = rpc.Addr(fmt.Sprintf("%s-%d", prefix, i))
+		s.mgrs = append(s.mgrs, NewManager(net, o))
+	}
+	return s
+}
+
+// Route returns the address selector clients install (core.Options.LeaseRoute).
+func (s *Shards) Route() func(types.Ino) rpc.Addr {
+	addrs := make([]rpc.Addr, len(s.mgrs))
+	for i, m := range s.mgrs {
+		addrs[i] = m.Addr()
+	}
+	return func(dir types.Ino) rpc.Addr {
+		return addrs[dir.Lo()%uint64(len(addrs))]
+	}
+}
+
+// Period returns the shared lease duration.
+func (s *Shards) Period() interface{ Nanoseconds() int64 } { return s.mgrs[0].Period() }
+
+// Stats aggregates the shard counters.
+func (s *Shards) Stats() (acquires, redirects, extensions int64) {
+	for _, m := range s.mgrs {
+		acquires += m.Stats().Acquires.Load()
+		redirects += m.Stats().Redirects.Load()
+		extensions += m.Stats().Extensions.Load()
+	}
+	return
+}
+
+// Close stops every shard.
+func (s *Shards) Close() {
+	for _, m := range s.mgrs {
+		m.Close()
+	}
+}

@@ -1,0 +1,415 @@
+package objstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// Profile describes a simulated object-store deployment: node count,
+// replication, per-link network models, and per-node service costs. The
+// benchmark harness uses one profile for Ceph-RADOS-like storage and one for
+// S3-like storage (see profiles.go).
+type Profile struct {
+	Name           string
+	Nodes          int
+	Replicas       int           // total copies including the primary
+	WorkersPerNode int           // primary-request concurrency per node
+	ClientNet      sim.NetModel  // client <-> storage node
+	ReplNet        sim.NetModel  // node <-> node replication traffic
+	OpOverhead     time.Duration // per-request software overhead at a node
+	DiskBandwidth  int64         // bytes/s of the node's media
+	MaxObjectSize  int64         // largest single object the backend accepts
+	// SizeOnly discards every payload, recording sizes only (benchmarks
+	// whose reads never parse data). SizeOnlyPrefix discards only keys with
+	// the given prefix — e.g. "d:" keeps metadata objects (inodes, dentries,
+	// journals) intact while bulky file data is represented by size alone.
+	SizeOnly       bool
+	SizeOnlyPrefix string
+}
+
+// discards reports whether the payload of key is dropped at the nodes.
+func (p Profile) discards(key string) bool {
+	return p.SizeOnly || (p.SizeOnlyPrefix != "" && hasPrefix(key, p.SizeOnlyPrefix))
+}
+
+// Stats counts cluster traffic; all fields are updated atomically.
+type Stats struct {
+	Puts, Gets, Deletes, Lists, Heads atomic.Int64
+	BytesIn, BytesOut                 atomic.Int64
+}
+
+// Cluster is a simulated distributed object store: a set of storage nodes
+// with worker loops, rendezvous-hash placement, and synchronous primary-copy
+// replication. It implements Store; every call charges simulated network and
+// service time against the environment's clock.
+type Cluster struct {
+	env    sim.Env
+	prof   Profile
+	nodes  []*node
+	stats  Stats
+	closed atomic.Bool
+}
+
+type opKind byte
+
+const (
+	opPut opKind = iota
+	opGet
+	opGetRange
+	opDelete
+	opList
+	opHead
+	opReplPut
+	opReplDelete
+)
+
+type nodeReq struct {
+	op       opKind
+	key      string
+	data     []byte
+	size     int64
+	off, len int64 // opGetRange window
+	reply    *sim.Chan[nodeResp]
+}
+
+type nodeResp struct {
+	data []byte
+	size int64
+	keys []string
+	err  error
+}
+
+type objVal struct {
+	size int64
+	data []byte // nil when the cluster is SizeOnly
+}
+
+type node struct {
+	id        int
+	inbox     *sim.Chan[*nodeReq] // primary requests
+	replInbox *sim.Chan[*nodeReq] // replication requests (separate workers: no cyclic waits)
+	mu        sync.Mutex
+	data      map[string]objVal
+}
+
+// NewCluster builds and starts a cluster in env. Callers should Close it (or
+// shut the environment down) when finished.
+func NewCluster(env sim.Env, prof Profile) *Cluster {
+	if prof.Nodes <= 0 {
+		prof.Nodes = 1
+	}
+	if prof.Replicas <= 0 {
+		prof.Replicas = 1
+	}
+	if prof.Replicas > prof.Nodes {
+		prof.Replicas = prof.Nodes
+	}
+	if prof.WorkersPerNode <= 0 {
+		prof.WorkersPerNode = 1
+	}
+	if prof.MaxObjectSize <= 0 {
+		prof.MaxObjectSize = 64 << 20
+	}
+	c := &Cluster{env: env, prof: prof}
+	for i := 0; i < prof.Nodes; i++ {
+		n := &node{
+			id:        i,
+			inbox:     sim.NewChan[*nodeReq](env),
+			replInbox: sim.NewChan[*nodeReq](env),
+			data:      make(map[string]objVal),
+		}
+		c.nodes = append(c.nodes, n)
+		for w := 0; w < prof.WorkersPerNode; w++ {
+			env.Go(func() { c.serve(n, n.inbox) })
+		}
+		for w := 0; w < prof.WorkersPerNode; w++ {
+			env.Go(func() { c.serve(n, n.replInbox) })
+		}
+	}
+	return c
+}
+
+// Close stops all node workers.
+func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, n := range c.nodes {
+		n.inbox.Close()
+		n.replInbox.Close()
+	}
+}
+
+// Stats returns the cluster's traffic counters.
+func (c *Cluster) Stat() *Stats { return &c.stats }
+
+// Profile returns the cluster's configuration.
+func (c *Cluster) Profile() Profile { return c.prof }
+
+// placement returns the replica set for key (primary first) via rendezvous
+// hashing, which spreads keys evenly and keeps placement stable as the
+// cluster definition changes.
+func (c *Cluster) placement(key string) []*node {
+	type scored struct {
+		score uint64
+		n     *node
+	}
+	s := make([]scored, len(c.nodes))
+	for i, n := range c.nodes {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%d", key, n.id)
+		s[i] = scored{h.Sum64(), n}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].score > s[j].score })
+	out := make([]*node, c.prof.Replicas)
+	for i := range out {
+		out[i] = s[i].n
+	}
+	return out
+}
+
+// serviceTime is the node-side cost of touching size bytes of media.
+func (c *Cluster) serviceTime(size int64) time.Duration {
+	d := c.prof.OpOverhead
+	if c.prof.DiskBandwidth > 0 && size > 0 {
+		d += time.Duration(float64(size) / float64(c.prof.DiskBandwidth) * float64(time.Second))
+	}
+	return d
+}
+
+// serve is a node worker loop.
+func (c *Cluster) serve(n *node, inbox *sim.Chan[*nodeReq]) {
+	for {
+		req, ok := inbox.Recv()
+		if !ok {
+			return
+		}
+		var resp nodeResp
+		switch req.op {
+		case opPut, opReplPut:
+			c.env.Sleep(c.serviceTime(req.size))
+			val := objVal{size: req.size}
+			if !c.prof.discards(req.key) {
+				val.data = req.data
+			}
+			n.mu.Lock()
+			n.data[req.key] = val
+			n.mu.Unlock()
+			if req.op == opPut {
+				resp.err = c.replicate(opReplPut, req.key, req.data, req.size)
+			}
+		case opGet:
+			n.mu.Lock()
+			val, exists := n.data[req.key]
+			n.mu.Unlock()
+			if !exists {
+				resp.err = fmt.Errorf("get %q: %w", req.key, ErrNotExist)
+				break
+			}
+			c.env.Sleep(c.serviceTime(val.size))
+			resp.size = val.size
+			if c.prof.discards(req.key) {
+				resp.data = make([]byte, val.size)
+			} else {
+				resp.data = val.data
+			}
+		case opGetRange:
+			n.mu.Lock()
+			val, exists := n.data[req.key]
+			n.mu.Unlock()
+			if !exists {
+				resp.err = fmt.Errorf("getrange %q: %w", req.key, ErrNotExist)
+				break
+			}
+			// Clip the window to the object size.
+			win := req.len
+			if req.off >= val.size {
+				win = 0
+			} else if req.off+win > val.size {
+				win = val.size - req.off
+			}
+			c.env.Sleep(c.serviceTime(win))
+			resp.size = win
+			if c.prof.discards(req.key) {
+				resp.data = make([]byte, win)
+			} else {
+				resp.data = clipRange(val.data, req.off, req.len)
+			}
+		case opDelete, opReplDelete:
+			c.env.Sleep(c.serviceTime(0))
+			n.mu.Lock()
+			delete(n.data, req.key)
+			n.mu.Unlock()
+			if req.op == opDelete {
+				resp.err = c.replicate(opReplDelete, req.key, nil, 0)
+			}
+		case opHead:
+			c.env.Sleep(c.serviceTime(0))
+			n.mu.Lock()
+			val, exists := n.data[req.key]
+			n.mu.Unlock()
+			if !exists {
+				resp.err = fmt.Errorf("head %q: %w", req.key, ErrNotExist)
+			} else {
+				resp.size = val.size
+			}
+		case opList:
+			c.env.Sleep(c.serviceTime(0))
+			n.mu.Lock()
+			for k := range n.data {
+				if hasPrefix(k, req.key) {
+					resp.keys = append(resp.keys, k)
+				}
+			}
+			n.mu.Unlock()
+		}
+		req.reply.Send(resp)
+	}
+}
+
+// replicate forwards a mutation from the primary to the other replicas and
+// waits for all acknowledgements (synchronous primary-copy replication, as
+// RADOS does).
+func (c *Cluster) replicate(op opKind, key string, data []byte, size int64) error {
+	replicas := c.placement(key)[1:]
+	if len(replicas) == 0 {
+		return nil
+	}
+	reply := sim.NewChan[nodeResp](c.env)
+	for _, r := range replicas {
+		c.env.Sleep(c.prof.ReplNet.TransferTime(size)) // serialize onto the wire
+		r.replInbox.Send(&nodeReq{op: op, key: key, data: data, size: size, reply: reply})
+	}
+	var firstErr error
+	for range replicas {
+		resp, ok := reply.Recv()
+		if !ok {
+			return fmt.Errorf("objstore: cluster closed during replication: %w", types.ErrIO)
+		}
+		if resp.err != nil && firstErr == nil {
+			firstErr = resp.err
+		}
+	}
+	return firstErr
+}
+
+// call performs one client-side request against the primary for key.
+func (c *Cluster) call(req *nodeReq, sendSize, recvResp bool) (nodeResp, error) {
+	if c.closed.Load() {
+		return nodeResp{}, fmt.Errorf("objstore: cluster closed: %w", types.ErrIO)
+	}
+	primary := c.placement(req.key)[0]
+	wire := int64(0)
+	if sendSize {
+		wire = req.size
+	}
+	c.env.Sleep(c.prof.ClientNet.TransferTime(wire)) // request propagation
+	req.reply = sim.NewChan[nodeResp](c.env)
+	primary.inbox.Send(req)
+	resp, ok := req.reply.Recv()
+	if !ok {
+		return nodeResp{}, fmt.Errorf("objstore: cluster closed mid-call: %w", types.ErrIO)
+	}
+	if recvResp {
+		c.env.Sleep(c.prof.ClientNet.TransferTime(resp.size)) // response payload
+	} else {
+		c.env.Sleep(c.prof.ClientNet.TransferTime(0)) // bare acknowledgement
+	}
+	return resp, resp.err
+}
+
+// Put implements Store.
+func (c *Cluster) Put(key string, data []byte) error {
+	if int64(len(data)) > c.prof.MaxObjectSize {
+		return fmt.Errorf("objstore: object %q size %d exceeds max %d: %w",
+			key, len(data), c.prof.MaxObjectSize, types.ErrInval)
+	}
+	c.stats.Puts.Add(1)
+	c.stats.BytesIn.Add(int64(len(data)))
+	var stored []byte
+	if !c.prof.discards(key) {
+		stored = append([]byte(nil), data...)
+	}
+	_, err := c.call(&nodeReq{op: opPut, key: key, data: stored, size: int64(len(data))}, true, false)
+	return err
+}
+
+// Get implements Store.
+func (c *Cluster) Get(key string) ([]byte, error) {
+	c.stats.Gets.Add(1)
+	resp, err := c.call(&nodeReq{op: opGet, key: key}, false, true)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.BytesOut.Add(resp.size)
+	if c.prof.discards(key) {
+		return resp.data, nil
+	}
+	return append([]byte(nil), resp.data...), nil
+}
+
+// GetRange implements Store.
+func (c *Cluster) GetRange(key string, off, n int64) ([]byte, error) {
+	c.stats.Gets.Add(1)
+	resp, err := c.call(&nodeReq{op: opGetRange, key: key, off: off, len: n}, false, true)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.BytesOut.Add(resp.size)
+	if c.prof.discards(key) {
+		return resp.data, nil
+	}
+	return append([]byte(nil), resp.data...), nil
+}
+
+// Delete implements Store.
+func (c *Cluster) Delete(key string) error {
+	c.stats.Deletes.Add(1)
+	_, err := c.call(&nodeReq{op: opDelete, key: key}, false, false)
+	return err
+}
+
+// Head implements Store.
+func (c *Cluster) Head(key string) (int64, error) {
+	c.stats.Heads.Add(1)
+	resp, err := c.call(&nodeReq{op: opHead, key: key}, false, false)
+	return resp.size, err
+}
+
+// List implements Store. It fans out to every node (keys live on their
+// replica sets) and merges, deduplicates, and sorts the result.
+func (c *Cluster) List(prefix string) ([]string, error) {
+	c.stats.Lists.Add(1)
+	if c.closed.Load() {
+		return nil, fmt.Errorf("objstore: cluster closed: %w", types.ErrIO)
+	}
+	reply := sim.NewChan[nodeResp](c.env)
+	c.env.Sleep(c.prof.ClientNet.TransferTime(0))
+	for _, n := range c.nodes {
+		n.inbox.Send(&nodeReq{op: opList, key: prefix, reply: reply})
+	}
+	seen := map[string]bool{}
+	for range c.nodes {
+		resp, ok := reply.Recv()
+		if !ok {
+			return nil, fmt.Errorf("objstore: cluster closed mid-list: %w", types.ErrIO)
+		}
+		for _, k := range resp.keys {
+			seen[k] = true
+		}
+	}
+	c.env.Sleep(c.prof.ClientNet.TransferTime(0))
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -1,0 +1,275 @@
+package objstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+func TestClusterContract(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	c := NewCluster(env, TestProfile())
+	defer c.Close()
+	storeContract(t, c)
+}
+
+func TestClusterReplication(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	prof := TestProfile()
+	prof.Nodes, prof.Replicas = 5, 3
+	c := NewCluster(env, prof)
+	defer c.Close()
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// The value must be present on exactly Replicas nodes.
+	copies := 0
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		if _, ok := n.data["k"]; ok {
+			copies++
+		}
+		n.mu.Unlock()
+	}
+	if copies != 3 {
+		t.Fatalf("object replicated to %d nodes, want 3", copies)
+	}
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		_, ok := n.data["k"]
+		n.mu.Unlock()
+		if ok {
+			t.Fatal("delete left a replica behind")
+		}
+	}
+}
+
+func TestClusterMaxObjectSize(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	prof := TestProfile()
+	prof.MaxObjectSize = 8
+	c := NewCluster(env, prof)
+	defer c.Close()
+	if err := c.Put("big", make([]byte, 9)); !errors.Is(err, types.ErrInval) {
+		t.Fatalf("oversize put: %v", err)
+	}
+	if err := c.Put("ok", make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterSizeOnlyMode(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	prof := TestProfile()
+	prof.SizeOnly = true
+	c := NewCluster(env, prof)
+	defer c.Close()
+	if err := c.Put("k", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("size-only Get returned %d bytes, want 5", len(got))
+	}
+	if n, err := c.Head("k"); err != nil || n != 5 {
+		t.Fatalf("Head = %d, %v", n, err)
+	}
+}
+
+func TestClusterVirtualTimeCharges(t *testing.T) {
+	// In a VirtEnv, a Get of a 1 MiB object over a 1 MiB/s link takes just
+	// over a virtual second; the wall clock barely moves.
+	env := sim.NewVirtEnv()
+	var elapsed time.Duration
+	env.Run(func() {
+		prof := TestProfile()
+		prof.ClientNet = sim.NetModel{Latency: time.Millisecond, Bandwidth: 1 << 20}
+		prof.SizeOnly = true
+		prof.MaxObjectSize = 2 << 20
+		c := NewCluster(env, prof)
+		defer c.Close()
+		if err := c.Put("k", make([]byte, 1<<20)); err != nil {
+			t.Error(err)
+			return
+		}
+		start := env.Now()
+		if _, err := c.Get("k"); err != nil {
+			t.Error(err)
+			return
+		}
+		elapsed = env.Now() - start
+	})
+	if elapsed < time.Second || elapsed > 1100*time.Millisecond {
+		t.Fatalf("virtual Get took %v, want ~1s", elapsed)
+	}
+}
+
+func TestClusterParallelClientsShareVirtualTime(t *testing.T) {
+	// 8 clients each fetch one object from different nodes concurrently;
+	// total virtual time should be far below 8x a single fetch.
+	env := sim.NewVirtEnv()
+	var elapsed time.Duration
+	env.Run(func() {
+		prof := TestProfile()
+		prof.Nodes, prof.Replicas, prof.WorkersPerNode = 8, 1, 4
+		prof.OpOverhead = 10 * time.Millisecond
+		c := NewCluster(env, prof)
+		defer c.Close()
+		for i := 0; i < 32; i++ {
+			if err := c.Put(keyN(i), []byte("x")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		start := env.Now()
+		g := sim.NewGroup(env)
+		for i := 0; i < 32; i++ {
+			i := i
+			g.Go(func() {
+				if _, err := c.Get(keyN(i)); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		g.Wait()
+		elapsed = env.Now() - start
+	})
+	serial := 32 * 10 * time.Millisecond
+	if elapsed >= serial {
+		t.Fatalf("parallel fetches took %v, not faster than serial %v", elapsed, serial)
+	}
+}
+
+func keyN(i int) string {
+	return "obj-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func TestClusterStats(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	c := NewCluster(env, TestProfile())
+	defer c.Close()
+	_ = c.Put("k", make([]byte, 100))
+	_, _ = c.Get("k")
+	_, _ = c.Get("k")
+	if got := c.Stat().Puts.Load(); got != 1 {
+		t.Errorf("puts = %d", got)
+	}
+	if got := c.Stat().Gets.Load(); got != 2 {
+		t.Errorf("gets = %d", got)
+	}
+	if got := c.Stat().BytesIn.Load(); got != 100 {
+		t.Errorf("bytesIn = %d", got)
+	}
+	if got := c.Stat().BytesOut.Load(); got != 200 {
+		t.Errorf("bytesOut = %d", got)
+	}
+}
+
+func TestClusterPlacementStableAndSpread(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	prof := TestProfile()
+	prof.Nodes, prof.Replicas = 8, 3
+	c := NewCluster(env, prof)
+	defer c.Close()
+	counts := make(map[int]int)
+	for i := 0; i < 512; i++ {
+		p := c.placement(keyN(i) + "-spread")
+		if len(p) != 3 {
+			t.Fatalf("placement size %d", len(p))
+		}
+		if p[0] == p[1] || p[1] == p[2] || p[0] == p[2] {
+			t.Fatal("duplicate nodes in replica set")
+		}
+		counts[p[0].id]++
+		// Stability: same key, same placement.
+		q := c.placement(keyN(i) + "-spread")
+		for j := range p {
+			if p[j] != q[j] {
+				t.Fatal("placement not deterministic")
+			}
+		}
+	}
+	for id, n := range counts {
+		if n == 0 {
+			t.Errorf("node %d never primary", id)
+		}
+	}
+}
+
+func TestSizeOnlyPrefixSelective(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	prof := TestProfile()
+	prof.SizeOnlyPrefix = "d:"
+	c := NewCluster(env, prof)
+	defer c.Close()
+	// Metadata-prefixed objects keep their payloads.
+	if err := c.Put("i:meta", []byte("inode-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("i:meta")
+	if err != nil || string(got) != "inode-bytes" {
+		t.Fatalf("metadata payload lost: %q, %v", got, err)
+	}
+	// Data-prefixed objects are size-only.
+	if err := c.Put("d:chunk", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Get("d:chunk")
+	if err != nil || len(got) != 7 {
+		t.Fatalf("data size lost: %d, %v", len(got), err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("discarded payload returned non-zero bytes")
+		}
+	}
+	// Ranged reads follow the same rule.
+	part, err := c.GetRange("d:chunk", 2, 3)
+	if err != nil || len(part) != 3 {
+		t.Fatalf("ranged size-only read: %d, %v", len(part), err)
+	}
+}
+
+func TestClusterGetRangeClipping(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	c := NewCluster(env, TestProfile())
+	defer c.Close()
+	if err := c.Put("k", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		off, n int64
+		want   string
+	}{
+		{0, 4, "0123"},
+		{5, 100, "56789"},
+		{10, 4, ""},
+		{8, 2, "89"},
+	}
+	for _, tc := range cases {
+		got, err := c.GetRange("k", tc.off, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("GetRange(%d,%d) = %q, want %q", tc.off, tc.n, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package objstore
+
+import (
+	"fmt"
+	"sync"
+
+	"arkfs/internal/types"
+)
+
+// FaultStore wraps a Store and injects failures, used by crash-consistency
+// and recovery tests. It can fail the next N operations matching a key
+// prefix, or truncate written values to simulate torn writes.
+type FaultStore struct {
+	Inner Store
+
+	mu          sync.Mutex
+	failPrefix  string
+	failsLeft   int
+	tornPrefix  string
+	tornLeft    int
+	opsObserved int
+}
+
+// NewFaultStore wraps inner with no faults armed.
+func NewFaultStore(inner Store) *FaultStore { return &FaultStore{Inner: inner} }
+
+// FailNext arms the store to fail the next n Put/Delete operations whose key
+// has the given prefix.
+func (f *FaultStore) FailNext(prefix string, n int) {
+	f.mu.Lock()
+	f.failPrefix, f.failsLeft = prefix, n
+	f.mu.Unlock()
+}
+
+// TearNext arms the store to write only half of the next n values whose key
+// has the given prefix — a torn write as seen after a power loss.
+func (f *FaultStore) TearNext(prefix string, n int) {
+	f.mu.Lock()
+	f.tornPrefix, f.tornLeft = prefix, n
+	f.mu.Unlock()
+}
+
+// Ops returns how many operations passed through, for test assertions.
+func (f *FaultStore) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opsObserved
+}
+
+func (f *FaultStore) shouldFail(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opsObserved++
+	if f.failsLeft > 0 && hasPrefix(key, f.failPrefix) {
+		f.failsLeft--
+		return true
+	}
+	return false
+}
+
+func (f *FaultStore) shouldTear(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tornLeft > 0 && hasPrefix(key, f.tornPrefix) {
+		f.tornLeft--
+		return true
+	}
+	return false
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// Put implements Store with fault injection.
+func (f *FaultStore) Put(key string, data []byte) error {
+	if f.shouldFail(key) {
+		return fmt.Errorf("faultstore: injected put failure on %q: %w", key, types.ErrIO)
+	}
+	if f.shouldTear(key) {
+		return f.Inner.Put(key, data[:len(data)/2])
+	}
+	return f.Inner.Put(key, data)
+}
+
+// Get implements Store.
+func (f *FaultStore) Get(key string) ([]byte, error) {
+	f.mu.Lock()
+	f.opsObserved++
+	f.mu.Unlock()
+	return f.Inner.Get(key)
+}
+
+// GetRange implements Store.
+func (f *FaultStore) GetRange(key string, off, n int64) ([]byte, error) {
+	return f.Inner.GetRange(key, off, n)
+}
+
+// Delete implements Store with fault injection.
+func (f *FaultStore) Delete(key string) error {
+	if f.shouldFail(key) {
+		return fmt.Errorf("faultstore: injected delete failure on %q: %w", key, types.ErrIO)
+	}
+	return f.Inner.Delete(key)
+}
+
+// List implements Store.
+func (f *FaultStore) List(prefix string) ([]string, error) { return f.Inner.List(prefix) }
+
+// Head implements Store.
+func (f *FaultStore) Head(key string) (int64, error) { return f.Inner.Head(key) }

@@ -1,0 +1,59 @@
+package objstore
+
+import (
+	"time"
+
+	"arkfs/internal/sim"
+)
+
+// RADOSProfile models the paper's Ceph RADOS deployment: 16 storage nodes
+// (64 OSDs) on a 50 Gbit network with EBS-class media. Latencies are
+// round-number approximations of intra-cluster RTTs on c5n instances.
+func RADOSProfile() Profile {
+	return Profile{
+		Name:           "rados",
+		Nodes:          16,
+		Replicas:       3,
+		WorkersPerNode: 32,                                                                   // 4 OSDs per node, 8-deep queues each
+		ClientNet:      sim.NetModel{Latency: 100 * time.Microsecond, Bandwidth: 6250 << 20}, // 50 Gbit
+		ReplNet:        sim.NetModel{Latency: 40 * time.Microsecond, Bandwidth: 6250 << 20},
+		OpOverhead:     60 * time.Microsecond,
+		DiskBandwidth:  500 << 20, // EBS-class volume per node
+		MaxObjectSize:  4 << 20,
+		SizeOnlyPrefix: "d:", // metadata objects stay intact; file data by size
+	}
+}
+
+// S3Profile models an S3-compatible public object store: the same media but
+// a REST front end whose per-request latency dominates small operations.
+func S3Profile() Profile {
+	return Profile{
+		Name:           "s3",
+		Nodes:          16,
+		Replicas:       3,
+		WorkersPerNode: 16,
+		ClientNet:      sim.NetModel{Latency: 4 * time.Millisecond, Bandwidth: 500 << 20}, // per HTTP stream
+		ReplNet:        sim.NetModel{Latency: 100 * time.Microsecond, Bandwidth: 6250 << 20},
+		OpOverhead:     1 * time.Millisecond,
+		DiskBandwidth:  500 << 20,
+		MaxObjectSize:  5 << 30,
+		SizeOnlyPrefix: "d:",
+	}
+}
+
+// TestProfile is a small, fast cluster for functional tests: real payloads,
+// tiny latencies so RealEnv tests stay quick.
+func TestProfile() Profile {
+	return Profile{
+		Name:           "test",
+		Nodes:          4,
+		Replicas:       2,
+		WorkersPerNode: 2,
+		ClientNet:      sim.NetModel{Latency: 0},
+		ReplNet:        sim.NetModel{Latency: 0},
+		OpOverhead:     0,
+		DiskBandwidth:  0,
+		MaxObjectSize:  8 << 20,
+		SizeOnly:       false,
+	}
+}

@@ -1,0 +1,134 @@
+// Package objstore provides the distributed object storage substrate ArkFS
+// runs on: a backend-agnostic Store interface (the REST verb set), a simple
+// in-memory implementation for unit tests, a simulated multi-node replicated
+// cluster with latency/bandwidth models for the benchmark figures, and a real
+// HTTP REST gateway pair proving the PRT "register your REST API" story.
+package objstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"arkfs/internal/types"
+)
+
+// Store is the object storage interface: what ArkFS's PRT module requires
+// from any backend (Ceph RADOS, S3, ...). Keys are flat strings; values are
+// immutable blobs replaced wholesale by Put.
+type Store interface {
+	// Put stores data under key, replacing any previous value.
+	Put(key string, data []byte) error
+	// Get returns the value stored under key, or ErrNotExist.
+	Get(key string) ([]byte, error)
+	// GetRange returns n bytes starting at off (clipped to the object size),
+	// so clients can fetch large objects in parallel parts.
+	GetRange(key string, off, n int64) ([]byte, error)
+	// Delete removes key. Deleting a missing key is not an error, matching
+	// object-store semantics (DELETE is idempotent).
+	Delete(key string) error
+	// List returns the keys with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Head returns the size of the value under key, or ErrNotExist.
+	Head(key string) (int64, error)
+}
+
+// ErrNotExist reports a missing object, wrapping the shared type so callers
+// can errors.Is against types.ErrNotExist.
+var ErrNotExist = fmt.Errorf("objstore: object not found: %w", types.ErrNotExist)
+
+// MemStore is a trivial threadsafe in-memory Store used by unit tests and
+// the quickstart example. It has no latency model.
+type MemStore struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.data[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	v, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("get %q: %w", key, ErrNotExist)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// GetRange implements Store.
+func (s *MemStore) GetRange(key string, off, n int64) ([]byte, error) {
+	s.mu.RLock()
+	v, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("getrange %q: %w", key, ErrNotExist)
+	}
+	return clipRange(v, off, n), nil
+}
+
+// clipRange copies the [off, off+n) window of v, clipped to its bounds.
+func clipRange(v []byte, off, n int64) []byte {
+	if off < 0 || off >= int64(len(v)) || n <= 0 {
+		return nil
+	}
+	end := off + n
+	if end > int64(len(v)) {
+		end = int64(len(v))
+	}
+	return append([]byte(nil), v[off:end]...)
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	delete(s.data, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	var keys []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Head implements Store.
+func (s *MemStore) Head(key string) (int64, error) {
+	s.mu.RLock()
+	v, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("head %q: %w", key, ErrNotExist)
+	}
+	return int64(len(v)), nil
+}
+
+// Len returns the number of stored objects.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}

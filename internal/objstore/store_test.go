@@ -1,0 +1,192 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"arkfs/internal/types"
+)
+
+// storeContract exercises the Store interface contract against any
+// implementation.
+func storeContract(t *testing.T, s Store) {
+	t.Helper()
+	// Missing objects.
+	if _, err := s.Get("nope"); !errors.Is(err, types.ErrNotExist) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	if _, err := s.Head("nope"); !errors.Is(err, types.ErrNotExist) {
+		t.Fatalf("Head missing: %v", err)
+	}
+	if err := s.Delete("nope"); err != nil {
+		t.Fatalf("Delete missing should be idempotent: %v", err)
+	}
+	// Round trip.
+	want := []byte("hello object world")
+	if err := s.Put("a/k1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, want %q", got, want)
+	}
+	if n, err := s.Head("a/k1"); err != nil || n != int64(len(want)) {
+		t.Fatalf("Head = %d, %v", n, err)
+	}
+	// Overwrite.
+	if err := s.Put("a/k1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("a/k1"); string(got) != "v2" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+	// List with prefix, sorted.
+	for _, k := range []string{"a/k2", "b/k3", "a/k0"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.List("a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"a/k0", "a/k1", "a/k2"}) {
+		t.Fatalf("List = %v", keys)
+	}
+	// Delete then gone.
+	if err := s.Delete("a/k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a/k1"); !errors.Is(err, types.ErrNotExist) {
+		t.Fatalf("deleted object still readable: %v", err)
+	}
+	// Empty value round trip.
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get("empty"); err != nil || len(got) != 0 {
+		t.Fatalf("empty object: %q %v", got, err)
+	}
+}
+
+func TestMemStoreContract(t *testing.T) { storeContract(t, NewMemStore()) }
+
+func TestMemStorePutCopiesData(t *testing.T) {
+	s := NewMemStore()
+	buf := []byte("abc")
+	if err := s.Put("k", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'Z'
+	got, _ := s.Get("k")
+	if string(got) != "abc" {
+		t.Fatal("Put aliased the caller's buffer")
+	}
+	got[0] = 'Y'
+	again, _ := s.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("Get aliased the stored buffer")
+	}
+}
+
+func TestHTTPStoreContract(t *testing.T) {
+	srv := httptest.NewServer(NewGateway(NewMemStore()))
+	defer srv.Close()
+	storeContract(t, NewHTTPStore(srv.URL))
+}
+
+func TestHTTPStoreKeyEscaping(t *testing.T) {
+	srv := httptest.NewServer(NewGateway(NewMemStore()))
+	defer srv.Close()
+	s := NewHTTPStore(srv.URL)
+	key := "i:weird key/with?chars&=%"
+	if err := s.Put(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil || string(got) != "v" {
+		t.Fatalf("escaped key round trip: %q %v", got, err)
+	}
+	keys, err := s.List("i:")
+	if err != nil || len(keys) != 1 || keys[0] != key {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+}
+
+func TestFaultStoreInjectsFailures(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	fs.FailNext("j:", 2)
+	if err := fs.Put("i:x", []byte("ok")); err != nil {
+		t.Fatalf("non-matching prefix should pass: %v", err)
+	}
+	if err := fs.Put("j:x", []byte("v")); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	if err := fs.Delete("j:x"); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	if err := fs.Put("j:x", []byte("v")); err != nil {
+		t.Fatalf("faults should be exhausted: %v", err)
+	}
+}
+
+func TestFaultStoreTornWrites(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	fs.TearNext("j:", 1)
+	if err := fs.Put("j:t", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get("j:t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("torn write stored %d bytes, want 5", len(got))
+	}
+}
+
+// Property: MemStore behaves like a map for an arbitrary op sequence.
+func TestMemStoreMatchesMapQuick(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint8
+		Val  []byte
+	}
+	f := func(ops []op) bool {
+		s := NewMemStore()
+		model := map[string][]byte{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%8)
+			switch o.Kind % 3 {
+			case 0:
+				_ = s.Put(k, o.Val)
+				model[k] = append([]byte(nil), o.Val...)
+			case 1:
+				got, err := s.Get(k)
+				want, ok := model[k]
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && !bytes.Equal(got, want) {
+					return false
+				}
+			case 2:
+				_ = s.Delete(k)
+				delete(model, k)
+			}
+		}
+		keys, _ := s.List("")
+		return len(keys) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

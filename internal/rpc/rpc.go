@@ -1,0 +1,137 @@
+// Package rpc provides the request/response fabric ArkFS components use: the
+// lease protocol between clients and the lease manager, and the
+// client-to-leader forwarding of metadata operations (the paper used gRPC;
+// this repo is stdlib-only).
+//
+// Two transports exist:
+//   - Network: an in-process fabric bound to a sim.Env, charging the
+//     configured latency per message. It works under both RealEnv and
+//     VirtEnv and is what the benchmark harness uses.
+//   - TCP (tcp.go): a gob-encoded wire transport for the live cmd/ tools.
+package rpc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// Addr names an endpoint on a Network, e.g. "leasemgr" or "client-7".
+type Addr string
+
+// Handler processes one request and returns the response. Handlers run on
+// server worker goroutines and may block through the environment (sleep,
+// nested Calls), but must not hold locks across such blocking.
+type Handler func(req any) any
+
+// Sizer lets a message declare its wire size so bandwidth-limited links can
+// charge transfer time; messages without it are charged latency only.
+type Sizer interface {
+	WireSize() int64
+}
+
+// Network is an in-process message fabric with a latency model.
+type Network struct {
+	env   sim.Env
+	model sim.NetModel
+
+	mu      sync.Mutex
+	servers map[Addr]*Server
+}
+
+// NewNetwork creates a fabric in env; model applies to every message.
+func NewNetwork(env sim.Env, model sim.NetModel) *Network {
+	return &Network{env: env, model: model, servers: make(map[Addr]*Server)}
+}
+
+// Env returns the fabric's environment.
+func (n *Network) Env() sim.Env { return n.env }
+
+type call struct {
+	req   any
+	reply *sim.Chan[any]
+}
+
+// Server is a registered endpoint with a pool of worker goroutines.
+type Server struct {
+	net    *Network
+	addr   Addr
+	inbox  *sim.Chan[*call]
+	closed sync.Once
+}
+
+// Listen registers addr with workers goroutines running h. It panics on a
+// duplicate address, which is always a wiring bug.
+func (n *Network) Listen(addr Addr, workers int, h Handler) *Server {
+	if workers <= 0 {
+		workers = 1
+	}
+	s := &Server{net: n, addr: addr, inbox: sim.NewChan[*call](n.env)}
+	n.mu.Lock()
+	if _, dup := n.servers[addr]; dup {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("rpc: duplicate listener %q", addr))
+	}
+	n.servers[addr] = s
+	n.mu.Unlock()
+	for i := 0; i < workers; i++ {
+		n.env.Go(func() {
+			for {
+				c, ok := s.inbox.Recv()
+				if !ok {
+					return
+				}
+				c.reply.Send(h(c.req))
+			}
+		})
+	}
+	return s
+}
+
+// Close unregisters the server and stops its workers. In-flight calls
+// complete; subsequent calls fail.
+func (s *Server) Close() {
+	s.closed.Do(func() {
+		s.net.mu.Lock()
+		delete(s.net.servers, s.addr)
+		s.net.mu.Unlock()
+		s.inbox.Close()
+	})
+}
+
+// Call sends req to the server at addr and waits for its response, charging
+// one-way latency (plus bandwidth for Sizer messages) in each direction.
+// Addresses with the "tcp!" prefix dial a bridged remote process instead.
+func (n *Network) Call(to Addr, req any) (any, error) {
+	if strings.HasPrefix(string(to), TCPPrefix) {
+		return n.callTCP(to, req)
+	}
+	n.mu.Lock()
+	s, ok := n.servers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("rpc: no listener at %q: %w", to, types.ErrTimedOut)
+	}
+	var size int64
+	if sz, ok := req.(Sizer); ok {
+		size = sz.WireSize()
+	}
+	n.env.Sleep(n.model.TransferTime(size))
+	c := &call{req: req, reply: sim.NewChan[any](n.env)}
+	if !s.inbox.Send(c) {
+		return nil, fmt.Errorf("rpc: server %q closed: %w", to, types.ErrTimedOut)
+	}
+	resp, ok := c.reply.Recv()
+	if !ok {
+		return nil, fmt.Errorf("rpc: call to %q aborted: %w", to, types.ErrTimedOut)
+	}
+	var respSize int64
+	if sz, ok := resp.(Sizer); ok {
+		respSize = sz.WireSize()
+	}
+	n.env.Sleep(n.model.TransferTime(respSize))
+	return resp, nil
+}

@@ -1,0 +1,197 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+type echoReq struct {
+	N    int
+	Size int64
+}
+
+func (e echoReq) WireSize() int64 { return e.Size }
+
+func TestNetworkCallRoundTrip(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	net := NewNetwork(env, sim.NetModel{})
+	srv := net.Listen("echo", 2, func(req any) any {
+		return req.(echoReq).N * 2
+	})
+	defer srv.Close()
+	resp, err := net.Call("echo", echoReq{N: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(int) != 42 {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestNetworkUnknownAddr(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	net := NewNetwork(env, sim.NetModel{})
+	if _, err := net.Call("ghost", 1); !errors.Is(err, types.ErrTimedOut) {
+		t.Fatalf("want ErrTimedOut, got %v", err)
+	}
+}
+
+func TestNetworkClosedServer(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	net := NewNetwork(env, sim.NetModel{})
+	srv := net.Listen("s", 1, func(req any) any { return req })
+	srv.Close()
+	if _, err := net.Call("s", 1); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+}
+
+func TestNetworkDuplicateListenerPanics(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	net := NewNetwork(env, sim.NetModel{})
+	srv := net.Listen("dup", 1, func(req any) any { return req })
+	defer srv.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate listener")
+		}
+	}()
+	net.Listen("dup", 1, func(req any) any { return req })
+}
+
+func TestNetworkLatencyCharged(t *testing.T) {
+	env := sim.NewVirtEnv()
+	var elapsed time.Duration
+	env.Run(func() {
+		net := NewNetwork(env, sim.NetModel{Latency: 5 * time.Millisecond, Bandwidth: 1 << 20})
+		srv := net.Listen("svc", 1, func(req any) any { return struct{}{} })
+		defer srv.Close()
+		start := env.Now()
+		// 1 MiB request at 1 MiB/s: 1s + 5ms out, 5ms back.
+		if _, err := net.Call("svc", echoReq{Size: 1 << 20}); err != nil {
+			t.Error(err)
+		}
+		elapsed = env.Now() - start
+	})
+	want := time.Second + 10*time.Millisecond
+	if elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", elapsed, want)
+	}
+}
+
+func TestNetworkServerSerialization(t *testing.T) {
+	// A 1-worker server with 10ms handler serializes 8 callers: 80ms total.
+	env := sim.NewVirtEnv()
+	var elapsed time.Duration
+	env.Run(func() {
+		net := NewNetwork(env, sim.NetModel{})
+		srv := net.Listen("mds", 1, func(req any) any {
+			env.Sleep(10 * time.Millisecond)
+			return struct{}{}
+		})
+		defer srv.Close()
+		start := env.Now()
+		g := sim.NewGroup(env)
+		for i := 0; i < 8; i++ {
+			g.Go(func() {
+				if _, err := net.Call("mds", 0); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		g.Wait()
+		elapsed = env.Now() - start
+	})
+	if elapsed != 80*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 80ms", elapsed)
+	}
+}
+
+func TestNetworkNestedCalls(t *testing.T) {
+	// a calls b inside a handler — the forwarding pattern leaders use.
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	net := NewNetwork(env, sim.NetModel{})
+	b := net.Listen("b", 1, func(req any) any { return req.(int) + 1 })
+	defer b.Close()
+	a := net.Listen("a", 2, func(req any) any {
+		resp, err := net.Call("b", req)
+		if err != nil {
+			return -1
+		}
+		return resp.(int) + 10
+	})
+	defer a.Close()
+	resp, err := net.Call("a", 5)
+	if err != nil || resp.(int) != 16 {
+		t.Fatalf("resp = %v, %v", resp, err)
+	}
+}
+
+type tcpMsg struct{ S string }
+
+func TestTCPRoundTrip(t *testing.T) {
+	gob.Register(tcpMsg{})
+	srv, err := ListenTCP("127.0.0.1:0", func(req any) any {
+		m := req.(tcpMsg)
+		return tcpMsg{S: m.S + "!"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				resp, err := cli.Call(tcpMsg{S: "hi"})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.(tcpMsg).S != "hi!" {
+					t.Errorf("resp = %v", resp)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTCPServerCloseUnblocksClients(t *testing.T) {
+	gob.Register(tcpMsg{})
+	srv, err := ListenTCP("127.0.0.1:0", func(req any) any { return req })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv.Close()
+	if _, err := cli.Call(tcpMsg{S: "x"}); err == nil {
+		// A race may let one call through; a second must fail.
+		if _, err := cli.Call(tcpMsg{S: "y"}); err == nil {
+			t.Fatal("calls to closed server keep succeeding")
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// VirtEnv is a discrete-event virtual-clock environment. Tracked goroutines
+// run real Go code, but time only advances when every tracked goroutine is
+// parked in an Env blocking call; the parking goroutine then advances the
+// clock to the earliest pending event ("last one out turns the clock").
+//
+// This reproduces queueing behavior — server serialization, RTT stacking,
+// bandwidth sharing — for hundreds of simulated clients in milliseconds of
+// wall time, which is how the paper's 512-client figures are regenerated.
+type VirtEnv struct {
+	mu      sync.Mutex // guards every field below and all virtChan state
+	now     time.Duration
+	running int // tracked goroutines currently runnable
+	parked  int // goroutines blocked in chan recv (not represented by events)
+	events  eventHeap
+	seq     int64
+	stopped bool
+	chans   []*virtChan // registry so Shutdown can wake every parked receiver
+}
+
+// NewVirtEnv returns a virtual environment at time zero with no tracked
+// goroutines. Call Run to execute a simulation.
+func NewVirtEnv() *VirtEnv { return &VirtEnv{} }
+
+type event struct {
+	at  time.Duration
+	seq int64
+	// fire runs with env.mu held; it must only adjust counters and close
+	// wake channels (or spawn goroutines), never block or re-lock.
+	fire func()
+	// onShutdown: fire this event during Shutdown (sleep and timeout wakes);
+	// plain After callbacks are dropped instead.
+	onShutdown bool
+	cancelled  bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Run registers the calling goroutine as tracked, executes fn, and then
+// shuts the environment down (waking any still-parked background loops so
+// they can exit). fn must wait for all work it cares about, e.g. via Group.
+func (e *VirtEnv) Run(fn func()) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		panic("sim: Run on a shut-down VirtEnv")
+	}
+	e.running++
+	e.mu.Unlock()
+	defer func() {
+		e.Shutdown()
+		e.mu.Lock()
+		e.running--
+		e.mu.Unlock()
+	}()
+	fn()
+}
+
+// Now implements Env.
+func (e *VirtEnv) Now() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Sleep implements Env. The caller must be a tracked goroutine.
+func (e *VirtEnv) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	e.pushLocked(&event{
+		at:         e.now + d,
+		fire:       func() { e.running++; close(ch) },
+		onShutdown: true,
+	})
+	e.blockLocked()
+	e.mu.Unlock()
+	<-ch
+}
+
+// Go implements Env.
+func (e *VirtEnv) Go(fn func()) {
+	e.mu.Lock()
+	e.running++
+	e.mu.Unlock()
+	go func() {
+		defer e.goroutineExit()
+		fn()
+	}()
+}
+
+// After implements Env.
+func (e *VirtEnv) After(d time.Duration, fn func()) func() bool {
+	if d < 0 {
+		d = 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ev := &event{at: e.now + d}
+	ev.fire = func() {
+		e.running++
+		go func() {
+			defer e.goroutineExit()
+			fn()
+		}()
+	}
+	e.pushLocked(ev)
+	return func() bool {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		was := ev.cancelled
+		ev.cancelled = true
+		return !was
+	}
+}
+
+// Shutdown implements Env: wakes every sleeper and parked receiver, drops
+// pending After callbacks, and makes future Sleeps no-ops.
+func (e *VirtEnv) Shutdown() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if !ev.cancelled && ev.onShutdown {
+			ev.fire()
+		}
+	}
+	for _, c := range e.chans {
+		c.wakeAllLocked(false)
+	}
+}
+
+// Stopped implements Env.
+func (e *VirtEnv) Stopped() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stopped
+}
+
+func (e *VirtEnv) goroutineExit() {
+	e.mu.Lock()
+	e.running--
+	if e.running == 0 {
+		e.advanceLocked()
+	}
+	e.mu.Unlock()
+}
+
+func (e *VirtEnv) pushLocked(ev *event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+}
+
+// blockLocked marks the caller as no longer runnable and advances the clock
+// if it was the last one.
+func (e *VirtEnv) blockLocked() {
+	e.running--
+	if e.running == 0 {
+		e.advanceLocked()
+	}
+}
+
+// advanceLocked moves virtual time forward to the earliest pending event and
+// fires every event due at that instant, repeating until some goroutine is
+// runnable again. Called with e.mu held whenever running reaches zero.
+func (e *VirtEnv) advanceLocked() {
+	for e.running == 0 {
+		// Skip cancelled events.
+		for len(e.events) > 0 && e.events[0].cancelled {
+			heap.Pop(&e.events)
+		}
+		if len(e.events) == 0 {
+			if e.parked > 0 && !e.stopped {
+				// Release the scheduler lock before panicking so deferred
+				// Shutdown calls on the unwinding path can still run.
+				msg := fmt.Sprintf(
+					"sim: deadlock at t=%v: %d goroutine(s) parked on channels with no pending events",
+					e.now, e.parked)
+				e.mu.Unlock()
+				panic(msg)
+			}
+			return // simulation quiesced
+		}
+		t := e.events[0].at
+		if t > e.now {
+			e.now = t
+		}
+		for len(e.events) > 0 && e.events[0].at <= e.now {
+			ev := heap.Pop(&e.events).(*event)
+			if !ev.cancelled {
+				ev.fire()
+			}
+		}
+	}
+}
+
+func (e *VirtEnv) newChanCore() chanCore {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := &virtChan{env: e}
+	e.chans = append(e.chans, c)
+	return c
+}
+
+// virtChan shares the env lock so that park/wake and clock advancement are
+// one atomic step — there is no lost-wakeup window.
+type virtChan struct {
+	env     *VirtEnv
+	queue   []any
+	waiters []*vWaiter
+	closed  bool
+}
+
+type vWaiter struct {
+	ch   chan struct{}
+	v    any
+	ok   bool
+	done bool
+}
+
+func (c *virtChan) send(v any) bool {
+	e := c.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.done {
+			continue
+		}
+		w.done, w.v, w.ok = true, v, true
+		e.parked--
+		e.running++
+		close(w.ch)
+		return true
+	}
+	c.queue = append(c.queue, v)
+	return true
+}
+
+func (c *virtChan) recv() (any, bool) { return c.recvDeadline(-1) }
+
+func (c *virtChan) recvTimeout(d time.Duration) (any, bool, bool) {
+	v, ok := c.recvDeadline(d)
+	if !ok && !c.isClosed() {
+		return nil, false, true
+	}
+	return v, ok, false
+}
+
+// recvDeadline blocks for a value; d < 0 means no deadline. Returns ok=false
+// on close/shutdown/timeout; recvTimeout disambiguates timeout after the
+// fact via isClosed, which is a benign race acceptable for its users
+// (lease-protocol timeouts).
+func (c *virtChan) recvDeadline(d time.Duration) (any, bool) {
+	e := c.env
+	e.mu.Lock()
+	if len(c.queue) > 0 {
+		v := c.popLocked()
+		e.mu.Unlock()
+		return v, true
+	}
+	if c.closed || e.stopped {
+		e.mu.Unlock()
+		return nil, false
+	}
+	w := &vWaiter{ch: make(chan struct{})}
+	c.waiters = append(c.waiters, w)
+	e.parked++
+	if d >= 0 {
+		e.pushLocked(&event{
+			at:         e.now + d,
+			onShutdown: true,
+			fire: func() {
+				if w.done {
+					return
+				}
+				w.done = true
+				e.parked--
+				e.running++
+				close(w.ch)
+			},
+		})
+	}
+	e.blockLocked()
+	e.mu.Unlock()
+	<-w.ch
+	return w.v, w.ok
+}
+
+func (c *virtChan) tryRecv() (any, bool) {
+	e := c.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(c.queue) == 0 {
+		return nil, false
+	}
+	return c.popLocked(), true
+}
+
+func (c *virtChan) popLocked() any {
+	v := c.queue[0]
+	c.queue[0] = nil
+	c.queue = c.queue[1:]
+	return v
+}
+
+func (c *virtChan) close() {
+	e := c.env
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.wakeAllLocked(false)
+}
+
+// wakeAllLocked releases every parked receiver with the given ok value.
+func (c *virtChan) wakeAllLocked(ok bool) {
+	for _, w := range c.waiters {
+		if w.done {
+			continue
+		}
+		w.done, w.ok = true, ok
+		c.env.parked--
+		c.env.running++
+		close(w.ch)
+	}
+	c.waiters = nil
+}
+
+func (c *virtChan) isClosed() bool {
+	c.env.mu.Lock()
+	defer c.env.mu.Unlock()
+	return c.closed || c.env.stopped
+}
+
+func (c *virtChan) len() int {
+	c.env.mu.Lock()
+	defer c.env.mu.Unlock()
+	return len(c.queue)
+}

@@ -1,0 +1,72 @@
+package types
+
+import "errors"
+
+// The POSIX-style error set. ArkFS components wrap these with context via
+// fmt.Errorf("...: %w", err); callers test with errors.Is, mirroring how a
+// FUSE layer would map them to errno values.
+var (
+	ErrNotExist    = errors.New("no such file or directory")         // ENOENT
+	ErrExist       = errors.New("file exists")                       // EEXIST
+	ErrNotDir      = errors.New("not a directory")                   // ENOTDIR
+	ErrIsDir       = errors.New("is a directory")                    // EISDIR
+	ErrNotEmpty    = errors.New("directory not empty")               // ENOTEMPTY
+	ErrAccess      = errors.New("permission denied")                 // EACCES
+	ErrPerm        = errors.New("operation not permitted")           // EPERM
+	ErrInval       = errors.New("invalid argument")                  // EINVAL
+	ErrNameTooLong = errors.New("file name too long")                // ENAMETOOLONG
+	ErrNoSpace     = errors.New("no space left on device")           // ENOSPC
+	ErrStale       = errors.New("stale file handle")                 // ESTALE
+	ErrBadFD       = errors.New("bad file descriptor")               // EBADF
+	ErrBusy        = errors.New("device or resource busy")           // EBUSY
+	ErrIO          = errors.New("input/output error")                // EIO
+	ErrLoop        = errors.New("too many levels of symbolic links") // ELOOP
+	ErrXDev        = errors.New("invalid cross-device link")         // EXDEV
+	ErrTimedOut    = errors.New("operation timed out")               // ETIMEDOUT
+	ErrNotLeader   = errors.New("not the directory leader")          // ArkFS-internal
+	ErrLeaseLost   = errors.New("directory lease lost")              // ArkFS-internal
+)
+
+// Errno returns the Linux errno-style symbolic name for a wrapped error,
+// or "EIO" for anything unrecognized; benchmark harnesses and the CLI use it
+// for compact reporting.
+func Errno(err error) string {
+	switch {
+	case err == nil:
+		return "OK"
+	case errors.Is(err, ErrNotExist):
+		return "ENOENT"
+	case errors.Is(err, ErrExist):
+		return "EEXIST"
+	case errors.Is(err, ErrNotDir):
+		return "ENOTDIR"
+	case errors.Is(err, ErrIsDir):
+		return "EISDIR"
+	case errors.Is(err, ErrNotEmpty):
+		return "ENOTEMPTY"
+	case errors.Is(err, ErrAccess):
+		return "EACCES"
+	case errors.Is(err, ErrPerm):
+		return "EPERM"
+	case errors.Is(err, ErrInval):
+		return "EINVAL"
+	case errors.Is(err, ErrNameTooLong):
+		return "ENAMETOOLONG"
+	case errors.Is(err, ErrNoSpace):
+		return "ENOSPC"
+	case errors.Is(err, ErrStale):
+		return "ESTALE"
+	case errors.Is(err, ErrBadFD):
+		return "EBADF"
+	case errors.Is(err, ErrBusy):
+		return "EBUSY"
+	case errors.Is(err, ErrLoop):
+		return "ELOOP"
+	case errors.Is(err, ErrXDev):
+		return "EXDEV"
+	case errors.Is(err, ErrTimedOut):
+		return "ETIMEDOUT"
+	default:
+		return "EIO"
+	}
+}

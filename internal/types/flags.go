@@ -1,0 +1,27 @@
+package types
+
+// OpenFlag is the ArkFS open(2)-style flag set.
+type OpenFlag uint32
+
+// Open flags. The access mode occupies the low two bits, as in POSIX.
+const (
+	ORdonly OpenFlag = 0
+	OWronly OpenFlag = 1
+	ORdwr   OpenFlag = 2
+
+	accessMask OpenFlag = 3
+
+	OCreate OpenFlag = 1 << 2
+	OExcl   OpenFlag = 1 << 3
+	OTrunc  OpenFlag = 1 << 4
+	OAppend OpenFlag = 1 << 5
+)
+
+// WantsRead reports whether the access mode permits reading.
+func (f OpenFlag) WantsRead() bool { return f&accessMask == ORdonly || f&accessMask == ORdwr }
+
+// WantsWrite reports whether the access mode permits writing.
+func (f OpenFlag) WantsWrite() bool { return f&accessMask == OWronly || f&accessMask == ORdwr }
+
+// Has reports whether flag bits are set.
+func (f OpenFlag) Has(bit OpenFlag) bool { return f&bit != 0 }

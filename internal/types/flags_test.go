@@ -1,0 +1,62 @@
+package types
+
+import "testing"
+
+func TestOpenFlagAccessModes(t *testing.T) {
+	cases := []struct {
+		f           OpenFlag
+		read, write bool
+	}{
+		{ORdonly, true, false},
+		{OWronly, false, true},
+		{ORdwr, true, true},
+		{ORdonly | OCreate, true, false},
+		{OWronly | OCreate | OTrunc, false, true},
+		{ORdwr | OAppend, true, true},
+	}
+	for _, c := range cases {
+		if c.f.WantsRead() != c.read {
+			t.Errorf("flags %b: WantsRead = %v, want %v", c.f, c.f.WantsRead(), c.read)
+		}
+		if c.f.WantsWrite() != c.write {
+			t.Errorf("flags %b: WantsWrite = %v, want %v", c.f, c.f.WantsWrite(), c.write)
+		}
+	}
+}
+
+func TestOpenFlagHas(t *testing.T) {
+	f := OWronly | OCreate | OExcl
+	if !f.Has(OCreate) || !f.Has(OExcl) {
+		t.Error("Has missed set bits")
+	}
+	if f.Has(OTrunc) || f.Has(OAppend) {
+		t.Error("Has reported unset bits")
+	}
+}
+
+func TestFileTypeString(t *testing.T) {
+	for ft, want := range map[FileType]string{
+		TypeRegular: "file", TypeDir: "dir", TypeSymlink: "symlink", FileType(9): "unknown",
+	} {
+		if got := ft.String(); got != want {
+			t.Errorf("FileType(%d).String() = %q, want %q", ft, got, want)
+		}
+	}
+}
+
+func TestErrnoMapping(t *testing.T) {
+	cases := map[string]error{
+		"OK": nil, "ENOENT": ErrNotExist, "EEXIST": ErrExist, "ENOTDIR": ErrNotDir,
+		"EISDIR": ErrIsDir, "ENOTEMPTY": ErrNotEmpty, "EACCES": ErrAccess,
+		"EPERM": ErrPerm, "EINVAL": ErrInval, "ESTALE": ErrStale,
+		"ELOOP": ErrLoop, "ETIMEDOUT": ErrTimedOut, "EBUSY": ErrBusy,
+	}
+	for want, err := range cases {
+		if got := Errno(err); got != want {
+			t.Errorf("Errno(%v) = %q, want %q", err, got, want)
+		}
+	}
+	if got := Errno(ErrIO); got != "EIO" {
+		t.Errorf("Errno(ErrIO) = %q", got)
+	}
+}

@@ -1,0 +1,80 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInoStringParseRoundTrip(t *testing.T) {
+	src := NewInoSource(1)
+	for i := 0; i < 100; i++ {
+		in := src.Next()
+		s := in.String()
+		if len(s) != 32 {
+			t.Fatalf("String() = %q, want 32 hex digits", s)
+		}
+		out, err := ParseIno(s)
+		if err != nil {
+			t.Fatalf("ParseIno(%q): %v", s, err)
+		}
+		if out != in {
+			t.Fatalf("round trip mismatch: %v != %v", out, in)
+		}
+	}
+}
+
+func TestParseInoRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{"", "abc", "zz" + RootIno.String()[2:], RootIno.String() + "00"} {
+		if _, err := ParseIno(bad); err == nil {
+			t.Errorf("ParseIno(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestInoSourceNeverEmitsReserved(t *testing.T) {
+	src := NewInoSource(42)
+	seen := make(map[Ino]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		in := src.Next()
+		if in.IsNil() || in == RootIno {
+			t.Fatalf("source emitted reserved ino %v", in)
+		}
+		if seen[in] {
+			t.Fatalf("source emitted duplicate ino %v after %d draws", in, i)
+		}
+		seen[in] = true
+	}
+}
+
+func TestInoSourceDeterministic(t *testing.T) {
+	a, b := NewInoSource(7), NewInoSource(7)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestInoHiLoCoverAllBits(t *testing.T) {
+	var i Ino
+	for b := range i {
+		i[b] = byte(b + 1)
+	}
+	if i.Hi() == 0 || i.Lo() == 0 {
+		t.Fatalf("Hi/Lo lost bits: hi=%x lo=%x", i.Hi(), i.Lo())
+	}
+	if i.Hi() == i.Lo() {
+		t.Fatalf("Hi and Lo should differ for this pattern")
+	}
+}
+
+func TestInoRoundTripQuick(t *testing.T) {
+	f := func(b [16]byte) bool {
+		in := Ino(b)
+		out, err := ParseIno(in.String())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

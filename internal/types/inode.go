@@ -1,0 +1,135 @@
+package types
+
+import "time"
+
+// FileType distinguishes the kinds of file-system objects ArkFS stores.
+type FileType uint8
+
+// File types supported by ArkFS.
+const (
+	TypeRegular FileType = iota
+	TypeDir
+	TypeSymlink
+)
+
+// String implements fmt.Stringer.
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return "unknown"
+	}
+}
+
+// Mode holds the POSIX permission bits (the low 12 bits: rwxrwxrwx plus
+// setuid/setgid/sticky). The file type is kept separately in Inode.Type.
+type Mode uint16
+
+// Permission bit groups.
+const (
+	ModeSetuid Mode = 04000
+	ModeSetgid Mode = 02000
+	ModeSticky Mode = 01000
+	PermMask   Mode = 0777
+)
+
+// Access permission request bits, combinable.
+const (
+	MayRead  uint8 = 4
+	MayWrite uint8 = 2
+	MayExec  uint8 = 1
+)
+
+// Inode is the full per-file metadata record. It is stored in the object
+// store under key "i:<ino>" and cached inside per-directory metadata tables.
+type Inode struct {
+	Ino    Ino
+	Type   FileType
+	Mode   Mode
+	Uid    uint32
+	Gid    uint32
+	Nlink  uint32
+	Size   int64
+	Atime  time.Duration // virtual-clock timestamps (ns since cluster epoch)
+	Mtime  time.Duration
+	Ctime  time.Duration
+	Target string // symlink target, empty otherwise
+	ACL    ACL    // extended ACL entries; empty means mode bits only
+}
+
+// IsDir reports whether the inode is a directory.
+func (n *Inode) IsDir() bool { return n.Type == TypeDir }
+
+// Clone returns a deep copy; inodes are mutated in metatables and journals
+// and must not alias.
+func (n *Inode) Clone() *Inode {
+	c := *n
+	c.ACL = n.ACL.Clone()
+	return &c
+}
+
+// Cred identifies the caller of a file-system operation for permission
+// checking, mirroring the (uid, gid, supplementary groups) triple POSIX uses.
+type Cred struct {
+	Uid    uint32
+	Gid    uint32
+	Groups []uint32
+}
+
+// Root is the superuser credential, which bypasses permission checks the way
+// CAP_DAC_OVERRIDE does.
+var Root = Cred{Uid: 0, Gid: 0}
+
+// InGroup reports whether gid is the caller's primary or a supplementary
+// group.
+func (c Cred) InGroup(gid uint32) bool {
+	if c.Gid == gid {
+		return true
+	}
+	for _, g := range c.Groups {
+		if g == gid {
+			return true
+		}
+	}
+	return false
+}
+
+// Access checks whether cred may perform the requested access (a combination
+// of MayRead/MayWrite/MayExec) on the inode, applying POSIX ACL evaluation
+// order: owner, named users, owning/named groups (masked), other.
+func (n *Inode) Access(cred Cred, want uint8) error {
+	if cred.Uid == 0 {
+		// Superuser: execute still requires some execute bit on regular
+		// files, matching Linux semantics.
+		if want&MayExec != 0 && n.Type == TypeRegular &&
+			n.Mode&0111 == 0 && !n.ACL.anyExec() {
+			return ErrAccess
+		}
+		return nil
+	}
+	granted := n.effectivePerms(cred)
+	if granted&want == want {
+		return nil
+	}
+	return ErrAccess
+}
+
+// effectivePerms resolves the rwx bits cred holds on the inode.
+func (n *Inode) effectivePerms(cred Cred) uint8 {
+	if len(n.ACL) == 0 {
+		switch {
+		case cred.Uid == n.Uid:
+			return uint8(n.Mode >> 6 & 7)
+		case cred.InGroup(n.Gid):
+			return uint8(n.Mode >> 3 & 7)
+		default:
+			return uint8(n.Mode & 7)
+		}
+	}
+	return n.ACL.evaluate(cred, n)
+}

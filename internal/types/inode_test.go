@@ -1,0 +1,141 @@
+package types
+
+import (
+	"errors"
+	"testing"
+)
+
+func mkInode(mode Mode, uid, gid uint32) *Inode {
+	return &Inode{Ino: RootIno, Type: TypeRegular, Mode: mode, Uid: uid, Gid: gid}
+}
+
+func TestAccessModeBits(t *testing.T) {
+	n := mkInode(0640, 100, 200)
+	cases := []struct {
+		name string
+		cred Cred
+		want uint8
+		ok   bool
+	}{
+		{"owner read", Cred{Uid: 100}, MayRead, true},
+		{"owner write", Cred{Uid: 100}, MayWrite, true},
+		{"owner exec denied", Cred{Uid: 100}, MayExec, false},
+		{"group read", Cred{Uid: 101, Gid: 200}, MayRead, true},
+		{"group write denied", Cred{Uid: 101, Gid: 200}, MayWrite, false},
+		{"supplementary group read", Cred{Uid: 101, Gid: 5, Groups: []uint32{200}}, MayRead, true},
+		{"other denied", Cred{Uid: 101, Gid: 5}, MayRead, false},
+		{"root read", Cred{Uid: 0}, MayRead | MayWrite, true},
+		{"combined owner rw", Cred{Uid: 100}, MayRead | MayWrite, true},
+	}
+	for _, c := range cases {
+		err := n.Access(c.cred, c.want)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected deny: %v", c.name, err)
+		}
+		if !c.ok && !errors.Is(err, ErrAccess) {
+			t.Errorf("%s: want EACCES, got %v", c.name, err)
+		}
+	}
+}
+
+func TestRootExecNeedsSomeExecBit(t *testing.T) {
+	n := mkInode(0644, 100, 100)
+	if err := n.Access(Root, MayExec); !errors.Is(err, ErrAccess) {
+		t.Errorf("root exec on non-executable file: want EACCES, got %v", err)
+	}
+	n.Mode = 0744
+	if err := n.Access(Root, MayExec); err != nil {
+		t.Errorf("root exec with owner x bit: %v", err)
+	}
+	// Directories: root may always search.
+	d := &Inode{Type: TypeDir, Mode: 0600, Uid: 100, Gid: 100}
+	if err := d.Access(Root, MayExec); err != nil {
+		t.Errorf("root search on dir: %v", err)
+	}
+}
+
+func TestAccessOwnerBeatsGroup(t *testing.T) {
+	// POSIX: if you are the owner, only the owner bits apply, even if the
+	// group bits would grant more.
+	n := mkInode(0060, 100, 200)
+	cred := Cred{Uid: 100, Gid: 200}
+	if err := n.Access(cred, MayRead); !errors.Is(err, ErrAccess) {
+		t.Errorf("owner with 0060: want EACCES on read, got %v", err)
+	}
+}
+
+func TestACLEvaluation(t *testing.T) {
+	n := mkInode(0600, 100, 200)
+	n.ACL = ACL{
+		{Tag: TagUserObj, Perms: MayRead | MayWrite},
+		{Tag: TagUser, ID: 300, Perms: MayRead | MayWrite},
+		{Tag: TagGroupObj, Perms: MayRead},
+		{Tag: TagGroup, ID: 400, Perms: MayRead | MayWrite},
+		{Tag: TagMask, Perms: MayRead},
+		{Tag: TagOther, Perms: 0},
+	}
+	if err := n.ACL.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	cases := []struct {
+		name string
+		cred Cred
+		want uint8
+		ok   bool
+	}{
+		{"owner rw", Cred{Uid: 100}, MayRead | MayWrite, true},
+		{"named user read (mask limits write)", Cred{Uid: 300}, MayRead, true},
+		{"named user write masked out", Cred{Uid: 300}, MayWrite, false},
+		{"owning group read", Cred{Uid: 1, Gid: 200}, MayRead, true},
+		{"named group write masked out", Cred{Uid: 1, Gid: 400}, MayWrite, false},
+		{"other denied", Cred{Uid: 1, Gid: 1}, MayRead, false},
+	}
+	for _, c := range cases {
+		err := n.Access(c.cred, c.want)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected deny: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: unexpected grant", c.name)
+		}
+	}
+}
+
+func TestACLValidateRejectsBadACLs(t *testing.T) {
+	bad := []ACL{
+		{{Tag: TagUser, ID: 1, Perms: MayRead}}, // named entry without mask
+		{{Tag: TagUserObj, Perms: 7}, {Tag: TagUserObj, Perms: 7}},
+		{{Tag: TagUser, ID: 1, Perms: 7}, {Tag: TagUser, ID: 1, Perms: 7}, {Tag: TagMask, Perms: 7}},
+		{{Tag: ACLTag(99), Perms: 7}},
+		{{Tag: TagOther, Perms: 9}},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); !errors.Is(err, ErrInval) {
+			t.Errorf("case %d: want EINVAL, got %v", i, err)
+		}
+	}
+}
+
+func TestInodeCloneDoesNotAlias(t *testing.T) {
+	n := mkInode(0644, 1, 2)
+	n.ACL = ACL{{Tag: TagUserObj, Perms: 7}}
+	c := n.Clone()
+	c.ACL[0].Perms = 0
+	c.Mode = 0
+	if n.ACL[0].Perms != 7 || n.Mode != 0644 {
+		t.Fatal("Clone aliased the original inode")
+	}
+}
+
+func TestACLNormalizeStable(t *testing.T) {
+	a := ACL{
+		{Tag: TagOther, Perms: 1},
+		{Tag: TagUser, ID: 9, Perms: 2},
+		{Tag: TagUser, ID: 3, Perms: 3},
+		{Tag: TagUserObj, Perms: 7},
+	}
+	a.Normalize()
+	if a[0].Tag != TagUserObj || a[1].ID != 3 || a[2].ID != 9 || a[3].Tag != TagOther {
+		t.Fatalf("Normalize order wrong: %v", a)
+	}
+}

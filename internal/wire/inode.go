@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"arkfs/internal/types"
+)
+
+// EncodeInode serializes an inode for storage under its "i:" key.
+func EncodeInode(n *types.Inode) []byte {
+	e := &encoder{buf: make([]byte, 0, 96+len(n.Target))}
+	e.byte(verInode)
+	e.ino(n.Ino)
+	e.byte(byte(n.Type))
+	e.uvarint(uint64(n.Mode))
+	e.uvarint(uint64(n.Uid))
+	e.uvarint(uint64(n.Gid))
+	e.uvarint(uint64(n.Nlink))
+	e.varint(n.Size)
+	e.varint(int64(n.Atime))
+	e.varint(int64(n.Mtime))
+	e.varint(int64(n.Ctime))
+	e.str(n.Target)
+	e.uvarint(uint64(len(n.ACL)))
+	for _, a := range n.ACL {
+		e.byte(byte(a.Tag))
+		e.uvarint(uint64(a.ID))
+		e.byte(a.Perms)
+	}
+	return e.buf
+}
+
+// DecodeInode parses an inode record.
+func DecodeInode(buf []byte) (*types.Inode, error) {
+	d := &decoder{buf: buf}
+	if v := d.byte(); d.err == nil && v != verInode {
+		return nil, fmt.Errorf("%w: inode version %d", ErrCorrupt, v)
+	}
+	n := &types.Inode{}
+	n.Ino = d.ino()
+	n.Type = types.FileType(d.byte())
+	n.Mode = types.Mode(d.uvarint())
+	n.Uid = uint32(d.uvarint())
+	n.Gid = uint32(d.uvarint())
+	n.Nlink = uint32(d.uvarint())
+	n.Size = d.varint()
+	n.Atime = time.Duration(d.varint())
+	n.Mtime = time.Duration(d.varint())
+	n.Ctime = time.Duration(d.varint())
+	n.Target = d.str()
+	nACL := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nACL > 4096 {
+		return nil, fmt.Errorf("%w: absurd acl count %d", ErrCorrupt, nACL)
+	}
+	if nACL > 0 {
+		n.ACL = make(types.ACL, 0, nACL)
+		for i := uint64(0); i < nACL; i++ {
+			tag := types.ACLTag(d.byte())
+			id := uint32(d.uvarint())
+			perms := d.byte()
+			n.ACL = append(n.ACL, types.ACLEntry{Tag: tag, ID: id, Perms: perms})
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after inode", ErrCorrupt, len(buf)-d.off)
+	}
+	return n, nil
+}
+
+// Dentry is one directory entry inside a dentry block.
+type Dentry struct {
+	Name string
+	Ino  types.Ino
+	Type types.FileType
+}
+
+// EncodeDentries serializes a directory's entry table for its "e:" object.
+// Entries are written in the order given; callers sort for determinism.
+func EncodeDentries(entries []Dentry) []byte {
+	e := &encoder{buf: make([]byte, 0, 8+len(entries)*32)}
+	e.byte(verDentry)
+	e.uvarint(uint64(len(entries)))
+	for _, de := range entries {
+		e.str(de.Name)
+		e.ino(de.Ino)
+		e.byte(byte(de.Type))
+	}
+	return e.buf
+}
+
+// DecodeDentries parses a dentry block.
+func DecodeDentries(buf []byte) ([]Dentry, error) {
+	d := &decoder{buf: buf}
+	if v := d.byte(); d.err == nil && v != verDentry {
+		return nil, fmt.Errorf("%w: dentry version %d", ErrCorrupt, v)
+	}
+	n := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("%w: absurd dentry count %d", ErrCorrupt, n)
+	}
+	out := make([]Dentry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		de := Dentry{Name: d.str(), Ino: d.ino(), Type: types.FileType(d.byte())}
+		if d.err != nil {
+			return nil, d.err
+		}
+		out = append(out, de)
+	}
+	if d.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after dentries", ErrCorrupt, len(buf)-d.off)
+	}
+	return out, nil
+}

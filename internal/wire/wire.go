@@ -1,0 +1,115 @@
+// Package wire implements the compact binary encoding ArkFS uses to store
+// file-system metadata as object-store values: inodes ("i:" objects), dentry
+// blocks ("e:" objects), and journal records ("j:" objects).
+//
+// The format is deliberately simple — a version byte, varint-prefixed fields,
+// and a CRC32C trailer on journal records — so that recovery code can detect
+// torn writes and future versions can evolve the layout.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"arkfs/internal/types"
+)
+
+// Encoding version bytes, one per record kind.
+const (
+	verInode  byte = 1
+	verDentry byte = 1
+	verTxn    byte = 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is wrapped by all decode failures.
+var ErrCorrupt = fmt.Errorf("wire: corrupt record: %w", types.ErrIO)
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) byte(b byte)      { e.buf = append(e.buf, b) }
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) bytes(b []byte)   { e.uvarint(uint64(len(b))); e.buf = append(e.buf, b...) }
+func (e *encoder) str(s string)     { e.uvarint(uint64(len(s))); e.buf = append(e.buf, s...) }
+func (e *encoder) ino(i types.Ino)  { e.buf = append(e.buf, i[:]...) }
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, d.off)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.off >= len(d.buf) {
+		d.fail("byte")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		d.fail("bytes")
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+func (d *decoder) str() string { return string(d.bytes()) }
+
+func (d *decoder) ino() types.Ino {
+	var i types.Ino
+	if d.err != nil {
+		return i
+	}
+	if len(d.buf)-d.off < 16 {
+		d.fail("ino")
+		return i
+	}
+	copy(i[:], d.buf[d.off:d.off+16])
+	d.off += 16
+	return i
+}

@@ -1,0 +1,250 @@
+// Package workload implements the paper's benchmark workloads over the
+// common fsapi interface: the IO500 mdtest-easy and mdtest-hard
+// configurations (§IV-B), an fio-style large-file sequential I/O generator,
+// and the tar-based archiving scenario of §IV-D with a synthetic MS-COCO-like
+// dataset and a bandwidth-throttled external (burst-buffer/EBS) store.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"arkfs/internal/fsapi"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// PhaseResult is one benchmark phase's outcome.
+type PhaseResult struct {
+	Name    string
+	Ops     int
+	Elapsed time.Duration
+	Errors  int
+}
+
+// OpsPerSec returns the phase throughput.
+func (p PhaseResult) OpsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Ops) / p.Elapsed.Seconds()
+}
+
+// MdtestConfig parameterizes both mdtest variants.
+type MdtestConfig struct {
+	// FilesPerProc is the per-process file count (IO500 uses 1M total).
+	FilesPerProc int
+	// FileSize: 0 for mdtest-easy (empty files); 3901 bytes in mdtest-hard.
+	FileSize int
+	// SharedDirs > 0 switches to the mdtest-hard layout: files spread over
+	// this many directories accessed by arbitrary processes. Zero keeps the
+	// mdtest-easy layout (each process in its own leaf directory).
+	SharedDirs int
+	// Root is the benchmark directory prefix.
+	Root string
+}
+
+// MdtestEasy runs the CREATE / STAT / DELETE phases with empty files, each
+// process in its own leaf directory, fsync between phases (IO500
+// mdtest-easy). mounts supplies one FileSystem per process.
+func MdtestEasy(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]PhaseResult, error) {
+	if cfg.Root == "" {
+		cfg.Root = "/mdtest-easy"
+	}
+	if err := setupTree(mounts[0], cfg.Root, len(mounts)); err != nil {
+		return nil, err
+	}
+	paths := easyPaths(cfg, len(mounts))
+
+	var results []PhaseResult
+	create := runPhase(env, "CREATE", mounts, func(proc int, m fsapi.FileSystem) int {
+		errs := 0
+		for _, p := range paths[proc] {
+			f, err := m.Open(p, types.OWronly|types.OCreate|types.OExcl, 0644)
+			if err != nil {
+				errs++
+				continue
+			}
+			_ = f.Close()
+		}
+		flushAll(m)
+		return errs
+	}, cfg.FilesPerProc)
+	results = append(results, create)
+
+	stat := runPhase(env, "STAT", mounts, func(proc int, m fsapi.FileSystem) int {
+		errs := 0
+		for _, p := range paths[proc] {
+			if _, err := m.Stat(p); err != nil {
+				errs++
+			}
+		}
+		return errs
+	}, cfg.FilesPerProc)
+	results = append(results, stat)
+
+	del := runPhase(env, "DELETE", mounts, func(proc int, m fsapi.FileSystem) int {
+		errs := 0
+		for _, p := range paths[proc] {
+			if err := m.Unlink(p); err != nil {
+				errs++
+			}
+		}
+		flushAll(m)
+		return errs
+	}, cfg.FilesPerProc)
+	results = append(results, del)
+	return results, nil
+}
+
+// MdtestHard runs WRITE / STAT / READ / DELETE with small files spread over
+// shared directories accessed by arbitrary processes (IO500 mdtest-hard).
+func MdtestHard(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]PhaseResult, error) {
+	if cfg.Root == "" {
+		cfg.Root = "/mdtest-hard"
+	}
+	if cfg.FileSize <= 0 {
+		cfg.FileSize = 3901
+	}
+	if cfg.SharedDirs <= 0 {
+		cfg.SharedDirs = 8
+	}
+	if err := setupTree(mounts[0], cfg.Root, cfg.SharedDirs); err != nil {
+		return nil, err
+	}
+	paths := hardPaths(cfg, len(mounts))
+	payload := make([]byte, cfg.FileSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	var results []PhaseResult
+	write := runPhase(env, "WRITE", mounts, func(proc int, m fsapi.FileSystem) int {
+		errs := 0
+		for _, p := range paths[proc] {
+			f, err := m.Open(p, types.OWronly|types.OCreate, 0644)
+			if err != nil {
+				errs++
+				continue
+			}
+			if _, err := f.Write(payload); err != nil {
+				errs++
+			}
+			if err := f.Close(); err != nil {
+				errs++
+			}
+		}
+		flushAll(m)
+		return errs
+	}, cfg.FilesPerProc)
+	results = append(results, write)
+
+	stat := runPhase(env, "STAT", mounts, func(proc int, m fsapi.FileSystem) int {
+		errs := 0
+		for _, p := range paths[proc] {
+			if _, err := m.Stat(p); err != nil {
+				errs++
+			}
+		}
+		return errs
+	}, cfg.FilesPerProc)
+	results = append(results, stat)
+
+	read := runPhase(env, "READ", mounts, func(proc int, m fsapi.FileSystem) int {
+		errs := 0
+		buf := make([]byte, cfg.FileSize)
+		for _, p := range paths[proc] {
+			f, err := m.Open(p, types.ORdonly, 0)
+			if err != nil {
+				errs++
+				continue
+			}
+			if _, err := f.ReadAt(buf, 0); err != nil && err.Error() != "EOF" {
+				errs++
+			}
+			_ = f.Close()
+		}
+		return errs
+	}, cfg.FilesPerProc)
+	results = append(results, read)
+
+	del := runPhase(env, "DELETE", mounts, func(proc int, m fsapi.FileSystem) int {
+		errs := 0
+		for _, p := range paths[proc] {
+			if err := m.Unlink(p); err != nil {
+				errs++
+			}
+		}
+		flushAll(m)
+		return errs
+	}, cfg.FilesPerProc)
+	results = append(results, del)
+	return results, nil
+}
+
+// easyPaths lays out per-process private leaf directories.
+func easyPaths(cfg MdtestConfig, procs int) [][]string {
+	out := make([][]string, procs)
+	for p := 0; p < procs; p++ {
+		out[p] = make([]string, cfg.FilesPerProc)
+		for i := 0; i < cfg.FilesPerProc; i++ {
+			out[p][i] = fmt.Sprintf("%s/p%03d/f%07d", cfg.Root, p, i)
+		}
+	}
+	return out
+}
+
+// hardPaths spreads each process's files across the shared directories in a
+// process-dependent pattern (an "arbitrary directory" per op, per §IV-B).
+func hardPaths(cfg MdtestConfig, procs int) [][]string {
+	out := make([][]string, procs)
+	for p := 0; p < procs; p++ {
+		out[p] = make([]string, cfg.FilesPerProc)
+		for i := 0; i < cfg.FilesPerProc; i++ {
+			dir := (p*31 + i*17) % cfg.SharedDirs
+			out[p][i] = fmt.Sprintf("%s/p%03d/f.%03d.%07d", cfg.Root, dir, p, i)
+		}
+	}
+	return out
+}
+
+// setupTree creates the root and numbered subdirectories before timing
+// starts (mdtest does its tree creation outside the measured phases).
+func setupTree(m fsapi.FileSystem, root string, dirs int) error {
+	if err := m.Mkdir(root, 0777); err != nil {
+		return fmt.Errorf("workload: setup %s: %w", root, err)
+	}
+	for d := 0; d < dirs; d++ {
+		if err := m.Mkdir(fmt.Sprintf("%s/p%03d", root, d), 0777); err != nil {
+			return fmt.Errorf("workload: setup dir %d: %w", d, err)
+		}
+	}
+	return flushAll(m)
+}
+
+// runPhase executes fn on every process concurrently and measures the
+// aggregate elapsed (virtual) time.
+func runPhase(env sim.Env, name string, mounts []fsapi.FileSystem,
+	fn func(proc int, m fsapi.FileSystem) int, opsPerProc int) PhaseResult {
+	start := env.Now()
+	g := sim.NewGroup(env)
+	errsCh := make([]int, len(mounts))
+	for i, m := range mounts {
+		i, m := i, m
+		g.Go(func() { errsCh[i] = fn(i, m) })
+	}
+	g.Wait()
+	totalErrs := 0
+	for _, e := range errsCh {
+		totalErrs += e
+	}
+	return PhaseResult{
+		Name:    name,
+		Ops:     opsPerProc * len(mounts),
+		Elapsed: env.Now() - start,
+		Errors:  totalErrs,
+	}
+}
+
+// flushAll is the fsync()-after-phase step.
+func flushAll(m fsapi.FileSystem) error { return m.FlushAll() }

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"arkfs/internal/core"
+	"arkfs/internal/fsapi"
+	"arkfs/internal/journal"
+	"arkfs/internal/lease"
+	"arkfs/internal/objstore"
+	"arkfs/internal/prt"
+	"arkfs/internal/rpc"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// arkMounts builds an ArkFS deployment with n client mounts on env.
+func arkMounts(t *testing.T, env sim.Env, n int) []fsapi.FileSystem {
+	t.Helper()
+	net := rpc.NewNetwork(env, sim.NetModel{})
+	tr := prt.New(objstore.NewMemStore(), 64<<10)
+	if err := core.Format(tr); err != nil {
+		t.Fatal(err)
+	}
+	mgr := lease.NewManager(net, lease.Options{Period: 2 * time.Second})
+	_ = mgr
+	mounts := make([]fsapi.FileSystem, n)
+	for i := 0; i < n; i++ {
+		c := core.New(net, tr, core.Options{
+			ID:          string(rune('a' + i)),
+			Cred:        types.Cred{Uid: 1000, Gid: 1000},
+			LeasePeriod: 2 * time.Second,
+			Journal:     journal.Config{CommitInterval: 50 * time.Millisecond, CommitWorkers: 2, CheckpointWorkers: 2},
+		})
+		mounts[i] = fsapi.Adapt(c)
+	}
+	return mounts
+}
+
+func TestMdtestEasyOnArkFS(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	mounts := arkMounts(t, env, 4)
+	res, err := MdtestEasy(env, mounts, MdtestConfig{FilesPerProc: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("phases: %v", res)
+	}
+	for _, p := range res {
+		if p.Errors != 0 {
+			t.Errorf("phase %s: %d errors", p.Name, p.Errors)
+		}
+		if p.Ops != 200 {
+			t.Errorf("phase %s: %d ops", p.Name, p.Ops)
+		}
+		if p.OpsPerSec() <= 0 {
+			t.Errorf("phase %s: zero throughput", p.Name)
+		}
+	}
+	// All files deleted: the tree has only the per-proc dirs left.
+	for i := 0; i < 4; i++ {
+		ents, err := mounts[0].Readdir("/mdtest-easy/p00" + string(rune('0'+i)))
+		if err != nil || len(ents) != 0 {
+			t.Errorf("leftovers in p%d: %v, %v", i, ents, err)
+		}
+	}
+}
+
+func TestMdtestHardOnArkFS(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	mounts := arkMounts(t, env, 4)
+	res, err := MdtestHard(env, mounts, MdtestConfig{FilesPerProc: 25, SharedDirs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("phases: %v", res)
+	}
+	for _, p := range res {
+		if p.Errors != 0 {
+			t.Errorf("phase %s: %d errors", p.Name, p.Errors)
+		}
+	}
+}
+
+func TestFioOnArkFS(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	mounts := arkMounts(t, env, 2)
+	w, r, err := Fio(env, mounts, FioConfig{FileSize: 1 << 20, ReqSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes != 2<<20 || r.Bytes != 2<<20 {
+		t.Fatalf("bytes: w=%d r=%d", w.Bytes, r.Bytes)
+	}
+	if w.BytesPerSec() <= 0 || r.BytesPerSec() <= 0 {
+		t.Fatal("zero bandwidth")
+	}
+}
+
+func TestDatasetGenerator(t *testing.T) {
+	cfg := DefaultDatasetConfig()
+	cfg.Files = 1000
+	d := NewDataset(cfg)
+	if len(d.Files) != 1000 {
+		t.Fatalf("files: %d", len(d.Files))
+	}
+	var total int64
+	for _, f := range d.Files {
+		if f.Size < cfg.MinSize || f.Size > cfg.MaxSize {
+			t.Fatalf("size %d out of [%d,%d]", f.Size, cfg.MinSize, cfg.MaxSize)
+		}
+		if f.Category < 0 || f.Category >= cfg.Categories {
+			t.Fatalf("category %d", f.Category)
+		}
+		total += f.Size
+	}
+	if total != d.Total {
+		t.Fatalf("total mismatch: %d vs %d", total, d.Total)
+	}
+	// Deterministic.
+	d2 := NewDataset(cfg)
+	if d2.Total != d.Total || d2.Files[500] != d.Files[500] {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+func TestArchiveUnarchiveRoundTripOnArkFS(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	mounts := arkMounts(t, env, 1)
+	cfg := DatasetConfig{Files: 64, MinSize: 512, MaxSize: 8 << 10, Categories: 4, Seed: 7}
+	d := NewDataset(cfg)
+	img, err := BuildTarImage(d, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := NewExternalStore(env, 1<<40) // fast device: functional test
+	acfg := ArchiveConfig{External: ext}
+
+	res, err := Archive(env, mounts[0], d, img, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files != 64 || res.Bytes != d.Total {
+		t.Fatalf("archive result: %+v (want %d bytes)", res, d.Total)
+	}
+	// Every extracted file is stat-able with the right size.
+	for _, f := range d.Files[:8] {
+		st, err := mounts[0].Stat("/archive/cat-0" + string(rune('0'+f.Category)) + "/" + f.Name)
+		if err != nil || st.Size != f.Size {
+			t.Fatalf("extracted %s: %+v, %v", f.Name, st, err)
+		}
+	}
+	ures, err := Unarchive(env, mounts[0], d, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ures.Files != 64 || ures.Bytes != d.Total {
+		t.Fatalf("unarchive result: %+v", ures)
+	}
+}
+
+func TestExternalStoreChargesBandwidth(t *testing.T) {
+	env := sim.NewVirtEnv()
+	var elapsed time.Duration
+	env.Run(func() {
+		ext := NewExternalStore(env, 1<<20) // 1 MiB/s
+		start := env.Now()
+		ext.Transfer(1 << 20)
+		elapsed = env.Now() - start
+	})
+	if elapsed != time.Second {
+		t.Fatalf("1 MiB at 1 MiB/s took %v", elapsed)
+	}
+}
