@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"arkfs/internal/harness"
+	"arkfs/internal/objstore"
 )
 
 func main() {
@@ -28,6 +29,9 @@ func main() {
 		files   = flag.Int("mdtest-files", 0, "override mdtest files per process")
 		procs   = flag.Int("procs", 0, "override mdtest/fio process count")
 		clients = flag.String("clients", "", "override scalability client counts, e.g. 1,4,16,64")
+		flaky   = flag.Float64("flaky", 0, "inject store failures into ArkFS runs with this probability (e.g. 0.1)")
+		seed    = flag.Int64("flaky-seed", 1, "seed for the injected-failure RNG")
+		retries = flag.Int("store-retries", 0, "enable the retrying store path with up to N attempts (0: off)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: arkbench [flags] <fig1|fig4|fig5|fig6a|fig6b|fig7|table2|all|ablate|ablate-journal|ablate-readahead|ablate-entrysize>...\n")
@@ -61,6 +65,14 @@ func main() {
 			cs = append(cs, n)
 		}
 		r.Scale.ScaleClients = cs
+	}
+	if *flaky > 0 {
+		r.Flaky, r.FlakySeed = *flaky, *seed
+	}
+	if *retries > 0 {
+		pol := objstore.DefaultRetryPolicy()
+		pol.MaxAttempts = *retries
+		r.Retry = &pol
 	}
 	if !*quiet {
 		r.Log = func(s string) { fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), s) }

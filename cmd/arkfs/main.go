@@ -36,6 +36,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"arkfs/internal/core"
 	"arkfs/internal/lease"
@@ -54,6 +55,8 @@ func main() {
 		serve    = flag.String("serve", "", "TCP bind for serving forwarded ops from peer clients")
 		uid      = flag.Uint("uid", 1000, "credential uid")
 		gid      = flag.Uint("gid", 1000, "credential gid")
+		retries  = flag.Int("store-retries", 4, "retry transient object-store failures up to N attempts (0: fail fast)")
+		backoff  = flag.Duration("retry-backoff", 2*time.Millisecond, "initial retry backoff, doubling per attempt")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -84,6 +87,12 @@ func main() {
 		ID:       *id,
 		Cred:     types.Cred{Uid: uint32(*uid), Gid: uint32(*gid)},
 		LeaseMgr: leaseAddr,
+	}
+	if *retries > 1 {
+		pol := objstore.DefaultRetryPolicy()
+		pol.MaxAttempts = *retries
+		pol.InitialBackoff = *backoff
+		opts.Retry = &pol
 	}
 	var bridge *rpc.TCPServer
 	if *serve != "" {

@@ -40,6 +40,9 @@ func DefaultConfig() Config {
 // Stats counts cache activity.
 type Stats struct {
 	Hits, Misses, Readaheads, Writebacks, Evictions atomic.Int64
+	// WritebackErrors counts failed eviction write-backs; the entry stays
+	// resident and dirty, and the next Flush retries and reports the error.
+	WritebackErrors atomic.Int64
 }
 
 // Cache is one client's user-level data object cache. It is write-back: WRITE
@@ -79,7 +82,9 @@ type entry struct {
 	idx     uint64
 	data    []byte // valid prefix of the chunk
 	dirty   bool
+	ver     uint64              // bumped by every mutation; write-backs detect concurrent writes
 	loading *sim.Chan[struct{}] // non-nil while a fetch is in flight; Close = ready
+	wb      *sim.Chan[struct{}] // non-nil while an eviction write-back is in flight; Close = done
 	lruElem *list.Element
 }
 
@@ -204,6 +209,7 @@ func (c *Cache) Write(ino types.Ino, buf []byte, off int64) error {
 		}
 		copy(e.data[inOff:], buf[written:written+int(want)])
 		e.dirty = true
+		e.ver++
 		c.touchLocked(e)
 		c.mu.Unlock()
 		c.env.Sleep(c.cfg.Cost.MemCopy(want))
@@ -352,24 +358,42 @@ func (c *Cache) evictLocked(keep *entry) {
 			return
 		}
 		victim := el.Value.(*entry)
-		if victim == keep || victim.loading != nil {
+		if victim == keep || victim.loading != nil || victim.wb != nil {
 			// In-use or in-flight: move it up and stop rather than spin.
 			c.lru.MoveToFront(el)
 			return
 		}
 		if victim.dirty {
 			// Write back while the entry is still visible, so concurrent
-			// readers never fall through to pre-writeback store state.
-			victim.dirty = false
-			data, off := victim.data, int64(victim.idx)*c.cfg.EntrySize
+			// readers never fall through to pre-writeback store state. The
+			// dirty bit stays set until the PUT succeeds, and the bytes are
+			// snapshotted under the lock so a concurrent Write cannot tear
+			// the in-flight PUT. The wb marker keeps other evictors off this
+			// entry and lets Flush wait for the write-back to settle.
+			victim.wb = sim.NewChan[struct{}](c.env)
+			data := append([]byte(nil), victim.data...)
+			ver, off := victim.ver, int64(victim.idx)*c.cfg.EntrySize
 			c.stats.Writebacks.Add(1)
 			c.mu.Unlock()
 			err := c.tr.WriteAt(victim.ino, data, off)
 			c.mu.Lock()
-			_ = err // eviction write-back errors surface at the next Flush
-			if victim.dirty || victim.lruElem == nil {
-				continue // redirtied or already removed while unlocked
+			done := victim.wb
+			victim.wb = nil
+			done.Close()
+			if err != nil {
+				// Still dirty, still resident: the next Flush retries the
+				// PUT and reports the failure. Rotate the victim to the
+				// front so the next eviction picks a healthier entry.
+				c.stats.WritebackErrors.Add(1)
+				if victim.lruElem != nil {
+					c.lru.MoveToFront(victim.lruElem)
+				}
+				return
 			}
+			if victim.ver != ver || victim.lruElem == nil {
+				continue // rewritten or removed while unlocked; stays as is
+			}
+			victim.dirty = false
 		}
 		c.lru.Remove(el)
 		victim.lruElem = nil
@@ -397,64 +421,89 @@ func (c *Cache) flushLock(ino types.Ino) *sim.Mutex {
 
 // Flush writes back every dirty entry of ino (fsync). Entries stay resident.
 // Flushes of the same file serialize, so a lease recall observing Flush's
-// return knows no earlier write-back is still in flight.
+// return knows no earlier write-back is still in flight. Flush also waits
+// for concurrent eviction write-backs and retries the ones that failed, so a
+// successful return means every byte dirtied before the call is durable.
 func (c *Cache) Flush(ino types.Ino) error {
 	lock := c.flushLock(ino)
 	lock.Lock()
 	defer lock.Unlock()
 	type pending struct {
 		e    *entry
+		ver  uint64
 		data []byte
 	}
-	c.mu.Lock()
-	fc := c.files[ino]
-	if fc == nil {
-		c.mu.Unlock()
-		return nil
-	}
-	var work []pending
-	fc.tree.Range(func(idx uint64, e *entry) bool {
-		if e.dirty {
-			work = append(work, pending{e: e, data: e.data})
-		}
-		return true
-	})
-	c.mu.Unlock()
-	// Write back with bounded parallelism: independent chunks flush
-	// concurrently, which is what lets the write-back path saturate the
-	// object store instead of serializing one PUT at a time.
-	sem := sim.NewChan[struct{}](c.env)
-	for i := 0; i < c.cfg.FlushParallelism; i++ {
-		sem.Send(struct{}{})
-	}
-	g := sim.NewGroup(c.env)
-	errs := make([]error, len(work))
-	for i := range work {
-		i := i
-		if _, ok := sem.Recv(); !ok {
-			return fmt.Errorf("cache: shut down during flush: %w", types.ErrIO)
-		}
-		g.Go(func() {
-			defer sem.Send(struct{}{})
-			p := work[i]
-			off := int64(p.e.idx) * c.cfg.EntrySize
-			if err := c.tr.WriteAt(ino, p.data, off); err != nil {
-				errs[i] = fmt.Errorf("cache: flush %s: %w", ino.Short(), err)
-				return
-			}
-			c.mu.Lock()
-			p.e.dirty = false
+	for {
+		c.mu.Lock()
+		fc := c.files[ino]
+		if fc == nil {
 			c.mu.Unlock()
-			c.stats.Writebacks.Add(1)
+			return nil
+		}
+		var work []pending
+		var inflight []*sim.Chan[struct{}]
+		fc.tree.Range(func(idx uint64, e *entry) bool {
+			switch {
+			case e.wb != nil:
+				// An eviction write-back owns this entry; wait for it below
+				// and re-examine (it re-dirties the entry on failure).
+				inflight = append(inflight, e.wb)
+			case e.dirty:
+				// Snapshot under the lock: a concurrent Write may mutate the
+				// backing array while the PUT is in flight (torn flush).
+				work = append(work, pending{e: e, ver: e.ver, data: append([]byte(nil), e.data...)})
+			}
+			return true
 		})
-	}
-	g.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+		c.mu.Unlock()
+		if len(work) == 0 && len(inflight) == 0 {
+			return nil
+		}
+		// Write back with bounded parallelism: independent chunks flush
+		// concurrently, which is what lets the write-back path saturate the
+		// object store instead of serializing one PUT at a time.
+		sem := sim.NewChan[struct{}](c.env)
+		for i := 0; i < c.cfg.FlushParallelism; i++ {
+			sem.Send(struct{}{})
+		}
+		g := sim.NewGroup(c.env)
+		errs := make([]error, len(work))
+		for i := range work {
+			i := i
+			if _, ok := sem.Recv(); !ok {
+				return fmt.Errorf("cache: shut down during flush: %w", types.ErrIO)
+			}
+			g.Go(func() {
+				defer sem.Send(struct{}{})
+				p := work[i]
+				off := int64(p.e.idx) * c.cfg.EntrySize
+				if err := c.tr.WriteAt(ino, p.data, off); err != nil {
+					errs[i] = fmt.Errorf("cache: flush %s: %w", ino.Short(), err)
+					return
+				}
+				c.mu.Lock()
+				if p.e.ver == p.ver {
+					// Only mark clean if no Write landed mid-PUT; otherwise
+					// the entry keeps its dirty bit for the next flush.
+					p.e.dirty = false
+				}
+				c.mu.Unlock()
+				c.stats.Writebacks.Add(1)
+			})
+		}
+		g.Wait()
+		for _, ch := range inflight {
+			ch.Recv() // closed when the eviction write-back settles
+		}
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		if len(inflight) == 0 {
+			return nil
 		}
 	}
-	return nil
 }
 
 // FlushAll writes back every dirty entry of every file (fsync of the whole

@@ -215,7 +215,13 @@ func (c *Client) FlushAll() error {
 	if err := c.data.FlushAll(); err != nil {
 		return err
 	}
-	return c.jrnl.FlushAll()
+	if err := c.jrnl.FlushAll(); err != nil {
+		return err
+	}
+	// Surface any background write-back failure (lease recall, close path)
+	// recorded since the last FlushAll; the failed entries stayed dirty, so
+	// the FlushAll above has already retried them.
+	return c.takeWBErr()
 }
 
 // --- dispatch helpers --------------------------------------------------------

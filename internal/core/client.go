@@ -11,6 +11,7 @@ import (
 	"arkfs/internal/journal"
 	"arkfs/internal/lease"
 	"arkfs/internal/metatable"
+	"arkfs/internal/objstore"
 	"arkfs/internal/prt"
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
@@ -48,6 +49,11 @@ type Options struct {
 	// LeasePeriod mirrors the manager's lease duration; it bounds the
 	// lifetime of permission-cache entries (default lease.DefaultPeriod).
 	LeasePeriod time.Duration
+	// Retry, when non-nil, wraps the client's store path in an
+	// objstore.RetryStore with this policy, so every round-trip (journal
+	// commit, cache write-back, metatable load, recovery scan) survives
+	// transient backend failures. Nil disables retries (fail fast).
+	Retry *objstore.RetryPolicy
 	// Seed seeds the client's inode number generator.
 	Seed int64
 	// AcquireRetries bounds waits on recovering/quiescing directories.
@@ -64,6 +70,7 @@ type Client struct {
 	env         sim.Env
 	net         *rpc.Network
 	tr          *prt.Translator
+	retry       *objstore.RetryStore // non-nil when Options.Retry is set
 	jrnl        *journal.Journal
 	data        *cache.Cache
 	lm          *lease.Client
@@ -82,6 +89,12 @@ type Client struct {
 	// pending2pc tracks this client's participant-side prepared renames
 	// awaiting the coordinator's decision (txid -> pendingRename).
 	pending2pc sync.Map
+
+	// wbErr records the first background write-back failure (lease-recall or
+	// close-path flushes run off the caller's stack); FlushAll and Close
+	// surface it instead of dropping it.
+	wbMu  sync.Mutex
+	wbErr error
 
 	inoSrc *types.InoSource
 	stats  Stats
@@ -149,10 +162,19 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 		}
 	}
 	env := net.Env()
+	var retry *objstore.RetryStore
+	if opts.Retry != nil {
+		// Mount the robustness layer under everything this client does to
+		// the object store: journal commits, cache write-backs, metatable
+		// loads, and recovery scans all go through the retrying path.
+		retry = objstore.NewRetryStore(env, tr.Store(), *opts.Retry)
+		tr = prt.New(retry, tr.ChunkSize())
+	}
 	c := &Client{
 		env:     env,
 		net:     net,
 		tr:      tr,
+		retry:   retry,
 		jrnl:    journal.New(env, tr, opts.Journal),
 		data:    cache.New(env, tr, opts.Cache),
 		addr:    rpc.Addr("arkfs-" + opts.ID),
@@ -230,6 +252,37 @@ func (c *Client) StatCounters() *Stats { return &c.stats }
 // CacheStats exposes the data cache counters.
 func (c *Client) CacheStats() *cache.Stats { return c.data.Stat() }
 
+// RetryStats exposes the store-path retry counters; nil when Options.Retry
+// was not set.
+func (c *Client) RetryStats() *objstore.RetryStats {
+	if c.retry == nil {
+		return nil
+	}
+	return c.retry.RetryStats()
+}
+
+// recordWBErr keeps the first background write-back failure for FlushAll and
+// Close to surface; the cache keeps the data dirty, so a later flush retries.
+func (c *Client) recordWBErr(err error) {
+	if err == nil {
+		return
+	}
+	c.wbMu.Lock()
+	if c.wbErr == nil {
+		c.wbErr = err
+	}
+	c.wbMu.Unlock()
+}
+
+// takeWBErr returns and clears the recorded background write-back failure.
+func (c *Client) takeWBErr() error {
+	c.wbMu.Lock()
+	defer c.wbMu.Unlock()
+	err := c.wbErr
+	c.wbErr = nil
+	return err
+}
+
 // Close flushes all state, releases every lease, and stops the client.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -244,10 +297,21 @@ func (c *Client) Close() error {
 	}
 	c.mu.Unlock()
 
-	err := c.jrnl.FlushAll()
+	err := c.data.FlushAll()
+	if jerr := c.jrnl.FlushAll(); err == nil {
+		err = jerr
+	}
+	if werr := c.takeWBErr(); err == nil {
+		err = werr
+	}
 	for ino, ld := range held {
+		// An in-flight leaseKeeper extension may still be writing ld, so the
+		// ID must be read under the lock (and freshest-ID wins).
+		c.mu.Lock()
+		id := ld.leaseID
+		c.mu.Unlock()
 		clean := err == nil
-		_ = c.lm.Release(ino, ld.leaseID, clean)
+		_ = c.lm.Release(ino, id, clean)
 	}
 	c.mu.Lock()
 	c.led = make(map[types.Ino]*ledDir)

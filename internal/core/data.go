@@ -449,9 +449,15 @@ func (f *File) Close() error {
 		_, _ = c.callLeader(c.remoteLeaderHint(f.parent), f.parent, req)
 	}
 	if c.data.Dirty(f.ino) {
-		// Background write-back; release the data lease only afterwards.
+		// Background write-back; release the data lease only afterwards. On
+		// failure the entries stay dirty and resident, the error is recorded
+		// for FlushAll/Close, and the lease is kept so the data cannot be
+		// invalidated out from under the pending retry.
 		c.env.Go(func() {
-			_ = c.data.Flush(f.ino)
+			if ferr := c.data.Flush(f.ino); ferr != nil {
+				c.recordWBErr(ferr)
+				return
+			}
 			release()
 		})
 	} else {
@@ -495,8 +501,14 @@ func (c *Client) grantRead(ld *ledDir, ino types.Ino, client rpc.Addr) bool {
 
 	if writer != "" && writer != client {
 		if writer == c.addr {
-			_ = c.data.Flush(ino)
-			c.data.Invalidate(ino)
+			// Invalidate only after a successful flush: a failed write-back
+			// keeps the entries dirty for a later retry instead of dropping
+			// them, and the error is recorded for FlushAll/Close.
+			if ferr := c.data.Flush(ino); ferr != nil {
+				c.recordWBErr(ferr)
+			} else {
+				c.data.Invalidate(ino)
+			}
 			c.markHandlesDirect(ino)
 		} else {
 			_, _ = c.net.Call(writer, FlushCacheReq{Ino: ino})
@@ -541,8 +553,11 @@ func (c *Client) upgradeWrite(ld *ledDir, ino types.Ino, client rpc.Addr) (direc
 	ld.opMu.Unlock()
 	for _, h := range holders {
 		if h == c.addr {
-			_ = c.data.Flush(ino)
-			c.data.Invalidate(ino)
+			if ferr := c.data.Flush(ino); ferr != nil {
+				c.recordWBErr(ferr)
+			} else {
+				c.data.Invalidate(ino)
+			}
 			c.markHandlesDirect(ino)
 			continue
 		}

@@ -233,7 +233,9 @@ func (c *Client) recallWriter(ld *ledDir, ino types.Ino) {
 	writer := dl.writer
 	dl.writer = ""
 	if writer == c.addr {
-		_ = c.data.Flush(ino)
+		// On failure the cache keeps the entries dirty; record the error so
+		// FlushAll/Close report it instead of silently losing the recall.
+		c.recordWBErr(c.data.Flush(ino))
 		return
 	}
 	_, _ = c.net.Call(writer, FlushCacheReq{Ino: ino})

@@ -36,13 +36,19 @@ func buildArkFSJournal(env sim.Env, cal Calibration, prof objstore.Profile, n in
 	}
 	prof.MaxObjectSize = maxI64(prof.MaxObjectSize, o.ChunkSize)
 	cluster := objstore.NewCluster(env, prof)
-	tr := prt.New(cluster, o.ChunkSize)
-	if err := core.Format(tr); err != nil {
+	if err := core.Format(prt.New(cluster, o.ChunkSize)); err != nil {
 		return nil, err
 	}
+	var store objstore.Store = cluster
+	d := &Deployment{Cluster: cluster}
+	if o.FlakyProb > 0 {
+		d.Fault = objstore.NewFaultStore(cluster)
+		d.Fault.SetFlaky(o.FlakyProb, o.FlakySeed)
+		store = d.Fault
+	}
+	tr := prt.New(store, o.ChunkSize)
 	net := rpc.NewNetwork(env, cal.ClientNet)
 	mgr := lease.NewManager(net, lease.Options{Period: cal.LeasePeriod, Workers: 8})
-	d := &Deployment{Cluster: cluster}
 	d.close = append(d.close, cluster.Close, mgr.Close)
 	for i := 0; i < n; i++ {
 		c := core.New(net, tr, core.Options{
@@ -64,9 +70,11 @@ func buildArkFSJournal(env sim.Env, cal Calibration, prof objstore.Profile, n in
 			},
 			RPCWorkers:  cal.RPCWorkers,
 			LeasePeriod: cal.LeasePeriod,
+			Retry:       o.Retry,
 			Seed:        int64(5000 + i),
 		})
 		d.Mounts = append(d.Mounts, fsapi.Adapt(c))
+		d.Ark = append(d.Ark, c)
 		cc := c
 		d.close = append(d.close, func() { _ = cc.Close() })
 	}
@@ -100,7 +108,7 @@ func (h *Runner) AblationJournal() (*Experiment, error) {
 		env := sim.NewVirtEnv()
 		env.Run(func() {
 			var d *Deployment
-			d, err = buildArkFSJournal(env, cal, rados, h.Scale.MdtestProcs, cfg.jc, ArkFSOptions{PermCache: true})
+			d, err = buildArkFSJournal(env, cal, rados, h.Scale.MdtestProcs, cfg.jc, h.ark(ArkFSOptions{PermCache: true}))
 			if err != nil {
 				return
 			}
@@ -140,7 +148,7 @@ func (h *Runner) AblationReadahead() (*Experiment, error) {
 			entries = 250
 		}
 		_, read, err := h.fioRun(name, func(env sim.Env, n int) (*Deployment, error) {
-			o := ArkFSOptions{PermCache: true, Readahead: ra, CacheEntries: entries}
+			o := h.ark(ArkFSOptions{PermCache: true, Readahead: ra, CacheEntries: entries})
 			if ra == 0 {
 				o.Readahead = -1 // forces the "disabled" path (below entry size)
 			}
@@ -172,7 +180,7 @@ func (h *Runner) AblationLeaseManager() (*Experiment, error) {
 		}
 		h.logf("ablate-leasemgr: %s @ %d clients", name, clients)
 		thr, err := h.scaleCreate(func(env sim.Env, n int) (*Deployment, error) {
-			return BuildArkFS(env, cal, rados, n, ArkFSOptions{PermCache: true, LeaseShards: shards})
+			return BuildArkFS(env, cal, rados, n, h.ark(ArkFSOptions{PermCache: true, LeaseShards: shards}))
 		}, clients)
 		if err != nil {
 			return nil, fmt.Errorf("ablate-leasemgr %s: %w", name, err)
@@ -200,9 +208,9 @@ func (h *Runner) AblationEntrySize() (*Experiment, error) {
 		h.logf("ablate-entrysize: %s", name)
 		entries := int((80 << 20) / es) // hold the cache byte budget constant
 		write, read, err := h.fioRun(name, func(env sim.Env, n int) (*Deployment, error) {
-			return BuildArkFS(env, cal, rados, n, ArkFSOptions{
+			return BuildArkFS(env, cal, rados, n, h.ark(ArkFSOptions{
 				PermCache: true, ChunkSize: es, Readahead: 8 << 20, CacheEntries: entries,
-			})
+			}))
 		})
 		if err != nil {
 			return nil, fmt.Errorf("ablate-entrysize %s: %w", name, err)

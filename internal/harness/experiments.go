@@ -38,7 +38,7 @@ func (h *Runner) mdtestSystems() []sysBuilder {
 	rados := objstore.RADOSProfile()
 	return []sysBuilder{
 		{"ArkFS", func(env sim.Env, n int) (*Deployment, error) {
-			return BuildArkFS(env, cal, rados, n, ArkFSOptions{PermCache: true})
+			return BuildArkFS(env, cal, rados, n, h.ark(ArkFSOptions{PermCache: true}))
 		}},
 		{"CephFS-K (1 MDS)", func(env sim.Env, n int) (*Deployment, error) {
 			return BuildCeph(env, cal, rados, n, CephOptions{NumMDS: 1})
@@ -61,8 +61,26 @@ type Runner struct {
 	Scale Scale
 	// MarFSReadFails reproduces the paper's failing MarFS READ phase.
 	MarFSReadFails bool
+	// Flaky/FlakySeed inject a probabilistic fault layer under every ArkFS
+	// deployment; Retry enables the clients' retrying store path. Together
+	// they turn any experiment into a fault-injection run.
+	Flaky     float64
+	FlakySeed int64
+	Retry     *objstore.RetryPolicy
 	// Log receives progress lines; nil discards them.
 	Log func(string)
+}
+
+// ark merges the Runner-level fault/retry settings into per-experiment
+// ArkFS options.
+func (h *Runner) ark(o ArkFSOptions) ArkFSOptions {
+	if h.Flaky > 0 {
+		o.FlakyProb, o.FlakySeed = h.Flaky, h.FlakySeed
+	}
+	if o.Retry == nil {
+		o.Retry = h.Retry
+	}
+	return o
 }
 
 // NewRunner builds a Runner with defaults.
@@ -179,7 +197,7 @@ func (h *Runner) Fig6a() (*Experiment, error) {
 	rados := objstore.RADOSProfile()
 	systems := []sysBuilder{
 		{"ArkFS", func(env sim.Env, n int) (*Deployment, error) {
-			return BuildArkFS(env, cal, rados, n, ArkFSOptions{PermCache: true})
+			return BuildArkFS(env, cal, rados, n, h.ark(ArkFSOptions{PermCache: true}))
 		}},
 		{"CephFS-K", func(env sim.Env, n int) (*Deployment, error) {
 			return BuildCeph(env, cal, rados, n, CephOptions{NumMDS: 1})
@@ -210,10 +228,10 @@ func (h *Runner) Fig6b() (*Experiment, error) {
 	s3 := objstore.S3Profile()
 	systems := []sysBuilder{
 		{"ArkFS-ra8MB", func(env sim.Env, n int) (*Deployment, error) {
-			return BuildArkFS(env, cal, s3, n, ArkFSOptions{PermCache: true, Readahead: 8 << 20})
+			return BuildArkFS(env, cal, s3, n, h.ark(ArkFSOptions{PermCache: true, Readahead: 8 << 20}))
 		}},
 		{"ArkFS-ra400MB", func(env sim.Env, n int) (*Deployment, error) {
-			return BuildArkFS(env, cal, s3, n, ArkFSOptions{PermCache: true, Readahead: 400 << 20, CacheEntries: 250})
+			return BuildArkFS(env, cal, s3, n, h.ark(ArkFSOptions{PermCache: true, Readahead: 400 << 20, CacheEntries: 250}))
 		}},
 		{"S3FS", func(env sim.Env, n int) (*Deployment, error) {
 			return BuildS3FS(env, cal, s3, n)
@@ -297,10 +315,10 @@ func (h *Runner) Fig7() (*Experiment, error) {
 	rados := objstore.RADOSProfile()
 	systems := []sysBuilder{
 		{"ArkFS-pcache", func(env sim.Env, n int) (*Deployment, error) {
-			return BuildArkFS(env, cal, rados, n, ArkFSOptions{PermCache: true})
+			return BuildArkFS(env, cal, rados, n, h.ark(ArkFSOptions{PermCache: true}))
 		}},
 		{"ArkFS-no-pcache", func(env sim.Env, n int) (*Deployment, error) {
-			return BuildArkFS(env, cal, rados, n, ArkFSOptions{PermCache: false})
+			return BuildArkFS(env, cal, rados, n, h.ark(ArkFSOptions{PermCache: false}))
 		}},
 		{"CephFS-K (1 MDS)", func(env sim.Env, n int) (*Deployment, error) {
 			return BuildCeph(env, cal, rados, n, CephOptions{NumMDS: 1})
@@ -361,7 +379,7 @@ func (h *Runner) Table2() (*Experiment, error) {
 			return BuildCeph(env, cal, rados, n, CephOptions{NumMDS: 1})
 		}},
 		{"ArkFS", func(env sim.Env, n int) (*Deployment, error) {
-			return BuildArkFS(env, cal, rados, n, ArkFSOptions{PermCache: true})
+			return BuildArkFS(env, cal, rados, n, h.ark(ArkFSOptions{PermCache: true}))
 		}},
 	}
 	times := map[string][2]time.Duration{}

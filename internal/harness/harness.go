@@ -112,7 +112,24 @@ func QuickScale() Scale {
 type Deployment struct {
 	Mounts  []fsapi.FileSystem
 	Cluster *objstore.Cluster
-	close   []func()
+	// Fault is the fault-injection layer between the clients and the
+	// cluster, non-nil when ArkFSOptions.FlakyProb > 0.
+	Fault *objstore.FaultStore
+	// Ark holds the raw ArkFS clients behind Mounts (nil for baselines),
+	// for retry/cache statistics.
+	Ark   []*core.Client
+	close []func()
+}
+
+// RetryCount sums the store-path retries across all ArkFS clients.
+func (d *Deployment) RetryCount() int64 {
+	var total int64
+	for _, c := range d.Ark {
+		if rs := c.RetryStats(); rs != nil {
+			total += rs.Retries()
+		}
+	}
+	return total
 }
 
 // Close tears the deployment down.
@@ -142,6 +159,13 @@ type ArkFSOptions struct {
 	// LeaseShards > 1 deploys a sharded lease-manager cluster (the paper's
 	// future work) instead of the single manager.
 	LeaseShards int
+	// FlakyProb > 0 inserts a FaultStore between the clients and the
+	// cluster that fails every store op with this probability (seeded by
+	// FlakySeed), for fault-injection experiments. Formatting bypasses it.
+	FlakyProb float64
+	FlakySeed int64
+	// Retry enables the clients' retrying store path with this policy.
+	Retry *objstore.RetryPolicy
 }
 
 // BuildArkFS deploys ArkFS with n clients on the given storage profile.
@@ -161,13 +185,21 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 	}
 	prof.MaxObjectSize = maxI64(prof.MaxObjectSize, o.ChunkSize)
 	cluster := objstore.NewCluster(env, prof)
-	tr := prt.New(cluster, o.ChunkSize)
-	if err := core.Format(tr); err != nil {
+	// Format through the raw cluster: fault injection targets the workload,
+	// not deployment setup.
+	if err := core.Format(prt.New(cluster, o.ChunkSize)); err != nil {
 		return nil, err
 	}
+	var store objstore.Store = cluster
+	d := &Deployment{Cluster: cluster}
+	if o.FlakyProb > 0 {
+		d.Fault = objstore.NewFaultStore(cluster)
+		d.Fault.SetFlaky(o.FlakyProb, o.FlakySeed)
+		store = d.Fault
+	}
+	tr := prt.New(store, o.ChunkSize)
 	net := rpc.NewNetwork(env, cal.ClientNet)
 	var route func(types.Ino) rpc.Addr
-	d := &Deployment{Cluster: cluster}
 	d.close = append(d.close, cluster.Close)
 	if o.LeaseShards > 1 {
 		shards := lease.NewShards(net, o.LeaseShards, "leasemgr", lease.Options{Period: cal.LeasePeriod, Workers: 8})
@@ -205,9 +237,11 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 			},
 			RPCWorkers:  cal.RPCWorkers,
 			LeasePeriod: cal.LeasePeriod,
+			Retry:       o.Retry,
 			Seed:        int64(1000 + i),
 		})
 		d.Mounts = append(d.Mounts, fsapi.Adapt(c))
+		d.Ark = append(d.Ark, c)
 		cc := c
 		d.close = append(d.close, func() { _ = cc.Close() })
 	}

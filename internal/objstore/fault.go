@@ -2,23 +2,36 @@ package objstore
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
+	"arkfs/internal/sim"
 	"arkfs/internal/types"
 )
 
-// FaultStore wraps a Store and injects failures, used by crash-consistency
-// and recovery tests. It can fail the next N operations matching a key
-// prefix, or truncate written values to simulate torn writes.
+// FaultStore wraps a Store and injects failures, used by crash-consistency,
+// recovery, and retry tests. Failures are symmetric: it can fail the next N
+// writes (Put/Delete) or reads (Get/GetRange/List/Head) matching a key
+// prefix, truncate written values to simulate torn writes, fail every verb
+// probabilistically from a seeded RNG ("flaky mode"), and add fixed latency
+// to every operation.
 type FaultStore struct {
 	Inner Store
 
 	mu          sync.Mutex
+	env         sim.Env
+	latency     time.Duration
 	failPrefix  string
 	failsLeft   int
+	readPrefix  string
+	readsLeft   int
 	tornPrefix  string
 	tornLeft    int
+	flakyProb   float64
+	rng         *rand.Rand
 	opsObserved int
+	injected    int
 }
 
 // NewFaultStore wraps inner with no faults armed.
@@ -32,6 +45,14 @@ func (f *FaultStore) FailNext(prefix string, n int) {
 	f.mu.Unlock()
 }
 
+// FailNextRead arms the store to fail the next n read operations
+// (Get/GetRange/List/Head) whose key or prefix argument has the given prefix.
+func (f *FaultStore) FailNextRead(prefix string, n int) {
+	f.mu.Lock()
+	f.readPrefix, f.readsLeft = prefix, n
+	f.mu.Unlock()
+}
+
 // TearNext arms the store to write only half of the next n values whose key
 // has the given prefix — a torn write as seen after a power loss.
 func (f *FaultStore) TearNext(prefix string, n int) {
@@ -40,22 +61,68 @@ func (f *FaultStore) TearNext(prefix string, n int) {
 	f.mu.Unlock()
 }
 
-// Ops returns how many operations passed through, for test assertions.
+// SetFlaky makes every operation fail with probability prob, drawn from an
+// RNG seeded with seed so runs are reproducible. prob <= 0 disables flaky
+// mode.
+func (f *FaultStore) SetFlaky(prob float64, seed int64) {
+	f.mu.Lock()
+	f.flakyProb = prob
+	f.rng = rand.New(rand.NewSource(seed))
+	f.mu.Unlock()
+}
+
+// InjectLatency adds a fixed env-clock sleep to every operation, simulating a
+// slow or congested backend.
+func (f *FaultStore) InjectLatency(env sim.Env, d time.Duration) {
+	f.mu.Lock()
+	f.env, f.latency = env, d
+	f.mu.Unlock()
+}
+
+// Ops returns how many operations passed through (every verb), for test
+// assertions.
 func (f *FaultStore) Ops() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.opsObserved
 }
 
-func (f *FaultStore) shouldFail(key string) bool {
+// Injected returns how many operations failed with an injected error.
+func (f *FaultStore) Injected() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.injected
+}
+
+// observe records one operation on key, applies latency, and returns an
+// injected error or nil. read selects the FailNextRead vs FailNext budget;
+// flaky mode applies to both.
+func (f *FaultStore) observe(verb, key string, read bool) error {
+	f.mu.Lock()
 	f.opsObserved++
-	if f.failsLeft > 0 && hasPrefix(key, f.failPrefix) {
+	env, lat := f.env, f.latency
+	fail := false
+	switch {
+	case f.flakyProb > 0 && f.rng != nil && f.rng.Float64() < f.flakyProb:
+		fail = true
+	case read && f.readsLeft > 0 && hasPrefix(key, f.readPrefix):
+		f.readsLeft--
+		fail = true
+	case !read && f.failsLeft > 0 && hasPrefix(key, f.failPrefix):
 		f.failsLeft--
-		return true
+		fail = true
 	}
-	return false
+	if fail {
+		f.injected++
+	}
+	f.mu.Unlock()
+	if lat > 0 && env != nil {
+		env.Sleep(lat)
+	}
+	if fail {
+		return fmt.Errorf("faultstore: injected %s failure on %q: %w", verb, key, types.ErrIO)
+	}
+	return nil
 }
 
 func (f *FaultStore) shouldTear(key string) bool {
@@ -72,8 +139,8 @@ func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
 
 // Put implements Store with fault injection.
 func (f *FaultStore) Put(key string, data []byte) error {
-	if f.shouldFail(key) {
-		return fmt.Errorf("faultstore: injected put failure on %q: %w", key, types.ErrIO)
+	if err := f.observe("put", key, false); err != nil {
+		return err
 	}
 	if f.shouldTear(key) {
 		return f.Inner.Put(key, data[:len(data)/2])
@@ -81,29 +148,42 @@ func (f *FaultStore) Put(key string, data []byte) error {
 	return f.Inner.Put(key, data)
 }
 
-// Get implements Store.
+// Get implements Store with fault injection.
 func (f *FaultStore) Get(key string) ([]byte, error) {
-	f.mu.Lock()
-	f.opsObserved++
-	f.mu.Unlock()
+	if err := f.observe("get", key, true); err != nil {
+		return nil, err
+	}
 	return f.Inner.Get(key)
 }
 
-// GetRange implements Store.
+// GetRange implements Store with fault injection.
 func (f *FaultStore) GetRange(key string, off, n int64) ([]byte, error) {
+	if err := f.observe("getrange", key, true); err != nil {
+		return nil, err
+	}
 	return f.Inner.GetRange(key, off, n)
 }
 
 // Delete implements Store with fault injection.
 func (f *FaultStore) Delete(key string) error {
-	if f.shouldFail(key) {
-		return fmt.Errorf("faultstore: injected delete failure on %q: %w", key, types.ErrIO)
+	if err := f.observe("delete", key, false); err != nil {
+		return err
 	}
 	return f.Inner.Delete(key)
 }
 
-// List implements Store.
-func (f *FaultStore) List(prefix string) ([]string, error) { return f.Inner.List(prefix) }
+// List implements Store with fault injection.
+func (f *FaultStore) List(prefix string) ([]string, error) {
+	if err := f.observe("list", prefix, true); err != nil {
+		return nil, err
+	}
+	return f.Inner.List(prefix)
+}
 
-// Head implements Store.
-func (f *FaultStore) Head(key string) (int64, error) { return f.Inner.Head(key) }
+// Head implements Store with fault injection.
+func (f *FaultStore) Head(key string) (int64, error) {
+	if err := f.observe("head", key, true); err != nil {
+		return 0, err
+	}
+	return f.Inner.Head(key)
+}

@@ -8,7 +8,9 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"arkfs/internal/sim"
 	"arkfs/internal/types"
 )
 
@@ -151,6 +153,108 @@ func TestFaultStoreTornWrites(t *testing.T) {
 	if len(got) != 5 {
 		t.Fatalf("torn write stored %d bytes, want 5", len(got))
 	}
+}
+
+func TestFaultStoreCountsEveryVerb(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	if err := fs.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.GetRange("k", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.List("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Head("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Ops(); got != 6 {
+		t.Fatalf("Ops() = %d after one of each verb, want 6", got)
+	}
+}
+
+func TestFaultStoreFailsReads(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	if err := fs.Put("j:k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailNextRead("j:", 2)
+	if _, err := fs.Get("i:other"); err == nil || !errors.Is(err, types.ErrNotExist) {
+		t.Fatalf("non-matching read should pass through: %v", err)
+	}
+	if _, err := fs.Get("j:k"); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("want injected read failure, got %v", err)
+	}
+	if _, err := fs.List("j:"); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("want injected list failure, got %v", err)
+	}
+	if v, err := fs.Get("j:k"); err != nil || string(v) != "v" {
+		t.Fatalf("read faults should be exhausted: %q %v", v, err)
+	}
+	// Read faults must not consume the write budget and vice versa.
+	fs.FailNextRead("j:", 1)
+	if err := fs.Put("j:k", []byte("v2")); err != nil {
+		t.Fatalf("write should pass with only read faults armed: %v", err)
+	}
+}
+
+func TestFaultStoreFlakyModeDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		fs := NewFaultStore(NewMemStore())
+		fs.SetFlaky(0.5, seed)
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = fs.Put("k", []byte("v")) != nil
+		}
+		return out
+	}
+	p1, p2 := pattern(42), pattern(42)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("flaky mode not deterministic for equal seeds")
+	}
+	fails := 0
+	for _, f := range p1 {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(p1) {
+		t.Fatalf("flaky(0.5) failed %d/%d ops, want a mix", fails, len(p1))
+	}
+	// Disabling restores clean passage.
+	fs := NewFaultStore(NewMemStore())
+	fs.SetFlaky(0.5, 42)
+	fs.SetFlaky(0, 0)
+	for i := 0; i < 50; i++ {
+		if err := fs.Put("k", []byte("v")); err != nil {
+			t.Fatalf("flaky disabled but op %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestFaultStoreInjectedLatency(t *testing.T) {
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		fs := NewFaultStore(NewMemStore())
+		fs.InjectLatency(env, 10*time.Millisecond)
+		start := env.Now()
+		if err := fs.Put("k", []byte("v")); err != nil {
+			t.Errorf("Put: %v", err)
+		}
+		if _, err := fs.Get("k"); err != nil {
+			t.Errorf("Get: %v", err)
+		}
+		if got := env.Now() - start; got < 20*time.Millisecond {
+			t.Errorf("2 ops advanced the clock by %v, want >= 20ms", got)
+		}
+	})
 }
 
 // Property: MemStore behaves like a map for an arbitrary op sequence.
