@@ -7,6 +7,9 @@
 //	arkbench all
 //
 // Experiments: fig1 fig4 fig5 fig6a fig6b fig7 table2 all
+//
+// Chaos mode: arkbench -chaos -seed N replays the seeded fault scenario
+// exactly; a failing run prints its seed so the sequence can be reproduced.
 package main
 
 import (
@@ -32,12 +35,30 @@ func main() {
 		flaky   = flag.Float64("flaky", 0, "inject store failures into ArkFS runs with this probability (e.g. 0.1)")
 		seed    = flag.Int64("flaky-seed", 1, "seed for the injected-failure RNG")
 		retries = flag.Int("store-retries", 0, "enable the retrying store path with up to N attempts (0: off)")
+
+		chaos      = flag.Bool("chaos", false, "run a seeded chaos scenario instead of an experiment")
+		chaosSeed  = flag.Int64("seed", 1, "chaos scenario seed; a failing run prints the seed to replay")
+		chaosData  = flag.Bool("chaos-data", false, "chaos: write file contents and verify byte-exact read-back")
+		chaosVerbo = flag.Bool("chaos-log", false, "chaos: print the full run narration")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: arkbench [flags] <fig1|fig4|fig5|fig6a|fig6b|fig7|table2|all|ablate|ablate-journal|ablate-readahead|ablate-entrysize>...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *chaos {
+		rep := harness.RunChaos(harness.ChaosConfig{Seed: *chaosSeed, DataWrites: *chaosData})
+		if *chaosVerbo {
+			for _, line := range rep.Log {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+		fmt.Print(rep.Summary())
+		if rep.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)

@@ -241,6 +241,7 @@ func (c *Client) create(parent types.Ino, req CreateReq) (*types.Inode, error) {
 		if err = retryable(err, attempt); err != nil {
 			return nil, err
 		} else if resp == nil {
+			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
 			continue
 		}
 		cr := resp.(CreateResp)
@@ -276,6 +277,7 @@ func (c *Client) unlink(parent types.Ino, req UnlinkReq) error {
 		if err = retryable(err, attempt); err != nil {
 			return err
 		} else if resp == nil {
+			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
 			continue
 		}
 		ur := resp.(UnlinkResp)
@@ -338,6 +340,7 @@ func (c *Client) setAttrIno(dir types.Ino, name string, patch AttrPatch, implici
 		if err = retryable(err, attempt); err != nil {
 			return nil, err
 		} else if resp == nil {
+			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
 			continue
 		}
 		sr := resp.(SetAttrResp)
@@ -369,6 +372,7 @@ func (c *Client) readdirIno(dir types.Ino) ([]wire.Dentry, error) {
 		if err = retryable(err, attempt); err != nil {
 			return nil, err
 		} else if resp == nil {
+			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
 			continue
 		}
 		rr := resp.(ReaddirResp)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"arkfs/internal/cache"
+	"arkfs/internal/crashpoint"
 	"arkfs/internal/journal"
 	"arkfs/internal/lease"
 	"arkfs/internal/metatable"
@@ -54,6 +55,10 @@ type Options struct {
 	// commit, cache write-back, metatable load, recovery scan) survives
 	// transient backend failures. Nil disables retries (fail fast).
 	Retry *objstore.RetryPolicy
+	// Crash, when non-nil, is this client's crash-site registry: the journal
+	// and recovery paths announce the sites they pass, and a kill gate is
+	// mounted over the store so a killed client issues no further I/O.
+	Crash *crashpoint.Set
 	// Seed seeds the client's inode number generator.
 	Seed int64
 	// AcquireRetries bounds waits on recovering/quiescing directories.
@@ -170,12 +175,19 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 		retry = objstore.NewRetryStore(env, tr.Store(), *opts.Retry)
 		tr = prt.New(retry, tr.ChunkSize())
 	}
+	if opts.Crash != nil {
+		// The kill gate sits above the retry layer: a crashed process does
+		// not retry, it simply stops issuing I/O.
+		tr = prt.New(crashpoint.NewGateStore(opts.Crash, tr.Store()), tr.ChunkSize())
+	}
+	jcfg := opts.Journal
+	jcfg.Crash = opts.Crash
 	c := &Client{
 		env:     env,
 		net:     net,
 		tr:      tr,
 		retry:   retry,
-		jrnl:    journal.New(env, tr, opts.Journal),
+		jrnl:    journal.New(env, tr, jcfg),
 		data:    cache.New(env, tr, opts.Cache),
 		addr:    rpc.Addr("arkfs-" + opts.ID),
 		opts:    opts,
@@ -193,6 +205,7 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 	}
 	c.server = net.Listen(c.serviceName, opts.RPCWorkers, c.serve)
 	env.Go(c.leaseKeeper)
+	env.Go(c.twopcResolver)
 	return c
 }
 
@@ -322,12 +335,20 @@ func (c *Client) Close() error {
 }
 
 // Crash simulates a client failure: the process vanishes without flushing
-// buffered transactions or releasing leases. Used by recovery tests.
+// buffered transactions or releasing leases. Used by recovery and chaos
+// tests. After Crash, the leaseKeeper can no longer extend this client's
+// leases (acquireLease refuses on a closed client), so a successor's
+// failover is delayed by at most one already-in-flight extension, never
+// pushed out indefinitely.
 func (c *Client) Crash() {
 	c.mu.Lock()
 	c.closed = true
 	c.led = make(map[types.Ino]*ledDir)
 	c.mu.Unlock()
+	if c.opts.Crash != nil {
+		// Dead processes issue no I/O: fail everything behind the gate.
+		c.opts.Crash.Kill()
+	}
 	c.jrnl.Close()
 	c.server.Close()
 }
@@ -397,10 +418,22 @@ func (c *Client) leaderFor(dir types.Ino) (*ledDir, rpc.Addr, error) {
 }
 
 // acquireLease obtains (or extends) the lease for dir, building the
-// metatable when this client becomes a fresh leader.
+// metatable when this client becomes a fresh leader. It refuses outright on
+// a closed (or crashed) client: the leaseKeeper calls it directly, and a
+// crashed client must never extend — or re-take — a lease.
 func (c *Client) acquireLease(dir types.Ino) (*ledDir, rpc.Addr, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, "", fmt.Errorf("core: client closed: %w", types.ErrIO)
+	}
+	c.mu.Unlock()
 	c.stats.LeaseAcquires.Add(1)
-	for attempt := 0; attempt < c.opts.AcquireRetries; attempt++ {
+	// The manager's quiesce window after its own restart affects every
+	// directory and comes with a firm retry-after hint, so those waits get
+	// their own (larger) budget instead of consuming acquire retries.
+	quiesceWaits := 0
+	for attempt := 0; attempt < c.opts.AcquireRetries; {
 		resp, err := c.lm.Acquire(dir)
 		if err != nil {
 			return nil, "", fmt.Errorf("core: lease acquire: %w", err)
@@ -419,6 +452,14 @@ func (c *Client) acquireLease(dir types.Ino) (*ledDir, rpc.Addr, error) {
 			c.jrnl.DropDir(dir)
 			return nil, resp.Leader, nil
 		case resp.Wait:
+			if resp.Quiesce {
+				quiesceWaits++
+				if quiesceWaits > 4*c.opts.AcquireRetries {
+					return nil, "", fmt.Errorf("core: lease manager quiescing for %s: %w", dir.Short(), types.ErrTimedOut)
+				}
+			} else {
+				attempt++
+			}
 			delay := resp.RetryAfter - c.env.Now()
 			if delay < time.Millisecond {
 				delay = time.Millisecond
@@ -436,12 +477,23 @@ func (c *Client) acquireLease(dir types.Ino) (*ledDir, rpc.Addr, error) {
 // the manager confirmed our copy is still current.
 func (c *Client) becomeLeader(dir types.Ino, grant lease.AcquireResp) (*ledDir, rpc.Addr, error) {
 	if grant.NeedRecovery {
+		c.crashHit(crashpoint.RecoveryPreReplay)
 		rep, err := journal.Recover(c.tr, dir)
 		if err != nil {
-			_ = c.lm.Release(dir, grant.LeaseID, false)
+			// A dead process is silent: if the failure is our own crash, do
+			// not release — the lease lapses and the successor recovers. A
+			// live client renounces uncleanly so the manager re-gates the
+			// directory behind another recovery grant.
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if !closed {
+				_ = c.lm.Release(dir, grant.LeaseID, false)
+			}
 			return nil, "", fmt.Errorf("core: recovery of %s: %w", dir.Short(), err)
 		}
 		c.jrnl.SetNextSeq(dir, rep.NextSeq)
+		c.crashHit(crashpoint.RecoveryPostReplay)
 		done, err := c.lm.RecoveryDone(dir, grant.LeaseID)
 		if err != nil || !done.OK {
 			return nil, "", fmt.Errorf("core: recovery handshake for %s failed: %w", dir.Short(), types.ErrIO)
@@ -450,6 +502,14 @@ func (c *Client) becomeLeader(dir types.Ino, grant lease.AcquireResp) (*ledDir, 
 	}
 
 	c.mu.Lock()
+	if c.closed {
+		// The client crashed (or closed) while the grant was in flight: a
+		// dead process cannot serve the directory, and it must not release
+		// either — it is silent, so the lease lapses and the successor runs
+		// recovery.
+		c.mu.Unlock()
+		return nil, "", fmt.Errorf("core: client closed: %w", types.ErrIO)
+	}
 	if ld, ok := c.led[dir]; ok && grant.SameLeader {
 		// Extension of a lease we already hold: keep the table.
 		ld.leaseID = grant.LeaseID
@@ -481,10 +541,28 @@ func (c *Client) becomeLeader(dir types.Ino, grant lease.AcquireResp) (*ledDir, 
 		dataLeases: make(map[types.Ino]*dataLease),
 	}
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, "", fmt.Errorf("core: client closed: %w", types.ErrIO)
+	}
 	c.led[dir] = ld
 	delete(c.remote, dir)
 	c.mu.Unlock()
 	return ld, "", nil
+}
+
+// crashHit announces a core-side crash site (recovery phases).
+func (c *Client) crashHit(site crashpoint.Site) {
+	c.opts.Crash.Hit(site)
+}
+
+// Leads reports whether this client currently holds the lease of dir. The
+// chaos harness uses it to decide how strong an acknowledgement was: Fsync
+// only flushes journals this client owns, so a nil Fsync on a remote-led
+// directory promises nothing about durability.
+func (c *Client) Leads(dir types.Ino) bool {
+	_, ok := c.ledDirFor(dir)
+	return ok
 }
 
 // ledDirFor returns the ledDir if this client leads dir (without acquiring).

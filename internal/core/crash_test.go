@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"arkfs/internal/journal"
+	"arkfs/internal/lease"
+	"arkfs/internal/objstore"
+	"arkfs/internal/prt"
+	"arkfs/internal/rpc"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// TestCrashStopsLeaseExtensions: once a client crashes, its leaseKeeper must
+// stop extending, so a successor acquires the directory within roughly one
+// lease period plus the recovery grace. A regression here (the keeper
+// surviving Crash) would redirect the successor forever.
+func TestCrashStopsLeaseExtensions(t *testing.T) {
+	const lp = 200 * time.Millisecond
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		store := objstore.NewMemStore()
+		tr := prt.New(store, 4096)
+		if err := Format(tr); err != nil {
+			t.Fatal(err)
+		}
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		mgr := lease.NewManager(net, lease.Options{Period: lp})
+		defer mgr.Close()
+
+		a := New(net, tr, Options{
+			ID: "a", Cred: types.Cred{Uid: 1, Gid: 1}, LeasePeriod: lp,
+			Journal: journal.Config{CommitInterval: lp / 4, CommitWorkers: 2, CheckpointWorkers: 2},
+		})
+		if err := a.Mkdir("/d", 0777); err != nil {
+			t.Fatal(err)
+		}
+		node, err := a.Stat("/d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f, err := a.Create("/d/f", 0644); err != nil {
+			t.Fatal(err)
+		} else if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !a.Leads(node.Ino) {
+			t.Fatal("client a should lead /d")
+		}
+
+		crashAt := env.Now()
+		a.Crash()
+
+		succ := &lease.Client{Net: net, Mgr: mgr.Addr(), Self: "succ"}
+		for {
+			resp, err := succ.Acquire(node.Ino)
+			if err != nil {
+				t.Fatalf("successor acquire: %v", err)
+			}
+			if resp.Granted {
+				if !resp.NeedRecovery {
+					t.Fatalf("successor grant must carry NeedRecovery: %+v", resp)
+				}
+				break
+			}
+			if env.Now()-crashAt > 3*lp {
+				t.Fatalf("successor still not granted %v after the crash: %+v", env.Now()-crashAt, resp)
+			}
+			env.Sleep(lp / 8)
+		}
+		// Expiry of the dead lease (≤ one period) plus the data-lease grace
+		// (one period): anything much beyond that means extensions leaked.
+		if waited := env.Now() - crashAt; waited > 2*lp+lp/2 {
+			t.Fatalf("successor waited %v, want ≤ %v", waited, 2*lp+lp/2)
+		}
+	})
+}
+
+// TestAcquireRidesOutManagerQuiesce: a lease-manager restart answers acquires
+// with an explicit retry-after hint (quiesce, then the conservative recovery
+// grace); the client's acquire loop must honor the hints and complete the
+// operation instead of burning its retry budget.
+func TestAcquireRidesOutManagerQuiesce(t *testing.T) {
+	const lp = 200 * time.Millisecond
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		store := objstore.NewMemStore()
+		tr := prt.New(store, 4096)
+		if err := Format(tr); err != nil {
+			t.Fatal(err)
+		}
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		mgr := lease.NewManager(net, lease.Options{Period: lp})
+
+		c := New(net, tr, Options{
+			ID: "c", Cred: types.Cred{Uid: 1, Gid: 1}, LeasePeriod: lp,
+			Journal:        journal.Config{CommitInterval: lp / 4, CommitWorkers: 2, CheckpointWorkers: 2},
+			AcquireRetries: 16,
+		})
+		defer func() { _ = c.Close() }()
+		if err := c.Mkdir("/d", 0777); err != nil {
+			t.Fatal(err)
+		}
+		if f, err := c.Create("/d/a", 0644); err != nil {
+			t.Fatal(err)
+		} else if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Manager crash: leases lapse while it is down, then it restarts into
+		// the quiesce state.
+		mgr.Close()
+		env.Sleep(2 * lp)
+		mgr2 := lease.NewManager(net, lease.Options{Period: lp, Restarted: true})
+		defer mgr2.Close()
+
+		start := env.Now()
+		f, err := c.Create("/d/b", 0644)
+		if err != nil {
+			t.Fatalf("create across manager restart: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := env.Now() - start
+		// Quiesce (one period) plus the conservative post-restart grace (one
+		// period): the op must wait them out, not fail fast.
+		if elapsed < lp {
+			t.Fatalf("create completed in %v — it cannot have honored the quiesce", elapsed)
+		}
+		if elapsed > 4*lp {
+			t.Fatalf("create took %v, want ≲ %v", elapsed, 4*lp)
+		}
+		if _, err := c.Stat("/d/b"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

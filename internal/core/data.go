@@ -511,7 +511,7 @@ func (c *Client) grantRead(ld *ledDir, ino types.Ino, client rpc.Addr) bool {
 			}
 			c.markHandlesDirect(ino)
 		} else {
-			_, _ = c.net.Call(writer, FlushCacheReq{Ino: ino})
+			_, _ = c.net.CallFrom(c.addr, writer, FlushCacheReq{Ino: ino})
 		}
 	}
 	return direct
@@ -561,7 +561,7 @@ func (c *Client) upgradeWrite(ld *ledDir, ino types.Ino, client rpc.Addr) (direc
 			c.markHandlesDirect(ino)
 			continue
 		}
-		_, _ = c.net.Call(h, FlushCacheReq{Ino: ino})
+		_, _ = c.net.CallFrom(c.addr, h, FlushCacheReq{Ino: ino})
 	}
 	return true
 }

@@ -238,7 +238,7 @@ func (c *Client) recallWriter(ld *ledDir, ino types.Ino) {
 		c.recordWBErr(c.data.Flush(ino))
 		return
 	}
-	_, _ = c.net.Call(writer, FlushCacheReq{Ino: ino})
+	_, _ = c.net.CallFrom(c.addr, writer, FlushCacheReq{Ino: ino})
 }
 
 // localReaddir lists a led directory.

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"arkfs/internal/journal"
 	"arkfs/internal/types"
 	"arkfs/internal/wire"
 )
@@ -76,6 +78,7 @@ func (c *Client) Rename(src, dst string) error {
 		if err = retryable(err, attempt); err != nil {
 			return errnoWrap("rename", src, err)
 		} else if resp == nil {
+			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
 			continue
 		}
 		rr := resp.(RenameResp)
@@ -167,14 +170,14 @@ func (c *Client) coordinateRename(r RenameReq) error {
 	decide := DecideRenameReq{TxID: txid, DstDir: r.DstDir, Commit: commit}
 	participantDone := false
 	if dstLd, ok := c.ledDirFor(r.DstDir); ok {
-		c.decideRenameLocal(dstLd, decide)
-		participantDone = true
+		participantDone = c.decideRenameLocal(dstLd, decide) == nil
 	} else {
 		dstLeader := r.DstLeaderHint
 		if dstLeader == "" || dstLeader == c.addr {
 			dstLeader = c.remoteLeaderHint(r.DstDir)
 		}
-		if _, derr := c.callLeader(dstLeader, r.DstDir, decide); derr == nil {
+		if resp, derr := c.callLeader(dstLeader, r.DstDir, decide); derr == nil && resp != nil &&
+			resp.(DecideRenameResp).Err == "" {
 			participantDone = true
 		}
 	}
@@ -191,6 +194,9 @@ type pendingRename struct {
 	dir   types.Ino
 	name  string
 	child *types.Inode
+	coord types.Ino // coordinating directory, whose journal holds the decision
+	txid  uint64
+	at    time.Duration // when the prepare was accepted (env clock)
 }
 
 // prepareRenameLocal is the participant half of phase 1: validate, write the
@@ -244,15 +250,67 @@ func (c *Client) prepareRenameLocal(ld *ledDir, r PrepareRenameReq) error {
 		ld.opMu.Unlock()
 		return err
 	}
-	c.pending2pc.Store(r.TxID, pendingRename{dir: r.DstDir, name: r.DstName, child: child})
+	c.pending2pc.Store(r.TxID, pendingRename{
+		dir: r.DstDir, name: r.DstName, child: child,
+		coord: r.CoordDir, txid: r.TxID, at: c.env.Now(),
+	})
 	return nil
 }
 
-// decideRenameLocal is the participant half of phase 2.
-func (c *Client) decideRenameLocal(ld *ledDir, r DecideRenameReq) {
+// twopcResolver is the participant's safety net: a coordinator that crashes
+// between prepare and decide leaves this client holding a tentative insert
+// it cannot unilaterally resolve. Once the decision is overdue, the resolver
+// consults the coordinator directory's journal (paper §III-E: the decision
+// record, or its absence after the coordinator's recovery, is authoritative)
+// and applies or rolls back the tentative entry.
+func (c *Client) twopcResolver() {
+	interval := c.opts.LeasePeriod / 2
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		c.env.Sleep(interval)
+		if c.env.Stopped() {
+			return
+		}
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		now := c.env.Now()
+		c.pending2pc.Range(func(k, v any) bool {
+			pr := v.(pendingRename)
+			if now-pr.at < c.opts.LeasePeriod {
+				return true // give the live coordinator time to decide
+			}
+			ld, leads := c.ledDirFor(pr.dir)
+			if !leads {
+				// Our lease on the destination lapsed; the next leader's
+				// recovery resolves the durable prepare record, and our
+				// in-memory table is gone with the lease.
+				c.pending2pc.Delete(k)
+				return true
+			}
+			decided, commit, err := journal.PendingDecision(c.tr, pr.coord, pr.txid)
+			if err != nil || !decided {
+				return true // transient store error or genuinely undecided
+			}
+			c.decideRenameLocal(ld, DecideRenameReq{TxID: pr.txid, DstDir: pr.dir, Commit: commit})
+			return true
+		})
+	}
+}
+
+// decideRenameLocal is the participant half of phase 2. A non-nil return
+// means the durable resolution did not land; the coordinator must then retain
+// its decision record, or a crashed participant's recovery would flip the
+// committed rename into a presumed abort — losing the file from both sides.
+func (c *Client) decideRenameLocal(ld *ledDir, r DecideRenameReq) error {
 	v, ok := c.pending2pc.LoadAndDelete(r.TxID)
 	if !ok {
-		return
+		return nil
 	}
 	pr := v.(pendingRename)
 	if !r.Commit {
@@ -260,7 +318,13 @@ func (c *Client) decideRenameLocal(ld *ledDir, r DecideRenameReq) {
 		_, _ = ld.table.Remove(pr.name)
 		ld.opMu.Unlock()
 	}
-	_ = c.jrnl.ResolvePrepared(pr.dir, r.TxID, r.Commit)
+	if err := c.jrnl.ResolvePrepared(pr.dir, r.TxID, r.Commit); err != nil {
+		// Dead process or store fault: put the pending entry back so the
+		// resolver (or the next leader's recovery) finishes the job.
+		c.pending2pc.Store(r.TxID, pr)
+		return err
+	}
+	return nil
 }
 
 func (c *Client) servePrepareRename(r PrepareRenameReq) PrepareRenameResp {
@@ -276,6 +340,5 @@ func (c *Client) serveDecideRename(r DecideRenameReq) DecideRenameResp {
 	if errStr != "" {
 		return DecideRenameResp{Err: errStr}
 	}
-	c.decideRenameLocal(ld, r)
-	return DecideRenameResp{}
+	return DecideRenameResp{Err: errString(c.decideRenameLocal(ld, r))}
 }

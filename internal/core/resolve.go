@@ -211,16 +211,18 @@ func (c *Client) lookup(dir types.Ino, name string) (*types.Inode, error) {
 }
 
 // callLeader performs one leader RPC, refreshing the leader address through
-// the lease manager once if the cached leader is gone.
+// the lease manager once if the cached leader is gone. Timeouts — a crashed
+// leader, a partition, a dropped message — never escape to the workload as
+// hard failures from here: they invalidate the cached route and surface as
+// ErrStale, so the per-operation retry loops re-resolve through the lease
+// manager (with backoff) until their own attempt budget runs out.
 func (c *Client) callLeader(leader rpc.Addr, dir types.Ino, req any) (any, error) {
-	resp, err := c.net.Call(leader, req)
+	resp, err := c.net.CallFrom(c.addr, leader, req)
 	if err == nil {
 		return resp, nil
 	}
 	// The leader may have vanished; invalidate and rediscover once.
-	c.mu.Lock()
-	delete(c.remote, dir)
-	c.mu.Unlock()
+	c.invalidateLeader(dir)
 	ld, newLeader, lerr := c.leaderFor(dir)
 	if lerr != nil {
 		return nil, lerr
@@ -230,7 +232,15 @@ func (c *Client) callLeader(leader rpc.Addr, dir types.Ino, req any) (any, error
 		// signalled with ErrStale.
 		return nil, fmt.Errorf("core: leadership changed for %s: %w", dir.Short(), types.ErrStale)
 	}
-	return c.net.Call(newLeader, req)
+	resp, err = c.net.CallFrom(c.addr, newLeader, req)
+	if err != nil {
+		// Still unreachable. The lease manager vouched for this leader, so
+		// the fault is on the path, not the route — but the route is all we
+		// can refresh. Map to ErrStale for the caller's retry loop.
+		c.invalidateLeader(dir)
+		return nil, fmt.Errorf("core: leader %q unreachable for %s (%v): %w", newLeader, dir.Short(), err, types.ErrStale)
+	}
+	return resp, nil
 }
 
 // --- permission cache -------------------------------------------------------

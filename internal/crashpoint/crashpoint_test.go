@@ -1,0 +1,90 @@
+package crashpoint
+
+import (
+	"errors"
+	"testing"
+
+	"arkfs/internal/objstore"
+	"arkfs/internal/types"
+)
+
+func TestArmFiresExactlyOnce(t *testing.T) {
+	s := NewSet()
+	fired := 0
+	var observed []Site
+	s.OnFire(func(site Site) { observed = append(observed, site) })
+	s.Arm(PostJournalPut, func() { fired++ })
+	s.Hit(PreJournalPut) // different site: inert
+	s.Hit(PostJournalPut)
+	s.Hit(PostJournalPut) // disarmed after the first firing
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if got := s.Fired(); len(got) != 1 || got[0] != PostJournalPut {
+		t.Fatalf("Fired() = %v", got)
+	}
+	if len(observed) != 1 || observed[0] != PostJournalPut {
+		t.Fatalf("observer saw %v", observed)
+	}
+}
+
+func TestDisarmAndNilSet(t *testing.T) {
+	s := NewSet()
+	s.Arm(MidCheckpoint, func() { t.Fatal("disarmed site fired") })
+	s.Disarm(MidCheckpoint)
+	s.Hit(MidCheckpoint)
+
+	var nilSet *Set
+	nilSet.Hit(PostCheckpoint) // must not panic
+	if nilSet.Killed() {
+		t.Fatal("nil set reports killed")
+	}
+}
+
+func TestKilledSetDoesNotFire(t *testing.T) {
+	s := NewSet()
+	s.Arm(TwoPCPostPrepare, func() { t.Fatal("dead process fired a crash site") })
+	s.Kill()
+	s.Hit(TwoPCPostPrepare)
+	if !s.Killed() {
+		t.Fatal("Killed() false after Kill")
+	}
+}
+
+// TestGateStoreFailsAfterKill: the gate models a dead process — every store
+// verb fails with an ErrIO-classed error once the set is killed, and nothing
+// issued after the kill reaches the store.
+func TestGateStoreFailsAfterKill(t *testing.T) {
+	mem := objstore.NewMemStore()
+	s := NewSet()
+	g := NewGateStore(s, mem)
+	if err := g.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill()
+	if err := g.Put("k2", []byte("v")); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("put after kill: %v", err)
+	}
+	if _, err := g.Get("k"); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("get after kill: %v", err)
+	}
+	if _, err := g.GetRange("k", 0, 1); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("getrange after kill: %v", err)
+	}
+	if err := g.Delete("k"); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("delete after kill: %v", err)
+	}
+	if _, err := g.List(""); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("list after kill: %v", err)
+	}
+	if _, err := g.Head("k"); !errors.Is(err, types.ErrIO) {
+		t.Fatalf("head after kill: %v", err)
+	}
+	// The pre-kill write survived; the post-kill write never landed.
+	if _, err := mem.Get("k"); err != nil {
+		t.Fatalf("pre-kill write lost: %v", err)
+	}
+	if _, err := mem.Get("k2"); !errors.Is(err, types.ErrNotExist) {
+		t.Fatalf("post-kill write leaked to the store: %v", err)
+	}
+}

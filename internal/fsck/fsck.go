@@ -8,8 +8,10 @@
 //   - every data chunk belongs to a reachable regular file and lies inside
 //     its size (no orphan or out-of-bounds chunks);
 //   - journals are empty, or contain only records a recovery pass would
-//     resolve (reported, since they imply an unclean shutdown);
-//   - inode and dentry objects that no dentry references are orphans.
+//     resolve (reported, since they imply an unclean shutdown); journal
+//     objects for directories with no inode object are flagged as orphans;
+//   - inode and dentry objects that no dentry references are orphans, and
+//     data chunks whose inode object is gone entirely are dangling.
 //
 // The checker is read-only; cmd/arkfsck drives it.
 package fsck
@@ -187,10 +189,18 @@ func Check(store objstore.Store) (*Report, error) {
 	}
 	walk("/", root)
 
-	// Anything left in chunkKeys has no owning file.
+	// Anything left in chunkKeys has no owning file. Distinguish chunks whose
+	// inode object still exists but fell out of the namespace (orphan: the
+	// file is recoverable) from chunks whose inode is gone entirely (dangling:
+	// leaked space, e.g. a crash between chunk deletion fan-out and the
+	// journal checkpoint that removed the inode).
 	for ino, idxs := range chunkKeys {
 		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-		rep.add("orphan-chunks", prt.PrefixData+ino, "%d chunk(s) with no reachable file", len(idxs))
+		if inodeKeys[ino] {
+			rep.add("orphan-chunks", prt.PrefixData+ino, "%d chunk(s) with no reachable file", len(idxs))
+		} else {
+			rep.add("dangling-chunks", prt.PrefixData+ino, "%d chunk(s) whose inode object no longer exists", len(idxs))
+		}
 		rep.Chunks += len(idxs)
 	}
 	// Unreachable inode objects.
@@ -206,8 +216,17 @@ func Check(store objstore.Store) (*Report, error) {
 		}
 	}
 	// Journals: decodable records mean an unclean shutdown (recovery due);
-	// undecodable ones are torn tails recovery would drop.
+	// undecodable ones are torn tails recovery would drop. Journal objects
+	// for a directory whose inode object is gone entirely are orphans — no
+	// future leader will ever replay them (the directory was removed, or its
+	// creation never became durable), so they are leaked space, not pending
+	// work.
 	for dir, keys := range journalKeys {
+		if !inodeKeys[dir] {
+			rep.add("orphan-journal", prt.PrefixJournal+dir,
+				"%d journal object(s) for a directory with no inode object", len(keys))
+			continue
+		}
 		for _, k := range keys {
 			raw, err := store.Get(k)
 			if err != nil {
@@ -223,7 +242,6 @@ func Check(store objstore.Store) (*Report, error) {
 			}
 			rep.PendingJournalRecords++
 		}
-		_ = dir
 	}
 	return rep, nil
 }

@@ -115,12 +115,16 @@ func TestDetectsDanglingDentry(t *testing.T) {
 
 func TestDetectsOrphans(t *testing.T) {
 	store, _ := buildImage(t)
-	// An inode object nobody references.
-	ghost := &types.Inode{Ino: types.NewInoSource(99).Next(), Type: types.TypeRegular, Nlink: 1}
+	// An inode object nobody references, with a chunk: both are orphans, but
+	// the chunk is recoverable alongside its inode (orphan-chunks).
+	ghost := &types.Inode{Ino: types.NewInoSource(99).Next(), Type: types.TypeRegular, Nlink: 1, Size: 3}
 	if err := store.Put(prt.InodeKey(ghost.Ino), wire.EncodeInode(ghost)); err != nil {
 		t.Fatal(err)
 	}
-	// Data chunks of a file that does not exist.
+	if err := store.Put(prt.DataKey(ghost.Ino, 0), []byte("yyy")); err != nil {
+		t.Fatal(err)
+	}
+	// Data chunks of a file whose inode object is gone entirely: dangling.
 	if err := store.Put(prt.DataKey(types.NewInoSource(98).Next(), 0), []byte("zzz")); err != nil {
 		t.Fatal(err)
 	}
@@ -129,8 +133,32 @@ func TestDetectsOrphans(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := kinds(rep)
-	if k["orphan-inode"] == 0 || k["orphan-chunks"] == 0 {
+	if k["orphan-inode"] == 0 || k["orphan-chunks"] == 0 || k["dangling-chunks"] == 0 {
 		t.Fatalf("missed orphans: %v", rep.Problems)
+	}
+}
+
+func TestDetectsOrphanJournal(t *testing.T) {
+	store, _ := buildImage(t)
+	// A journal object for a directory whose inode object does not exist: no
+	// future leader will replay it (the directory is gone), so it is leaked
+	// space rather than pending recovery work.
+	gone := types.NewInoSource(97).Next()
+	txn := &wire.Txn{ID: 1, Dir: gone, Kind: wire.TxnNormal, Ops: []wire.Op{
+		{Kind: wire.OpDelDentry, Name: "ghost"},
+	}}
+	if err := store.Put(prt.JournalKey(gone, 3), wire.EncodeTxn(txn)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds(rep)["orphan-journal"] == 0 {
+		t.Fatalf("missed orphan journal: %v", rep.Problems)
+	}
+	if rep.PendingJournalRecords != 0 {
+		t.Fatalf("orphan journal records counted as pending: %d", rep.PendingJournalRecords)
 	}
 }
 

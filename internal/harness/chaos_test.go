@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"arkfs/internal/core"
+	"arkfs/internal/crashpoint"
+	"arkfs/internal/fsck"
+	"arkfs/internal/journal"
+	"arkfs/internal/lease"
+	"arkfs/internal/objstore"
+	"arkfs/internal/prt"
+	"arkfs/internal/rpc"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// chaosSeeds returns the seed matrix: CHAOS_SEEDS (comma-separated) when set
+// (the CI chaos job sweeps it), else a small default.
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	raw := os.Getenv("CHAOS_SEEDS")
+	if raw == "" {
+		return []int64{1, 7, 42}
+	}
+	var seeds []int64
+	for _, part := range strings.Split(raw, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEEDS: %v", err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// TestChaosMetadataSeeds: randomized metadata-only chaos across the seed
+// matrix. Every acknowledged-durable op must survive, and fsck must find no
+// corruption (kills legitimately leak unreachable objects; that residue is
+// tolerated, dangling dentries and structural damage are not).
+func TestChaosMetadataSeeds(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		rep := RunChaos(ChaosConfig{Seed: seed})
+		if rep.Failed() {
+			t.Errorf("seed %d failed:\n%s", seed, rep.Summary())
+		}
+		if rep.DurableChecked == 0 {
+			t.Errorf("seed %d: no durable ops verified — workload too weak:\n%s", seed, rep.Summary())
+		}
+	}
+}
+
+// TestChaosDataWrites: chaos with file contents in play. Durable files must
+// read back byte-exact — including files that moved in a cross-directory
+// rename, which carry their source path's payload.
+func TestChaosDataWrites(t *testing.T) {
+	rep := RunChaos(ChaosConfig{Seed: 11, DataWrites: true})
+	if rep.Failed() {
+		t.Fatalf("data chaos failed:\n%s", rep.Summary())
+	}
+	if rep.DurableChecked == 0 {
+		t.Fatalf("no durable ops verified:\n%s", rep.Summary())
+	}
+}
+
+// TestChaosSameSeedSameFingerprint: replaying a seed reproduces the identical
+// event sequence — the property that makes chaos failures debuggable.
+func TestChaosSameSeedSameFingerprint(t *testing.T) {
+	cfg := ChaosConfig{Seed: 1234}
+	a := RunChaos(cfg)
+	b := RunChaos(cfg)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same seed diverged:\nrun A:\n%s\nrun B:\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Failed() || b.Failed() {
+		t.Fatalf("replayed runs failed:\nA: %v\nB: %v", a.Errors, b.Errors)
+	}
+}
+
+// TestChaosDirectedLeaderCrashDuringPartition is the issue's acceptance
+// scenario, scripted exactly: a directory leader is killed at
+// post-journal-put — its last transaction durable but not checkpointed —
+// while the whole network is partitioned from the lease manager. After the
+// heal, a successor must recover the directory, the acknowledged transaction
+// must be visible, and fsck must be clean.
+func TestChaosDirectedLeaderCrashDuringPartition(t *testing.T) {
+	const lp = 200 * time.Millisecond
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		cluster := objstore.NewCluster(env, objstore.TestProfile())
+		defer cluster.Close()
+		if err := core.Format(prt.New(cluster, 4096)); err != nil {
+			t.Fatal(err)
+		}
+		net := rpc.NewNetwork(env, sim.NetModel{Latency: 20 * time.Microsecond, Bandwidth: 1 << 30})
+		plan := rpc.NewFaultPlan(env, 1)
+		plan.SetTimeout(lp / 16)
+		net.SetFaultPlan(plan)
+		mgr := lease.NewManager(net, lease.Options{Period: lp, Workers: 8})
+		defer mgr.Close()
+
+		jcfg := journal.Config{CommitInterval: lp / 4, CommitWorkers: 2, CheckpointWorkers: 2}
+		set := crashpoint.NewSet()
+		leader := core.New(net, prt.New(cluster, 4096), core.Options{
+			ID: "leader", Cred: types.Cred{Uid: 1, Gid: 1}, LeasePeriod: lp,
+			Journal: jcfg, Crash: set, AcquireRetries: 64,
+		})
+		if err := leader.Mkdir("/work", 0777); err != nil {
+			t.Fatal(err)
+		}
+		if f, err := leader.Create("/work/pre", 0644); err != nil {
+			t.Fatal(err)
+		} else if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Make the setup durable everywhere (the mkdir lives in the *root*
+		// journal) before any fault is injected.
+		if err := leader.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Cut everyone off from the lease manager, then kill the leader the
+		// moment its next journal record is durable (before its checkpoint).
+		part := plan.Partition(nil, []rpc.Addr{mgr.Addr()})
+		set.Arm(crashpoint.PostJournalPut, leader.Crash)
+		if f, err := leader.Create("/work/x", 0644); err != nil {
+			t.Fatal(err)
+		} else if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		err := leader.Fsync("/work/x") // forces the commit; the PUT fires the kill
+		fired := set.Fired()
+		if len(fired) != 1 || fired[0] != crashpoint.PostJournalPut {
+			t.Fatalf("crash site did not fire as scripted: %v (fsync err %v)", fired, err)
+		}
+		if !set.Killed() {
+			t.Fatal("leader not killed")
+		}
+
+		// Heal only after the dead leader's lease has lapsed.
+		env.Sleep(2 * lp)
+		part.Heal()
+		env.Sleep(2 * lp) // recovery grace: expiry + one period
+
+		successor := core.New(net, prt.New(cluster, 4096), core.Options{
+			ID: "successor", Cred: types.Cred{Uid: 1, Gid: 1}, LeasePeriod: lp,
+			Journal: jcfg, AcquireRetries: 64,
+		})
+		var entries int
+		for attempt := 0; attempt < 20; attempt++ {
+			des, err := successor.Readdir("/work")
+			if err == nil {
+				entries = len(des)
+				break
+			}
+			env.Sleep(lp / 2)
+		}
+		if entries != 2 {
+			t.Fatalf("successor sees %d entries in /work, want 2 (pre + x)", entries)
+		}
+		// Zero lost acknowledged ops: the durable record was replayed.
+		if _, err := successor.Stat("/work/x"); err != nil {
+			t.Fatalf("acknowledged /work/x lost after recovery: %v", err)
+		}
+		if _, err := successor.Stat("/work/pre"); err != nil {
+			t.Fatalf("/work/pre lost: %v", err)
+		}
+		if err := successor.Close(); err != nil {
+			t.Fatalf("successor close: %v", err)
+		}
+
+		rep, err := fsck.Check(cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("fsck not clean after recovery: %v", rep.Problems)
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"arkfs/internal/crashpoint"
 	"arkfs/internal/prt"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
@@ -39,6 +40,9 @@ type Config struct {
 	// CheckpointFanout bounds the concurrent inode-object writes one
 	// transaction's checkpoint issues (they are independent objects).
 	CheckpointFanout int
+	// Crash, when non-nil, announces the commit/checkpoint/2PC crash sites
+	// this journal passes through; chaos scenarios arm it. Nil is inert.
+	Crash *crashpoint.Set
 }
 
 // DefaultConfig matches the paper's settings.
@@ -202,7 +206,9 @@ func (j *Journal) Log(dir types.Ino, ops []wire.Op) {
 func (j *Journal) Flush(dir types.Ino) error {
 	dj := j.dirJournal(dir)
 	done := sim.NewChan[error](j.env)
-	j.commitQ(dir).Send(&commitItem{dj: dj, force: true, done: done})
+	if !j.commitQ(dir).Send(&commitItem{dj: dj, force: true, done: done}) {
+		return fmt.Errorf("journal: shut down during flush: %w", types.ErrIO)
+	}
 	err, ok := done.Recv()
 	if !ok {
 		return fmt.Errorf("journal: shut down during flush: %w", types.ErrIO)
@@ -261,7 +267,9 @@ func (j *Journal) commitLoop(q *sim.Chan[*commitItem]) {
 			if it.done != nil {
 				// Barrier only: ride through the checkpoint queue so every
 				// previously queued item for this dir completes first.
-				j.ckptQ(dj.dir).Send(&ckptItem{dj: dj, done: it.done})
+				if !j.ckptQ(dj.dir).Send(&ckptItem{dj: dj, done: it.done}) {
+					it.done.Send(fmt.Errorf("journal: shut down during flush: %w", types.ErrIO))
+				}
 			}
 			continue
 		}
@@ -273,6 +281,7 @@ func (j *Journal) commitLoop(q *sim.Chan[*commitItem]) {
 			Ops:   ops,
 		}
 		key := prt.JournalKey(dj.dir, seq)
+		j.cfg.Crash.Hit(crashpoint.PreJournalPut)
 		if err := j.tr.Store().Put(key, wire.EncodeTxn(txn)); err != nil {
 			j.recordErr(dj, fmt.Errorf("journal: commit %s: %w", key, err))
 			if it.done != nil {
@@ -280,9 +289,17 @@ func (j *Journal) commitLoop(q *sim.Chan[*commitItem]) {
 			}
 			continue
 		}
-		j.ckptQ(dj.dir).Send(&ckptItem{
+		// The record is durable: from here on a crash must be recoverable by
+		// the next leader's journal replay.
+		j.cfg.Crash.Hit(crashpoint.PostJournalPut)
+		if !j.ckptQ(dj.dir).Send(&ckptItem{
 			dj: dj, txn: txn, seq: seq, ops: ops, del: []string{key}, done: it.done,
-		})
+		}) {
+			j.recordErr(dj, fmt.Errorf("journal: shut down before checkpoint of %s: %w", key, types.ErrIO))
+			if it.done != nil {
+				it.done.Send(dj.takeErr())
+			}
+		}
 	}
 }
 
@@ -295,9 +312,12 @@ func (j *Journal) ckptLoop(q *sim.Chan[*ckptItem]) {
 			return
 		}
 		if it.ops != nil {
-			if err := applyOps(j.env, j.tr, it.dj.dir, it.ops, j.cfg.CheckpointFanout); err != nil {
+			if err := applyOps(j.env, j.tr, it.dj.dir, it.ops, j.cfg.CheckpointFanout, j.cfg.Crash); err != nil {
 				j.recordErr(it.dj, err)
 			} else {
+				// Fully applied; the journal record still exists, so a crash
+				// here makes recovery replay the transaction a second time.
+				j.cfg.Crash.Hit(crashpoint.PostCheckpoint)
 				for _, key := range it.del {
 					if err := j.tr.Store().Delete(key); err != nil {
 						j.recordErr(it.dj, fmt.Errorf("journal: invalidate %s: %w", key, err))
@@ -331,7 +351,7 @@ func (dj *dirJournal) takeErr() error {
 // uses it. The checkpoint workers use applyOps with an environment, which
 // fans independent inode writes out in parallel.
 func ApplyOps(tr *prt.Translator, dir types.Ino, ops []wire.Op) error {
-	return applyOps(nil, tr, dir, ops, 1)
+	return applyOps(nil, tr, dir, ops, 1, nil)
 }
 
 // applyOps checkpoints a transaction's operations onto the original objects:
@@ -340,7 +360,7 @@ func ApplyOps(tr *prt.Translator, dir types.Ino, ops []wire.Op) error {
 // one read-modify-write of the directory's dentry block, and deleting an
 // inode also drops its data chunks (and dentry block, for directories).
 // Replay is idempotent.
-func applyOps(env sim.Env, tr *prt.Translator, dir types.Ino, ops []wire.Op, parallelism int) error {
+func applyOps(env sim.Env, tr *prt.Translator, dir types.Ino, ops []wire.Op, parallelism int, crash *crashpoint.Set) error {
 	var dentryDirty bool
 	for i := range ops {
 		k := ops[i].Kind
@@ -458,6 +478,10 @@ func applyOps(env sim.Env, tr *prt.Translator, dir types.Ino, ops []wire.Op, par
 			}
 		}
 	}
+
+	// Inode objects are written, the dentry block is not: crashing here
+	// leaves a half-applied transaction whose record recovery replays.
+	crash.Hit(crashpoint.MidCheckpoint)
 
 	if dentryDirty {
 		sort.Slice(entries, func(a, b int) bool { return entries[a].Name < entries[b].Name })

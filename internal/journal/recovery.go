@@ -173,6 +173,52 @@ func decisionFor(tr *prt.Translator, prepare *wire.Txn) (bool, error) {
 	return false, nil // presumed abort
 }
 
+// PendingDecision consults the coordinator directory's journal for the fate
+// of a prepared transaction a live participant is still holding in memory.
+// Outcomes:
+//   - a decision record for txid exists: decided, with its commit/abort;
+//   - the coordinator's own prepare record for txid still exists: the
+//     coordinator has not decided (alive but slow, or crashed and not yet
+//     recovered) — keep waiting;
+//   - neither exists: the coordinator's recovery ran and resolved the
+//     transaction by presumed abort (a retained commit decision would still
+//     be present while our prepare is outstanding), so the answer is abort.
+//
+// The coordinator always journals its own prepare before contacting the
+// participant, so "no trace of txid" can only mean a completed recovery.
+func PendingDecision(tr *prt.Translator, coordDir types.Ino, txid uint64) (decided, commit bool, err error) {
+	keys, err := tr.Store().List(prt.JournalPrefix(coordDir))
+	if err != nil {
+		return false, false, fmt.Errorf("journal: decision probe: %w", err)
+	}
+	prepareSeen := false
+	for _, key := range keys {
+		raw, err := tr.Store().Get(key)
+		if err != nil {
+			if errors.Is(err, types.ErrNotExist) {
+				continue // raced with an invalidation
+			}
+			return false, false, fmt.Errorf("journal: decision probe read %s: %w", key, err)
+		}
+		txn, err := wire.DecodeTxn(raw)
+		if err != nil || txn.ID != txid {
+			continue
+		}
+		switch txn.Kind {
+		case wire.TxnCommit:
+			return true, true, nil
+		case wire.TxnAbort:
+			return true, false, nil
+		case wire.TxnPrepare:
+			prepareSeen = true
+		}
+	}
+	if prepareSeen {
+		return false, false, nil
+	}
+	return true, false, nil // presumed abort
+}
+
 // HasValidEntries reports whether dir's journal contains any records — the
 // check a new leader performs to decide if recovery is needed.
 func HasValidEntries(tr *prt.Translator, dir types.Ino) (bool, error) {

@@ -3,6 +3,7 @@ package journal
 import (
 	"fmt"
 
+	"arkfs/internal/crashpoint"
 	"arkfs/internal/prt"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
@@ -42,6 +43,7 @@ func (j *Journal) WritePrepare(dir types.Ino, txid uint64, peer types.Ino, ops [
 	dj.prepared[txid] = seq
 	dj.prepOps[txid] = ops
 	dj.mu.Unlock()
+	j.cfg.Crash.Hit(crashpoint.TwoPCPostPrepare)
 	return nil
 }
 
@@ -70,6 +72,7 @@ func (j *Journal) WriteDecision(dir types.Ino, txid uint64, peer types.Ino, comm
 	}
 	dj.decisions[txid] = seq
 	dj.mu.Unlock()
+	j.cfg.Crash.Hit(crashpoint.TwoPCPostDecision)
 	return nil
 }
 
@@ -115,7 +118,9 @@ func (j *Journal) ResolvePrepared(dir types.Ino, txid uint64, commit bool) error
 		applied = []wire.Op{} // non-nil: still delete the records
 	}
 	done := sim.NewChan[error](j.env)
-	j.ckptQ(dir).Send(&ckptItem{dj: dj, ops: applied, del: del, done: done})
+	if !j.ckptQ(dir).Send(&ckptItem{dj: dj, ops: applied, del: del, done: done}) {
+		return fmt.Errorf("journal: shut down resolving txn %d: %w", txid, types.ErrIO)
+	}
 	err, ok := done.Recv()
 	if !ok {
 		return fmt.Errorf("journal: shut down resolving txn %d: %w", txid, types.ErrIO)

@@ -53,6 +53,11 @@ type AcquireResp struct {
 	// after a restart; retry after RetryAfter.
 	Wait       bool
 	RetryAfter time.Duration
+	// Quiesce: the Wait is the manager's own post-restart quiesce window,
+	// not contention on this directory. Clients should not charge it
+	// against their per-directory retry budget — RetryAfter is a firm
+	// "come back then" hint, and every directory is affected equally.
+	Quiesce bool
 }
 
 // ReleaseReq gives up a lease. Clean indicates all metadata was flushed.

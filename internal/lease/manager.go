@@ -41,6 +41,12 @@ type Manager struct {
 	dirs    map[types.Ino]*dirState
 	nextID  uint64
 	readyAt time.Duration // restart quiesce deadline
+	// restarted: this manager lost its predecessor's in-memory chain state.
+	// It cannot know which directories died with journal records pending, so
+	// the first grant of every unknown directory is conservative: treated as
+	// a crashed holder (grace wait, then a NeedRecovery grant). Recovery of
+	// an intact directory is a cheap no-op, so safety costs little.
+	restarted bool
 
 	stats ManagerStats
 }
@@ -75,6 +81,7 @@ func NewManager(net *rpc.Network, opts Options) *Manager {
 	}
 	if opts.Restarted {
 		m.readyAt = m.env.Now() + m.period
+		m.restarted = true
 	}
 	m.server = net.Listen(opts.Addr, opts.Workers, m.handle)
 	return m
@@ -113,23 +120,43 @@ func (m *Manager) acquire(r AcquireReq) AcquireResp {
 	m.stats.Acquires.Add(1)
 
 	if now < m.readyAt {
-		return AcquireResp{Wait: true, RetryAfter: m.readyAt}
+		return AcquireResp{Wait: true, Quiesce: true, RetryAfter: m.readyAt}
 	}
 
 	d := m.dirs[r.Dir]
 	if d == nil {
-		d = &dirState{clean: true}
+		if m.restarted {
+			// No chain state survived the restart: the directory's last
+			// holder may have crashed with journal records pending. Model it
+			// as a crashed unknown holder whose lease lapsed at readyAt; the
+			// crashed-holder branch below then enforces the data-lease grace
+			// and hands the first acquirer a NeedRecovery grant.
+			d = &dirState{holder: "?unknown", expiry: m.readyAt}
+		} else {
+			d = &dirState{clean: true}
+		}
 		m.dirs[r.Dir] = d
 	}
 
 	switch {
-	case d.recovering:
+	case d.recovering && now < d.expiry+m.period:
 		// A recovery is in flight; its owner may extend, others wait.
 		if d.holder == r.Client && d.leaseID == d.recoverID {
 			d.expiry = now + m.period
 			return AcquireResp{Granted: true, LeaseID: d.leaseID, Expiry: d.expiry, SameLeader: true}
 		}
 		return AcquireResp{Wait: true, RetryAfter: now + m.period/2}
+
+	case d.recovering:
+		// The recoverer itself died: its lease lapsed a full grace period ago
+		// without a RecoveryDone. Start a fresh recovery chain; journal
+		// replay is idempotent, so a half-finished predecessor is harmless.
+		m.stats.Recoveries.Add(1)
+		m.nextID++
+		d.holder, d.leaseID, d.expiry = r.Client, m.nextID, now+m.period
+		d.recovering, d.recoverID = true, m.nextID
+		d.clean = false
+		return AcquireResp{Granted: true, LeaseID: d.leaseID, Expiry: d.expiry, NeedRecovery: true}
 
 	case d.holder != "" && now < d.expiry:
 		if d.holder == r.Client {
@@ -183,14 +210,23 @@ func (m *Manager) release(r ReleaseReq) ReleaseResp {
 	if d == nil || d.holder != r.Client || d.leaseID != r.LeaseID {
 		return ReleaseResp{OK: false}
 	}
+	if !r.Clean {
+		// The holder renounced with unflushed state (a failed Close flush, an
+		// aborted recovery): its journal may hold records the metatable does
+		// not. Freeing the directory outright would hand the next leader a
+		// grant without NeedRecovery and those records would never replay.
+		// Instead, lapse the lease on the spot: the next acquirer takes the
+		// crashed-holder path — grace wait, then a recovery grant.
+		d.expiry = m.env.Now()
+		d.recovering = false
+		d.clean = false
+		d.prevHolder = ""
+		return ReleaseResp{OK: true}
+	}
 	d.holder = ""
 	d.recovering = false
-	d.clean = r.Clean
-	if r.Clean {
-		d.prevHolder = r.Client
-	} else {
-		d.prevHolder = ""
-	}
+	d.clean = true
+	d.prevHolder = r.Client
 	return ReleaseResp{OK: true}
 }
 
@@ -236,7 +272,7 @@ func (c *Client) mgrFor(dir types.Ino) rpc.Addr {
 
 // Acquire requests (or extends) the lease of dir.
 func (c *Client) Acquire(dir types.Ino) (AcquireResp, error) {
-	resp, err := c.Net.Call(c.mgrFor(dir), AcquireReq{Dir: dir, Client: c.Self})
+	resp, err := c.Net.CallFrom(c.Self, c.mgrFor(dir), AcquireReq{Dir: dir, Client: c.Self})
 	if err != nil {
 		return AcquireResp{}, err
 	}
@@ -245,14 +281,14 @@ func (c *Client) Acquire(dir types.Ino) (AcquireResp, error) {
 
 // Release gives the lease back; clean reports a full metadata flush.
 func (c *Client) Release(dir types.Ino, id uint64, clean bool) error {
-	_, err := c.Net.Call(c.mgrFor(dir), ReleaseReq{Dir: dir, LeaseID: id, Client: c.Self, Clean: clean})
+	_, err := c.Net.CallFrom(c.Self, c.mgrFor(dir), ReleaseReq{Dir: dir, LeaseID: id, Client: c.Self, Clean: clean})
 	return err
 }
 
 // RecoveryDone reports a finished journal recovery and returns the renewed
 // expiry.
 func (c *Client) RecoveryDone(dir types.Ino, id uint64) (RecoveryDoneResp, error) {
-	resp, err := c.Net.Call(c.mgrFor(dir), RecoveryDoneReq{Dir: dir, LeaseID: id, Client: c.Self})
+	resp, err := c.Net.CallFrom(c.Self, c.mgrFor(dir), RecoveryDoneReq{Dir: dir, LeaseID: id, Client: c.Self})
 	if err != nil {
 		return RecoveryDoneResp{}, err
 	}

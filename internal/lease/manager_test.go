@@ -164,13 +164,21 @@ func TestManagerRestartQuiesce(t *testing.T) {
 		defer m.Close()
 		c := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
 		w, err := c.Acquire(types.RootIno)
-		if err != nil || !w.Wait {
+		if err != nil || !w.Wait || !w.Quiesce {
 			t.Fatalf("acquire during quiesce: %+v, %v", w, err)
 		}
 		env.Sleep(w.RetryAfter - env.Now() + time.Millisecond)
+		// The restart lost the chain state, so the manager cannot know whether
+		// the directory's last leader crashed mid-journal: the first grant
+		// waits out the data-lease grace and then forces a recovery.
+		g, err := c.Acquire(types.RootIno)
+		if err != nil || !g.Wait || g.Quiesce {
+			t.Fatalf("first acquire after quiesce should wait out the grace: %+v, %v", g, err)
+		}
+		env.Sleep(g.RetryAfter - env.Now() + time.Millisecond)
 		r, err := c.Acquire(types.RootIno)
-		if err != nil || !r.Granted {
-			t.Fatalf("acquire after quiesce: %+v, %v", r, err)
+		if err != nil || !r.Granted || !r.NeedRecovery {
+			t.Fatalf("post-restart grant must carry NeedRecovery: %+v, %v", r, err)
 		}
 	})
 }
@@ -310,6 +318,82 @@ func TestSameHolderReacquireAfterLapse(t *testing.T) {
 		}
 		if r2.LeaseID != r1.LeaseID {
 			t.Fatalf("lease chain broken: %d -> %d", r1.LeaseID, r2.LeaseID)
+		}
+	})
+}
+
+func TestUncleanReleaseForcesRecovery(t *testing.T) {
+	// A holder that renounces with unflushed state (a failed Close flush, an
+	// aborted recovery) may leave journal records behind. The release must
+	// not free the directory: the next acquirer has to take the crashed-
+	// holder path — grace wait, then a NeedRecovery grant.
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second})
+		defer m.Close()
+		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
+		dir := types.RootIno
+		r1, _ := c1.Acquire(dir)
+		if !r1.Granted {
+			t.Fatal("grant failed")
+		}
+		if err := c1.Release(dir, r1.LeaseID, false); err != nil {
+			t.Fatal(err)
+		}
+		w, _ := c2.Acquire(dir)
+		if w.Granted || !w.Wait {
+			t.Fatalf("unclean release must impose the recovery grace: %+v", w)
+		}
+		env.Sleep(w.RetryAfter - env.Now() + time.Millisecond)
+		r2, _ := c2.Acquire(dir)
+		if !r2.Granted || !r2.NeedRecovery {
+			t.Fatalf("grant after unclean release must carry NeedRecovery: %+v", r2)
+		}
+	})
+}
+
+func TestDeadRecovererRegrants(t *testing.T) {
+	// A grantee that dies mid-recovery (no RecoveryDone) must not wedge the
+	// directory: once its lease and the grace lapse, a fresh NeedRecovery
+	// chain starts. Journal replay is idempotent, so the half-finished
+	// predecessor is harmless.
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		net := rpc.NewNetwork(env, sim.NetModel{})
+		m := NewManager(net, Options{Period: time.Second})
+		defer m.Close()
+		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
+		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
+		c3 := &Client{Net: net, Mgr: m.Addr(), Self: "c3"}
+		dir := types.RootIno
+
+		r1, _ := c1.Acquire(dir)
+		if !r1.Granted {
+			t.Fatal("grant failed")
+		}
+		env.Sleep(3 * time.Second) // c1 crashes silently; lease + grace lapse
+		r2, _ := c2.Acquire(dir)
+		if !r2.Granted || !r2.NeedRecovery {
+			t.Fatalf("expected recovery grant: %+v", r2)
+		}
+		// c2 dies mid-recovery. While its lease (plus grace) is live, others
+		// wait; afterwards a fresh recovery chain starts.
+		w, _ := c3.Acquire(dir)
+		if w.Granted || !w.Wait {
+			t.Fatalf("recovery in flight, want wait: %+v", w)
+		}
+		env.Sleep(3 * time.Second)
+		r3, _ := c3.Acquire(dir)
+		if !r3.Granted || !r3.NeedRecovery {
+			t.Fatalf("dead recoverer must yield a fresh recovery grant: %+v", r3)
+		}
+		if r3.LeaseID == r2.LeaseID {
+			t.Fatal("fresh recovery chain must change the lease id")
+		}
+		if done, _ := c3.RecoveryDone(dir, r3.LeaseID); !done.OK {
+			t.Fatal("new recoverer's RecoveryDone rejected")
 		}
 	})
 }

@@ -1,0 +1,173 @@
+package rpc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// FaultPlan injects network failures into a Network: seeded probabilistic
+// message drops, added per-message latency with jitter, and one-way
+// partitions between address sets, optionally on a schedule. All timing goes
+// through the environment clock, so under VirtEnv a plan is deterministic
+// for a given seed and scenario.
+//
+// Directionality: a partition blocks messages flowing source→destination.
+// Blocking the request direction fails the call before the handler runs;
+// blocking only the response direction lets the handler execute (its side
+// effects land) while the caller still observes a timeout — the classic
+// "did my op happen?" ambiguity that retry and recovery code must survive.
+type FaultPlan struct {
+	env sim.Env
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	drop    float64
+	latency time.Duration
+	jitter  time.Duration
+	timeout time.Duration
+	parts   []*Partition
+}
+
+// DefaultFaultTimeout is charged to a caller whose message was dropped or
+// partitioned, standing in for the RPC layer's request timeout.
+const DefaultFaultTimeout = 5 * time.Millisecond
+
+// NewFaultPlan creates an inert plan (no drops, no partitions) whose random
+// choices derive from seed.
+func NewFaultPlan(env sim.Env, seed int64) *FaultPlan {
+	return &FaultPlan{env: env, rng: rand.New(rand.NewSource(seed)), timeout: DefaultFaultTimeout}
+}
+
+// SetDrop makes every message (either direction) vanish with probability
+// prob. prob <= 0 disables drops.
+func (p *FaultPlan) SetDrop(prob float64) {
+	p.mu.Lock()
+	p.drop = prob
+	p.mu.Unlock()
+}
+
+// SetLatency adds d (± a uniform draw from jitter) to every message.
+func (p *FaultPlan) SetLatency(d, jitter time.Duration) {
+	p.mu.Lock()
+	p.latency, p.jitter = d, jitter
+	p.mu.Unlock()
+}
+
+// SetTimeout sets how long a caller waits before a dropped or partitioned
+// message surfaces as ErrTimedOut.
+func (p *FaultPlan) SetTimeout(d time.Duration) {
+	p.mu.Lock()
+	p.timeout = d
+	p.mu.Unlock()
+}
+
+// Partition is one (possibly scheduled) one-way partition. From and to are
+// address sets; an empty set is a wildcard matching every address.
+type Partition struct {
+	plan   *FaultPlan
+	from   map[Addr]bool
+	to     map[Addr]bool
+	start  time.Duration
+	end    time.Duration // 0: until Heal
+	healed bool
+}
+
+// Heal lifts the partition immediately.
+func (pt *Partition) Heal() {
+	pt.plan.mu.Lock()
+	pt.healed = true
+	pt.plan.mu.Unlock()
+}
+
+// blocks reports whether the partition currently blocks src→dst, at time now
+// (caller holds the plan lock).
+func (pt *Partition) blocks(src, dst Addr, now time.Duration) bool {
+	if pt.healed || now < pt.start || (pt.end > 0 && now >= pt.end) {
+		return false
+	}
+	if len(pt.from) > 0 && !pt.from[src] {
+		return false
+	}
+	if len(pt.to) > 0 && !pt.to[dst] {
+		return false
+	}
+	return true
+}
+
+// Partition blocks messages from every address in from to every address in
+// to, starting now, until the returned handle is healed. Empty slices are
+// wildcards ("everyone").
+func (p *FaultPlan) Partition(from, to []Addr) *Partition {
+	return p.PartitionFor(from, to, p.env.Now(), 0)
+}
+
+// PartitionFor installs a scheduled partition active during [start, end)
+// (environment times); end 0 means "until healed".
+func (p *FaultPlan) PartitionFor(from, to []Addr, start, end time.Duration) *Partition {
+	pt := &Partition{plan: p, from: addrSet(from), to: addrSet(to), start: start, end: end}
+	p.mu.Lock()
+	p.parts = append(p.parts, pt)
+	p.mu.Unlock()
+	return pt
+}
+
+// HealAll lifts every partition (scenario drain).
+func (p *FaultPlan) HealAll() {
+	p.mu.Lock()
+	for _, pt := range p.parts {
+		pt.healed = true
+	}
+	p.parts = nil
+	p.mu.Unlock()
+}
+
+func addrSet(addrs []Addr) map[Addr]bool {
+	m := make(map[Addr]bool, len(addrs))
+	for _, a := range addrs {
+		m[a] = true
+	}
+	return m
+}
+
+// deliver decides the fate of one message src→dst: extra latency to charge,
+// and whether the message is lost (with the timeout to charge before the
+// caller sees the failure).
+func (p *FaultPlan) deliver(src, dst Addr) (extra time.Duration, lost bool, timeout time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.env.Now()
+	for _, pt := range p.parts {
+		if pt.blocks(src, dst, now) {
+			return 0, true, p.timeout
+		}
+	}
+	if p.drop > 0 && p.rng.Float64() < p.drop {
+		return 0, true, p.timeout
+	}
+	extra = p.latency
+	if p.jitter > 0 {
+		extra += time.Duration(p.rng.Int63n(int64(p.jitter)))
+	}
+	return extra, false, 0
+}
+
+// apply charges the fate of one message and returns a non-nil error when the
+// message was lost.
+func (p *FaultPlan) apply(src, dst Addr, dir string) error {
+	extra, lost, timeout := p.deliver(src, dst)
+	if lost {
+		if timeout > 0 {
+			p.env.Sleep(timeout)
+		}
+		return fmt.Errorf("rpc: %s %q→%q lost (fault plan): %w", dir, src, dst, types.ErrTimedOut)
+	}
+	if extra > 0 {
+		p.env.Sleep(extra)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// faultWorld wires a network with a fault plan and one echo server under a
+// virtual clock.
+func faultWorld(t *testing.T, seed int64) (*sim.VirtEnv, *Network, *FaultPlan, *atomic.Int64, func(func())) {
+	t.Helper()
+	env := sim.NewVirtEnv()
+	net := NewNetwork(env, sim.NetModel{})
+	plan := NewFaultPlan(env, seed)
+	net.SetFaultPlan(plan)
+	var served atomic.Int64
+	run := func(fn func()) {
+		env.Run(func() {
+			net.Listen("srv", 2, func(req any) any {
+				served.Add(1)
+				return req
+			})
+			fn()
+		})
+	}
+	return env, net, plan, &served, run
+}
+
+func TestFaultDropsAndRecovers(t *testing.T) {
+	_, net, plan, _, run := faultWorld(t, 1)
+	run(func() {
+		plan.SetDrop(1.0)
+		if _, err := net.CallFrom("a", "srv", "x"); !errors.Is(err, types.ErrTimedOut) {
+			t.Fatalf("dropped call: %v", err)
+		}
+		plan.SetDrop(0)
+		if resp, err := net.CallFrom("a", "srv", "x"); err != nil || resp != "x" {
+			t.Fatalf("after drop-off: %v %v", resp, err)
+		}
+	})
+}
+
+func TestFaultLatencyCharged(t *testing.T) {
+	env, net, plan, _, run := faultWorld(t, 1)
+	run(func() {
+		plan.SetLatency(10*time.Millisecond, 0)
+		start := env.Now()
+		if _, err := net.CallFrom("a", "srv", "x"); err != nil {
+			t.Fatal(err)
+		}
+		// Charged once per direction.
+		if d := env.Now() - start; d < 20*time.Millisecond {
+			t.Fatalf("latency not charged: %v", d)
+		}
+	})
+}
+
+// TestPartitionRequestDirection: a request-direction partition fails the call
+// before the handler runs — no side effects land.
+func TestPartitionRequestDirection(t *testing.T) {
+	_, net, plan, served, run := faultWorld(t, 1)
+	run(func() {
+		part := plan.Partition([]Addr{"a"}, []Addr{"srv"})
+		if _, err := net.CallFrom("a", "srv", "x"); !errors.Is(err, types.ErrTimedOut) {
+			t.Fatalf("partitioned call: %v", err)
+		}
+		if served.Load() != 0 {
+			t.Fatal("handler ran despite request-direction partition")
+		}
+		// Unrelated links are unaffected.
+		if _, err := net.CallFrom("b", "srv", "x"); err != nil {
+			t.Fatalf("bystander call: %v", err)
+		}
+		part.Heal()
+		if _, err := net.CallFrom("a", "srv", "x"); err != nil {
+			t.Fatalf("after heal: %v", err)
+		}
+	})
+}
+
+// TestPartitionResponseDirection: blocking only srv→a lets the handler run
+// (its side effects land) while the caller still times out — the "did my op
+// happen?" ambiguity.
+func TestPartitionResponseDirection(t *testing.T) {
+	_, net, plan, served, run := faultWorld(t, 1)
+	run(func() {
+		plan.Partition([]Addr{"srv"}, []Addr{"a"})
+		if _, err := net.CallFrom("a", "srv", "x"); !errors.Is(err, types.ErrTimedOut) {
+			t.Fatalf("response-partitioned call: %v", err)
+		}
+		if served.Load() != 1 {
+			t.Fatalf("handler runs exactly once under a response partition: %d", served.Load())
+		}
+	})
+}
+
+func TestPartitionSchedule(t *testing.T) {
+	env, net, plan, _, run := faultWorld(t, 1)
+	run(func() {
+		plan.PartitionFor(nil, []Addr{"srv"}, 10*time.Millisecond, 20*time.Millisecond)
+		if _, err := net.CallFrom("a", "srv", "x"); err != nil {
+			t.Fatalf("before the window: %v", err)
+		}
+		env.Sleep(12 * time.Millisecond)
+		if _, err := net.CallFrom("a", "srv", "x"); !errors.Is(err, types.ErrTimedOut) {
+			t.Fatalf("inside the window: %v", err)
+		}
+		for env.Now() < 20*time.Millisecond {
+			env.Sleep(time.Millisecond)
+		}
+		if _, err := net.CallFrom("a", "srv", "x"); err != nil {
+			t.Fatalf("after the window: %v", err)
+		}
+	})
+}
+
+func TestHealAll(t *testing.T) {
+	_, net, plan, _, run := faultWorld(t, 1)
+	run(func() {
+		plan.Partition(nil, []Addr{"srv"})
+		plan.Partition([]Addr{"a"}, nil)
+		plan.HealAll()
+		if _, err := net.CallFrom("a", "srv", "x"); err != nil {
+			t.Fatalf("after HealAll: %v", err)
+		}
+	})
+}
+
+// TestServerCloseRacesInflightCalls (run with -race): closing a server while
+// calls are in flight must complete every call — with its response or a clean
+// ErrTimedOut — and never strand a caller. Uses the wall clock so Close truly
+// races the callers.
+func TestServerCloseRacesInflightCalls(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	net := NewNetwork(env, sim.NetModel{})
+	srv := net.Listen("srv", 4, func(req any) any {
+		env.Sleep(100 * time.Microsecond)
+		return req
+	})
+
+	const callers = 64
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = net.Call("srv", i)
+		}()
+	}
+	time.Sleep(200 * time.Microsecond)
+	srv.Close()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("callers hung after server close")
+	}
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, types.ErrTimedOut) {
+			t.Fatalf("caller %d: unexpected error class: %v", i, err)
+		}
+	}
+}

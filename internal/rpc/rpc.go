@@ -40,6 +40,7 @@ type Network struct {
 
 	mu      sync.Mutex
 	servers map[Addr]*Server
+	fault   *FaultPlan
 }
 
 // NewNetwork creates a fabric in env; model applies to every message.
@@ -49,6 +50,20 @@ func NewNetwork(env sim.Env, model sim.NetModel) *Network {
 
 // Env returns the fabric's environment.
 func (n *Network) Env() sim.Env { return n.env }
+
+// SetFaultPlan installs (or, with nil, removes) the network's fault plan;
+// every subsequent Call consults it in both directions.
+func (n *Network) SetFaultPlan(p *FaultPlan) {
+	n.mu.Lock()
+	n.fault = p
+	n.mu.Unlock()
+}
+
+func (n *Network) faultPlan() *FaultPlan {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fault
+}
 
 type call struct {
 	req   any
@@ -105,9 +120,30 @@ func (s *Server) Close() {
 // Call sends req to the server at addr and waits for its response, charging
 // one-way latency (plus bandwidth for Sizer messages) in each direction.
 // Addresses with the "tcp!" prefix dial a bridged remote process instead.
+// The caller's address is unknown, so only wildcard fault-plan rules apply;
+// components with an identity use CallFrom.
 func (n *Network) Call(to Addr, req any) (any, error) {
+	return n.CallFrom("", to, req)
+}
+
+// CallFrom is Call with the caller's address attached, letting the fault
+// plan apply per-link rules (partitions between address sets) in both the
+// request and the response direction.
+func (n *Network) CallFrom(from, to Addr, req any) (any, error) {
+	fault := n.faultPlan()
+	if fault != nil {
+		if err := fault.apply(from, to, "request"); err != nil {
+			return nil, err
+		}
+	}
 	if strings.HasPrefix(string(to), TCPPrefix) {
-		return n.callTCP(to, req)
+		resp, err := n.callTCP(to, req)
+		if err == nil && fault != nil {
+			if ferr := fault.apply(to, from, "response"); ferr != nil {
+				return nil, ferr
+			}
+		}
+		return resp, err
 	}
 	n.mu.Lock()
 	s, ok := n.servers[to]
@@ -127,6 +163,13 @@ func (n *Network) Call(to Addr, req any) (any, error) {
 	resp, ok := c.reply.Recv()
 	if !ok {
 		return nil, fmt.Errorf("rpc: call to %q aborted: %w", to, types.ErrTimedOut)
+	}
+	if fault != nil {
+		// The handler ran; losing the response leaves its side effects in
+		// place while this caller times out.
+		if err := fault.apply(to, from, "response"); err != nil {
+			return nil, err
+		}
 	}
 	var respSize int64
 	if sz, ok := resp.(Sizer); ok {
