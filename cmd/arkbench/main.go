@@ -40,12 +40,29 @@ func main() {
 		chaosSeed  = flag.Int64("seed", 1, "chaos scenario seed; a failing run prints the seed to replay")
 		chaosData  = flag.Bool("chaos-data", false, "chaos: write file contents and verify byte-exact read-back")
 		chaosVerbo = flag.Bool("chaos-log", false, "chaos: print the full run narration")
+
+		stats     = flag.Bool("stats", false, "run an instrumented deployment and print its metrics")
+		statsJSON = flag.Bool("json", false, "stats: emit the snapshot as JSON instead of a table")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: arkbench [flags] <fig1|fig4|fig5|fig6a|fig6b|fig7|table2|all|ablate|ablate-journal|ablate-readahead|ablate-entrysize>...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *stats {
+		snap, err := harness.RunStats(harness.StatsConfig{Flaky: *flaky, FlakySeed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arkbench: stats: %v\n", err)
+			os.Exit(1)
+		}
+		if *statsJSON {
+			os.Stdout.Write(snap.JSON())
+			fmt.Println()
+		} else {
+			fmt.Print(snap.Table())
+		}
+		return
+	}
 	if *chaos {
 		rep := harness.RunChaos(harness.ChaosConfig{Seed: *chaosSeed, DataWrites: *chaosData})
 		if *chaosVerbo {

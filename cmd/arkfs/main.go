@@ -28,6 +28,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -150,6 +151,9 @@ func runShell(c *core.Client, tr *prt.Translator) {
 }
 
 func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
+	// The CLI runs one command at a time; interruption is process-level
+	// (SIGINT), so operations run under the background context.
+	ctx := context.Background()
 	cmd, rest := args[0], args[1:]
 	need := func(n int) error {
 		if len(rest) < n {
@@ -164,12 +168,12 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 		if err := need(1); err != nil {
 			return err
 		}
-		return c.Mkdir(rest[0], 0755)
+		return c.Mkdir(ctx, rest[0], 0755)
 	case "ls":
 		if err := need(1); err != nil {
 			return err
 		}
-		ents, err := c.Readdir(rest[0])
+		ents, err := c.Readdir(ctx, rest[0])
 		if err != nil {
 			return err
 		}
@@ -181,7 +185,7 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 		if err := need(1); err != nil {
 			return err
 		}
-		st, err := c.Stat(rest[0])
+		st, err := c.Stat(ctx, rest[0])
 		if err != nil {
 			return err
 		}
@@ -196,7 +200,7 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 		if err != nil {
 			return err
 		}
-		f, err := c.Create(rest[1], 0644)
+		f, err := c.Create(ctx, rest[1], 0644)
 		if err != nil {
 			return err
 		}
@@ -211,7 +215,7 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 		if err := need(2); err != nil {
 			return err
 		}
-		f, err := c.Open(rest[0], types.ORdonly, 0)
+		f, err := c.Open(ctx, rest[0], types.ORdonly, 0)
 		if err != nil {
 			return err
 		}
@@ -227,7 +231,7 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 		if err := need(1); err != nil {
 			return err
 		}
-		f, err := c.Open(rest[0], types.ORdonly, 0)
+		f, err := c.Open(ctx, rest[0], types.ORdonly, 0)
 		if err != nil {
 			return err
 		}
@@ -238,7 +242,7 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 		if err := need(2); err != nil {
 			return err
 		}
-		f, err := c.Create(rest[0], 0644)
+		f, err := c.Create(ctx, rest[0], 0644)
 		if err != nil {
 			return err
 		}
@@ -253,20 +257,20 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 		if err := need(1); err != nil {
 			return err
 		}
-		return c.Unlink(rest[0])
+		return c.Unlink(ctx, rest[0])
 	case "rmdir":
 		if err := need(1); err != nil {
 			return err
 		}
-		return c.Rmdir(rest[0])
+		return c.Rmdir(ctx, rest[0])
 	case "mv":
 		if err := need(2); err != nil {
 			return err
 		}
-		return c.Rename(rest[0], rest[1])
+		return c.Rename(ctx, rest[0], rest[1])
 	case "ln":
 		if len(rest) == 3 && rest[0] == "-s" {
-			return c.Symlink(rest[1], rest[2])
+			return c.Symlink(ctx, rest[1], rest[2])
 		}
 		return fmt.Errorf("ln: only 'ln -s <target> <path>' is supported")
 	case "chmod":
@@ -277,9 +281,9 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 		if err != nil {
 			return fmt.Errorf("chmod: bad mode %q", rest[0])
 		}
-		return c.Chmod(rest[1], types.Mode(mode))
+		return c.Chmod(ctx, rest[1], types.Mode(mode))
 	case "fsync":
-		return c.FlushAll()
+		return c.FlushAll(ctx)
 	case "tree":
 		if err := need(1); err != nil {
 			return err
@@ -291,7 +295,7 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 }
 
 func tree(c *core.Client, path, indent string) error {
-	ents, err := c.Readdir(path)
+	ents, err := c.Readdir(context.Background(), path)
 	if err != nil {
 		return err
 	}

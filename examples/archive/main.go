@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,12 +60,12 @@ func main() {
 			arch.Files, float64(arch.Bytes)/(1<<20), arch.Elapsed)
 
 		// Show the categorized layout.
-		ents, err := mount.Readdir("/campaign")
+		ents, err := mount.Readdir(context.Background(), "/campaign")
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("categories:  %d directories under /campaign\n", len(ents))
-		sub, err := mount.Readdir("/campaign/" + ents[0].Name)
+		sub, err := mount.Readdir(context.Background(), "/campaign/"+ents[0].Name)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -44,12 +45,13 @@ func main() {
 		Cred: types.Cred{Uid: 1000, Gid: 1000},
 	})
 	defer client.Close()
+	ctx := context.Background()
 
 	// 5. Build a small tree.
-	must(client.Mkdir("/projects", 0755))
-	must(client.Mkdir("/projects/demo", 0755))
+	must(client.Mkdir(ctx, "/projects", 0755))
+	must(client.Mkdir(ctx, "/projects/demo", 0755))
 
-	f, err := client.Create("/projects/demo/hello.txt", 0644)
+	f, err := client.Create(ctx, "/projects/demo/hello.txt", 0644)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func main() {
 	must(f.Close())
 
 	// 6. Read it back.
-	r, err := client.Open("/projects/demo/hello.txt", types.ORdonly, 0)
+	r, err := client.Open(ctx, "/projects/demo/hello.txt", types.ORdonly, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,14 +74,14 @@ func main() {
 	fmt.Printf("content: %s", content)
 
 	// 7. Metadata operations.
-	st, err := client.Stat("/projects/demo/hello.txt")
+	st, err := client.Stat(ctx, "/projects/demo/hello.txt")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("stat: ino=%s size=%d mode=%04o uid=%d\n", st.Ino.Short(), st.Size, st.Mode, st.Uid)
 
-	must(client.Rename("/projects/demo/hello.txt", "/projects/demo/greeting.txt"))
-	ents, err := client.Readdir("/projects/demo")
+	must(client.Rename(ctx, "/projects/demo/hello.txt", "/projects/demo/greeting.txt"))
+	ents, err := client.Readdir(ctx, "/projects/demo")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,17 +92,17 @@ func main() {
 	fmt.Println()
 
 	// 8. Access control: a named user gets read access through an ACL.
-	must(client.Chmod("/projects/demo/greeting.txt", 0600))
-	must(client.SetACL("/projects/demo/greeting.txt", types.ACL{
+	must(client.Chmod(ctx, "/projects/demo/greeting.txt", 0600))
+	must(client.SetACL(ctx, "/projects/demo/greeting.txt", types.ACL{
 		{Tag: types.TagUserObj, Perms: types.MayRead | types.MayWrite},
 		{Tag: types.TagUser, ID: 2000, Perms: types.MayRead},
 		{Tag: types.TagMask, Perms: types.MayRead},
 	}))
-	st, _ = client.Stat("/projects/demo/greeting.txt")
+	st, _ = client.Stat(ctx, "/projects/demo/greeting.txt")
 	fmt.Printf("acl: %s\n", st.ACL)
 
 	// 9. Everything durable: flush journals and count the stored objects.
-	must(client.FlushAll())
+	must(client.FlushAll(ctx))
 	keys, _ := store.List("")
 	fmt.Printf("object store now holds %d objects (i:/e:/d: keys)\n", len(keys))
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -46,10 +47,11 @@ func main() {
 	defer mgr.Close()
 	client := core.New(net, tr, core.Options{ID: "rest", Cred: types.Cred{Uid: 1000, Gid: 1000}})
 	defer client.Close()
+	ctx := context.Background()
 
 	// 3. Normal POSIX-style work; all storage I/O becomes REST calls.
-	must(client.Mkdir("/data", 0755))
-	f, err := client.Create("/data/blob.bin", 0644)
+	must(client.Mkdir(ctx, "/data", 0755))
+	f, err := client.Create(ctx, "/data/blob.bin", 0644)
 	must(err)
 	payload := make([]byte, 700<<10) // 700 KiB spans three 256 KiB chunks
 	for i := range payload {
@@ -59,7 +61,7 @@ func main() {
 	must(err)
 	must(f.Sync())
 	must(f.Close())
-	must(client.FlushAll())
+	must(client.FlushAll(ctx))
 
 	// 4. Inspect the bucket through the REST API directly: the i:/e:/d:
 	// key scheme of the PRT module is visible on the wire.
@@ -82,7 +84,7 @@ func main() {
 		inodes, dentries, data, journal)
 
 	// 5. Read back through ArkFS (REST GETs under the hood).
-	r, err := client.Open("/data/blob.bin", types.ORdonly, 0)
+	r, err := client.Open(ctx, "/data/blob.bin", types.ORdonly, 0)
 	must(err)
 	back, err := io.ReadAll(r)
 	must(err)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,10 +42,11 @@ func main() {
 	defer c2.Close()
 	c3 := core.New(net, tr, core.Options{ID: "C3", Cred: types.Cred{Uid: 3, Gid: 3}})
 	defer c3.Close()
+	ctx := context.Background()
 
 	// C1 builds the hierarchy — it becomes the leader of / and /home.
-	must(c1.Mkdir("/home", 0777))
-	f, err := c1.Create("/home/foo.txt", 0666)
+	must(c1.Mkdir(ctx, "/home", 0777))
+	f, err := c1.Create(ctx, "/home/foo.txt", 0666)
 	must(err)
 	_, _ = f.Write([]byte("foo"))
 	must(f.Close())
@@ -52,8 +54,8 @@ func main() {
 	// C2 creates /home/doc and works inside it — C2 is its leader, while
 	// its create of the "doc" entry itself was forwarded to C1 (leader of
 	// /home), exactly the redirection of Figure 3(b).
-	must(c2.Mkdir("/home/doc", 0777))
-	g, err := c2.Create("/home/doc/bar.txt", 0666)
+	must(c2.Mkdir(ctx, "/home/doc", 0777))
+	g, err := c2.Create(ctx, "/home/doc/bar.txt", 0666)
 	must(err)
 	_, _ = g.Write([]byte("bar"))
 	must(g.Close())
@@ -64,14 +66,14 @@ func main() {
 
 	// C3 reads through both leaders: lookups for /home go to C1, lookups
 	// for /home/doc go to C2.
-	st, err := c3.Stat("/home/doc/bar.txt")
+	st, err := c3.Stat(ctx, "/home/doc/bar.txt")
 	must(err)
 	fmt.Printf("C3 stats /home/doc/bar.txt through two leaders: size=%d\n", st.Size)
 
 	// Cross-directory rename: /home (led by C1) -> /home/doc (led by C2).
 	// C1 coordinates a two-phase commit with C2's journal.
-	must(c3.Rename("/home/foo.txt", "/home/doc/foo-moved.txt"))
-	ents, err := c3.Readdir("/home/doc")
+	must(c3.Rename(ctx, "/home/foo.txt", "/home/doc/foo-moved.txt"))
+	ents, err := c3.Readdir(ctx, "/home/doc")
 	must(err)
 	fmt.Print("after 2PC rename, /home/doc:")
 	for _, de := range ents {
@@ -80,10 +82,10 @@ func main() {
 	fmt.Println()
 
 	// Leadership hand-off: C1 releases /home; C3 takes over on next access.
-	res, err := c1.Stat("/home")
+	res, err := c1.Stat(ctx, "/home")
 	must(err)
 	must(c1.ReleaseDir(res.Ino))
-	_, err = c3.Readdir("/home") // C3 acquires the lease and loads the metatable
+	_, err = c3.Readdir(ctx, "/home") // C3 acquires the lease and loads the metatable
 	must(err)
 	fmt.Println("after C1 released /home:")
 	report(c3, "C3")

@@ -1,6 +1,7 @@
 package cephsim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -43,10 +44,10 @@ func TestTwoMountsShareNamespace(t *testing.T) {
 	c, _, _ := newCluster(t, 1)
 	m1 := c.NewMount(MountOptions{Cred: types.Cred{Uid: 1, Gid: 1}})
 	m2 := c.NewMount(MountOptions{Cred: types.Cred{Uid: 2, Gid: 2}})
-	if err := m1.Mkdir("/shared", 0777); err != nil {
+	if err := m1.Mkdir(context.Background(), "/shared", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, err := m1.Open("/shared/a", types.OWronly|types.OCreate, 0666)
+	f, err := m1.Open(context.Background(), "/shared/a", types.OWronly|types.OCreate, 0666)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestTwoMountsShareNamespace(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	st, err := m2.Stat("/shared/a")
+	st, err := m2.Stat(context.Background(), "/shared/a")
 	if err != nil || st.Size != 1 {
 		t.Fatalf("m2 sees: %+v, %v", st, err)
 	}
@@ -77,7 +78,7 @@ func TestSingleMDSSerializesUnderVirtualClock(t *testing.T) {
 		opts.Workers = 1
 		c := NewCluster(net, tr, opts)
 		defer c.Close()
-		if err := c.NewMount(MountOptions{}).Mkdir("/d", 0777); err != nil {
+		if err := c.NewMount(MountOptions{}).Mkdir(context.Background(), "/d", 0777); err != nil {
 			t.Error(err)
 			return
 		}
@@ -87,7 +88,7 @@ func TestSingleMDSSerializesUnderVirtualClock(t *testing.T) {
 			i := i
 			g.Go(func() {
 				m := c.NewMount(MountOptions{})
-				f, err := m.Open("/d/f"+string(rune('a'+i)), types.OWronly|types.OCreate, 0666)
+				f, err := m.Open(context.Background(), "/d/f"+string(rune('a'+i)), types.OWronly|types.OCreate, 0666)
 				if err != nil {
 					t.Error(err)
 					return
@@ -121,7 +122,7 @@ func TestMultiMDSScalesButSublinearly(t *testing.T) {
 			defer c.Close()
 			setup := c.NewMount(MountOptions{})
 			for i := 0; i < 32; i++ {
-				if err := setup.Mkdir("/d"+string(rune('a'+i)), 0777); err != nil {
+				if err := setup.Mkdir(context.Background(), "/d"+string(rune('a'+i)), 0777); err != nil {
 					t.Error(err)
 					return
 				}
@@ -134,7 +135,7 @@ func TestMultiMDSScalesButSublinearly(t *testing.T) {
 					m := c.NewMount(MountOptions{})
 					dir := "/d" + string(rune('a'+i))
 					for k := 0; k < 40; k++ {
-						f, err := m.Open(dir+"/f"+string(rune('a'+k)), types.OWronly|types.OCreate, 0666)
+						f, err := m.Open(context.Background(), dir+"/f"+string(rune('a'+k)), types.OWronly|types.OCreate, 0666)
 						if err != nil {
 							t.Error(err)
 							return

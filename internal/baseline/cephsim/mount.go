@@ -1,6 +1,7 @@
 package cephsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -139,7 +140,7 @@ func (m *Mount) parentOf(path string) (types.Ino, string, error) {
 }
 
 // Mkdir implements fsapi.FileSystem.
-func (m *Mount) Mkdir(path string, mode types.Mode) error {
+func (m *Mount) Mkdir(ctx context.Context, path string, mode types.Mode) error {
 	m.charge()
 	dir, name, err := m.parentOf(path)
 	if err != nil {
@@ -150,7 +151,7 @@ func (m *Mount) Mkdir(path string, mode types.Mode) error {
 }
 
 // Stat implements fsapi.FileSystem.
-func (m *Mount) Stat(path string) (*types.Inode, error) {
+func (m *Mount) Stat(ctx context.Context, path string) (*types.Inode, error) {
 	m.charge()
 	parts, err := types.SplitPath(path)
 	if err != nil {
@@ -175,7 +176,7 @@ func (m *Mount) Stat(path string) (*types.Inode, error) {
 }
 
 // Unlink implements fsapi.FileSystem.
-func (m *Mount) Unlink(path string) error {
+func (m *Mount) Unlink(ctx context.Context, path string) error {
 	m.charge()
 	dir, name, err := m.parentOf(path)
 	if err != nil {
@@ -193,7 +194,7 @@ func (m *Mount) Unlink(path string) error {
 }
 
 // Rmdir implements fsapi.FileSystem.
-func (m *Mount) Rmdir(path string) error {
+func (m *Mount) Rmdir(ctx context.Context, path string) error {
 	m.charge()
 	dir, name, err := m.parentOf(path)
 	if err != nil {
@@ -209,7 +210,7 @@ func (m *Mount) Rmdir(path string) error {
 }
 
 // Rename implements fsapi.FileSystem.
-func (m *Mount) Rename(src, dst string) error {
+func (m *Mount) Rename(ctx context.Context, src, dst string) error {
 	m.charge()
 	sdir, sname, err := m.parentOf(src)
 	if err != nil {
@@ -224,7 +225,7 @@ func (m *Mount) Rename(src, dst string) error {
 }
 
 // Readdir implements fsapi.FileSystem.
-func (m *Mount) Readdir(path string) ([]wire.Dentry, error) {
+func (m *Mount) Readdir(ctx context.Context, path string) ([]wire.Dentry, error) {
 	m.charge()
 	parts, err := types.SplitPath(path)
 	if err != nil {
@@ -243,13 +244,13 @@ func (m *Mount) Readdir(path string) ([]wire.Dentry, error) {
 
 // FlushAll implements fsapi.FileSystem: write back every dirty page (the
 // fsync-per-phase barrier; MDS metadata is authoritative already).
-func (m *Mount) FlushAll() error { return m.data.FlushAll() }
+func (m *Mount) FlushAll(ctx context.Context) error { return m.data.FlushAll() }
 
 // Close implements fsapi.FileSystem.
 func (m *Mount) Close() error { return nil }
 
 // Open implements fsapi.FileSystem.
-func (m *Mount) Open(path string, flags types.OpenFlag, mode types.Mode) (fsapi.File, error) {
+func (m *Mount) Open(ctx context.Context, path string, flags types.OpenFlag, mode types.Mode) (fsapi.File, error) {
 	m.charge()
 	dir, name, err := m.parentOf(path)
 	if err != nil {

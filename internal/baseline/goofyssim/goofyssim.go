@@ -7,6 +7,7 @@
 package goofyssim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -81,7 +82,7 @@ func objKey(path string) (string, error) {
 }
 
 // Mkdir implements fsapi.FileSystem (marker object, like s3fs).
-func (m *Mount) Mkdir(path string, mode types.Mode) error {
+func (m *Mount) Mkdir(ctx context.Context, path string, mode types.Mode) error {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {
@@ -91,7 +92,7 @@ func (m *Mount) Mkdir(path string, mode types.Mode) error {
 }
 
 // Stat implements fsapi.FileSystem.
-func (m *Mount) Stat(path string) (*types.Inode, error) {
+func (m *Mount) Stat(ctx context.Context, path string) (*types.Inode, error) {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {
@@ -129,7 +130,7 @@ func synth(key string, size int64, dir bool) *types.Inode {
 }
 
 // Unlink implements fsapi.FileSystem.
-func (m *Mount) Unlink(path string) error {
+func (m *Mount) Unlink(ctx context.Context, path string) error {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {
@@ -145,7 +146,7 @@ func (m *Mount) Unlink(path string) error {
 }
 
 // Rmdir implements fsapi.FileSystem.
-func (m *Mount) Rmdir(path string) error {
+func (m *Mount) Rmdir(ctx context.Context, path string) error {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {
@@ -164,7 +165,7 @@ func (m *Mount) Rmdir(path string) error {
 }
 
 // Rename is not supported for directories by goofys; files are copy+delete.
-func (m *Mount) Rename(src, dst string) error {
+func (m *Mount) Rename(ctx context.Context, src, dst string) error {
 	m.charge()
 	skey, err := objKey(src)
 	if err != nil {
@@ -185,7 +186,7 @@ func (m *Mount) Rename(src, dst string) error {
 }
 
 // Readdir implements fsapi.FileSystem.
-func (m *Mount) Readdir(path string) ([]wire.Dentry, error) {
+func (m *Mount) Readdir(ctx context.Context, path string) ([]wire.Dentry, error) {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {
@@ -222,13 +223,13 @@ func (m *Mount) Readdir(path string) ([]wire.Dentry, error) {
 }
 
 // FlushAll implements fsapi.FileSystem; open handles flush on Sync/Close.
-func (m *Mount) FlushAll() error { return nil }
+func (m *Mount) FlushAll(ctx context.Context) error { return nil }
 
 // Close implements fsapi.FileSystem.
 func (m *Mount) Close() error { return nil }
 
 // Open implements fsapi.FileSystem.
-func (m *Mount) Open(path string, flags types.OpenFlag, mode types.Mode) (fsapi.File, error) {
+func (m *Mount) Open(ctx context.Context, path string, flags types.OpenFlag, mode types.Mode) (fsapi.File, error) {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {

@@ -2,6 +2,7 @@ package goofyssim
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestSequentialStreamRead(t *testing.T) {
 	if err := store.Put("stream", payload); err != nil {
 		t.Fatal(err)
 	}
-	f, err := m.Open("/stream", types.ORdonly, 0)
+	f, err := m.Open(context.Background(), "/stream", types.ORdonly, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSequentialStreamRead(t *testing.T) {
 
 func TestWritesBufferedUntilClose(t *testing.T) {
 	m, store := newMount(t)
-	f, err := fsapi.Create(m, "/out", 0644)
+	f, err := fsapi.Create(context.Background(), m, "/out", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRewriteInvalidatesPrefetch(t *testing.T) {
 	if err := store.Put("f", []byte("old")); err != nil {
 		t.Fatal(err)
 	}
-	r, err := m.Open("/f", types.ORdonly, 0)
+	r, err := m.Open(context.Background(), "/f", types.ORdonly, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestRewriteInvalidatesPrefetch(t *testing.T) {
 	}
 	_ = r.Close()
 	// Rewrite through goofys.
-	w, err := m.Open("/f", types.OWronly|types.OTrunc, 0)
+	w, err := m.Open(context.Background(), "/f", types.OWronly|types.OTrunc, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestRewriteInvalidatesPrefetch(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r2, err := m.Open("/f", types.ORdonly, 0)
+	r2, err := m.Open(context.Background(), "/f", types.ORdonly, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@
 package marfssim
 
 import (
+	"context"
 	"time"
 
 	"arkfs/internal/baseline/cephsim"
@@ -109,8 +110,8 @@ type readFailFS struct {
 }
 
 // Open implements fsapi.FileSystem.
-func (r *readFailFS) Open(path string, flags types.OpenFlag, mode types.Mode) (fsapi.File, error) {
-	f, err := r.FileSystem.Open(path, flags, mode)
+func (r *readFailFS) Open(ctx context.Context, path string, flags types.OpenFlag, mode types.Mode) (fsapi.File, error) {
+	f, err := r.FileSystem.Open(ctx, path, flags, mode)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package marfssim
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -38,10 +39,10 @@ func TestMarFSReadFailureMode(t *testing.T) {
 	// ReadFails knob reproduces that: writes succeed, reads return EIO.
 	c := newCluster(t, true)
 	m := c.NewMount(types.Cred{Uid: 1, Gid: 1})
-	if err := m.Mkdir("/d", 0777); err != nil {
+	if err := m.Mkdir(context.Background(), "/d", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, err := fsapi.Create(m, "/d/x", 0644)
+	f, err := fsapi.Create(context.Background(), m, "/d/x", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestMarFSReadFailureMode(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r, err := m.Open("/d/x", types.ORdonly, 0)
+	r, err := m.Open(context.Background(), "/d/x", types.ORdonly, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package s3fssim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -47,6 +48,7 @@ type Mount struct {
 	opts  Options
 
 	mu      sync.Mutex
+	closed  bool
 	staged  map[string]*stagedFile // path -> staging state
 	inoSrc  *types.InoSource
 	dirMark map[string]bool // locally created directory markers
@@ -94,7 +96,7 @@ func objKey(path string) (string, error) {
 }
 
 // Mkdir implements fsapi.FileSystem: a zero-byte marker object "<path>/".
-func (m *Mount) Mkdir(path string, mode types.Mode) error {
+func (m *Mount) Mkdir(ctx context.Context, path string, mode types.Mode) error {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {
@@ -111,7 +113,7 @@ func (m *Mount) Mkdir(path string, mode types.Mode) error {
 
 // Stat implements fsapi.FileSystem via HEAD (falling back to the directory
 // marker and prefix probing, as s3fs does).
-func (m *Mount) Stat(path string) (*types.Inode, error) {
+func (m *Mount) Stat(ctx context.Context, path string) (*types.Inode, error) {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {
@@ -152,7 +154,7 @@ func (m *Mount) synthInode(key string, size int64, dir bool) *types.Inode {
 }
 
 // Unlink implements fsapi.FileSystem.
-func (m *Mount) Unlink(path string) error {
+func (m *Mount) Unlink(ctx context.Context, path string) error {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {
@@ -168,7 +170,7 @@ func (m *Mount) Unlink(path string) error {
 }
 
 // Rmdir implements fsapi.FileSystem.
-func (m *Mount) Rmdir(path string) error {
+func (m *Mount) Rmdir(ctx context.Context, path string) error {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {
@@ -192,7 +194,7 @@ func (m *Mount) Rmdir(path string) error {
 // Rename implements fsapi.FileSystem: server-side copy + delete of every
 // object under the source prefix — the paper's "renaming a directory leads
 // to rewriting all the files under it".
-func (m *Mount) Rename(src, dst string) error {
+func (m *Mount) Rename(ctx context.Context, src, dst string) error {
 	m.charge()
 	skey, err := objKey(src)
 	if err != nil {
@@ -239,7 +241,7 @@ func (m *Mount) Rename(src, dst string) error {
 
 // Readdir implements fsapi.FileSystem by listing the prefix and collapsing
 // to immediate children.
-func (m *Mount) Readdir(path string) ([]wire.Dentry, error) {
+func (m *Mount) Readdir(ctx context.Context, path string) ([]wire.Dentry, error) {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {
@@ -276,7 +278,7 @@ func (m *Mount) Readdir(path string) ([]wire.Dentry, error) {
 }
 
 // FlushAll implements fsapi.FileSystem: upload every dirty staged file.
-func (m *Mount) FlushAll() error {
+func (m *Mount) FlushAll(ctx context.Context) error {
 	m.mu.Lock()
 	dirty := make(map[string]*stagedFile)
 	for k, sf := range m.staged {
@@ -306,11 +308,21 @@ func (m *Mount) upload(key string, sf *stagedFile) error {
 	return nil
 }
 
-// Close implements fsapi.FileSystem.
-func (m *Mount) Close() error { return m.FlushAll() }
+// Close implements fsapi.FileSystem. It is idempotent: the first call
+// uploads every dirty staged file; later calls return nil immediately.
+func (m *Mount) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	return m.FlushAll(context.Background())
+}
 
 // Open implements fsapi.FileSystem.
-func (m *Mount) Open(path string, flags types.OpenFlag, mode types.Mode) (fsapi.File, error) {
+func (m *Mount) Open(ctx context.Context, path string, flags types.OpenFlag, mode types.Mode) (fsapi.File, error) {
 	m.charge()
 	key, err := objKey(path)
 	if err != nil {

@@ -1,6 +1,7 @@
 package s3fssim
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,10 +30,10 @@ func TestS3FSConformance(t *testing.T) {
 
 func TestPathAsKeyLayout(t *testing.T) {
 	m, store := newMount(t)
-	if err := m.Mkdir("/photos", 0777); err != nil {
+	if err := m.Mkdir(context.Background(), "/photos", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, err := fsapi.Create(m, "/photos/cat.jpg", 0644)
+	f, err := fsapi.Create(context.Background(), m, "/photos/cat.jpg", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +51,11 @@ func TestPathAsKeyLayout(t *testing.T) {
 
 func TestDirectoryRenameCopiesEveryObject(t *testing.T) {
 	m, store := newMount(t)
-	if err := m.Mkdir("/old", 0777); err != nil {
+	if err := m.Mkdir(context.Background(), "/old", 0777); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"a", "b", "c"} {
-		f, err := fsapi.Create(m, "/old/"+name, 0644)
+		f, err := fsapi.Create(context.Background(), m, "/old/"+name, 0644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,7 +66,7 @@ func TestDirectoryRenameCopiesEveryObject(t *testing.T) {
 	}
 	putsBefore := store.Len()
 	_ = putsBefore
-	if err := m.Rename("/old", "/new"); err != nil {
+	if err := m.Rename(context.Background(), "/old", "/new"); err != nil {
 		t.Fatal(err)
 	}
 	keys, _ := store.List("")
@@ -78,7 +79,7 @@ func TestDirectoryRenameCopiesEveryObject(t *testing.T) {
 	if err != nil || string(got) != "b" {
 		t.Fatalf("moved object: %q, %v", got, err)
 	}
-	st, err := m.Stat("/new/c")
+	st, err := m.Stat(context.Background(), "/new/c")
 	if err != nil || st.Size != 1 {
 		t.Fatalf("stat after dir rename: %+v, %v", st, err)
 	}
@@ -86,7 +87,7 @@ func TestDirectoryRenameCopiesEveryObject(t *testing.T) {
 
 func TestWholeObjectRewriteOnPartialWrite(t *testing.T) {
 	m, store := newMount(t)
-	f, err := fsapi.Create(m, "/big", 0644)
+	f, err := fsapi.Create(context.Background(), m, "/big", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestWholeObjectRewriteOnPartialWrite(t *testing.T) {
 	}
 	// Patch 1 byte in the middle: the stored object must still be complete
 	// (10000 bytes), proving a full-object rewrite.
-	g, err := m.Open("/big", types.OWronly, 0)
+	g, err := m.Open(context.Background(), "/big", types.OWronly, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,22 +117,22 @@ func TestWholeObjectRewriteOnPartialWrite(t *testing.T) {
 
 func TestImplicitDirectories(t *testing.T) {
 	m, _ := newMount(t)
-	if err := m.Mkdir("/x", 0777); err != nil {
+	if err := m.Mkdir(context.Background(), "/x", 0777); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Mkdir("/x/y", 0777); err != nil {
+	if err := m.Mkdir(context.Background(), "/x/y", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := fsapi.Create(m, "/x/y/z", 0644)
+	f, _ := fsapi.Create(context.Background(), m, "/x/y/z", 0644)
 	_ = f.Close()
 	// /x/y is a directory by marker; /x also by marker; stat both.
 	for _, p := range []string{"/x", "/x/y"} {
-		st, err := m.Stat(p)
+		st, err := m.Stat(context.Background(), p)
 		if err != nil || st.Type != types.TypeDir {
 			t.Fatalf("stat %s: %+v, %v", p, st, err)
 		}
 	}
-	ents, err := m.Readdir("/x")
+	ents, err := m.Readdir(context.Background(), "/x")
 	if err != nil || len(ents) != 1 || ents[0].Name != "y" || ents[0].Type != types.TypeDir {
 		t.Fatalf("readdir /x: %v, %v", ents, err)
 	}

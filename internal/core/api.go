@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"arkfs/internal/obs"
 	"arkfs/internal/types"
 	"arkfs/internal/wire"
 )
@@ -12,246 +14,310 @@ import (
 // Public near-POSIX API. Every call charges the FUSE overhead once (the
 // application-visible request) and then routes per-directory: local metatable
 // operations when this client leads the parent, forwarded RPCs otherwise.
+//
+// Every operation takes a context: deadlines and cancellation are honored at
+// forwarded-RPC boundaries and in lease-acquire wait loops, and the per-op
+// trace span rides the context into the routing layers, which tag it with the
+// chosen route (local vs remote), the parent directory, and retries.
 
 // maxOpRetries bounds retries when leadership moves mid-operation (ESTALE).
 const maxOpRetries = 8
 
+// opTrack measures one public operation: a trace span, committed to the ring
+// at end, plus the op's latency histogram.
+type opTrack struct {
+	c     *Client
+	hist  *obs.Histogram
+	span  *obs.Span
+	start time.Duration
+}
+
+// startOp opens a span for op and attaches it to ctx. With observability off
+// it returns ctx unchanged and a nil tracker; end is nil-safe, so call sites
+// never branch.
+func (c *Client) startOp(ctx context.Context, op, path string) (context.Context, *opTrack) {
+	if c.obsReg == nil {
+		return ctx, nil
+	}
+	t := &opTrack{c: c, hist: c.opHists[op], span: c.tracer.Start(op, path), start: c.env.Now()}
+	if t.span != nil {
+		ctx = obs.WithSpan(ctx, t.span)
+	}
+	return ctx, t
+}
+
+// end closes the span and records the operation latency, passing err through
+// so call sites stay one-liners.
+func (t *opTrack) end(err error) error {
+	if t == nil {
+		return err
+	}
+	t.span.End(err)
+	t.hist.Observe(t.c.env.Now() - t.start)
+	return err
+}
+
 // Mkdir creates a directory.
-func (c *Client) Mkdir(path string, mode types.Mode) error {
+func (c *Client) Mkdir(ctx context.Context, path string, mode types.Mode) error {
+	ctx, op := c.startOp(ctx, "mkdir", path)
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, true)
+	res, err := c.resolvePath(ctx, path, true)
 	if err != nil {
-		return errnoWrap("mkdir", path, err)
+		return op.end(errnoWrap("mkdir", path, err))
 	}
 	if res.name == "" || res.node != nil {
-		return errnoWrap("mkdir", path, types.ErrExist)
+		return op.end(errnoWrap("mkdir", path, types.ErrExist))
 	}
-	_, err = c.create(res.parent, CreateReq{
+	_, err = c.create(ctx, res.parent, CreateReq{
 		Dir: res.parent, Name: res.name, Type: types.TypeDir,
 		Mode: mode, Cred: c.opts.Cred, NewIno: c.inoSrc.Next(), Exclusive: true,
 	})
-	return errnoWrap("mkdir", path, err)
+	return op.end(errnoWrap("mkdir", path, err))
 }
 
 // Symlink creates a symbolic link at path pointing to target.
-func (c *Client) Symlink(target, path string) error {
+func (c *Client) Symlink(ctx context.Context, target, path string) error {
+	ctx, op := c.startOp(ctx, "symlink", path)
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, false)
+	res, err := c.resolvePath(ctx, path, false)
 	if err != nil {
-		return errnoWrap("symlink", path, err)
+		return op.end(errnoWrap("symlink", path, err))
 	}
 	if res.name == "" || res.node != nil {
-		return errnoWrap("symlink", path, types.ErrExist)
+		return op.end(errnoWrap("symlink", path, types.ErrExist))
 	}
-	_, err = c.create(res.parent, CreateReq{
+	_, err = c.create(ctx, res.parent, CreateReq{
 		Dir: res.parent, Name: res.name, Type: types.TypeSymlink,
 		Mode: 0777, Target: target, Cred: c.opts.Cred,
 		NewIno: c.inoSrc.Next(), Exclusive: true,
 	})
-	return errnoWrap("symlink", path, err)
+	return op.end(errnoWrap("symlink", path, err))
 }
 
 // Readlink returns the target of a symlink.
-func (c *Client) Readlink(path string) (string, error) {
+func (c *Client) Readlink(ctx context.Context, path string) (string, error) {
+	ctx, op := c.startOp(ctx, "readlink", path)
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, false)
+	res, err := c.resolvePath(ctx, path, false)
 	if err != nil {
-		return "", errnoWrap("readlink", path, err)
+		return "", op.end(errnoWrap("readlink", path, err))
 	}
 	if res.node == nil {
-		return "", errnoWrap("readlink", path, types.ErrNotExist)
+		return "", op.end(errnoWrap("readlink", path, types.ErrNotExist))
 	}
 	if res.node.Type != types.TypeSymlink {
-		return "", errnoWrap("readlink", path, types.ErrInval)
+		return "", op.end(errnoWrap("readlink", path, types.ErrInval))
 	}
-	return res.node.Target, nil
+	return res.node.Target, op.end(nil)
 }
 
 // Stat returns the inode at path, following symlinks.
-func (c *Client) Stat(path string) (*types.Inode, error) {
+func (c *Client) Stat(ctx context.Context, path string) (*types.Inode, error) {
+	ctx, op := c.startOp(ctx, "stat", path)
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, true)
+	res, err := c.resolvePath(ctx, path, true)
 	if err != nil {
-		return nil, errnoWrap("stat", path, err)
+		return nil, op.end(errnoWrap("stat", path, err))
 	}
 	if res.node == nil {
-		return nil, errnoWrap("stat", path, types.ErrNotExist)
+		return nil, op.end(errnoWrap("stat", path, types.ErrNotExist))
 	}
-	return res.node, nil
+	return res.node, op.end(nil)
 }
 
 // Lstat returns the inode at path without following a final symlink.
-func (c *Client) Lstat(path string) (*types.Inode, error) {
+func (c *Client) Lstat(ctx context.Context, path string) (*types.Inode, error) {
+	ctx, op := c.startOp(ctx, "lstat", path)
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, false)
+	res, err := c.resolvePath(ctx, path, false)
 	if err != nil {
-		return nil, errnoWrap("lstat", path, err)
+		return nil, op.end(errnoWrap("lstat", path, err))
 	}
 	if res.node == nil {
-		return nil, errnoWrap("lstat", path, types.ErrNotExist)
+		return nil, op.end(errnoWrap("lstat", path, types.ErrNotExist))
 	}
-	return res.node, nil
+	return res.node, op.end(nil)
 }
 
 // Unlink removes a file or symlink.
-func (c *Client) Unlink(path string) error {
+func (c *Client) Unlink(ctx context.Context, path string) error {
+	ctx, op := c.startOp(ctx, "unlink", path)
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, false)
+	res, err := c.resolvePath(ctx, path, false)
 	if err != nil {
-		return errnoWrap("unlink", path, err)
+		return op.end(errnoWrap("unlink", path, err))
 	}
 	if res.name == "" {
-		return errnoWrap("unlink", path, types.ErrIsDir)
+		return op.end(errnoWrap("unlink", path, types.ErrIsDir))
 	}
-	err = c.unlink(res.parent, UnlinkReq{Dir: res.parent, Name: res.name, Cred: c.opts.Cred})
+	err = c.unlink(ctx, res.parent, UnlinkReq{Dir: res.parent, Name: res.name, Cred: c.opts.Cred})
 	c.pcacheInvalidate(res.parent)
-	return errnoWrap("unlink", path, err)
+	return op.end(errnoWrap("unlink", path, err))
 }
 
 // Rmdir removes an empty directory.
-func (c *Client) Rmdir(path string) error {
+func (c *Client) Rmdir(ctx context.Context, path string) error {
+	ctx, op := c.startOp(ctx, "rmdir", path)
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, false)
+	res, err := c.resolvePath(ctx, path, false)
 	if err != nil {
-		return errnoWrap("rmdir", path, err)
+		return op.end(errnoWrap("rmdir", path, err))
 	}
 	if res.name == "" {
-		return errnoWrap("rmdir", path, types.ErrBusy) // removing "/"
+		return op.end(errnoWrap("rmdir", path, types.ErrBusy)) // removing "/"
 	}
 	if res.node == nil {
-		return errnoWrap("rmdir", path, types.ErrNotExist)
+		return op.end(errnoWrap("rmdir", path, types.ErrNotExist))
 	}
 	if !res.node.IsDir() {
-		return errnoWrap("rmdir", path, types.ErrNotDir)
+		return op.end(errnoWrap("rmdir", path, types.ErrNotDir))
 	}
 	// Emptiness is the target directory's business: consult its leader (or
 	// become it). The window between this check and the unlink is accepted,
 	// as directory creation requires the parent lease we are about to use.
-	entries, err := c.readdirIno(res.node.Ino)
+	entries, err := c.readdirIno(ctx, res.node.Ino)
 	if err != nil {
-		return errnoWrap("rmdir", path, err)
+		return op.end(errnoWrap("rmdir", path, err))
 	}
 	if len(entries) > 0 {
-		return errnoWrap("rmdir", path, types.ErrNotEmpty)
+		return op.end(errnoWrap("rmdir", path, types.ErrNotEmpty))
 	}
 	// Give up our own lease on the dying directory before removing it.
 	_ = c.ReleaseDir(res.node.Ino)
-	err = c.unlink(res.parent, UnlinkReq{Dir: res.parent, Name: res.name, Rmdir: true, Cred: c.opts.Cred})
+	err = c.unlink(ctx, res.parent, UnlinkReq{Dir: res.parent, Name: res.name, Rmdir: true, Cred: c.opts.Cred})
 	c.pcacheInvalidate(res.parent)
-	return errnoWrap("rmdir", path, err)
+	return op.end(errnoWrap("rmdir", path, err))
 }
 
 // Readdir lists a directory.
-func (c *Client) Readdir(path string) ([]wire.Dentry, error) {
+func (c *Client) Readdir(ctx context.Context, path string) ([]wire.Dentry, error) {
+	ctx, op := c.startOp(ctx, "readdir", path)
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, true)
+	res, err := c.resolvePath(ctx, path, true)
 	if err != nil {
-		return nil, errnoWrap("readdir", path, err)
+		return nil, op.end(errnoWrap("readdir", path, err))
 	}
 	if res.node == nil {
-		return nil, errnoWrap("readdir", path, types.ErrNotExist)
+		return nil, op.end(errnoWrap("readdir", path, types.ErrNotExist))
 	}
 	if !res.node.IsDir() {
-		return nil, errnoWrap("readdir", path, types.ErrNotDir)
+		return nil, op.end(errnoWrap("readdir", path, types.ErrNotDir))
 	}
-	entries, err := c.readdirIno(res.node.Ino)
-	return entries, errnoWrap("readdir", path, err)
+	entries, err := c.readdirIno(ctx, res.node.Ino)
+	return entries, op.end(errnoWrap("readdir", path, err))
 }
 
 // Chmod changes permission bits.
-func (c *Client) Chmod(path string, mode types.Mode) error {
-	_, err := c.setAttr(path, AttrPatch{SetMode: true, Mode: mode})
-	return errnoWrap("chmod", path, err)
+func (c *Client) Chmod(ctx context.Context, path string, mode types.Mode) error {
+	ctx, op := c.startOp(ctx, "chmod", path)
+	_, err := c.setAttr(ctx, path, AttrPatch{SetMode: true, Mode: mode})
+	return op.end(errnoWrap("chmod", path, err))
 }
 
 // Chown changes ownership (root only, as in POSIX without CAP_CHOWN games).
-func (c *Client) Chown(path string, uid, gid uint32) error {
-	_, err := c.setAttr(path, AttrPatch{SetOwner: true, Uid: uid, Gid: gid})
-	return errnoWrap("chown", path, err)
+func (c *Client) Chown(ctx context.Context, path string, uid, gid uint32) error {
+	ctx, op := c.startOp(ctx, "chown", path)
+	_, err := c.setAttr(ctx, path, AttrPatch{SetOwner: true, Uid: uid, Gid: gid})
+	return op.end(errnoWrap("chown", path, err))
 }
 
 // SetACL installs a POSIX.1e-style access control list.
-func (c *Client) SetACL(path string, acl types.ACL) error {
-	_, err := c.setAttr(path, AttrPatch{SetACL: true, ACL: acl})
-	return errnoWrap("setfacl", path, err)
+func (c *Client) SetACL(ctx context.Context, path string, acl types.ACL) error {
+	ctx, op := c.startOp(ctx, "setfacl", path)
+	_, err := c.setAttr(ctx, path, AttrPatch{SetACL: true, ACL: acl})
+	return op.end(errnoWrap("setfacl", path, err))
 }
 
 // Utimes sets the modification time.
-func (c *Client) Utimes(path string, mtime time.Duration) error {
-	_, err := c.setAttr(path, AttrPatch{SetTimes: true, Mtime: mtime})
-	return errnoWrap("utimes", path, err)
+func (c *Client) Utimes(ctx context.Context, path string, mtime time.Duration) error {
+	ctx, op := c.startOp(ctx, "utimes", path)
+	_, err := c.setAttr(ctx, path, AttrPatch{SetTimes: true, Mtime: mtime})
+	return op.end(errnoWrap("utimes", path, err))
 }
 
 // Truncate sets the file size.
-func (c *Client) Truncate(path string, size int64) error {
+func (c *Client) Truncate(ctx context.Context, path string, size int64) error {
+	ctx, op := c.startOp(ctx, "truncate", path)
 	if size < 0 {
-		return errnoWrap("truncate", path, types.ErrInval)
+		return op.end(errnoWrap("truncate", path, types.ErrInval))
 	}
-	_, err := c.setAttr(path, AttrPatch{SetSize: true, Size: size})
-	return errnoWrap("truncate", path, err)
+	_, err := c.setAttr(ctx, path, AttrPatch{SetSize: true, Size: size})
+	return op.end(errnoWrap("truncate", path, err))
 }
 
 // Fsync flushes the journal of the directory containing path — the
 // metadata-durability half of fsync(2); File.Sync covers data.
-func (c *Client) Fsync(path string) error {
+func (c *Client) Fsync(ctx context.Context, path string) error {
+	ctx, op := c.startOp(ctx, "fsync", path)
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, true)
+	res, err := c.resolvePath(ctx, path, true)
 	if err != nil {
-		return errnoWrap("fsync", path, err)
+		return op.end(errnoWrap("fsync", path, err))
 	}
 	dir := res.parent
 	if res.node != nil && res.node.IsDir() {
 		dir = res.node.Ino
 	}
 	if _, ok := c.ledDirFor(dir); ok {
-		return errnoWrap("fsync", path, c.jrnl.Flush(dir))
+		return op.end(errnoWrap("fsync", path, c.jrnl.Flush(dir)))
 	}
-	return nil // a remote leader owns the journal; its commit cadence applies
+	return op.end(nil) // a remote leader owns the journal; its commit cadence applies
 }
 
 // FlushAll writes back all cached data and commits and checkpoints every
 // journal this client owns (the fsync-per-phase behavior the benchmarks use).
-func (c *Client) FlushAll() error {
+func (c *Client) FlushAll(ctx context.Context) error {
+	_, op := c.startOp(ctx, "flushall", "")
 	if err := c.data.FlushAll(); err != nil {
-		return err
+		return op.end(err)
 	}
 	if err := c.jrnl.FlushAll(); err != nil {
-		return err
+		return op.end(err)
 	}
 	// Surface any background write-back failure (lease recall, close path)
 	// recorded since the last FlushAll; the failed entries stayed dirty, so
 	// the FlushAll above has already retried them.
-	return c.takeWBErr()
+	return op.end(c.takeWBErr())
 }
 
 // --- dispatch helpers --------------------------------------------------------
 
 // create routes a CreateReq to the parent's leader.
-func (c *Client) create(parent types.Ino, req CreateReq) (*types.Inode, error) {
+func (c *Client) create(ctx context.Context, parent types.Ino, req CreateReq) (*types.Inode, error) {
+	sp := obs.SpanFrom(ctx)
+	sp.SetDir(parent)
 	for attempt := 0; ; attempt++ {
-		ld, leader, err := c.routeFor(parent)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ld, leader, err := c.routeFor(ctx, parent)
 		if err != nil {
 			return nil, err
 		}
 		if ld != nil {
+			sp.SetRoute(obs.RouteLocal)
 			return c.localCreate(ld, parent, req)
 		}
+		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
-		resp, err := c.callLeader(leader, parent, req)
+		resp, err := c.callLeader(ctx, leader, parent, req)
 		if err = retryable(err, attempt); err != nil {
 			return nil, err
 		} else if resp == nil {
+			sp.AddRetry()
 			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
 			continue
 		}
 		cr := resp.(CreateResp)
-		if cr.Err == "ESTALE" && attempt < maxOpRetries {
+		rerr := errFromString(cr.Err)
+		if errors.Is(rerr, types.ErrStale) && attempt < maxOpRetries {
+			sp.AddRetry()
 			c.invalidateLeader(parent)
 			c.retryBackoff(attempt)
 			continue
 		}
-		if err := errFromString(cr.Err); err != nil {
-			return nil, err
+		if rerr != nil {
+			return nil, rerr
 		}
 		node, err := wire.DecodeInode(cr.Inode)
 		if err != nil {
@@ -263,37 +329,47 @@ func (c *Client) create(parent types.Ino, req CreateReq) (*types.Inode, error) {
 }
 
 // unlink routes an UnlinkReq to the parent's leader.
-func (c *Client) unlink(parent types.Ino, req UnlinkReq) error {
+func (c *Client) unlink(ctx context.Context, parent types.Ino, req UnlinkReq) error {
+	sp := obs.SpanFrom(ctx)
+	sp.SetDir(parent)
 	for attempt := 0; ; attempt++ {
-		ld, leader, err := c.routeFor(parent)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ld, leader, err := c.routeFor(ctx, parent)
 		if err != nil {
 			return err
 		}
 		if ld != nil {
+			sp.SetRoute(obs.RouteLocal)
 			return c.localUnlink(ld, parent, req)
 		}
+		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
-		resp, err := c.callLeader(leader, parent, req)
+		resp, err := c.callLeader(ctx, leader, parent, req)
 		if err = retryable(err, attempt); err != nil {
 			return err
 		} else if resp == nil {
+			sp.AddRetry()
 			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
 			continue
 		}
 		ur := resp.(UnlinkResp)
-		if ur.Err == "ESTALE" && attempt < maxOpRetries {
+		rerr := errFromString(ur.Err)
+		if errors.Is(rerr, types.ErrStale) && attempt < maxOpRetries {
+			sp.AddRetry()
 			c.invalidateLeader(parent)
 			c.retryBackoff(attempt)
 			continue
 		}
-		return errFromString(ur.Err)
+		return rerr
 	}
 }
 
 // setAttr resolves path and routes the patch to the right leader.
-func (c *Client) setAttr(path string, patch AttrPatch) (*types.Inode, error) {
+func (c *Client) setAttr(ctx context.Context, path string, patch AttrPatch) (*types.Inode, error) {
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, true)
+	res, err := c.resolvePath(ctx, path, true)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +380,7 @@ func (c *Client) setAttr(path string, patch AttrPatch) (*types.Inode, error) {
 	// holds the authoritative inode copy of every child, directories
 	// included. Only the root, which has no parent entry, is handled by its
 	// own leader (name "").
-	node, err := c.setAttrIno(res.parent, res.name, patch, false)
+	node, err := c.setAttrIno(ctx, res.parent, res.name, patch, false)
 	if err != nil {
 		return nil, err
 	}
@@ -325,64 +401,84 @@ func (c *Client) setAttr(path string, patch AttrPatch) (*types.Inode, error) {
 }
 
 // setAttrIno routes a SetAttrReq for (dir, name) to its leader.
-func (c *Client) setAttrIno(dir types.Ino, name string, patch AttrPatch, implicit bool) (*types.Inode, error) {
+func (c *Client) setAttrIno(ctx context.Context, dir types.Ino, name string, patch AttrPatch, implicit bool) (*types.Inode, error) {
+	sp := obs.SpanFrom(ctx)
+	sp.SetDir(dir)
 	req := SetAttrReq{Dir: dir, Name: name, Cred: c.opts.Cred, Patch: patch, Implicit: implicit}
 	for attempt := 0; ; attempt++ {
-		ld, leader, err := c.routeFor(dir)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ld, leader, err := c.routeFor(ctx, dir)
 		if err != nil {
 			return nil, err
 		}
 		if ld != nil {
+			sp.SetRoute(obs.RouteLocal)
 			return c.localSetAttr(ld, dir, req)
 		}
+		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
-		resp, err := c.callLeader(leader, dir, req)
+		resp, err := c.callLeader(ctx, leader, dir, req)
 		if err = retryable(err, attempt); err != nil {
 			return nil, err
 		} else if resp == nil {
+			sp.AddRetry()
 			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
 			continue
 		}
 		sr := resp.(SetAttrResp)
-		if sr.Err == "ESTALE" && attempt < maxOpRetries {
+		rerr := errFromString(sr.Err)
+		if errors.Is(rerr, types.ErrStale) && attempt < maxOpRetries {
+			sp.AddRetry()
 			c.invalidateLeader(dir)
 			c.retryBackoff(attempt)
 			continue
 		}
-		if err := errFromString(sr.Err); err != nil {
-			return nil, err
+		if rerr != nil {
+			return nil, rerr
 		}
 		return wire.DecodeInode(sr.Inode)
 	}
 }
 
 // readdirIno lists a directory by inode through its leader.
-func (c *Client) readdirIno(dir types.Ino) ([]wire.Dentry, error) {
+func (c *Client) readdirIno(ctx context.Context, dir types.Ino) ([]wire.Dentry, error) {
+	sp := obs.SpanFrom(ctx)
+	sp.SetDir(dir)
 	req := ReaddirReq{Dir: dir, Cred: c.opts.Cred}
 	for attempt := 0; ; attempt++ {
-		ld, leader, err := c.routeFor(dir)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ld, leader, err := c.routeFor(ctx, dir)
 		if err != nil {
 			return nil, err
 		}
 		if ld != nil {
+			sp.SetRoute(obs.RouteLocal)
 			return c.localReaddir(ld, req)
 		}
+		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
-		resp, err := c.callLeader(leader, dir, req)
+		resp, err := c.callLeader(ctx, leader, dir, req)
 		if err = retryable(err, attempt); err != nil {
 			return nil, err
 		} else if resp == nil {
+			sp.AddRetry()
 			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
 			continue
 		}
 		rr := resp.(ReaddirResp)
-		if rr.Err == "ESTALE" && attempt < maxOpRetries {
+		rerr := errFromString(rr.Err)
+		if errors.Is(rerr, types.ErrStale) && attempt < maxOpRetries {
+			sp.AddRetry()
 			c.invalidateLeader(dir)
 			c.retryBackoff(attempt)
 			continue
 		}
-		if err := errFromString(rr.Err); err != nil {
-			return nil, err
+		if rerr != nil {
+			return nil, rerr
 		}
 		return rr.Entries, nil
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"io"
 	"net/http/httptest"
 	"testing"
@@ -84,10 +85,10 @@ func TestMultiProcessDeploymentOverTCP(t *testing.T) {
 	c2.SetAdvertise(rpc.TCPAddr(b2.Addr()))
 
 	// p1 builds a tree; it leads / and /shared.
-	if err := c1.Mkdir("/shared", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/shared", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, err := c1.Create("/shared/hello", 0666)
+	f, err := c1.Create(context.Background(), "/shared/hello", 0666)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,14 +104,14 @@ func TestMultiProcessDeploymentOverTCP(t *testing.T) {
 
 	// p2 reads through p1's leadership: its lookup RPCs cross a real TCP
 	// bridge, and the data bytes cross real HTTP.
-	st, err := c2.Stat("/shared/hello")
+	st, err := c2.Stat(context.Background(), "/shared/hello")
 	if err != nil {
 		t.Fatalf("cross-process stat: %v", err)
 	}
 	if st.Size != 8 {
 		t.Fatalf("size = %d", st.Size)
 	}
-	r, err := c2.Open("/shared/hello", types.ORdonly, 0)
+	r, err := c2.Open(context.Background(), "/shared/hello", types.ORdonly, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,12 +124,12 @@ func TestMultiProcessDeploymentOverTCP(t *testing.T) {
 		t.Fatalf("data = %q", data)
 	}
 	// And p2 creates a file in p1's directory — a forwarded op over TCP.
-	g, err := c2.Create("/shared/from-p2", 0666)
+	g, err := c2.Create(context.Background(), "/shared/from-p2", 0666)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = g.Close()
-	ents, err := c1.Readdir("/shared")
+	ents, err := c1.Readdir(context.Background(), "/shared")
 	if err != nil || len(ents) != 2 {
 		t.Fatalf("p1 sees %v, %v", ents, err)
 	}
@@ -152,17 +153,17 @@ func TestLeaseManagerRestartEndToEnd(t *testing.T) {
 		Journal:     journal.Config{CommitInterval: 20 * time.Millisecond, CommitWorkers: 2, CheckpointWorkers: 2},
 	})
 	defer c.Close()
-	if err := c.Mkdir("/d", 0777); err != nil {
+	if err := c.Mkdir(context.Background(), "/d", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := c.Create("/d/before", 0644)
+	f, _ := c.Create(context.Background(), "/d/before", 0644)
 	_ = f.Close()
 
 	// Manager crashes; a client holding its lease keeps working on its own
 	// directory until the lease runs out (paper: "any client who has the
 	// lease can continue its work").
 	mgr.Close()
-	g, err := c.Create("/d/during", 0644)
+	g, err := c.Create(context.Background(), "/d/during", 0644)
 	if err != nil {
 		t.Fatalf("work during manager outage: %v", err)
 	}
@@ -176,7 +177,7 @@ func TestLeaseManagerRestartEndToEnd(t *testing.T) {
 	// (after the quiesce window).
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if err := c.Mkdir("/d2", 0777); err == nil {
+		if err := c.Mkdir(context.Background(), "/d2", 0777); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -184,13 +185,13 @@ func TestLeaseManagerRestartEndToEnd(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	h, err := c.Create("/d2/after", 0644)
+	h, err := c.Create(context.Background(), "/d2/after", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = h.Close()
 	for _, p := range []string{"/d/before", "/d/during", "/d2/after"} {
-		if _, err := c.Stat(p); err != nil {
+		if _, err := c.Stat(context.Background(), p); err != nil {
 			t.Errorf("stat %s after restart: %v", p, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"arkfs/internal/lease"
 	"arkfs/internal/metatable"
 	"arkfs/internal/objstore"
+	"arkfs/internal/obs"
 	"arkfs/internal/prt"
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
@@ -67,6 +69,15 @@ type Options struct {
 	// manager hands to other clients. Multi-process deployments set it to
 	// rpc.TCPAddr(<bridge endpoint>) and bridge ServiceName to that port.
 	Advertise rpc.Addr
+	// Obs, when non-nil, is the metrics registry this client reports into:
+	// per-op latency histograms, route counters, data/cache/journal/store
+	// activity. It also enables the per-op trace ring. Several clients may
+	// share one registry; same-named metrics aggregate cluster-wide. Nil
+	// disables observability at (near) zero cost.
+	Obs *obs.Registry
+	// TraceCap sizes the per-op trace ring buffer (default 256 spans); only
+	// meaningful when Obs is set.
+	TraceCap int
 }
 
 // Client is one ArkFS mount: the public near-POSIX API plus the leader-side
@@ -103,6 +114,23 @@ type Client struct {
 
 	inoSrc *types.InoSource
 	stats  Stats
+
+	// Observability sinks (all nil-safe no-ops when Options.Obs is nil).
+	obsReg       *obs.Registry
+	tracer       *obs.Tracer
+	opHists      map[string]*obs.Histogram // read-only after New
+	cBytesRead   *obs.Counter
+	cBytesWrite  *obs.Counter
+	cWBErrs      *obs.Counter
+	hAcquireWait *obs.Histogram
+}
+
+// opNames are the public operations with per-op latency histograms
+// ("core.op.<name>") and trace spans.
+var opNames = []string{
+	"mkdir", "symlink", "readlink", "stat", "lstat", "unlink", "rmdir",
+	"readdir", "rename", "chmod", "chown", "setfacl", "utimes", "truncate",
+	"fsync", "flushall", "open", "read", "write",
 }
 
 // ledDir is a directory this client currently leads.
@@ -167,6 +195,12 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 		}
 	}
 	env := net.Env()
+	if opts.Obs != nil {
+		// Per-verb store counters sit under everything else, so each retry
+		// attempt shows up as a distinct verb op and the kill gate stops the
+		// counting when the simulated process dies.
+		tr = prt.New(objstore.Instrument(tr.Store(), opts.Obs), tr.ChunkSize())
+	}
 	var retry *objstore.RetryStore
 	if opts.Retry != nil {
 		// Mount the robustness layer under everything this client does to
@@ -182,6 +216,7 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 	}
 	jcfg := opts.Journal
 	jcfg.Crash = opts.Crash
+	jcfg.Obs = opts.Obs
 	c := &Client{
 		env:     env,
 		net:     net,
@@ -198,6 +233,36 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 		inoSrc:  types.NewInoSource(opts.Seed),
 	}
 	c.jrnl.SetTxnIDBase(uint64(opts.Seed) & 0xFFFFFFFF)
+	if opts.Obs != nil {
+		c.obsReg = opts.Obs
+		c.tracer = obs.NewTracer(opts.TraceCap, env.Now)
+		c.opHists = make(map[string]*obs.Histogram, len(opNames))
+		for _, op := range opNames {
+			c.opHists[op] = opts.Obs.Histogram("core.op." + op)
+		}
+		c.cBytesRead = opts.Obs.Counter("core.data.bytes.read")
+		c.cBytesWrite = opts.Obs.Counter("core.data.bytes.written")
+		c.cWBErrs = opts.Obs.Counter("core.writeback.errors")
+		c.hAcquireWait = opts.Obs.Histogram("core.lease.acquire.wait")
+		// Pre-existing atomic stats fold in at snapshot time; repeated
+		// registrations of one name sum across clients sharing the registry.
+		opts.Obs.Func("core.meta.local", c.stats.LocalMetaOps.Load)
+		opts.Obs.Func("core.meta.remote", c.stats.RemoteMetaOps.Load)
+		opts.Obs.Func("core.lease.acquires", c.stats.LeaseAcquires.Load)
+		opts.Obs.Func("core.pcache.hits", c.stats.PcacheHits.Load)
+		cs := c.data.Stat()
+		opts.Obs.Func("cache.hits", cs.Hits.Load)
+		opts.Obs.Func("cache.misses", cs.Misses.Load)
+		opts.Obs.Func("cache.readaheads", cs.Readaheads.Load)
+		opts.Obs.Func("cache.writebacks", cs.Writebacks.Load)
+		opts.Obs.Func("cache.evictions", cs.Evictions.Load)
+		opts.Obs.Func("cache.writeback.errors", cs.WritebackErrors.Load)
+		if retry != nil {
+			rs := retry.RetryStats()
+			opts.Obs.Func("objstore.retries", rs.Retries)
+			opts.Obs.Func("objstore.retries.exhausted", rs.Exhausted.Load)
+		}
+	}
 	c.lm = &lease.Client{Net: net, Mgr: opts.LeaseMgr, Self: c.addr, Route: opts.LeaseRoute}
 	c.serviceName = rpc.Addr("arkfs-svc-" + opts.ID)
 	if opts.Advertise == "" {
@@ -236,7 +301,7 @@ func (c *Client) leaseKeeper() {
 		}
 		c.mu.Unlock()
 		for _, ino := range due {
-			_, _, _ = c.acquireLease(ino)
+			_, _, _ = c.acquireLease(context.Background(), ino)
 		}
 	}
 }
@@ -274,12 +339,25 @@ func (c *Client) RetryStats() *objstore.RetryStats {
 	return c.retry.RetryStats()
 }
 
+// Stats snapshots the client's metrics registry: every instrumented layer's
+// counters, gauges, and latency histograms. Empty when Options.Obs was nil.
+func (c *Client) Stats() obs.Snapshot { return c.obsReg.Snapshot() }
+
+// Registry exposes the metrics registry itself (nil when observability is
+// off), for callers that fold additional external counters in.
+func (c *Client) Registry() *obs.Registry { return c.obsReg }
+
+// Tracer exposes the per-op trace ring (nil when observability is off); the
+// chaos harness dumps it when a run fails.
+func (c *Client) Tracer() *obs.Tracer { return c.tracer }
+
 // recordWBErr keeps the first background write-back failure for FlushAll and
 // Close to surface; the cache keeps the data dirty, so a later flush retries.
 func (c *Client) recordWBErr(err error) {
 	if err == nil {
 		return
 	}
+	c.cWBErrs.Inc()
 	c.wbMu.Lock()
 	if c.wbErr == nil {
 		c.wbErr = err
@@ -372,7 +450,7 @@ func (c *Client) chargeMetaOp() {
 // already knows: its own leadership, then the cached remote-leader pointer
 // (the "remote metatable" entry of Fig. 3c), and only then the lease
 // manager. This keeps steady-state forwarding free of manager round trips.
-func (c *Client) routeFor(dir types.Ino) (*ledDir, rpc.Addr, error) {
+func (c *Client) routeFor(ctx context.Context, dir types.Ino) (*ledDir, rpc.Addr, error) {
 	c.mu.Lock()
 	if ld, ok := c.led[dir]; ok && c.env.Now() < ld.expiry-c.opts.LeaseMargin {
 		c.mu.Unlock()
@@ -383,7 +461,7 @@ func (c *Client) routeFor(dir types.Ino) (*ledDir, rpc.Addr, error) {
 		return nil, addr, nil
 	}
 	c.mu.Unlock()
-	return c.leaderFor(dir)
+	return c.leaderFor(ctx, dir)
 }
 
 // invalidateLeader drops the cached remote-leader pointer for dir, forcing
@@ -398,7 +476,7 @@ func (c *Client) invalidateLeader(dir types.Ino) {
 // live *ledDir) or a remote leader (returns its address). It acquires or
 // extends the directory lease as needed and runs journal recovery when the
 // manager signals a predecessor crash.
-func (c *Client) leaderFor(dir types.Ino) (*ledDir, rpc.Addr, error) {
+func (c *Client) leaderFor(ctx context.Context, dir types.Ino) (*ledDir, rpc.Addr, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -411,17 +489,18 @@ func (c *Client) leaderFor(dir types.Ino) (*ledDir, rpc.Addr, error) {
 		}
 		// Near or past expiry: try to extend outside the lock.
 		c.mu.Unlock()
-		return c.acquireLease(dir)
+		return c.acquireLease(ctx, dir)
 	}
 	c.mu.Unlock()
-	return c.acquireLease(dir)
+	return c.acquireLease(ctx, dir)
 }
 
 // acquireLease obtains (or extends) the lease for dir, building the
 // metatable when this client becomes a fresh leader. It refuses outright on
 // a closed (or crashed) client: the leaseKeeper calls it directly, and a
-// crashed client must never extend — or re-take — a lease.
-func (c *Client) acquireLease(dir types.Ino) (*ledDir, rpc.Addr, error) {
+// crashed client must never extend — or re-take — a lease. A cancelled or
+// expired ctx stops the wait loop before the next manager round trip.
+func (c *Client) acquireLease(ctx context.Context, dir types.Ino) (*ledDir, rpc.Addr, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -434,6 +513,9 @@ func (c *Client) acquireLease(dir types.Ino) (*ledDir, rpc.Addr, error) {
 	// their own (larger) budget instead of consuming acquire retries.
 	quiesceWaits := 0
 	for attempt := 0; attempt < c.opts.AcquireRetries; {
+		if err := ctx.Err(); err != nil {
+			return nil, "", fmt.Errorf("core: lease acquire for %s: %w", dir.Short(), err)
+		}
 		resp, err := c.lm.Acquire(dir)
 		if err != nil {
 			return nil, "", fmt.Errorf("core: lease acquire: %w", err)
@@ -464,6 +546,7 @@ func (c *Client) acquireLease(dir types.Ino) (*ledDir, rpc.Addr, error) {
 			if delay < time.Millisecond {
 				delay = time.Millisecond
 			}
+			c.hAcquireWait.Observe(delay)
 			c.env.Sleep(delay)
 		default:
 			return nil, "", fmt.Errorf("core: lease denied for %s: %w", dir.Short(), types.ErrBusy)

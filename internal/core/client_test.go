@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"testing"
@@ -27,7 +28,7 @@ type testCluster struct {
 	fault *objstore.FaultStore
 }
 
-func newTestCluster(t *testing.T) *testCluster {
+func newTestCluster(t testing.TB) *testCluster {
 	t.Helper()
 	env := sim.NewRealEnv()
 	t.Cleanup(env.Shutdown)
@@ -43,7 +44,7 @@ func newTestCluster(t *testing.T) *testCluster {
 	return &testCluster{env: env, net: net, tr: tr, mgr: mgr, store: store, fault: fault}
 }
 
-func (tc *testCluster) client(t *testing.T, id string, opts ...func(*Options)) *Client {
+func (tc *testCluster) client(t testing.TB, id string, opts ...func(*Options)) *Client {
 	t.Helper()
 	o := Options{
 		ID:          id,
@@ -63,13 +64,13 @@ func (tc *testCluster) client(t *testing.T, id string, opts ...func(*Options)) *
 func TestMkdirCreateStatReaddir(t *testing.T) {
 	tc := newTestCluster(t)
 	c := tc.client(t, "a")
-	if err := c.Mkdir("/home", 0755); err != nil {
+	if err := c.Mkdir(context.Background(), "/home", 0755); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Mkdir("/home/user", 0750); err != nil {
+	if err := c.Mkdir(context.Background(), "/home/user", 0750); err != nil {
 		t.Fatal(err)
 	}
-	f, err := c.Create("/home/user/hello.txt", 0644)
+	f, err := c.Create(context.Background(), "/home/user/hello.txt", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,30 +80,30 @@ func TestMkdirCreateStatReaddir(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Stat("/home/user/hello.txt")
+	st, err := c.Stat(context.Background(), "/home/user/hello.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Size != 2 || st.Type != types.TypeRegular || st.Mode != 0644 || st.Uid != 1000 {
 		t.Fatalf("stat: %+v", st)
 	}
-	ents, err := c.Readdir("/home/user")
+	ents, err := c.Readdir(context.Background(), "/home/user")
 	if err != nil || len(ents) != 1 || ents[0].Name != "hello.txt" {
 		t.Fatalf("readdir: %v, %v", ents, err)
 	}
 	// Root listing.
-	ents, err = c.Readdir("/")
+	ents, err = c.Readdir(context.Background(), "/")
 	if err != nil || len(ents) != 1 || ents[0].Name != "home" {
 		t.Fatalf("readdir /: %v, %v", ents, err)
 	}
 	// Errors.
-	if _, err := c.Stat("/nope"); !isNotExist(err) {
+	if _, err := c.Stat(context.Background(), "/nope"); !isNotExist(err) {
 		t.Fatalf("stat missing: %v", err)
 	}
-	if err := c.Mkdir("/home", 0755); !errors.Is(err, types.ErrExist) {
+	if err := c.Mkdir(context.Background(), "/home", 0755); !errors.Is(err, types.ErrExist) {
 		t.Fatalf("mkdir dup: %v", err)
 	}
-	if _, err := c.Readdir("/home/user/hello.txt"); !errors.Is(err, types.ErrNotDir) {
+	if _, err := c.Readdir(context.Background(), "/home/user/hello.txt"); !errors.Is(err, types.ErrNotDir) {
 		t.Fatalf("readdir file: %v", err)
 	}
 }
@@ -110,11 +111,11 @@ func TestMkdirCreateStatReaddir(t *testing.T) {
 func TestWriteReadBackThroughStore(t *testing.T) {
 	tc := newTestCluster(t)
 	c := tc.client(t, "a")
-	if err := c.Mkdir("/d", 0755); err != nil {
+	if err := c.Mkdir(context.Background(), "/d", 0755); err != nil {
 		t.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte("abcdefgh"), 2048) // 16 KiB over 4 KiB chunks
-	f, err := c.Create("/d/file", 0644)
+	f, err := c.Create(context.Background(), "/d/file", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestWriteReadBackThroughStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reopen and read back.
-	g, err := c.Open("/d/file", types.ORdonly, 0)
+	g, err := c.Open(context.Background(), "/d/file", types.ORdonly, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,34 +148,34 @@ func TestWriteReadBackThroughStore(t *testing.T) {
 func TestUnlinkAndRmdir(t *testing.T) {
 	tc := newTestCluster(t)
 	c := tc.client(t, "a")
-	if err := c.Mkdir("/d", 0755); err != nil {
+	if err := c.Mkdir(context.Background(), "/d", 0755); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := c.Create("/d/x", 0644)
+	f, _ := c.Create(context.Background(), "/d/x", 0644)
 	_, _ = f.Write([]byte("data"))
 	_ = f.Close()
 
-	if err := c.Rmdir("/d"); !errors.Is(err, types.ErrNotEmpty) {
+	if err := c.Rmdir(context.Background(), "/d"); !errors.Is(err, types.ErrNotEmpty) {
 		t.Fatalf("rmdir non-empty: %v", err)
 	}
-	if err := c.Unlink("/d"); !errors.Is(err, types.ErrIsDir) {
+	if err := c.Unlink(context.Background(), "/d"); !errors.Is(err, types.ErrIsDir) {
 		t.Fatalf("unlink dir: %v", err)
 	}
-	if err := c.Unlink("/d/x"); err != nil {
+	if err := c.Unlink(context.Background(), "/d/x"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Stat("/d/x"); !isNotExist(err) {
+	if _, err := c.Stat(context.Background(), "/d/x"); !isNotExist(err) {
 		t.Fatalf("stat after unlink: %v", err)
 	}
-	if err := c.Rmdir("/d"); err != nil {
+	if err := c.Rmdir(context.Background(), "/d"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Stat("/d"); !isNotExist(err) {
+	if _, err := c.Stat(context.Background(), "/d"); !isNotExist(err) {
 		t.Fatalf("stat after rmdir: %v", err)
 	}
 	// After a full flush, the store must not leak objects for the deleted
 	// tree (superblock + root inode + root dentries only).
-	if err := c.FlushAll(); err != nil {
+	if err := c.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	keys, _ := tc.store.List("")
@@ -186,44 +187,44 @@ func TestUnlinkAndRmdir(t *testing.T) {
 func TestSymlinkResolution(t *testing.T) {
 	tc := newTestCluster(t)
 	c := tc.client(t, "a")
-	if err := c.Mkdir("/real", 0755); err != nil {
+	if err := c.Mkdir(context.Background(), "/real", 0755); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := c.Create("/real/target", 0644)
+	f, _ := c.Create(context.Background(), "/real/target", 0644)
 	_, _ = f.Write([]byte("payload"))
 	_ = f.Close()
-	if err := c.Symlink("/real", "/link"); err != nil {
+	if err := c.Symlink(context.Background(), "/real", "/link"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Symlink("target", "/real/rel"); err != nil {
+	if err := c.Symlink(context.Background(), "target", "/real/rel"); err != nil {
 		t.Fatal(err)
 	}
 	// Follow through the dir symlink.
-	st, err := c.Stat("/link/target")
+	st, err := c.Stat(context.Background(), "/link/target")
 	if err != nil || st.Size != 7 {
 		t.Fatalf("stat via symlink: %+v, %v", st, err)
 	}
 	// Relative symlink.
-	st, err = c.Stat("/real/rel")
+	st, err = c.Stat(context.Background(), "/real/rel")
 	if err != nil || st.Size != 7 {
 		t.Fatalf("stat via relative symlink: %+v, %v", st, err)
 	}
 	// Lstat does not follow.
-	ln, err := c.Lstat("/link")
+	ln, err := c.Lstat(context.Background(), "/link")
 	if err != nil || ln.Type != types.TypeSymlink {
 		t.Fatalf("lstat: %+v, %v", ln, err)
 	}
-	if tgt, err := c.Readlink("/link"); err != nil || tgt != "/real" {
+	if tgt, err := c.Readlink(context.Background(), "/link"); err != nil || tgt != "/real" {
 		t.Fatalf("readlink: %q, %v", tgt, err)
 	}
 	// Symlink loop.
-	if err := c.Symlink("/loop2", "/loop1"); err != nil {
+	if err := c.Symlink(context.Background(), "/loop2", "/loop1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Symlink("/loop1", "/loop2"); err != nil {
+	if err := c.Symlink(context.Background(), "/loop1", "/loop2"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Stat("/loop1"); !errors.Is(err, types.ErrLoop) {
+	if _, err := c.Stat(context.Background(), "/loop1"); !errors.Is(err, types.ErrLoop) {
 		t.Fatalf("loop: %v", err)
 	}
 }
@@ -234,41 +235,41 @@ func TestPermissionEnforcement(t *testing.T) {
 	other := tc.client(t, "other", func(o *Options) {
 		o.Cred = types.Cred{Uid: 2000, Gid: 2000}
 	})
-	if err := owner.Mkdir("/priv", 0700); err != nil {
+	if err := owner.Mkdir(context.Background(), "/priv", 0700); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := owner.Create("/priv/secret", 0600)
+	f, _ := owner.Create(context.Background(), "/priv/secret", 0600)
 	_ = f.Close()
-	if err := owner.FlushAll(); err != nil {
+	if err := owner.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// A different uid cannot traverse the 0700 directory.
-	if _, err := other.Stat("/priv/secret"); !errors.Is(err, types.ErrAccess) {
+	if _, err := other.Stat(context.Background(), "/priv/secret"); !errors.Is(err, types.ErrAccess) {
 		t.Fatalf("traverse denied expected: %v", err)
 	}
-	if _, err := other.Readdir("/priv"); !errors.Is(err, types.ErrAccess) {
+	if _, err := other.Readdir(context.Background(), "/priv"); !errors.Is(err, types.ErrAccess) {
 		t.Fatalf("readdir denied expected: %v", err)
 	}
 	// Opening others' files read-only fails on mode bits.
-	if err := owner.Chmod("/priv", 0755); err != nil {
+	if err := owner.Chmod(context.Background(), "/priv", 0755); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := other.Open("/priv/secret", types.ORdonly, 0); !errors.Is(err, types.ErrAccess) {
+	if _, err := other.Open(context.Background(), "/priv/secret", types.ORdonly, 0); !errors.Is(err, types.ErrAccess) {
 		t.Fatalf("open denied expected: %v", err)
 	}
 	// Non-owner cannot chmod.
-	if err := other.Chmod("/priv/secret", 0777); !errors.Is(err, types.ErrPerm) {
+	if err := other.Chmod(context.Background(), "/priv/secret", 0777); !errors.Is(err, types.ErrPerm) {
 		t.Fatalf("chmod by non-owner: %v", err)
 	}
 	// ACL grants access to a named user.
-	if err := owner.SetACL("/priv/secret", types.ACL{
+	if err := owner.SetACL(context.Background(), "/priv/secret", types.ACL{
 		{Tag: types.TagUserObj, Perms: 7},
 		{Tag: types.TagUser, ID: 2000, Perms: types.MayRead},
 		{Tag: types.TagMask, Perms: 7},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	g, err := other.Open("/priv/secret", types.ORdonly, 0)
+	g, err := other.Open(context.Background(), "/priv/secret", types.ORdonly, 0)
 	if err != nil {
 		t.Fatalf("ACL-granted open failed: %v", err)
 	}
@@ -278,7 +279,7 @@ func TestPermissionEnforcement(t *testing.T) {
 func TestTruncateAndAppend(t *testing.T) {
 	tc := newTestCluster(t)
 	c := tc.client(t, "a")
-	f, err := c.Create("/f", 0644)
+	f, err := c.Create(context.Background(), "/f", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,15 +289,15 @@ func TestTruncateAndAppend(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Truncate("/f", 4); err != nil {
+	if err := c.Truncate(context.Background(), "/f", 4); err != nil {
 		t.Fatal(err)
 	}
-	st, _ := c.Stat("/f")
+	st, _ := c.Stat(context.Background(), "/f")
 	if st.Size != 4 {
 		t.Fatalf("size after truncate = %d", st.Size)
 	}
 	// O_APPEND writes land at the end.
-	g, err := c.Open("/f", types.OWronly|types.OAppend, 0)
+	g, err := c.Open(context.Background(), "/f", types.OWronly|types.OAppend, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,19 +307,19 @@ func TestTruncateAndAppend(t *testing.T) {
 	if err := g.Close(); err != nil {
 		t.Fatal(err)
 	}
-	h, _ := c.Open("/f", types.ORdonly, 0)
+	h, _ := c.Open(context.Background(), "/f", types.ORdonly, 0)
 	got, _ := io.ReadAll(h)
 	_ = h.Close()
 	if string(got) != "0123XY" {
 		t.Fatalf("content = %q", got)
 	}
 	// O_TRUNC empties.
-	w, err := c.Open("/f", types.OWronly|types.OTrunc, 0)
+	w, err := c.Open(context.Background(), "/f", types.OWronly|types.OTrunc, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = w.Close()
-	st, _ = c.Stat("/f")
+	st, _ = c.Stat(context.Background(), "/f")
 	if st.Size != 0 {
 		t.Fatalf("size after O_TRUNC = %d", st.Size)
 	}
@@ -327,19 +328,19 @@ func TestTruncateAndAppend(t *testing.T) {
 func TestOpenFlagsSemantics(t *testing.T) {
 	tc := newTestCluster(t)
 	c := tc.client(t, "a")
-	if _, err := c.Open("/missing", types.ORdonly, 0); !isNotExist(err) {
+	if _, err := c.Open(context.Background(), "/missing", types.ORdonly, 0); !isNotExist(err) {
 		t.Fatalf("open missing: %v", err)
 	}
-	f, err := c.Open("/new", types.ORdwr|types.OCreate|types.OExcl, 0644)
+	f, err := c.Open(context.Background(), "/new", types.ORdwr|types.OCreate|types.OExcl, 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = f.Close()
-	if _, err := c.Open("/new", types.OWronly|types.OCreate|types.OExcl, 0644); !errors.Is(err, types.ErrExist) {
+	if _, err := c.Open(context.Background(), "/new", types.OWronly|types.OCreate|types.OExcl, 0644); !errors.Is(err, types.ErrExist) {
 		t.Fatalf("O_EXCL on existing: %v", err)
 	}
 	// Write on read-only handle.
-	r, _ := c.Open("/new", types.ORdonly, 0)
+	r, _ := c.Open(context.Background(), "/new", types.ORdonly, 0)
 	if _, err := r.Write([]byte("x")); !errors.Is(err, types.ErrBadFD) {
 		t.Fatalf("write on O_RDONLY: %v", err)
 	}

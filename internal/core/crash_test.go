@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -34,14 +35,14 @@ func TestCrashStopsLeaseExtensions(t *testing.T) {
 			ID: "a", Cred: types.Cred{Uid: 1, Gid: 1}, LeasePeriod: lp,
 			Journal: journal.Config{CommitInterval: lp / 4, CommitWorkers: 2, CheckpointWorkers: 2},
 		})
-		if err := a.Mkdir("/d", 0777); err != nil {
+		if err := a.Mkdir(context.Background(), "/d", 0777); err != nil {
 			t.Fatal(err)
 		}
-		node, err := a.Stat("/d")
+		node, err := a.Stat(context.Background(), "/d")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if f, err := a.Create("/d/f", 0644); err != nil {
+		if f, err := a.Create(context.Background(), "/d/f", 0644); err != nil {
 			t.Fatal(err)
 		} else if err := f.Close(); err != nil {
 			t.Fatal(err)
@@ -100,15 +101,15 @@ func TestAcquireRidesOutManagerQuiesce(t *testing.T) {
 			AcquireRetries: 16,
 		})
 		defer func() { _ = c.Close() }()
-		if err := c.Mkdir("/d", 0777); err != nil {
+		if err := c.Mkdir(context.Background(), "/d", 0777); err != nil {
 			t.Fatal(err)
 		}
-		if f, err := c.Create("/d/a", 0644); err != nil {
+		if f, err := c.Create(context.Background(), "/d/a", 0644); err != nil {
 			t.Fatal(err)
 		} else if err := f.Close(); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.FlushAll(); err != nil {
+		if err := c.FlushAll(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 
@@ -120,7 +121,7 @@ func TestAcquireRidesOutManagerQuiesce(t *testing.T) {
 		defer mgr2.Close()
 
 		start := env.Now()
-		f, err := c.Create("/d/b", 0644)
+		f, err := c.Create(context.Background(), "/d/b", 0644)
 		if err != nil {
 			t.Fatalf("create across manager restart: %v", err)
 		}
@@ -136,7 +137,7 @@ func TestAcquireRidesOutManagerQuiesce(t *testing.T) {
 		if elapsed > 4*lp {
 			t.Fatalf("create took %v, want ≲ %v", elapsed, 4*lp)
 		}
-		if _, err := c.Stat("/d/b"); err != nil {
+		if _, err := c.Stat(context.Background(), "/d/b"); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"io"
 	"sync"
@@ -31,51 +32,52 @@ type File struct {
 }
 
 // Open opens (and with OCreate, creates) a file.
-func (c *Client) Open(path string, flags types.OpenFlag, mode types.Mode) (*File, error) {
+func (c *Client) Open(ctx context.Context, path string, flags types.OpenFlag, mode types.Mode) (*File, error) {
+	ctx, op := c.startOp(ctx, "open", path)
 	c.chargeFUSE()
-	res, err := c.resolvePath(path, true)
+	res, err := c.resolvePath(ctx, path, true)
 	if err != nil {
-		return nil, errnoWrap("open", path, err)
+		return nil, op.end(errnoWrap("open", path, err))
 	}
 	if res.name == "" {
-		return nil, errnoWrap("open", path, types.ErrIsDir)
+		return nil, op.end(errnoWrap("open", path, types.ErrIsDir))
 	}
 	node := res.node
 	if node == nil {
 		if !flags.Has(types.OCreate) {
-			return nil, errnoWrap("open", path, types.ErrNotExist)
+			return nil, op.end(errnoWrap("open", path, types.ErrNotExist))
 		}
-		node, err = c.create(res.parent, CreateReq{
+		node, err = c.create(ctx, res.parent, CreateReq{
 			Dir: res.parent, Name: res.name, Type: types.TypeRegular,
 			Mode: mode, Cred: c.opts.Cred, NewIno: c.inoSrc.Next(),
 			Exclusive: flags.Has(types.OExcl),
 		})
 		if err != nil {
-			return nil, errnoWrap("open", path, err)
+			return nil, op.end(errnoWrap("open", path, err))
 		}
 	} else {
 		if flags.Has(types.OCreate) && flags.Has(types.OExcl) {
-			return nil, errnoWrap("open", path, types.ErrExist)
+			return nil, op.end(errnoWrap("open", path, types.ErrExist))
 		}
 		if node.IsDir() {
-			return nil, errnoWrap("open", path, types.ErrIsDir)
+			return nil, op.end(errnoWrap("open", path, types.ErrIsDir))
 		}
 	}
 	// Access-mode permission checks against the (possibly fresh) inode.
 	if flags.WantsRead() {
 		if err := node.Access(c.opts.Cred, types.MayRead); err != nil {
-			return nil, errnoWrap("open", path, err)
+			return nil, op.end(errnoWrap("open", path, err))
 		}
 	}
 	if flags.WantsWrite() {
 		if err := node.Access(c.opts.Cred, types.MayWrite); err != nil {
-			return nil, errnoWrap("open", path, err)
+			return nil, op.end(errnoWrap("open", path, err))
 		}
 	}
 	// Register the data read lease with the parent's leader.
-	direct, size, err := c.openDataLease(res.parent, res.name, node, flags.WantsWrite())
+	direct, size, err := c.openDataLease(ctx, res.parent, res.name, node, flags.WantsWrite())
 	if err != nil {
-		return nil, errnoWrap("open", path, err)
+		return nil, op.end(errnoWrap("open", path, err))
 	}
 	f := &File{
 		c: c, path: path, parent: res.parent, ino: node.Ino,
@@ -83,7 +85,7 @@ func (c *Client) Open(path string, flags types.OpenFlag, mode types.Mode) (*File
 	}
 	if flags.Has(types.OTrunc) && flags.WantsWrite() && f.size > 0 {
 		if err := f.truncate(0); err != nil {
-			return nil, errnoWrap("open", path, err)
+			return nil, op.end(errnoWrap("open", path, err))
 		}
 	}
 	if flags.Has(types.OAppend) {
@@ -95,17 +97,17 @@ func (c *Client) Open(path string, flags types.OpenFlag, mode types.Mode) (*File
 	}
 	c.handles[f.ino][f] = true
 	c.mu.Unlock()
-	return f, nil
+	return f, op.end(nil)
 }
 
 // Create is the creat(2) shorthand: O_WRONLY|O_CREATE|O_TRUNC.
-func (c *Client) Create(path string, mode types.Mode) (*File, error) {
-	return c.Open(path, types.OWronly|types.OCreate|types.OTrunc, mode)
+func (c *Client) Create(ctx context.Context, path string, mode types.Mode) (*File, error) {
+	return c.Open(ctx, path, types.OWronly|types.OCreate|types.OTrunc, mode)
 }
 
 // openDataLease registers a read lease at the parent's leader and returns
 // whether the file is in direct-I/O mode plus its current size.
-func (c *Client) openDataLease(parent types.Ino, name string, node *types.Inode, write bool) (bool, int64, error) {
+func (c *Client) openDataLease(ctx context.Context, parent types.Ino, name string, node *types.Inode, write bool) (bool, int64, error) {
 	if ld, ok := c.ledDirFor(parent); ok {
 		direct := c.grantRead(ld, node.Ino, c.addr)
 		// Leader's table has the freshest size.
@@ -117,6 +119,9 @@ func (c *Client) openDataLease(parent types.Ino, name string, node *types.Inode,
 	req := OpenReq{Dir: parent, Name: name, Cred: c.opts.Cred, Client: c.addr, Write: write}
 	var or OpenResp
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return false, 0, err
+		}
 		if ld, ok := c.ledDirFor(parent); ok {
 			direct := c.grantRead(ld, node.Ino, c.addr)
 			if cur, ok := ld.table.Child(node.Ino); ok {
@@ -124,7 +129,7 @@ func (c *Client) openDataLease(parent types.Ino, name string, node *types.Inode,
 			}
 			return direct, node.Size, nil
 		}
-		resp, err := c.callLeader(c.remoteLeaderHint(parent), parent, req)
+		resp, err := c.callLeader(ctx, c.remoteLeaderHint(ctx, parent), parent, req)
 		if err != nil {
 			if errors.Is(err, types.ErrStale) && attempt < maxOpRetries {
 				c.retryBackoff(attempt)
@@ -133,7 +138,7 @@ func (c *Client) openDataLease(parent types.Ino, name string, node *types.Inode,
 			return false, 0, err
 		}
 		or = resp.(OpenResp)
-		if or.Err == "ESTALE" && attempt < maxOpRetries {
+		if errors.Is(errFromString(or.Err), types.ErrStale) && attempt < maxOpRetries {
 			c.invalidateLeader(parent)
 			c.retryBackoff(attempt)
 			continue
@@ -152,7 +157,7 @@ func (c *Client) openDataLease(parent types.Ino, name string, node *types.Inode,
 
 // remoteLeaderHint returns the last known leader for dir, falling back to a
 // manager-driven discovery inside callLeader when absent.
-func (c *Client) remoteLeaderHint(dir types.Ino) rpc.Addr {
+func (c *Client) remoteLeaderHint(ctx context.Context, dir types.Ino) rpc.Addr {
 	c.mu.Lock()
 	addr, ok := c.remote[dir]
 	c.mu.Unlock()
@@ -160,7 +165,7 @@ func (c *Client) remoteLeaderHint(dir types.Ino) rpc.Addr {
 		return addr
 	}
 	// Unknown: force discovery via leaderFor.
-	if ld, leader, err := c.leaderFor(dir); err == nil && ld == nil {
+	if ld, leader, err := c.leaderFor(ctx, dir); err == nil && ld == nil {
 		return leader
 	}
 	return c.addr // we became the leader; callLeader will hit our own server
@@ -178,6 +183,7 @@ func (f *File) Ino() types.Ino { return f.ino }
 
 // ReadAt reads len(p) bytes at offset off, returning io.EOF at end of file.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	start := f.c.env.Now()
 	f.c.chargeFUSE()
 	f.mu.Lock()
 	if f.closed {
@@ -198,6 +204,8 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	} else {
 		n, err = f.c.data.Read(f.ino, p, off, size)
 	}
+	f.c.cBytesRead.Add(int64(n))
+	f.c.opHists["read"].Observe(f.c.env.Now() - start)
 	if err != nil {
 		return n, errnoWrap("read", f.path, err)
 	}
@@ -221,6 +229,7 @@ func (f *File) Read(p []byte) (int, error) {
 
 // WriteAt writes p at offset off.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	start := f.c.env.Now()
 	f.c.chargeFUSE()
 	f.mu.Lock()
 	if f.closed || !f.flags.WantsWrite() {
@@ -250,6 +259,8 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	}
 	f.wrote = true
 	f.mu.Unlock()
+	f.c.cBytesWrite.Add(int64(len(p)))
+	f.c.opHists["write"].Observe(f.c.env.Now() - start)
 	return len(p), nil
 }
 
@@ -301,11 +312,12 @@ func (f *File) ensureWritable() error {
 	f.mu.Unlock()
 
 	c := f.c
+	ctx := context.Background() // file I/O paths carry no caller context
 	var direct bool
 	if ld, ok := c.ledDirFor(f.parent); ok {
 		direct = c.upgradeWrite(ld, f.ino, c.addr)
 	} else {
-		resp, err := c.callLeader(c.remoteLeaderHint(f.parent), f.parent,
+		resp, err := c.callLeader(ctx, c.remoteLeaderHint(ctx, f.parent), f.parent,
 			WriteLeaseReq{Dir: f.parent, Ino: f.ino, Client: c.addr})
 		if err != nil {
 			return err
@@ -335,7 +347,7 @@ func (f *File) ensureWritable() error {
 
 // truncate implements O_TRUNC and Ftruncate through the parent's leader.
 func (f *File) truncate(size int64) error {
-	res, err := f.c.setAttrIno(f.parent, f.baseName(), AttrPatch{SetSize: true, Size: size}, false)
+	res, err := f.c.setAttrIno(context.Background(), f.parent, f.baseName(), AttrPatch{SetSize: true, Size: size}, false)
 	if err != nil {
 		return err
 	}
@@ -371,7 +383,7 @@ func (f *File) Sync() error {
 	}
 	if wrote {
 		patch := AttrPatch{SetSize: true, Size: size, SetTimes: true, Mtime: f.c.env.Now()}
-		if _, err := f.c.setAttrIno(f.parent, f.baseName(), patch, true); err != nil {
+		if _, err := f.c.setAttrIno(context.Background(), f.parent, f.baseName(), patch, true); err != nil {
 			return errnoWrap("fsync", f.path, err)
 		}
 		f.mu.Lock()
@@ -408,7 +420,7 @@ func (f *File) Close() error {
 		size := f.size
 		f.mu.Unlock()
 		patch := AttrPatch{SetSize: true, Size: size, SetTimes: true, Mtime: f.c.env.Now()}
-		if _, serr := f.c.setAttrIno(f.parent, f.baseName(), patch, true); serr != nil {
+		if _, serr := f.c.setAttrIno(context.Background(), f.parent, f.baseName(), patch, true); serr != nil {
 			err = serr
 		}
 		f.mu.Lock()
@@ -446,7 +458,8 @@ func (f *File) Close() error {
 			return
 		}
 		req := CloseFileReq{Dir: f.parent, Ino: f.ino, Client: c.addr}
-		_, _ = c.callLeader(c.remoteLeaderHint(f.parent), f.parent, req)
+		ctx := context.Background()
+		_, _ = c.callLeader(ctx, c.remoteLeaderHint(ctx, f.parent), f.parent, req)
 	}
 	if c.data.Dirty(f.ino) {
 		// Background write-back; release the data lease only afterwards. On

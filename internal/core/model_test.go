@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -99,7 +100,7 @@ func TestRandomOpsMatchModel(t *testing.T) {
 				switch op := rng.Intn(10); op {
 				case 0, 1: // mkdir
 					path := join(dirPool[rng.Intn(len(dirPool))], name())
-					err := c.Mkdir(path, 0777)
+					err := c.Mkdir(context.Background(), path, 0777)
 					_, fileExists := model.files[path]
 					dirExists := model.dirs[path]
 					switch {
@@ -122,7 +123,7 @@ func TestRandomOpsMatchModel(t *testing.T) {
 					path := join(dirPool[rng.Intn(len(dirPool))], name())
 					content := make([]byte, rng.Intn(10000))
 					rng.Read(content)
-					f, err := c.Open(path, types.OWronly|types.OCreate|types.OTrunc, 0666)
+					f, err := c.Open(context.Background(), path, types.OWronly|types.OCreate|types.OTrunc, 0666)
 					if model.dirs[path] {
 						if !errors.Is(err, types.ErrIsDir) {
 							t.Fatalf("step %d create over dir %s: %v", step, path, err)
@@ -157,7 +158,7 @@ func TestRandomOpsMatchModel(t *testing.T) {
 						continue // path was reused as a directory
 					}
 					want, ok := model.files[path]
-					f, err := c.Open(path, types.ORdonly, 0)
+					f, err := c.Open(context.Background(), path, types.ORdonly, 0)
 					if !ok {
 						if !isNotExist(err) {
 							t.Fatalf("step %d open deleted %s: %v", step, path, err)
@@ -184,7 +185,7 @@ func TestRandomOpsMatchModel(t *testing.T) {
 						continue
 					}
 					want, ok := model.files[path]
-					st, err := c.Stat(path)
+					st, err := c.Stat(context.Background(), path)
 					if !ok {
 						if !isNotExist(err) {
 							t.Fatalf("step %d stat deleted %s: %v", step, path, err)
@@ -206,7 +207,7 @@ func TestRandomOpsMatchModel(t *testing.T) {
 						continue
 					}
 					_, ok := model.files[path]
-					err := c.Unlink(path)
+					err := c.Unlink(context.Background(), path)
 					if !ok {
 						if !isNotExist(err) {
 							t.Fatalf("step %d unlink gone %s: %v", step, path, err)
@@ -230,7 +231,7 @@ func TestRandomOpsMatchModel(t *testing.T) {
 					if model.dirs[dst] || !ok || !model.parentOK(dst) || dst == src {
 						continue // skip hairy cases; they have dedicated tests
 					}
-					if err := c.Rename(src, dst); err != nil {
+					if err := c.Rename(context.Background(), src, dst); err != nil {
 						t.Fatalf("step %d rename %s -> %s: %v", step, src, dst, err)
 					}
 					delete(model.files, src)
@@ -241,7 +242,7 @@ func TestRandomOpsMatchModel(t *testing.T) {
 					if !model.dirs[dir] {
 						continue
 					}
-					ents, err := c.Readdir(dir)
+					ents, err := c.Readdir(context.Background(), dir)
 					if err != nil {
 						t.Fatalf("step %d readdir %s: %v", step, dir, err)
 					}
@@ -267,7 +268,7 @@ func TestRandomOpsMatchModel(t *testing.T) {
 					if len(content) > 0 {
 						n = int64(rng.Intn(len(content)))
 					}
-					if err := c.Truncate(path, n); err != nil {
+					if err := c.Truncate(context.Background(), path, n); err != nil {
 						t.Fatalf("step %d truncate %s: %v", step, path, err)
 					}
 					model.files[path] = content[:n]
@@ -277,12 +278,12 @@ func TestRandomOpsMatchModel(t *testing.T) {
 			// Final sweep: every model file matches byte-for-byte from both
 			// clients after a full flush.
 			for _, c := range clients {
-				if err := c.FlushAll(); err != nil {
+				if err := c.FlushAll(context.Background()); err != nil {
 					t.Fatal(err)
 				}
 			}
 			for path, want := range model.files {
-				f, err := clients[0].Open(path, types.ORdonly, 0)
+				f, err := clients[0].Open(context.Background(), path, types.ORdonly, 0)
 				if err != nil {
 					t.Fatalf("final open %s: %v", path, err)
 				}

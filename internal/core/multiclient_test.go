@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"testing"
@@ -17,10 +18,10 @@ func TestTwoClientsSharedNamespace(t *testing.T) {
 
 	// c1 builds a tree; c2 must see it through c1's leadership (no flush
 	// needed — the leader serves from its metatable).
-	if err := c1.Mkdir("/shared", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/shared", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, err := c1.Create("/shared/from-c1", 0666)
+	f, err := c1.Create(context.Background(), "/shared/from-c1", 0666)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestTwoClientsSharedNamespace(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st, err := c2.Stat("/shared/from-c1")
+	st, err := c2.Stat(context.Background(), "/shared/from-c1")
 	if err != nil {
 		t.Fatalf("c2 stat through c1's leadership: %v", err)
 	}
@@ -39,7 +40,7 @@ func TestTwoClientsSharedNamespace(t *testing.T) {
 		t.Fatalf("size = %d", st.Size)
 	}
 	// c2 creates in the same directory: forwarded to c1 (the leader).
-	g, err := c2.Create("/shared/from-c2", 0666)
+	g, err := c2.Create(context.Background(), "/shared/from-c2", 0666)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,13 +55,13 @@ func TestTwoClientsSharedNamespace(t *testing.T) {
 	}
 	// Both clients list both files.
 	for _, c := range []*Client{c1, c2} {
-		ents, err := c.Readdir("/shared")
+		ents, err := c.Readdir(context.Background(), "/shared")
 		if err != nil || len(ents) != 2 {
 			t.Fatalf("%s readdir: %v, %v", c.Addr(), ents, err)
 		}
 	}
 	// c2 reads c1's file content.
-	h, err := c2.Open("/shared/from-c1", types.ORdonly, 0)
+	h, err := c2.Open(context.Background(), "/shared/from-c1", types.ORdonly, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,10 +76,10 @@ func TestNonOverlappingDirsStayLocal(t *testing.T) {
 	tc := newTestCluster(t)
 	c1 := tc.client(t, "c1")
 	c2 := tc.client(t, "c2")
-	if err := c1.Mkdir("/d1", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/d1", 0777); err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Mkdir("/d2", 0777); err != nil {
+	if err := c2.Mkdir(context.Background(), "/d2", 0777); err != nil {
 		t.Fatal(err)
 	}
 	before1 := c1.StatCounters().RemoteMetaOps.Load()
@@ -86,12 +87,12 @@ func TestNonOverlappingDirsStayLocal(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		name1 := "/d1/f" + string(rune('a'+i))
 		name2 := "/d2/f" + string(rune('a'+i))
-		f1, err := c1.Create(name1, 0644)
+		f1, err := c1.Create(context.Background(), name1, 0644)
 		if err != nil {
 			t.Fatal(err)
 		}
 		_ = f1.Close()
-		f2, err := c2.Create(name2, 0644)
+		f2, err := c2.Create(context.Background(), name2, 0644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,12 +112,12 @@ func TestLeaseHandoverAfterRelease(t *testing.T) {
 	tc := newTestCluster(t)
 	c1 := tc.client(t, "c1")
 	c2 := tc.client(t, "c2")
-	if err := c1.Mkdir("/dir", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/dir", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := c1.Create("/dir/file", 0666)
+	f, _ := c1.Create(context.Background(), "/dir/file", 0666)
 	_ = f.Close()
-	res, err := c1.resolvePath("/dir", true)
+	res, err := c1.resolvePath(context.Background(), "/dir", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,10 +125,10 @@ func TestLeaseHandoverAfterRelease(t *testing.T) {
 		t.Fatal(err)
 	}
 	// c2 can now become the leader and operate locally.
-	if _, err := c2.Stat("/dir/file"); err != nil {
+	if _, err := c2.Stat(context.Background(), "/dir/file"); err != nil {
 		t.Fatal(err)
 	}
-	g, err := c2.Create("/dir/file2", 0666)
+	g, err := c2.Create(context.Background(), "/dir/file2", 0666)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestLeaseHandoverAfterRelease(t *testing.T) {
 		t.Fatal("c2 did not become leader after c1 released")
 	}
 	// And c1's subsequent access is forwarded to c2.
-	if _, err := c1.Stat("/dir/file2"); err != nil {
+	if _, err := c1.Stat(context.Background(), "/dir/file2"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -144,14 +145,14 @@ func TestLeaseHandoverAfterRelease(t *testing.T) {
 func TestClientCrashRecoveryEndToEnd(t *testing.T) {
 	tc := newTestCluster(t)
 	c1 := tc.client(t, "c1")
-	if err := c1.Mkdir("/work", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/work", 0777); err != nil {
 		t.Fatal(err)
 	}
 	// Ensure the tree is durable before the doomed operations.
-	if err := c1.FlushAll(); err != nil {
+	if err := c1.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c1.resolvePath("/work", true)
+	res, err := c1.resolvePath(context.Background(), "/work", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,12 +165,12 @@ func TestClientCrashRecoveryEndToEnd(t *testing.T) {
 	// flush (commit+checkpoint), then create more and crash with the commit
 	// interval long enough that nothing was committed — those are lost (as
 	// allowed), but any committed-but-not-checkpointed txn must be replayed.
-	f, err := c1.Create("/work/durable", 0644)
+	f, err := c1.Create(context.Background(), "/work/durable", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = f.Close()
-	if err := c1.FlushAll(); err != nil {
+	if err := c1.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	c1.Crash()
@@ -179,7 +180,7 @@ func TestClientCrashRecoveryEndToEnd(t *testing.T) {
 	c2 := tc.client(t, "c2")
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if _, err := c2.Stat("/work/durable"); err == nil {
+		if _, err := c2.Stat(context.Background(), "/work/durable"); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -187,7 +188,7 @@ func TestClientCrashRecoveryEndToEnd(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	st, err := c2.Stat("/work/durable")
+	st, err := c2.Stat(context.Background(), "/work/durable")
 	if err != nil || st.Type != types.TypeRegular {
 		t.Fatalf("after recovery: %+v, %v", st, err)
 	}
@@ -202,24 +203,24 @@ func TestCommittedButNotCheckpointedSurvivesCrash(t *testing.T) {
 	// appears in the store but (likely) before checkpoint. To make it
 	// deterministic, block checkpoint writes with injected failures.
 	c1 := tc.client(t, "c1")
-	if err := c1.Mkdir("/j", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/j", 0777); err != nil {
 		t.Fatal(err)
 	}
-	if err := c1.FlushAll(); err != nil {
+	if err := c1.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := c1.resolvePath("/j", true)
+	res, _ := c1.resolvePath(context.Background(), "/j", true)
 	jIno := res.node.Ino
 
 	// Fail every non-journal write (checkpoint targets) so Flush commits the
 	// txn but cannot apply it.
 	tc.fault.FailNext("i:", 100) // checkpoint inode writes fail; journal ("j:") commits succeed
-	f, err := c1.Create("/j/ghost", 0644)
+	f, err := c1.Create(context.Background(), "/j/ghost", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = f.Close()
-	_ = c1.FlushAll() // commit succeeds; checkpoint fails (error recorded)
+	_ = c1.FlushAll(context.Background()) // commit succeeds; checkpoint fails (error recorded)
 	c1.Crash()
 	tc.fault.FailNext("", 0) // heal
 
@@ -232,7 +233,7 @@ func TestCommittedButNotCheckpointedSurvivesCrash(t *testing.T) {
 	c2 := tc.client(t, "c2")
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if _, err := c2.Stat("/j/ghost"); err == nil {
+		if _, err := c2.Stat(context.Background(), "/j/ghost"); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -245,29 +246,29 @@ func TestCommittedButNotCheckpointedSurvivesCrash(t *testing.T) {
 func TestRenameSameDirectory(t *testing.T) {
 	tc := newTestCluster(t)
 	c := tc.client(t, "a")
-	if err := c.Mkdir("/d", 0777); err != nil {
+	if err := c.Mkdir(context.Background(), "/d", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := c.Create("/d/old", 0644)
+	f, _ := c.Create(context.Background(), "/d/old", 0644)
 	_, _ = f.Write([]byte("content"))
 	_ = f.Close()
-	if err := c.Rename("/d/old", "/d/new"); err != nil {
+	if err := c.Rename(context.Background(), "/d/old", "/d/new"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Stat("/d/old"); !isNotExist(err) {
+	if _, err := c.Stat(context.Background(), "/d/old"); !isNotExist(err) {
 		t.Fatalf("old name survives: %v", err)
 	}
-	st, err := c.Stat("/d/new")
+	st, err := c.Stat(context.Background(), "/d/new")
 	if err != nil || st.Size != 7 {
 		t.Fatalf("new name: %+v, %v", st, err)
 	}
 	// Rename onto an existing file replaces it.
-	g, _ := c.Create("/d/other", 0644)
+	g, _ := c.Create(context.Background(), "/d/other", 0644)
 	_ = g.Close()
-	if err := c.Rename("/d/new", "/d/other"); err != nil {
+	if err := c.Rename(context.Background(), "/d/new", "/d/other"); err != nil {
 		t.Fatal(err)
 	}
-	ents, _ := c.Readdir("/d")
+	ents, _ := c.Readdir(context.Background(), "/d")
 	if len(ents) != 1 || ents[0].Name != "other" {
 		t.Fatalf("after replace: %v", ents)
 	}
@@ -277,32 +278,32 @@ func TestRenameCrossDirectorySingleClient(t *testing.T) {
 	tc := newTestCluster(t)
 	c := tc.client(t, "a")
 	for _, d := range []string{"/src", "/dst"} {
-		if err := c.Mkdir(d, 0777); err != nil {
+		if err := c.Mkdir(context.Background(), d, 0777); err != nil {
 			t.Fatal(err)
 		}
 	}
-	f, _ := c.Create("/src/file", 0644)
+	f, _ := c.Create(context.Background(), "/src/file", 0644)
 	_, _ = f.Write([]byte("move me"))
 	_ = f.Close()
-	if err := c.Rename("/src/file", "/dst/renamed"); err != nil {
+	if err := c.Rename(context.Background(), "/src/file", "/dst/renamed"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Stat("/src/file"); !isNotExist(err) {
+	if _, err := c.Stat(context.Background(), "/src/file"); !isNotExist(err) {
 		t.Fatalf("source survives: %v", err)
 	}
-	st, err := c.Stat("/dst/renamed")
+	st, err := c.Stat(context.Background(), "/dst/renamed")
 	if err != nil || st.Size != 7 {
 		t.Fatalf("dest: %+v, %v", st, err)
 	}
 	// Data is intact.
-	h, _ := c.Open("/dst/renamed", types.ORdonly, 0)
+	h, _ := c.Open(context.Background(), "/dst/renamed", types.ORdonly, 0)
 	got, _ := io.ReadAll(h)
 	_ = h.Close()
 	if string(got) != "move me" {
 		t.Fatalf("content after rename: %q", got)
 	}
 	// Everything checkpointed cleanly: no journal residue after flush.
-	if err := c.FlushAll(); err != nil {
+	if err := c.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	keys, _ := tc.store.List("j:")
@@ -315,28 +316,28 @@ func TestRenameCrossClient2PC(t *testing.T) {
 	tc := newTestCluster(t)
 	c1 := tc.client(t, "c1")
 	c2 := tc.client(t, "c2")
-	if err := c1.Mkdir("/a", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/a", 0777); err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Mkdir("/b", 0777); err != nil {
+	if err := c2.Mkdir(context.Background(), "/b", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := c1.Create("/a/file", 0666)
+	f, _ := c1.Create(context.Background(), "/a/file", 0666)
 	_, _ = f.Write([]byte("x"))
 	_ = f.Close()
 	// c1 leads /a, c2 leads /b. c2 initiates: the rename is forwarded to
 	// c1 (source leader), which runs 2PC with c2 (destination leader).
-	if err := c2.Rename("/a/file", "/b/file"); err != nil {
+	if err := c2.Rename(context.Background(), "/a/file", "/b/file"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c1.Stat("/a/file"); !isNotExist(err) {
+	if _, err := c1.Stat(context.Background(), "/a/file"); !isNotExist(err) {
 		t.Fatalf("src survives on c1: %v", err)
 	}
-	if st, err := c2.Stat("/b/file"); err != nil || st.Size != 1 {
+	if st, err := c2.Stat(context.Background(), "/b/file"); err != nil || st.Size != 1 {
 		t.Fatalf("dst on c2: %+v, %v", st, err)
 	}
 	// The destination directory's listing is served by c2 locally.
-	ents, err := c2.Readdir("/b")
+	ents, err := c2.Readdir(context.Background(), "/b")
 	if err != nil || len(ents) != 1 {
 		t.Fatalf("readdir /b: %v, %v", ents, err)
 	}
@@ -345,13 +346,13 @@ func TestRenameCrossClient2PC(t *testing.T) {
 func TestRenameDirectoryCycleRejected(t *testing.T) {
 	tc := newTestCluster(t)
 	c := tc.client(t, "a")
-	if err := c.Mkdir("/p", 0777); err != nil {
+	if err := c.Mkdir(context.Background(), "/p", 0777); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Mkdir("/p/q", 0777); err != nil {
+	if err := c.Mkdir(context.Background(), "/p/q", 0777); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Rename("/p", "/p/q/r"); !errors.Is(err, types.ErrInval) {
+	if err := c.Rename(context.Background(), "/p", "/p/q/r"); !errors.Is(err, types.ErrInval) {
 		t.Fatalf("cycle rename: %v", err)
 	}
 }
@@ -360,10 +361,10 @@ func TestDataLeaseConflictFallsBackToDirect(t *testing.T) {
 	tc := newTestCluster(t)
 	c1 := tc.client(t, "c1")
 	c2 := tc.client(t, "c2")
-	if err := c1.Mkdir("/s", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/s", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f1, err := c1.Open("/s/shared", types.ORdwr|types.OCreate, 0666)
+	f1, err := c1.Open(context.Background(), "/s/shared", types.ORdwr|types.OCreate, 0666)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestDataLeaseConflictFallsBackToDirect(t *testing.T) {
 	}
 	// c2 opens the same file (read lease) and then writes: conflict with
 	// c1's lease → both go direct.
-	f2, err := c2.Open("/s/shared", types.ORdwr, 0)
+	f2, err := c2.Open(context.Background(), "/s/shared", types.ORdwr, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,21 +410,21 @@ func TestPermissionCachingModeServesLocally(t *testing.T) {
 		o.Cred = types.Cred{Uid: 2000, Gid: 2000} // not the owner of /hot
 	})
 
-	if err := leader.Mkdir("/hot", 0777); err != nil {
+	if err := leader.Mkdir(context.Background(), "/hot", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := leader.Create("/hot/f", 0666)
+	f, _ := leader.Create(context.Background(), "/hot/f", 0666)
 	_ = f.Close()
 
 	// First stat by pc: remote lookups, populating the cache.
-	if _, err := pc.Stat("/hot/f"); err != nil {
+	if _, err := pc.Stat(context.Background(), "/hot/f"); err != nil {
 		t.Fatal(err)
 	}
 	remoteAfterFirst := pc.StatCounters().RemoteMetaOps.Load()
 	// Repeat stats: directory traversal is served from the permission cache;
 	// only the final file lookup goes to the leader (attributes stay fresh).
 	for i := 0; i < 10; i++ {
-		if _, err := pc.Stat("/hot/f"); err != nil {
+		if _, err := pc.Stat(context.Background(), "/hot/f"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -438,11 +439,11 @@ func TestPermissionCachingModeServesLocally(t *testing.T) {
 	// later than one lease period (immediately here, because the final
 	// lookup is leader-checked; locally resolved segments may stay stale
 	// until the cache entry expires).
-	if err := leader.Chmod("/hot", 0700); err != nil {
+	if err := leader.Chmod(context.Background(), "/hot", 0700); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(tc.mgr.Period() + 50*time.Millisecond)
-	if _, err := pc.Stat("/hot/f"); !errors.Is(err, types.ErrAccess) {
+	if _, err := pc.Stat(context.Background(), "/hot/f"); !errors.Is(err, types.ErrAccess) {
 		t.Fatalf("after one lease period the chmod must be visible: %v", err)
 	}
 }
@@ -450,12 +451,12 @@ func TestPermissionCachingModeServesLocally(t *testing.T) {
 func TestLeaseExtensionKeepsLeadershipAcrossExpiry(t *testing.T) {
 	tc := newTestCluster(t)
 	c := tc.client(t, "a")
-	if err := c.Mkdir("/long", 0777); err != nil {
+	if err := c.Mkdir(context.Background(), "/long", 0777); err != nil {
 		t.Fatal(err)
 	}
 	// Work across several lease periods; extensions must keep ops local.
 	for i := 0; i < 6; i++ {
-		f, err := c.Create("/long/f"+string(rune('0'+i)), 0644)
+		f, err := c.Create(context.Background(), "/long/f"+string(rune('0'+i)), 0644)
 		if err != nil {
 			t.Fatalf("create %d: %v", i, err)
 		}
@@ -465,7 +466,7 @@ func TestLeaseExtensionKeepsLeadershipAcrossExpiry(t *testing.T) {
 	if got := tc.mgr.Stats().Extensions.Load(); got == 0 {
 		t.Fatal("no lease extensions recorded")
 	}
-	ents, err := c.Readdir("/long")
+	ents, err := c.Readdir(context.Background(), "/long")
 	if err != nil || len(ents) != 6 {
 		t.Fatalf("readdir: %d entries, %v", len(ents), err)
 	}

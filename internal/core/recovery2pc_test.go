@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -16,13 +17,13 @@ func TestCrashDuringCrossClientRenameRecovers(t *testing.T) {
 	tc := newTestCluster(t)
 	c1 := tc.client(t, "c1")
 	c2 := tc.client(t, "c2")
-	if err := c1.Mkdir("/src", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/src", 0777); err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Mkdir("/dst", 0777); err != nil {
+	if err := c2.Mkdir(context.Background(), "/dst", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, err := c1.Create("/src/file", 0666)
+	f, err := c1.Create(context.Background(), "/src/file", 0666)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestCrashDuringCrossClientRenameRecovers(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c1.FlushAll(); err != nil {
+	if err := c1.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -40,7 +41,7 @@ func TestCrashDuringCrossClientRenameRecovers(t *testing.T) {
 	// Everything the rename needed durable (prepare, decision, applied
 	// checkpoints or journal records) must let a third client reconstruct a
 	// consistent tree.
-	if err := c2.Rename("/src/file", "/dst/file"); err != nil {
+	if err := c2.Rename(context.Background(), "/src/file", "/dst/file"); err != nil {
 		t.Fatal(err)
 	}
 	c1.Crash()
@@ -50,8 +51,8 @@ func TestCrashDuringCrossClientRenameRecovers(t *testing.T) {
 	deadline := time.Now().Add(15 * time.Second)
 	var inSrc, inDst bool
 	for {
-		_, errSrc := c3.Stat("/src/file")
-		_, errDst := c3.Stat("/dst/file")
+		_, errSrc := c3.Stat(context.Background(), "/src/file")
+		_, errDst := c3.Stat(context.Background(), "/dst/file")
 		inSrc, inDst = errSrc == nil, errDst == nil
 		if inSrc != inDst { // exactly one location: converged
 			break
@@ -66,14 +67,14 @@ func TestCrashDuringCrossClientRenameRecovers(t *testing.T) {
 		t.Fatalf("committed rename rolled back: file in src=%v dst=%v", inSrc, inDst)
 	}
 	// No journal residue after recovery settles and c3 flushes.
-	if err := c3.FlushAll(); err != nil {
+	if err := c3.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Force recovery of both directories by listing them through c3.
-	if _, err := c3.Readdir("/src"); err != nil {
+	if _, err := c3.Readdir(context.Background(), "/src"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c3.Readdir("/dst"); err != nil {
+	if _, err := c3.Readdir(context.Background(), "/dst"); err != nil {
 		t.Fatal(err)
 	}
 	keys, _ := tc.store.List(prt.PrefixJournal)
@@ -94,22 +95,22 @@ func TestRecoveryAfterCrashWithBufferedOps(t *testing.T) {
 		// unless fsynced.
 		o.Journal.CommitInterval = time.Hour
 	})
-	if err := c1.Mkdir("/w", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/w", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := c1.Create("/w/durable", 0644)
+	f, _ := c1.Create(context.Background(), "/w/durable", 0644)
 	_ = f.Close()
-	if err := c1.FlushAll(); err != nil { // fsync barrier
+	if err := c1.FlushAll(context.Background()); err != nil { // fsync barrier
 		t.Fatal(err)
 	}
-	g, _ := c1.Create("/w/volatile", 0644)
+	g, _ := c1.Create(context.Background(), "/w/volatile", 0644)
 	_ = g.Close()
 	c1.Crash() // /w/volatile was only in the running transaction
 
 	c2 := tc.client(t, "c2")
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		if _, err := c2.Stat("/w/durable"); err == nil {
+		if _, err := c2.Stat(context.Background(), "/w/durable"); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -119,7 +120,7 @@ func TestRecoveryAfterCrashWithBufferedOps(t *testing.T) {
 	}
 	// The volatile file may be lost (allowed), but the directory must be
 	// consistent: listing works and contains the durable entry.
-	ents, err := c2.Readdir("/w")
+	ents, err := c2.Readdir(context.Background(), "/w")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,29 +140,29 @@ func TestRecoveryAfterCrashWithBufferedOps(t *testing.T) {
 func TestRecoveryReplaysUnlink(t *testing.T) {
 	tc := newTestCluster(t)
 	c1 := tc.client(t, "c1")
-	if err := c1.Mkdir("/u", 0777); err != nil {
+	if err := c1.Mkdir(context.Background(), "/u", 0777); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := c1.Create("/u/victim", 0644)
+	f, _ := c1.Create(context.Background(), "/u/victim", 0644)
 	_, _ = f.Write(make([]byte, 10000))
 	_ = f.Sync()
 	_ = f.Close()
-	if err := c1.FlushAll(); err != nil {
+	if err := c1.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Fail checkpoint-side deletes so the unlink commits but cannot apply.
 	tc.fault.FailNext("i:", 100)
-	if err := c1.Unlink("/u/victim"); err != nil {
+	if err := c1.Unlink(context.Background(), "/u/victim"); err != nil {
 		t.Fatal(err)
 	}
-	_ = c1.FlushAll() // commit lands; checkpoint fails
+	_ = c1.FlushAll(context.Background()) // commit lands; checkpoint fails
 	c1.Crash()
 	tc.fault.FailNext("", 0)
 
 	c2 := tc.client(t, "c2")
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		if _, err := c2.Stat("/u/victim"); isNotExist(err) {
+		if _, err := c2.Stat(context.Background(), "/u/victim"); isNotExist(err) {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"arkfs/internal/journal"
+	"arkfs/internal/obs"
 	"arkfs/internal/types"
 	"arkfs/internal/wire"
 )
@@ -13,43 +16,44 @@ import (
 // Rename moves src to dst. Same-directory renames are a single journaled
 // transaction; cross-directory renames run the two-phase commit of paper
 // §III-E, coordinated by the source directory's leader.
-func (c *Client) Rename(src, dst string) error {
+func (c *Client) Rename(ctx context.Context, src, dst string) error {
+	ctx, op := c.startOp(ctx, "rename", src)
 	c.chargeFUSE()
 	// Lexical cycle guard: a directory cannot move into its own subtree.
 	cleanSrc, err := types.SplitPath(src)
 	if err != nil {
-		return errnoWrap("rename", src, err)
+		return op.end(errnoWrap("rename", src, err))
 	}
 	cleanDst, err := types.SplitPath(dst)
 	if err != nil {
-		return errnoWrap("rename", dst, err)
+		return op.end(errnoWrap("rename", dst, err))
 	}
 	if strings.HasPrefix(types.JoinPath(cleanDst)+"/", types.JoinPath(cleanSrc)+"/") {
-		return errnoWrap("rename", src, types.ErrInval)
+		return op.end(errnoWrap("rename", src, types.ErrInval))
 	}
 
-	sres, err := c.resolvePath(src, false)
+	sres, err := c.resolvePath(ctx, src, false)
 	if err != nil {
-		return errnoWrap("rename", src, err)
+		return op.end(errnoWrap("rename", src, err))
 	}
 	if sres.name == "" || sres.node == nil {
-		return errnoWrap("rename", src, types.ErrNotExist)
+		return op.end(errnoWrap("rename", src, types.ErrNotExist))
 	}
-	dres, err := c.resolvePath(dst, false)
+	dres, err := c.resolvePath(ctx, dst, false)
 	if err != nil {
-		return errnoWrap("rename", dst, err)
+		return op.end(errnoWrap("rename", dst, err))
 	}
 	if dres.name == "" {
-		return errnoWrap("rename", dst, types.ErrExist)
+		return op.end(errnoWrap("rename", dst, types.ErrExist))
 	}
 	if dres.node != nil && dres.node.IsDir() {
 		// Replacing a directory requires it to be empty.
-		entries, rerr := c.readdirIno(dres.node.Ino)
+		entries, rerr := c.readdirIno(ctx, dres.node.Ino)
 		if rerr != nil {
-			return errnoWrap("rename", dst, rerr)
+			return op.end(errnoWrap("rename", dst, rerr))
 		}
 		if len(entries) > 0 {
-			return errnoWrap("rename", dst, types.ErrNotEmpty)
+			return op.end(errnoWrap("rename", dst, types.ErrNotEmpty))
 		}
 	}
 
@@ -57,42 +61,53 @@ func (c *Client) Rename(src, dst string) error {
 		SrcDir: sres.parent, SrcName: sres.name,
 		DstDir: dres.parent, DstName: dres.name,
 		Cred:          c.opts.Cred,
-		DstLeaderHint: c.remoteLeaderHint(dres.parent),
+		DstLeaderHint: c.remoteLeaderHint(ctx, dres.parent),
 	}
 	defer func() {
 		c.pcacheInvalidate(sres.parent)
 		c.pcacheInvalidate(dres.parent)
 	}()
 
+	sp := obs.SpanFrom(ctx)
+	sp.SetDir(sres.parent)
+
 	// The source directory's leader coordinates.
 	for attempt := 0; ; attempt++ {
-		ld, leader, err := c.routeFor(sres.parent)
+		if err := ctx.Err(); err != nil {
+			return op.end(errnoWrap("rename", src, err))
+		}
+		ld, leader, err := c.routeFor(ctx, sres.parent)
 		if err != nil {
-			return errnoWrap("rename", src, err)
+			return op.end(errnoWrap("rename", src, err))
 		}
 		if ld != nil {
-			return errnoWrap("rename", src, c.coordinateRename(req))
+			sp.SetRoute(obs.RouteLocal)
+			return op.end(errnoWrap("rename", src, c.coordinateRename(ctx, req)))
 		}
+		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
-		resp, err := c.callLeader(leader, sres.parent, req)
+		resp, err := c.callLeader(ctx, leader, sres.parent, req)
 		if err = retryable(err, attempt); err != nil {
-			return errnoWrap("rename", src, err)
+			return op.end(errnoWrap("rename", src, err))
 		} else if resp == nil {
+			sp.AddRetry()
 			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
 			continue
 		}
 		rr := resp.(RenameResp)
-		if rr.Err == "ESTALE" && attempt < maxOpRetries {
+		rerr := errFromString(rr.Err)
+		if errors.Is(rerr, types.ErrStale) && attempt < maxOpRetries {
+			sp.AddRetry()
 			c.invalidateLeader(sres.parent)
 			c.retryBackoff(attempt)
 			continue
 		}
-		return errnoWrap("rename", src, errFromString(rr.Err))
+		return op.end(errnoWrap("rename", src, rerr))
 	}
 }
 
 // coordinateRename runs on the source directory's leader.
-func (c *Client) coordinateRename(r RenameReq) error {
+func (c *Client) coordinateRename(ctx context.Context, r RenameReq) error {
 	ld, ok := c.ledDirFor(r.SrcDir)
 	if !ok {
 		return types.ErrStale
@@ -132,9 +147,9 @@ func (c *Client) coordinateRename(r RenameReq) error {
 	} else {
 		dstLeader := r.DstLeaderHint
 		if dstLeader == "" || dstLeader == c.addr {
-			dstLeader = c.remoteLeaderHint(r.DstDir)
+			dstLeader = c.remoteLeaderHint(ctx, r.DstDir)
 		}
-		resp, cerr := c.callLeader(dstLeader, r.DstDir, prep)
+		resp, cerr := c.callLeader(ctx, dstLeader, r.DstDir, prep)
 		if cerr != nil {
 			prepErr = cerr
 		} else {
@@ -174,9 +189,9 @@ func (c *Client) coordinateRename(r RenameReq) error {
 	} else {
 		dstLeader := r.DstLeaderHint
 		if dstLeader == "" || dstLeader == c.addr {
-			dstLeader = c.remoteLeaderHint(r.DstDir)
+			dstLeader = c.remoteLeaderHint(ctx, r.DstDir)
 		}
-		if resp, derr := c.callLeader(dstLeader, r.DstDir, decide); derr == nil && resp != nil &&
+		if resp, derr := c.callLeader(ctx, dstLeader, r.DstDir, decide); derr == nil && resp != nil &&
 			resp.(DecideRenameResp).Err == "" {
 			participantDone = true
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -27,11 +28,11 @@ type resolved struct {
 // leads are local; remote lookups go to the leader unless the permission
 // cache covers them. followLast controls symlink resolution of the final
 // component.
-func (c *Client) resolvePath(path string, followLast bool) (*resolved, error) {
-	return c.walk(path, followLast, 0)
+func (c *Client) resolvePath(ctx context.Context, path string, followLast bool) (*resolved, error) {
+	return c.walk(ctx, path, followLast, 0)
 }
 
-func (c *Client) walk(path string, followLast bool, depth int) (*resolved, error) {
+func (c *Client) walk(ctx context.Context, path string, followLast bool, depth int) (*resolved, error) {
 	if depth > maxSymlinkDepth {
 		return nil, fmt.Errorf("core: %q: %w", path, types.ErrLoop)
 	}
@@ -43,7 +44,7 @@ func (c *Client) walk(path string, followLast bool, depth int) (*resolved, error
 	var curNode *types.Inode
 
 	if len(parts) == 0 {
-		node, err := c.statDir(cur)
+		node, err := c.statDir(ctx, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +54,7 @@ func (c *Client) walk(path string, followLast bool, depth int) (*resolved, error
 	for i, name := range parts {
 		// Search permission on the directory being traversed.
 		if curNode == nil {
-			curNode, err = c.statDir(cur)
+			curNode, err = c.statDir(ctx, cur)
 			if err != nil {
 				return nil, err
 			}
@@ -62,7 +63,7 @@ func (c *Client) walk(path string, followLast bool, depth int) (*resolved, error
 			return nil, fmt.Errorf("core: search %q: %w", name, err)
 		}
 		last := i == len(parts)-1
-		child, err := c.lookup(cur, name)
+		child, err := c.lookup(ctx, cur, name)
 		if err != nil {
 			if last && isNotExist(err) {
 				// Parent exists; final entry does not — callers like Create
@@ -83,7 +84,7 @@ func (c *Client) walk(path string, followLast bool, depth int) (*resolved, error
 			if rest != "/" {
 				target = target + rest
 			}
-			return c.walk(target, followLast, depth+1)
+			return c.walk(ctx, target, followLast, depth+1)
 		}
 		if last {
 			return &resolved{parent: cur, parentNode: curNode, name: name, node: child}, nil
@@ -99,7 +100,7 @@ func (c *Client) walk(path string, followLast bool, depth int) (*resolved, error
 
 // statDir returns a directory's inode: locally if led, from the permission
 // cache, or from the leader (caching the answer in pcache mode).
-func (c *Client) statDir(dir types.Ino) (*types.Inode, error) {
+func (c *Client) statDir(ctx context.Context, dir types.Ino) (*types.Inode, error) {
 	if ld, ok := c.ledDirFor(dir); ok {
 		c.stats.LocalMetaOps.Add(1)
 		return ld.table.DirInode(), nil
@@ -111,7 +112,10 @@ func (c *Client) statDir(dir types.Ino) (*types.Inode, error) {
 	// Acquire (become leader) or discover the remote leader. Leadership can
 	// move (or still be installing) underneath us: retry with backoff.
 	for attempt := 0; ; attempt++ {
-		ld, leader, err := c.routeFor(dir)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ld, leader, err := c.routeFor(ctx, dir)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +123,7 @@ func (c *Client) statDir(dir types.Ino) (*types.Inode, error) {
 			c.stats.LocalMetaOps.Add(1)
 			return ld.table.DirInode(), nil
 		}
-		resp, err := c.callLeader(leader, dir, StatReq{Dir: dir, Cred: c.opts.Cred})
+		resp, err := c.callLeader(ctx, leader, dir, StatReq{Dir: dir, Cred: c.opts.Cred})
 		if err != nil {
 			if errors.Is(err, types.ErrStale) && attempt < maxOpRetries {
 				c.retryBackoff(attempt)
@@ -128,13 +132,14 @@ func (c *Client) statDir(dir types.Ino) (*types.Inode, error) {
 			return nil, err
 		}
 		sr := resp.(StatResp)
-		if sr.Err == "ESTALE" && attempt < maxOpRetries {
+		serr := errFromString(sr.Err)
+		if errors.Is(serr, types.ErrStale) && attempt < maxOpRetries {
 			c.invalidateLeader(dir)
 			c.retryBackoff(attempt)
 			continue
 		}
-		if err := errFromString(sr.Err); err != nil {
-			return nil, err
+		if serr != nil {
+			return nil, serr
 		}
 		node, err := wire.DecodeInode(sr.Inode)
 		if err != nil {
@@ -146,7 +151,7 @@ func (c *Client) statDir(dir types.Ino) (*types.Inode, error) {
 }
 
 // lookup resolves one name within dir.
-func (c *Client) lookup(dir types.Ino, name string) (*types.Inode, error) {
+func (c *Client) lookup(ctx context.Context, dir types.Ino, name string) (*types.Inode, error) {
 	if ld, ok := c.ledDirFor(dir); ok {
 		c.chargeMetaOp()
 		c.stats.LocalMetaOps.Add(1)
@@ -163,7 +168,10 @@ func (c *Client) lookup(dir types.Ino, name string) (*types.Inode, error) {
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		ld, leader, err := c.routeFor(dir)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ld, leader, err := c.routeFor(ctx, dir)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +182,7 @@ func (c *Client) lookup(dir types.Ino, name string) (*types.Inode, error) {
 			return child, err
 		}
 		c.stats.RemoteMetaOps.Add(1)
-		resp, err := c.callLeader(leader, dir, LookupReq{
+		resp, err := c.callLeader(ctx, leader, dir, LookupReq{
 			Dir: dir, Name: name, Cred: c.opts.Cred, WantDirInode: c.opts.PermCache,
 		})
 		if err != nil {
@@ -185,7 +193,8 @@ func (c *Client) lookup(dir types.Ino, name string) (*types.Inode, error) {
 			return nil, err
 		}
 		lr := resp.(LookupResp)
-		if lr.Err == "ESTALE" && attempt < maxOpRetries {
+		lerr := errFromString(lr.Err)
+		if errors.Is(lerr, types.ErrStale) && attempt < maxOpRetries {
 			c.invalidateLeader(dir)
 			c.retryBackoff(attempt)
 			continue
@@ -195,11 +204,11 @@ func (c *Client) lookup(dir types.Ino, name string) (*types.Inode, error) {
 				c.pcachePutDir(dir, dn)
 			}
 		}
-		if err := errFromString(lr.Err); err != nil {
-			if isNotExist(err) {
+		if lerr != nil {
+			if isNotExist(lerr) {
 				c.pcachePutLookup(dir, name, nil) // negative entry
 			}
-			return nil, fmt.Errorf("core: lookup %q: %w", name, err)
+			return nil, fmt.Errorf("core: lookup %q: %w", name, lerr)
 		}
 		node, err := wire.DecodeInode(lr.Inode)
 		if err != nil {
@@ -211,19 +220,25 @@ func (c *Client) lookup(dir types.Ino, name string) (*types.Inode, error) {
 }
 
 // callLeader performs one leader RPC, refreshing the leader address through
-// the lease manager once if the cached leader is gone. Timeouts — a crashed
+// the lease manager once if the cached leader is gone. The context's deadline
+// or cancellation is honored at each RPC boundary. Timeouts — a crashed
 // leader, a partition, a dropped message — never escape to the workload as
 // hard failures from here: they invalidate the cached route and surface as
 // ErrStale, so the per-operation retry loops re-resolve through the lease
 // manager (with backoff) until their own attempt budget runs out.
-func (c *Client) callLeader(leader rpc.Addr, dir types.Ino, req any) (any, error) {
-	resp, err := c.net.CallFrom(c.addr, leader, req)
+func (c *Client) callLeader(ctx context.Context, leader rpc.Addr, dir types.Ino, req any) (any, error) {
+	resp, err := c.net.CallFromCtx(ctx, c.addr, leader, req)
 	if err == nil {
 		return resp, nil
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Cancellation is not a routing problem: fail the operation outright
+		// instead of burning the retry budget on a dead context.
+		return nil, cerr
+	}
 	// The leader may have vanished; invalidate and rediscover once.
 	c.invalidateLeader(dir)
-	ld, newLeader, lerr := c.leaderFor(dir)
+	ld, newLeader, lerr := c.leaderFor(ctx, dir)
 	if lerr != nil {
 		return nil, lerr
 	}
@@ -232,8 +247,11 @@ func (c *Client) callLeader(leader rpc.Addr, dir types.Ino, req any) (any, error
 		// signalled with ErrStale.
 		return nil, fmt.Errorf("core: leadership changed for %s: %w", dir.Short(), types.ErrStale)
 	}
-	resp, err = c.net.CallFrom(c.addr, newLeader, req)
+	resp, err = c.net.CallFromCtx(ctx, c.addr, newLeader, req)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		// Still unreachable. The lease manager vouched for this leader, so
 		// the fault is on the path, not the route — but the route is all we
 		// can refresh. Map to ErrStale for the caller's retry loop.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"arkfs/internal/types"
 	"arkfs/internal/wire"
 )
@@ -24,7 +26,10 @@ func (c *Client) serve(req any) any {
 	case ReaddirReq:
 		return c.serveReaddir(r)
 	case RenameReq:
-		return RenameResp{Err: errString(c.coordinateRename(r))}
+		// Forwarded renames run under the server's own (background) context;
+		// the requesting client's deadline applies to its RPC, not to the
+		// coordinator's 2PC, which must run to a decision once started.
+		return RenameResp{Err: errString(c.coordinateRename(context.Background(), r))}
 	case PrepareRenameReq:
 		return c.servePrepareRename(r)
 	case DecideRenameReq:

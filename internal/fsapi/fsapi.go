@@ -4,6 +4,7 @@
 package fsapi
 
 import (
+	"context"
 	"io"
 
 	"arkfs/internal/core"
@@ -11,7 +12,8 @@ import (
 	"arkfs/internal/wire"
 )
 
-// File is an open file handle.
+// File is an open file handle. Handle-level I/O is context-free (mirroring
+// the io interfaces); cancellation applies at operation start via Open.
 type File interface {
 	io.Reader
 	io.Writer
@@ -25,24 +27,29 @@ type File interface {
 	Size() int64
 }
 
-// FileSystem is the near-POSIX surface the workloads exercise.
+// FileSystem is the near-POSIX surface the workloads exercise. Every
+// operation takes a context.Context: implementations honor deadlines and
+// cancellation at their forwarding/wait boundaries (ArkFS propagates it into
+// RPC calls and lease-acquire waits), and observability layers attach per-op
+// trace spans to it.
 type FileSystem interface {
-	Mkdir(path string, mode types.Mode) error
-	Open(path string, flags types.OpenFlag, mode types.Mode) (File, error)
-	Stat(path string) (*types.Inode, error)
-	Unlink(path string) error
-	Rmdir(path string) error
-	Rename(src, dst string) error
-	Readdir(path string) ([]wire.Dentry, error)
+	Mkdir(ctx context.Context, path string, mode types.Mode) error
+	Open(ctx context.Context, path string, flags types.OpenFlag, mode types.Mode) (File, error)
+	Stat(ctx context.Context, path string) (*types.Inode, error)
+	Unlink(ctx context.Context, path string) error
+	Rmdir(ctx context.Context, path string) error
+	Rename(ctx context.Context, src, dst string) error
+	Readdir(ctx context.Context, path string) ([]wire.Dentry, error)
 	// FlushAll makes all buffered state durable (the fsync-per-phase step).
-	FlushAll() error
-	// Close shuts the mount down cleanly.
+	FlushAll(ctx context.Context) error
+	// Close shuts the mount down cleanly. Close is idempotent: a second call
+	// returns nil without repeating shutdown work.
 	Close() error
 }
 
 // Create is the creat(2) shorthand over any FileSystem.
-func Create(fs FileSystem, path string, mode types.Mode) (File, error) {
-	return fs.Open(path, types.OWronly|types.OCreate|types.OTrunc, mode)
+func Create(ctx context.Context, fs FileSystem, path string, mode types.Mode) (File, error) {
+	return fs.Open(ctx, path, types.OWronly|types.OCreate|types.OTrunc, mode)
 }
 
 // arkFS adapts *core.Client to FileSystem (the method sets match except for
@@ -55,8 +62,8 @@ type arkFS struct {
 func Adapt(c *core.Client) FileSystem { return arkFS{c} }
 
 // Open implements FileSystem.
-func (a arkFS) Open(path string, flags types.OpenFlag, mode types.Mode) (File, error) {
-	f, err := a.Client.Open(path, flags, mode)
+func (a arkFS) Open(ctx context.Context, path string, flags types.OpenFlag, mode types.Mode) (File, error) {
+	f, err := a.Client.Open(ctx, path, flags, mode)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ package fstest
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"testing"
@@ -29,17 +30,18 @@ const (
 // Run exercises the common contract on fs.
 func Run(t *testing.T, fs fsapi.FileSystem, level Level) {
 	t.Helper()
+	ctx := context.Background()
 
 	// Tree building.
-	if err := fs.Mkdir("/dir", 0755); err != nil {
+	if err := fs.Mkdir(ctx, "/dir", 0755); err != nil {
 		t.Fatalf("mkdir: %v", err)
 	}
-	if err := fs.Mkdir("/dir/sub", 0755); err != nil {
+	if err := fs.Mkdir(ctx, "/dir/sub", 0755); err != nil {
 		t.Fatalf("mkdir nested: %v", err)
 	}
 
 	// Create, write, stat.
-	f, err := fsapi.Create(fs, "/dir/file.txt", 0644)
+	f, err := fsapi.Create(ctx, fs, "/dir/file.txt", 0644)
 	if err != nil {
 		t.Fatalf("create: %v", err)
 	}
@@ -53,7 +55,7 @@ func Run(t *testing.T, fs fsapi.FileSystem, level Level) {
 	if err := f.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	st, err := fs.Stat("/dir/file.txt")
+	st, err := fs.Stat(ctx, "/dir/file.txt")
 	if err != nil {
 		t.Fatalf("stat: %v", err)
 	}
@@ -65,7 +67,7 @@ func Run(t *testing.T, fs fsapi.FileSystem, level Level) {
 	}
 
 	// Read back sequentially.
-	r, err := fs.Open("/dir/file.txt", types.ORdonly, 0)
+	r, err := fs.Open(ctx, "/dir/file.txt", types.ORdonly, 0)
 	if err != nil {
 		t.Fatalf("open ro: %v", err)
 	}
@@ -81,7 +83,7 @@ func Run(t *testing.T, fs fsapi.FileSystem, level Level) {
 	}
 
 	// Random access.
-	r2, err := fs.Open("/dir/file.txt", types.ORdonly, 0)
+	r2, err := fs.Open(ctx, "/dir/file.txt", types.ORdonly, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func Run(t *testing.T, fs fsapi.FileSystem, level Level) {
 	_ = r2.Close()
 
 	// Readdir sees the file and subdirectory.
-	ents, err := fs.Readdir("/dir")
+	ents, err := fs.Readdir(ctx, "/dir")
 	if err != nil {
 		t.Fatalf("readdir: %v", err)
 	}
@@ -108,31 +110,31 @@ func Run(t *testing.T, fs fsapi.FileSystem, level Level) {
 	}
 
 	// Stat of missing entries.
-	if _, err := fs.Stat("/dir/ghost"); !errors.Is(err, types.ErrNotExist) {
+	if _, err := fs.Stat(ctx, "/dir/ghost"); !errors.Is(err, types.ErrNotExist) {
 		t.Fatalf("stat missing: %v", err)
 	}
-	if _, err := fs.Open("/dir/ghost", types.ORdonly, 0); !errors.Is(err, types.ErrNotExist) {
+	if _, err := fs.Open(ctx, "/dir/ghost", types.ORdonly, 0); !errors.Is(err, types.ErrNotExist) {
 		t.Fatalf("open missing: %v", err)
 	}
 
 	// O_EXCL.
-	if _, err := fs.Open("/dir/file.txt", types.OWronly|types.OCreate|types.OExcl, 0644); !errors.Is(err, types.ErrExist) {
+	if _, err := fs.Open(ctx, "/dir/file.txt", types.OWronly|types.OCreate|types.OExcl, 0644); !errors.Is(err, types.ErrExist) {
 		t.Fatalf("o_excl on existing: %v", err)
 	}
 
 	// Rename within a directory.
-	if err := fs.Rename("/dir/file.txt", "/dir/renamed.txt"); err != nil {
+	if err := fs.Rename(ctx, "/dir/file.txt", "/dir/renamed.txt"); err != nil {
 		t.Fatalf("rename: %v", err)
 	}
-	if _, err := fs.Stat("/dir/file.txt"); !errors.Is(err, types.ErrNotExist) {
+	if _, err := fs.Stat(ctx, "/dir/file.txt"); !errors.Is(err, types.ErrNotExist) {
 		t.Fatalf("old name after rename: %v", err)
 	}
-	st2, err := fs.Stat("/dir/renamed.txt")
+	st2, err := fs.Stat(ctx, "/dir/renamed.txt")
 	if err != nil || st2.Size != int64(len(payload)) {
 		t.Fatalf("renamed stat: %+v, %v", st2, err)
 	}
 	// Content survives the rename.
-	r3, err := fs.Open("/dir/renamed.txt", types.ORdonly, 0)
+	r3, err := fs.Open(ctx, "/dir/renamed.txt", types.ORdonly, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,26 +145,26 @@ func Run(t *testing.T, fs fsapi.FileSystem, level Level) {
 	}
 
 	// Unlink and directory cleanup.
-	if err := fs.Unlink("/dir/renamed.txt"); err != nil {
+	if err := fs.Unlink(ctx, "/dir/renamed.txt"); err != nil {
 		t.Fatalf("unlink: %v", err)
 	}
-	if _, err := fs.Stat("/dir/renamed.txt"); !errors.Is(err, types.ErrNotExist) {
+	if _, err := fs.Stat(ctx, "/dir/renamed.txt"); !errors.Is(err, types.ErrNotExist) {
 		t.Fatalf("stat after unlink: %v", err)
 	}
 	if level == LevelPOSIX {
-		if err := fs.Rmdir("/dir"); !errors.Is(err, types.ErrNotEmpty) {
+		if err := fs.Rmdir(ctx, "/dir"); !errors.Is(err, types.ErrNotEmpty) {
 			t.Fatalf("rmdir non-empty: %v", err)
 		}
 	}
-	if err := fs.Rmdir("/dir/sub"); err != nil {
+	if err := fs.Rmdir(ctx, "/dir/sub"); err != nil {
 		t.Fatalf("rmdir sub: %v", err)
 	}
-	if err := fs.Rmdir("/dir"); err != nil {
+	if err := fs.Rmdir(ctx, "/dir"); err != nil {
 		t.Fatalf("rmdir: %v", err)
 	}
 
 	// Overwrite shrinks with O_TRUNC.
-	w, err := fs.Open("/trunc", types.OWronly|types.OCreate, 0644)
+	w, err := fs.Open(ctx, "/trunc", types.OWronly|types.OCreate, 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +172,7 @@ func Run(t *testing.T, fs fsapi.FileSystem, level Level) {
 		t.Fatal(err)
 	}
 	_ = w.Close()
-	w2, err := fs.Open("/trunc", types.OWronly|types.OCreate|types.OTrunc, 0644)
+	w2, err := fs.Open(ctx, "/trunc", types.OWronly|types.OCreate|types.OTrunc, 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,14 +180,14 @@ func Run(t *testing.T, fs fsapi.FileSystem, level Level) {
 		t.Fatal(err)
 	}
 	_ = w2.Close()
-	if err := fs.FlushAll(); err != nil {
+	if err := fs.FlushAll(ctx); err != nil {
 		t.Fatalf("flushall: %v", err)
 	}
-	st3, err := fs.Stat("/trunc")
+	st3, err := fs.Stat(ctx, "/trunc")
 	if err != nil || st3.Size != 4 {
 		t.Fatalf("after trunc rewrite: %+v, %v", st3, err)
 	}
-	if err := fs.Unlink("/trunc"); err != nil {
+	if err := fs.Unlink(ctx, "/trunc"); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package fsck
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -34,10 +35,10 @@ func buildImage(t *testing.T) (*objstore.MemStore, *prt.Translator) {
 		ID: "img", Cred: types.Cred{Uid: 1, Gid: 1},
 		Journal: journal.Config{CommitInterval: 10 * time.Millisecond, CommitWorkers: 2, CheckpointWorkers: 2},
 	})
-	if err := c.Mkdir("/docs", 0755); err != nil {
+	if err := c.Mkdir(context.Background(), "/docs", 0755); err != nil {
 		t.Fatal(err)
 	}
-	f, err := c.Create("/docs/a.txt", 0644)
+	f, err := c.Create(context.Background(), "/docs/a.txt", 0644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,10 +51,10 @@ func buildImage(t *testing.T) (*objstore.MemStore, *prt.Translator) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Symlink("/docs/a.txt", "/link"); err != nil {
+	if err := c.Symlink(context.Background(), "/docs/a.txt", "/link"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.FlushAll(); err != nil {
+	if err := c.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Close(); err != nil {

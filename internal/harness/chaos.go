@@ -16,6 +16,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -32,6 +33,7 @@ import (
 	"arkfs/internal/journal"
 	"arkfs/internal/lease"
 	"arkfs/internal/objstore"
+	"arkfs/internal/obs"
 	"arkfs/internal/prt"
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
@@ -109,6 +111,9 @@ type ChaosReport struct {
 	// deletes, oracle content mismatches, and fsck findings.
 	Errors []string
 	Fsck   *fsck.Report
+	// Metrics is the deterministic metrics fingerprint of the run's shared
+	// observability registry (counters and histogram counts; no latencies).
+	Metrics string
 }
 
 // Failed reports whether the run violated any invariant.
@@ -125,6 +130,7 @@ func (r *ChaosReport) Fingerprint() string {
 	fired := append([]string(nil), r.Fired...)
 	sort.Strings(fired)
 	b.WriteString("fired: " + strings.Join(fired, ",") + "\n")
+	b.WriteString(r.Metrics)
 	return b.String()
 }
 
@@ -247,6 +253,7 @@ type chaosRun struct {
 	plan    *rpc.FaultPlan
 	mgrMu   sync.Mutex
 	mgr     *lease.Manager
+	reg     *obs.Registry
 	slots   []*slotState
 	oracle  *chaosOracle
 	chunk   int64
@@ -306,6 +313,7 @@ func (r *chaosRun) newClient(slot *slotState, idx int) {
 		},
 		RPCWorkers:     4,
 		AcquireRetries: 64,
+		Obs:            r.reg,
 		Crash:          set,
 		Seed:           r.cfg.Seed*7919 + int64(idx)*1000 + int64(gen) + 1,
 	})
@@ -328,11 +336,13 @@ func (r *chaosRun) run() {
 		return
 	}
 	r.fault = objstore.NewFaultStore(r.cluster)
+	r.reg = obs.NewRegistry()
 	r.net = rpc.NewNetwork(env, sim.NetModel{Latency: 20 * time.Microsecond, Bandwidth: 1 << 30})
+	r.net.SetObs(r.reg)
 	r.plan = rpc.NewFaultPlan(env, cfg.Seed+1)
 	r.plan.SetTimeout(lp / 16)
 	r.net.SetFaultPlan(r.plan)
-	r.mgr = lease.NewManager(r.net, lease.Options{Period: lp, Workers: 8})
+	r.mgr = lease.NewManager(r.net, lease.Options{Period: lp, Workers: 8, Obs: r.reg})
 	r.fires = sim.NewChan[int](env)
 
 	// --- Setup phase: the working directories exist and are durable before
@@ -345,11 +355,11 @@ func (r *chaosRun) run() {
 	r.slots = make([]*slotState, cfg.Slots)
 	for i := range r.slots {
 		s := &slotState{path: fmt.Sprintf("/w%d", i)}
-		if err := setup.Mkdir(s.path, 0777); err != nil {
+		if err := setup.Mkdir(context.Background(), s.path, 0777); err != nil {
 			r.errf("setup mkdir %s: %v", s.path, err)
 			return
 		}
-		node, err := setup.Stat(s.path)
+		node, err := setup.Stat(context.Background(), s.path)
 		if err != nil {
 			r.errf("setup stat %s: %v", s.path, err)
 			return
@@ -440,7 +450,7 @@ func (r *chaosRun) run() {
 		})
 		addEvent(t+down, "mgr-restart (quiesce)", func() {
 			r.mgrMu.Lock()
-			r.mgr = lease.NewManager(r.net, lease.Options{Period: lp, Workers: 8, Restarted: true})
+			r.mgr = lease.NewManager(r.net, lease.Options{Period: lp, Workers: 8, Restarted: true, Obs: r.reg})
 			r.mgrMu.Unlock()
 		})
 	}
@@ -515,6 +525,7 @@ func (r *chaosRun) run() {
 	env.Sleep(3 * cfg.LeasePeriod) // expiry + recovery grace for lapsed leases
 
 	r.verify()
+	r.rep.Metrics = r.reg.Snapshot().Fingerprint()
 }
 
 // workload runs one slot's rounds.
@@ -559,7 +570,7 @@ func (r *chaosRun) workload(idx int, rng *rand.Rand, stepGap time.Duration) {
 // whether the oracle recorded it as durable.
 func (r *chaosRun) createFile(s *slotState, path string, dirIn types.Ino) bool {
 	c, _ := s.client()
-	f, err := c.Create(path, 0644)
+	f, err := c.Create(context.Background(), path, 0644)
 	if err != nil {
 		r.oracle.set(path, oMayExist)
 		return false
@@ -582,7 +593,7 @@ func (r *chaosRun) createFile(s *slotState, path string, dirIn types.Ino) bool {
 	}
 	// Fsync flushes the parent's journal only if this client leads it; a
 	// remote leader's ack promises nothing durable yet.
-	if err := c.Fsync(path); err != nil || !c.Leads(dirIn) {
+	if err := c.Fsync(context.Background(), path); err != nil || !c.Leads(dirIn) {
 		r.oracle.set(path, oMayExist)
 		return false
 	}
@@ -592,11 +603,11 @@ func (r *chaosRun) createFile(s *slotState, path string, dirIn types.Ino) bool {
 
 func (r *chaosRun) deleteFile(s *slotState, path string) {
 	c, _ := s.client()
-	if err := c.Unlink(path); err != nil {
+	if err := c.Unlink(context.Background(), path); err != nil {
 		r.oracle.set(path, oMayExist)
 		return
 	}
-	if err := c.Fsync(path); err != nil || !c.Leads(s.dirIn) {
+	if err := c.Fsync(context.Background(), path); err != nil || !c.Leads(s.dirIn) {
 		r.oracle.set(path, oMayExist)
 		return
 	}
@@ -606,7 +617,7 @@ func (r *chaosRun) deleteFile(s *slotState, path string) {
 func (r *chaosRun) renameFile(s *slotState, src, dst string) {
 	c, _ := s.client()
 	r.oracle.moved(src, dst) // wherever the file lands, it carries src's payload
-	err := c.Rename(src, dst)
+	err := c.Rename(context.Background(), src, dst)
 	r.logf("rename %s -> %s: %v", src, dst, err)
 	if err != nil {
 		// Undecided (or aborted): after convergence exactly one side holds
@@ -634,7 +645,7 @@ func (r *chaosRun) verify() {
 	for _, s := range r.slots {
 		var err error
 		for attempt := 0; attempt < 20; attempt++ {
-			if _, err = v.Readdir(s.path); err == nil {
+			if _, err = v.Readdir(context.Background(), s.path); err == nil {
 				break
 			}
 			r.env.Sleep(r.cfg.LeasePeriod / 2)
@@ -658,7 +669,7 @@ func (r *chaosRun) verify() {
 	r.oracle.mu.Unlock()
 
 	exists := func(p string) (bool, error) {
-		_, err := v.Stat(p)
+		_, err := v.Stat(context.Background(), p)
 		if err == nil {
 			return true, nil
 		}
@@ -735,7 +746,7 @@ func (r *chaosRun) verify() {
 // checkContent reads p back through v and compares against the oracle.
 func (r *chaosRun) checkContent(v *core.Client, p string) {
 	want := chaosContent(r.oracle.contentKey(p))
-	f, err := v.Open(p, types.ORdonly, 0)
+	f, err := v.Open(context.Background(), p, types.ORdonly, 0)
 	if err != nil {
 		r.errf("verify open %s: %v", p, err)
 		return

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"strings"
@@ -109,17 +110,17 @@ func TestChaosDirectedLeaderCrashDuringPartition(t *testing.T) {
 			ID: "leader", Cred: types.Cred{Uid: 1, Gid: 1}, LeasePeriod: lp,
 			Journal: jcfg, Crash: set, AcquireRetries: 64,
 		})
-		if err := leader.Mkdir("/work", 0777); err != nil {
+		if err := leader.Mkdir(context.Background(), "/work", 0777); err != nil {
 			t.Fatal(err)
 		}
-		if f, err := leader.Create("/work/pre", 0644); err != nil {
+		if f, err := leader.Create(context.Background(), "/work/pre", 0644); err != nil {
 			t.Fatal(err)
 		} else if err := f.Close(); err != nil {
 			t.Fatal(err)
 		}
 		// Make the setup durable everywhere (the mkdir lives in the *root*
 		// journal) before any fault is injected.
-		if err := leader.FlushAll(); err != nil {
+		if err := leader.FlushAll(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 
@@ -127,12 +128,12 @@ func TestChaosDirectedLeaderCrashDuringPartition(t *testing.T) {
 		// moment its next journal record is durable (before its checkpoint).
 		part := plan.Partition(nil, []rpc.Addr{mgr.Addr()})
 		set.Arm(crashpoint.PostJournalPut, leader.Crash)
-		if f, err := leader.Create("/work/x", 0644); err != nil {
+		if f, err := leader.Create(context.Background(), "/work/x", 0644); err != nil {
 			t.Fatal(err)
 		} else if err := f.Close(); err != nil {
 			t.Fatal(err)
 		}
-		err := leader.Fsync("/work/x") // forces the commit; the PUT fires the kill
+		err := leader.Fsync(context.Background(), "/work/x") // forces the commit; the PUT fires the kill
 		fired := set.Fired()
 		if len(fired) != 1 || fired[0] != crashpoint.PostJournalPut {
 			t.Fatalf("crash site did not fire as scripted: %v (fsync err %v)", fired, err)
@@ -152,7 +153,7 @@ func TestChaosDirectedLeaderCrashDuringPartition(t *testing.T) {
 		})
 		var entries int
 		for attempt := 0; attempt < 20; attempt++ {
-			des, err := successor.Readdir("/work")
+			des, err := successor.Readdir(context.Background(), "/work")
 			if err == nil {
 				entries = len(des)
 				break
@@ -163,10 +164,10 @@ func TestChaosDirectedLeaderCrashDuringPartition(t *testing.T) {
 			t.Fatalf("successor sees %d entries in /work, want 2 (pre + x)", entries)
 		}
 		// Zero lost acknowledged ops: the durable record was replayed.
-		if _, err := successor.Stat("/work/x"); err != nil {
+		if _, err := successor.Stat(context.Background(), "/work/x"); err != nil {
 			t.Fatalf("acknowledged /work/x lost after recovery: %v", err)
 		}
-		if _, err := successor.Stat("/work/pre"); err != nil {
+		if _, err := successor.Stat(context.Background(), "/work/pre"); err != nil {
 			t.Fatalf("/work/pre lost: %v", err)
 		}
 		if err := successor.Close(); err != nil {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -60,7 +61,7 @@ func TestFlakyStoreWithRetriesLosesNothing(t *testing.T) {
 		// Data workload with known bytes: write, flush, drop caches, re-read.
 		for mi, m := range d.Mounts {
 			for fi := 0; fi < 3; fi++ {
-				f, err := fsapi.Create(m, fmt.Sprintf("/data-%d-%d", mi, fi), 0644)
+				f, err := fsapi.Create(context.Background(), m, fmt.Sprintf("/data-%d-%d", mi, fi), 0644)
 				if err != nil {
 					t.Errorf("create %d/%d: %v", mi, fi, err)
 					return
@@ -74,7 +75,7 @@ func TestFlakyStoreWithRetriesLosesNothing(t *testing.T) {
 					return
 				}
 			}
-			if err := m.FlushAll(); err != nil {
+			if err := m.FlushAll(context.Background()); err != nil {
 				t.Errorf("FlushAll mount %d: %v", mi, err)
 				return
 			}
@@ -83,7 +84,7 @@ func TestFlakyStoreWithRetriesLosesNothing(t *testing.T) {
 		for mi, m := range d.Mounts {
 			for fi := 0; fi < 3; fi++ {
 				want := filePattern(mi, fi)
-				f, err := m.Open(fmt.Sprintf("/data-%d-%d", mi, fi), types.ORdonly, 0)
+				f, err := m.Open(context.Background(), fmt.Sprintf("/data-%d-%d", mi, fi), types.ORdonly, 0)
 				if err != nil {
 					t.Errorf("open %d/%d: %v", mi, fi, err)
 					return

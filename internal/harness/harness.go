@@ -17,6 +17,7 @@ import (
 	"arkfs/internal/journal"
 	"arkfs/internal/lease"
 	"arkfs/internal/objstore"
+	"arkfs/internal/obs"
 	"arkfs/internal/prt"
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
@@ -117,7 +118,10 @@ type Deployment struct {
 	Fault *objstore.FaultStore
 	// Ark holds the raw ArkFS clients behind Mounts (nil for baselines),
 	// for retry/cache statistics.
-	Ark   []*core.Client
+	Ark []*core.Client
+	// Reg is the deployment-wide metrics registry (nil unless the deployment
+	// was built with ArkFSOptions.Obs).
+	Reg   *obs.Registry
 	close []func()
 }
 
@@ -166,6 +170,10 @@ type ArkFSOptions struct {
 	FlakySeed int64
 	// Retry enables the clients' retrying store path with this policy.
 	Retry *objstore.RetryPolicy
+	// Obs attaches a shared metrics registry: every client, the RPC network,
+	// and the lease manager(s) record into it, and the deployment folds
+	// fault-layer tallies in. Nil disables instrumentation (zero overhead).
+	Obs *obs.Registry
 }
 
 // BuildArkFS deploys ArkFS with n clients on the given storage profile.
@@ -191,22 +199,30 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 		return nil, err
 	}
 	var store objstore.Store = cluster
-	d := &Deployment{Cluster: cluster}
+	d := &Deployment{Cluster: cluster, Reg: o.Obs}
 	if o.FlakyProb > 0 {
 		d.Fault = objstore.NewFaultStore(cluster)
 		d.Fault.SetFlaky(o.FlakyProb, o.FlakySeed)
 		store = d.Fault
+		if o.Obs != nil {
+			fs := d.Fault
+			o.Obs.Func("faultstore.ops", func() int64 { return int64(fs.Ops()) })
+			o.Obs.Func("faultstore.injected", func() int64 { return int64(fs.Injected()) })
+		}
 	}
 	tr := prt.New(store, o.ChunkSize)
 	net := rpc.NewNetwork(env, cal.ClientNet)
+	if o.Obs != nil {
+		net.SetObs(o.Obs)
+	}
 	var route func(types.Ino) rpc.Addr
 	d.close = append(d.close, cluster.Close)
 	if o.LeaseShards > 1 {
-		shards := lease.NewShards(net, o.LeaseShards, "leasemgr", lease.Options{Period: cal.LeasePeriod, Workers: 8})
+		shards := lease.NewShards(net, o.LeaseShards, "leasemgr", lease.Options{Period: cal.LeasePeriod, Workers: 8, Obs: o.Obs})
 		route = shards.Route()
 		d.close = append(d.close, shards.Close)
 	} else {
-		mgr := lease.NewManager(net, lease.Options{Period: cal.LeasePeriod, Workers: 8})
+		mgr := lease.NewManager(net, lease.Options{Period: cal.LeasePeriod, Workers: 8, Obs: o.Obs})
 		d.close = append(d.close, mgr.Close)
 	}
 	for i := 0; i < n; i++ {
@@ -238,6 +254,7 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 			RPCWorkers:  cal.RPCWorkers,
 			LeasePeriod: cal.LeasePeriod,
 			Retry:       o.Retry,
+			Obs:         o.Obs,
 			Seed:        int64(1000 + i),
 		})
 		d.Mounts = append(d.Mounts, fsapi.Adapt(c))

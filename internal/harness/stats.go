@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+
+	"arkfs/internal/objstore"
+	"arkfs/internal/obs"
+	"arkfs/internal/sim"
+	"arkfs/internal/workload"
+)
+
+// StatsConfig parameterizes an instrumented stats run. Zero fields take the
+// defaults noted on them.
+type StatsConfig struct {
+	Clients      int // default 4
+	FilesPerProc int // default 200
+	SharedDirs   int // default 4 (mdtest-hard layout mixes in forwarded ops)
+	// Flaky injects store failures with this probability (retried), so the
+	// objstore.retries and faultstore.* series are non-zero in the output.
+	Flaky     float64
+	FlakySeed int64
+}
+
+func (c *StatsConfig) fill() {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.FilesPerProc <= 0 {
+		c.FilesPerProc = 200
+	}
+	if c.SharedDirs <= 0 {
+		c.SharedDirs = 4
+	}
+}
+
+// RunStats deploys an instrumented ArkFS cluster under the virtual clock,
+// drives mdtest-easy plus mdtest-hard (the hard layout forces forwarded
+// metadata ops and data I/O through the cache), and returns the
+// deployment-wide metrics snapshot. Deterministic: the same config yields a
+// byte-identical Fingerprint().
+func RunStats(cfg StatsConfig) (obs.Snapshot, error) {
+	cfg.fill()
+	reg := obs.NewRegistry()
+	var runErr error
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		o := ArkFSOptions{PermCache: true, Obs: reg}
+		if cfg.Flaky > 0 {
+			o.FlakyProb, o.FlakySeed = cfg.Flaky, cfg.FlakySeed
+			pol := objstore.DefaultRetryPolicy()
+			o.Retry = &pol
+		}
+		d, err := BuildArkFS(env, DefaultCalibration(), objstore.RADOSProfile(), cfg.Clients, o)
+		if err != nil {
+			runErr = fmt.Errorf("stats: deploy: %w", err)
+			return
+		}
+		defer d.Close()
+		if _, err := workload.MdtestEasy(env, d.Mounts, workload.MdtestConfig{
+			FilesPerProc: cfg.FilesPerProc, Root: "/stats-easy",
+		}); err != nil {
+			runErr = fmt.Errorf("stats: mdtest-easy: %w", err)
+			return
+		}
+		if _, err := workload.MdtestHard(env, d.Mounts, workload.MdtestConfig{
+			FilesPerProc: cfg.FilesPerProc / 2, SharedDirs: cfg.SharedDirs, Root: "/stats-hard",
+		}); err != nil {
+			runErr = fmt.Errorf("stats: mdtest-hard: %w", err)
+			return
+		}
+		// Let background lease/journal work quiesce so gauges settle.
+		env.Sleep(2 * DefaultCalibration().LeasePeriod)
+	})
+	if runErr != nil {
+		return obs.Snapshot{}, runErr
+	}
+	return reg.Snapshot(), nil
+}

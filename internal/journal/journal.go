@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"arkfs/internal/crashpoint"
+	"arkfs/internal/obs"
 	"arkfs/internal/prt"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
@@ -43,6 +44,10 @@ type Config struct {
 	// Crash, when non-nil, announces the commit/checkpoint/2PC crash sites
 	// this journal passes through; chaos scenarios arm it. Nil is inert.
 	Crash *crashpoint.Set
+	// Obs, when non-nil, receives journal metrics: append/commit/checkpoint
+	// counters, commit and checkpoint latency histograms (environment clock),
+	// running-transaction buffer occupancy, and 2PC outcomes. Nil is inert.
+	Obs *obs.Registry
 }
 
 // DefaultConfig matches the paper's settings.
@@ -58,6 +63,20 @@ type Journal struct {
 
 	commitQs []*sim.Chan[*commitItem]
 	ckptQs   []*sim.Chan[*ckptItem]
+
+	// Metric sinks (nil-safe no-ops when cfg.Obs is nil).
+	cAppends     *obs.Counter
+	cOps         *obs.Counter
+	gBuffer      *obs.Gauge
+	cCommits     *obs.Counter
+	cCommitErrs  *obs.Counter
+	hCommit      *obs.Histogram
+	cCkpts       *obs.Counter
+	cCkptErrs    *obs.Counter
+	hCkpt        *obs.Histogram
+	c2pcPrepares *obs.Counter
+	c2pcCommits  *obs.Counter
+	c2pcAborts   *obs.Counter
 
 	mu     sync.Mutex
 	dirs   map[types.Ino]*dirJournal
@@ -110,6 +129,18 @@ func New(env sim.Env, tr *prt.Translator, cfg Config) *Journal {
 		cfg.CheckpointFanout = 16
 	}
 	j := &Journal{env: env, tr: tr, cfg: cfg, dirs: make(map[types.Ino]*dirJournal)}
+	j.cAppends = cfg.Obs.Counter("journal.appends")
+	j.cOps = cfg.Obs.Counter("journal.ops")
+	j.gBuffer = cfg.Obs.Gauge("journal.buffer.ops")
+	j.cCommits = cfg.Obs.Counter("journal.commits")
+	j.cCommitErrs = cfg.Obs.Counter("journal.commit.errors")
+	j.hCommit = cfg.Obs.Histogram("journal.commit.latency")
+	j.cCkpts = cfg.Obs.Counter("journal.checkpoints")
+	j.cCkptErrs = cfg.Obs.Counter("journal.checkpoint.errors")
+	j.hCkpt = cfg.Obs.Histogram("journal.checkpoint.latency")
+	j.c2pcPrepares = cfg.Obs.Counter("journal.2pc.prepares")
+	j.c2pcCommits = cfg.Obs.Counter("journal.2pc.commits")
+	j.c2pcAborts = cfg.Obs.Counter("journal.2pc.aborts")
 	for i := 0; i < cfg.CommitWorkers; i++ {
 		q := sim.NewChan[*commitItem](env)
 		j.commitQs = append(j.commitQs, q)
@@ -189,6 +220,9 @@ func (j *Journal) SetTxnIDBase(base uint64) {
 // Log appends metadata mutations to dir's running transaction and schedules
 // a timed commit. It is the fast path: pure memory work.
 func (j *Journal) Log(dir types.Ino, ops []wire.Op) {
+	j.cAppends.Inc()
+	j.cOps.Add(int64(len(ops)))
+	j.gBuffer.Add(int64(len(ops)))
 	dj := j.dirJournal(dir)
 	dj.mu.Lock()
 	dj.running = append(dj.running, ops...)
@@ -262,6 +296,7 @@ func (j *Journal) commitLoop(q *sim.Chan[*commitItem]) {
 			dj.nextSeq++
 		}
 		dj.mu.Unlock()
+		j.gBuffer.Add(-int64(len(ops)))
 
 		if len(ops) == 0 {
 			if it.done != nil {
@@ -282,13 +317,17 @@ func (j *Journal) commitLoop(q *sim.Chan[*commitItem]) {
 		}
 		key := prt.JournalKey(dj.dir, seq)
 		j.cfg.Crash.Hit(crashpoint.PreJournalPut)
+		commitStart := j.env.Now()
 		if err := j.tr.Store().Put(key, wire.EncodeTxn(txn)); err != nil {
+			j.cCommitErrs.Inc()
 			j.recordErr(dj, fmt.Errorf("journal: commit %s: %w", key, err))
 			if it.done != nil {
 				it.done.Send(dj.takeErr())
 			}
 			continue
 		}
+		j.cCommits.Inc()
+		j.hCommit.Observe(j.env.Now() - commitStart)
 		// The record is durable: from here on a crash must be recoverable by
 		// the next leader's journal replay.
 		j.cfg.Crash.Hit(crashpoint.PostJournalPut)
@@ -312,7 +351,9 @@ func (j *Journal) ckptLoop(q *sim.Chan[*ckptItem]) {
 			return
 		}
 		if it.ops != nil {
+			ckptStart := j.env.Now()
 			if err := applyOps(j.env, j.tr, it.dj.dir, it.ops, j.cfg.CheckpointFanout, j.cfg.Crash); err != nil {
+				j.cCkptErrs.Inc()
 				j.recordErr(it.dj, err)
 			} else {
 				// Fully applied; the journal record still exists, so a crash
@@ -323,6 +364,8 @@ func (j *Journal) ckptLoop(q *sim.Chan[*ckptItem]) {
 						j.recordErr(it.dj, fmt.Errorf("journal: invalidate %s: %w", key, err))
 					}
 				}
+				j.cCkpts.Inc()
+				j.hCkpt.Observe(j.env.Now() - ckptStart)
 			}
 		}
 		if it.done != nil {

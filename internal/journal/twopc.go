@@ -43,6 +43,7 @@ func (j *Journal) WritePrepare(dir types.Ino, txid uint64, peer types.Ino, ops [
 	dj.prepared[txid] = seq
 	dj.prepOps[txid] = ops
 	dj.mu.Unlock()
+	j.c2pcPrepares.Inc()
 	j.cfg.Crash.Hit(crashpoint.TwoPCPostPrepare)
 	return nil
 }
@@ -72,6 +73,11 @@ func (j *Journal) WriteDecision(dir types.Ino, txid uint64, peer types.Ino, comm
 	}
 	dj.decisions[txid] = seq
 	dj.mu.Unlock()
+	if commit {
+		j.c2pcCommits.Inc()
+	} else {
+		j.c2pcAborts.Inc()
+	}
 	j.cfg.Crash.Hit(crashpoint.TwoPCPostDecision)
 	return nil
 }

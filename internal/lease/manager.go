@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"arkfs/internal/obs"
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
@@ -49,6 +50,10 @@ type Manager struct {
 	restarted bool
 
 	stats ManagerStats
+	// Registry counters (nil-safe). Named counters are shared across sharded
+	// managers attached to the same registry, so they aggregate cluster-wide.
+	cAcquires, cExtensions, cRedirects *obs.Counter
+	cReleases, cRecoveries, cWaits     *obs.Counter
 }
 
 // Options configures a Manager.
@@ -59,6 +64,9 @@ type Options struct {
 	// Restarted: begin in the post-crash quiesce state, refusing grants for
 	// one lease period so stale leaders can expire (paper §III-E-2).
 	Restarted bool
+	// Obs, when non-nil, exposes the manager's counters (acquire/extension/
+	// redirect/release/recovery/wait) in the registry at snapshot time.
+	Obs *obs.Registry
 }
 
 // NewManager starts a lease manager on net.
@@ -83,6 +91,12 @@ func NewManager(net *rpc.Network, opts Options) *Manager {
 		m.readyAt = m.env.Now() + m.period
 		m.restarted = true
 	}
+	m.cAcquires = opts.Obs.Counter("lease.acquires")
+	m.cExtensions = opts.Obs.Counter("lease.extensions")
+	m.cRedirects = opts.Obs.Counter("lease.redirects")
+	m.cReleases = opts.Obs.Counter("lease.releases")
+	m.cRecoveries = opts.Obs.Counter("lease.recoveries")
+	m.cWaits = opts.Obs.Counter("lease.waits")
 	m.server = net.Listen(opts.Addr, opts.Workers, m.handle)
 	return m
 }
@@ -118,8 +132,10 @@ func (m *Manager) acquire(r AcquireReq) AcquireResp {
 	defer m.mu.Unlock()
 	now := m.env.Now()
 	m.stats.Acquires.Add(1)
+	m.cAcquires.Inc()
 
 	if now < m.readyAt {
+		m.cWaits.Inc()
 		return AcquireResp{Wait: true, Quiesce: true, RetryAfter: m.readyAt}
 	}
 
@@ -145,6 +161,7 @@ func (m *Manager) acquire(r AcquireReq) AcquireResp {
 			d.expiry = now + m.period
 			return AcquireResp{Granted: true, LeaseID: d.leaseID, Expiry: d.expiry, SameLeader: true}
 		}
+		m.cWaits.Inc()
 		return AcquireResp{Wait: true, RetryAfter: now + m.period/2}
 
 	case d.recovering:
@@ -152,6 +169,7 @@ func (m *Manager) acquire(r AcquireReq) AcquireResp {
 		// without a RecoveryDone. Start a fresh recovery chain; journal
 		// replay is idempotent, so a half-finished predecessor is harmless.
 		m.stats.Recoveries.Add(1)
+		m.cRecoveries.Inc()
 		m.nextID++
 		d.holder, d.leaseID, d.expiry = r.Client, m.nextID, now+m.period
 		d.recovering, d.recoverID = true, m.nextID
@@ -162,10 +180,12 @@ func (m *Manager) acquire(r AcquireReq) AcquireResp {
 		if d.holder == r.Client {
 			// Extension: same chain, metadata stays valid.
 			m.stats.Extensions.Add(1)
+			m.cExtensions.Inc()
 			d.expiry = now + m.period
 			return AcquireResp{Granted: true, LeaseID: d.leaseID, Expiry: d.expiry, SameLeader: true}
 		}
 		m.stats.Redirects.Add(1)
+		m.cRedirects.Inc()
 		return AcquireResp{Redirect: true, Leader: d.holder}
 
 	case d.holder != "" && !d.clean && d.holder == r.Client:
@@ -173,6 +193,7 @@ func (m *Manager) acquire(r AcquireReq) AcquireResp {
 		// idle period, not a crash): its in-memory state is authoritative,
 		// its data leases are its own, so re-grant in place.
 		m.stats.Extensions.Add(1)
+		m.cExtensions.Inc()
 		d.expiry = now + m.period
 		return AcquireResp{Granted: true, LeaseID: d.leaseID, Expiry: d.expiry, SameLeader: true}
 
@@ -181,9 +202,11 @@ func (m *Manager) acquire(r AcquireReq) AcquireResp {
 		// Honor the paper's grace: wait one full period past expiry so any
 		// data read/write leases the dead leader issued have lapsed too.
 		if now < d.expiry+m.period {
+			m.cWaits.Inc()
 			return AcquireResp{Wait: true, RetryAfter: d.expiry + m.period}
 		}
 		m.stats.Recoveries.Add(1)
+		m.cRecoveries.Inc()
 		m.nextID++
 		d.holder, d.leaseID, d.expiry = r.Client, m.nextID, now+m.period
 		d.recovering, d.recoverID = true, m.nextID
@@ -206,6 +229,7 @@ func (m *Manager) release(r ReleaseReq) ReleaseResp {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Releases.Add(1)
+	m.cReleases.Inc()
 	d := m.dirs[r.Dir]
 	if d == nil || d.holder != r.Client || d.leaseID != r.LeaseID {
 		return ReleaseResp{OK: false}

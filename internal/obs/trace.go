@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"arkfs/internal/types"
+)
+
+// Route says which path a metadata operation took.
+type Route string
+
+const (
+	RouteLocal  Route = "local"  // served by this client as directory leader
+	RouteRemote Route = "remote" // forwarded to the leader over RPC
+)
+
+// Span records one operation. Spans are value types copied into the tracer's
+// ring on End; mutate them only between Start and End, on the owning
+// goroutine.
+type Span struct {
+	Op      string        // e.g. "create", "stat", "rename"
+	Path    string        // primary path argument
+	Dir     types.Ino     // directory the op resolved to (nil if unresolved)
+	Route   Route         // local vs remote, set once routed
+	Retries int           // ESTALE/lease retries consumed
+	Start   time.Duration // environment-clock time at Start
+	Dur     time.Duration // set at End
+	Err     string        // errno string, "" on success
+
+	tr *Tracer
+}
+
+// SetRoute tags the span with the route taken. Nil-safe.
+func (s *Span) SetRoute(r Route) {
+	if s != nil {
+		s.Route = r
+	}
+}
+
+// SetDir tags the span with the resolved directory inode. Nil-safe.
+func (s *Span) SetDir(ino types.Ino) {
+	if s != nil {
+		s.Dir = ino
+	}
+}
+
+// AddRetry counts one retry of the underlying operation. Nil-safe.
+func (s *Span) AddRetry() {
+	if s != nil {
+		s.Retries++
+	}
+}
+
+// End closes the span, stamping duration and outcome, and commits it to the
+// tracer's ring. Nil-safe; calling End on a nil span is a no-op.
+func (s *Span) End(err error) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.Dur = s.tr.now() - s.Start
+	if err != nil {
+		s.Err = types.Errno(err)
+	}
+	s.tr.commit(*s)
+}
+
+// String renders the span as one log-friendly line.
+func (s Span) String() string {
+	route := s.Route
+	if route == "" {
+		route = "?"
+	}
+	errs := s.Err
+	if errs == "" {
+		errs = "ok"
+	}
+	return fmt.Sprintf("%s %s dir=%s route=%s retries=%d dur=%v %s",
+		s.Op, s.Path, s.Dir.Short(), route, s.Retries, s.Dur, errs)
+}
+
+// Tracer is a fixed-capacity ring buffer of completed spans. It is the crash
+// forensics channel: cheap enough to leave on, bounded so a hung run cannot
+// grow it, and dumpable by the chaos harness when a scenario fails. A nil
+// *Tracer is the disabled sink.
+type Tracer struct {
+	now func() time.Duration // injected clock; sim.Env.Now under virtual time
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	wrap  bool
+	total int64
+}
+
+// NewTracer creates a tracer holding the most recent capacity spans, stamping
+// them with the supplied clock. The clock must be the same time source the
+// rest of the deployment runs on (sim.Env.Now) so spans order correctly
+// under virtual time; nil falls back to wall-clock nanoseconds since the
+// Unix epoch.
+func NewTracer(capacity int, now func() time.Duration) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if now == nil {
+		now = func() time.Duration { return time.Duration(time.Now().UnixNano()) }
+	}
+	return &Tracer{now: now, ring: make([]Span, capacity)}
+}
+
+// Start opens a span for op on path. Returns nil (a valid no-op span) when
+// the tracer is nil.
+func (t *Tracer) Start(op, path string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{Op: op, Path: path, Start: t.now(), tr: t}
+}
+
+func (t *Tracer) commit(s Span) {
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.wrap = 0, true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of spans ever committed (0 for nil).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the retained spans, oldest first. Nil-safe.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	if t.wrap {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dump renders the retained spans as a text block, oldest first, for
+// attaching to a failed chaos report.
+func (t *Tracer) Dump() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, s := range spans {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// spanKey carries the active span in a context.
+type spanKey struct{}
+
+// WithSpan returns ctx carrying span. A nil span is carried as-is; SpanFrom
+// will return nil and all span methods no-op.
+func WithSpan(ctx context.Context, span *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, span)
+}
+
+// SpanFrom extracts the active span from ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

@@ -11,10 +11,13 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 
+	"arkfs/internal/obs"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
 )
@@ -41,6 +44,14 @@ type Network struct {
 	mu      sync.Mutex
 	servers map[Addr]*Server
 	fault   *FaultPlan
+
+	// Observability. All sinks are nil-safe; a Network without SetObs runs
+	// with zero instrumentation cost beyond nil checks.
+	reg         *obs.Registry
+	cCalls      *obs.Counter
+	cDrops      *obs.Counter
+	cTimeouts   *obs.Counter
+	methodHists sync.Map // method name -> *obs.Histogram
 }
 
 // NewNetwork creates a fabric in env; model applies to every message.
@@ -63,6 +74,53 @@ func (n *Network) faultPlan() *FaultPlan {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.fault
+}
+
+// SetObs attaches a metrics registry: every Call records rpc.calls, a
+// per-method latency histogram (rpc.call.<Method>, environment-clock time
+// including fault-plan delays), and rpc.drops / rpc.timeouts on failure.
+// Call before serving traffic; nil detaches.
+func (n *Network) SetObs(reg *obs.Registry) {
+	n.reg = reg
+	n.cCalls = reg.Counter("rpc.calls")
+	n.cDrops = reg.Counter("rpc.drops")
+	n.cTimeouts = reg.Counter("rpc.timeouts")
+	n.methodHists = sync.Map{}
+}
+
+// methodNames caches reflect.Type → wire-method name ("CreateReq" → "Create").
+var methodNames sync.Map
+
+func methodName(req any) string {
+	t := reflect.TypeOf(req)
+	if v, ok := methodNames.Load(t); ok {
+		return v.(string)
+	}
+	e := t
+	for e.Kind() == reflect.Ptr {
+		e = e.Elem()
+	}
+	name := strings.TrimSuffix(e.Name(), "Req")
+	if name == "" {
+		name = e.String()
+	}
+	methodNames.Store(t, name)
+	return name
+}
+
+// histFor returns the latency histogram for req's method (nil when obs is
+// detached), caching the lookup so the hot path avoids the registry lock.
+func (n *Network) histFor(req any) *obs.Histogram {
+	if n.reg == nil {
+		return nil
+	}
+	name := methodName(req)
+	if v, ok := n.methodHists.Load(name); ok {
+		return v.(*obs.Histogram)
+	}
+	h := n.reg.Histogram("rpc.call." + name)
+	n.methodHists.Store(name, h)
+	return h
 }
 
 type call struct {
@@ -130,25 +188,57 @@ func (n *Network) Call(to Addr, req any) (any, error) {
 // plan apply per-link rules (partitions between address sets) in both the
 // request and the response direction.
 func (n *Network) CallFrom(from, to Addr, req any) (any, error) {
+	if n.reg == nil {
+		return n.callFrom(from, to, req)
+	}
+	start := n.env.Now()
+	resp, err := n.callFrom(from, to, req)
+	n.cCalls.Inc()
+	n.histFor(req).Observe(n.env.Now() - start)
+	return resp, err
+}
+
+// CallFromCtx is CallFrom gated on a context: a context that is already done
+// fails fast with its error before any network time is charged. Cancellation
+// of a call already in flight is not modeled — virtual-time waits cannot be
+// interrupted by real channels — so ctx acts as a deadline checked at the
+// call boundary, which is where the retry loops in core re-enter.
+func (n *Network) CallFromCtx(ctx context.Context, from, to Addr, req any) (any, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return n.CallFrom(from, to, req)
+}
+
+func (n *Network) callFrom(from, to Addr, req any) (any, error) {
 	fault := n.faultPlan()
 	if fault != nil {
 		if err := fault.apply(from, to, "request"); err != nil {
+			n.cDrops.Inc()
 			return nil, err
 		}
 	}
 	if strings.HasPrefix(string(to), TCPPrefix) {
 		resp, err := n.callTCP(to, req)
-		if err == nil && fault != nil {
+		if err != nil {
+			n.cTimeouts.Inc()
+			return resp, err
+		}
+		if fault != nil {
 			if ferr := fault.apply(to, from, "response"); ferr != nil {
+				n.cDrops.Inc()
 				return nil, ferr
 			}
 		}
-		return resp, err
+		return resp, nil
 	}
 	n.mu.Lock()
 	s, ok := n.servers[to]
 	n.mu.Unlock()
 	if !ok {
+		n.cTimeouts.Inc()
 		return nil, fmt.Errorf("rpc: no listener at %q: %w", to, types.ErrTimedOut)
 	}
 	var size int64
@@ -158,16 +248,19 @@ func (n *Network) CallFrom(from, to Addr, req any) (any, error) {
 	n.env.Sleep(n.model.TransferTime(size))
 	c := &call{req: req, reply: sim.NewChan[any](n.env)}
 	if !s.inbox.Send(c) {
+		n.cTimeouts.Inc()
 		return nil, fmt.Errorf("rpc: server %q closed: %w", to, types.ErrTimedOut)
 	}
 	resp, ok := c.reply.Recv()
 	if !ok {
+		n.cTimeouts.Inc()
 		return nil, fmt.Errorf("rpc: call to %q aborted: %w", to, types.ErrTimedOut)
 	}
 	if fault != nil {
 		// The handler ran; losing the response leaves its side effects in
 		// place while this caller times out.
 		if err := fault.apply(to, from, "response"); err != nil {
+			n.cDrops.Inc()
 			return nil, err
 		}
 	}

@@ -66,7 +66,50 @@ func Errno(err error) string {
 		return "EXDEV"
 	case errors.Is(err, ErrTimedOut):
 		return "ETIMEDOUT"
+	case errors.Is(err, ErrNotLeader):
+		return "ENOTLEADER"
+	case errors.Is(err, ErrLeaseLost):
+		return "ELEASELOST"
 	default:
 		return "EIO"
 	}
+}
+
+// errnoTable maps every symbolic name Errno can produce back to its sentinel.
+// Keeping the two directions in one package guarantees the round trip: an
+// error carried across the RPC boundary as a string rehydrates to the same
+// sentinel, so errors.Is behaves identically on a redirected client.
+var errnoTable = map[string]error{
+	"ENOENT":       ErrNotExist,
+	"EEXIST":       ErrExist,
+	"ENOTDIR":      ErrNotDir,
+	"EISDIR":       ErrIsDir,
+	"ENOTEMPTY":    ErrNotEmpty,
+	"EACCES":       ErrAccess,
+	"EPERM":        ErrPerm,
+	"EINVAL":       ErrInval,
+	"ENAMETOOLONG": ErrNameTooLong,
+	"ENOSPC":       ErrNoSpace,
+	"ESTALE":       ErrStale,
+	"EBADF":        ErrBadFD,
+	"EBUSY":        ErrBusy,
+	"EIO":          ErrIO,
+	"ELOOP":        ErrLoop,
+	"EXDEV":        ErrXDev,
+	"ETIMEDOUT":    ErrTimedOut,
+	"ENOTLEADER":   ErrNotLeader,
+	"ELEASELOST":   ErrLeaseLost,
+}
+
+// FromErrno rehydrates a symbolic errno name (as produced by Errno) into the
+// corresponding typed sentinel. Unknown names and "" degrade to ErrIO; "OK"
+// returns nil.
+func FromErrno(name string) error {
+	if name == "OK" {
+		return nil
+	}
+	if err, ok := errnoTable[name]; ok {
+		return err
+	}
+	return ErrIO
 }

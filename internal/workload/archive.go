@@ -2,6 +2,7 @@ package workload
 
 import (
 	"archive/tar"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -185,18 +186,19 @@ func (b *writeCounterBuffer) Write(p []byte) (int, error) {
 // dataset's tar image from the external store into the file system, then
 // extract it, categorizing files into per-category directories.
 func Archive(env sim.Env, m fsapi.FileSystem, d *Dataset, tarImage []byte, cfg ArchiveConfig) (ArchiveResult, error) {
+	ctx := context.Background()
 	start := env.Now()
 	root := cfg.Root
 	if root == "" {
 		root = "/archive"
 	}
-	if err := m.Mkdir(root, 0777); err != nil {
+	if err := m.Mkdir(ctx, root, 0777); err != nil {
 		return ArchiveResult{}, fmt.Errorf("workload: archive setup: %w", err)
 	}
 
 	// 1) Move the tar from the burst buffer into campaign storage.
 	tarPath := root + "/dataset.tar"
-	dst, err := m.Open(tarPath, types.OWronly|types.OCreate|types.OTrunc, 0644)
+	dst, err := m.Open(ctx, tarPath, types.OWronly|types.OCreate|types.OTrunc, 0644)
 	if err != nil {
 		return ArchiveResult{}, err
 	}
@@ -216,13 +218,13 @@ func Archive(env sim.Env, m fsapi.FileSystem, d *Dataset, tarImage []byte, cfg A
 	for _, f := range d.Files {
 		if _, ok := catDirs[f.Category]; !ok {
 			dir := fmt.Sprintf("%s/cat-%02d", root, f.Category)
-			if err := m.Mkdir(dir, 0777); err != nil {
+			if err := m.Mkdir(ctx, dir, 0777); err != nil {
 				return ArchiveResult{}, err
 			}
 			catDirs[f.Category] = dir
 		}
 	}
-	in, err := m.Open(tarPath, types.ORdonly, 0)
+	in, err := m.Open(ctx, tarPath, types.ORdonly, 0)
 	if err != nil {
 		return ArchiveResult{}, err
 	}
@@ -238,7 +240,7 @@ func Archive(env sim.Env, m fsapi.FileSystem, d *Dataset, tarImage []byte, cfg A
 			return ArchiveResult{}, fmt.Errorf("workload: tar extract: %w", err)
 		}
 		cat := d.Files[idx].Category
-		out, err := m.Open(fmt.Sprintf("%s/%s", catDirs[cat], d.Files[idx].Name),
+		out, err := m.Open(ctx, fmt.Sprintf("%s/%s", catDirs[cat], d.Files[idx].Name),
 			types.OWronly|types.OCreate|types.OTrunc, 0644)
 		if err != nil {
 			return ArchiveResult{}, err
@@ -259,10 +261,10 @@ func Archive(env sim.Env, m fsapi.FileSystem, d *Dataset, tarImage []byte, cfg A
 	if err := in.Close(); err != nil {
 		return ArchiveResult{}, err
 	}
-	if err := m.Unlink(tarPath); err != nil {
+	if err := m.Unlink(ctx, tarPath); err != nil {
 		return ArchiveResult{}, err
 	}
-	if err := m.FlushAll(); err != nil {
+	if err := m.FlushAll(ctx); err != nil {
 		return ArchiveResult{}, err
 	}
 	return ArchiveResult{Name: "Archiving", Files: idx, Bytes: moved, Elapsed: env.Now() - start}, nil
@@ -271,6 +273,7 @@ func Archive(env sim.Env, m fsapi.FileSystem, d *Dataset, tarImage []byte, cfg A
 // Unarchive runs the reverse scenario: gather the categorized files back
 // into a tar stream and move it to the burst buffer.
 func Unarchive(env sim.Env, m fsapi.FileSystem, d *Dataset, cfg ArchiveConfig) (ArchiveResult, error) {
+	ctx := context.Background()
 	start := env.Now()
 	root := cfg.Root
 	if root == "" {
@@ -282,7 +285,7 @@ func Unarchive(env sim.Env, m fsapi.FileSystem, d *Dataset, cfg ArchiveConfig) (
 	var moved int64
 	for _, f := range d.Files {
 		path := fmt.Sprintf("%s/cat-%02d/%s", root, f.Category, f.Name)
-		in, err := m.Open(path, types.ORdonly, 0)
+		in, err := m.Open(ctx, path, types.ORdonly, 0)
 		if err != nil {
 			return ArchiveResult{}, fmt.Errorf("workload: unarchive open: %w", err)
 		}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,16 +43,17 @@ func (r BandwidthResult) GiBps() float64 { return r.BytesPerSec() / (1 << 30) }
 // Fio writes then reads one large file per process sequentially and reports
 // the aggregate WRITE and READ bandwidth.
 func Fio(env sim.Env, mounts []fsapi.FileSystem, cfg FioConfig) (write, read BandwidthResult, err error) {
+	ctx := context.Background()
 	if cfg.Root == "" {
 		cfg.Root = "/fio"
 	}
 	if cfg.ReqSize <= 0 {
 		cfg.ReqSize = 128 << 10
 	}
-	if err := mounts[0].Mkdir(cfg.Root, 0777); err != nil {
+	if err := mounts[0].Mkdir(ctx, cfg.Root, 0777); err != nil {
 		return write, read, fmt.Errorf("workload: fio setup: %w", err)
 	}
-	if err := mounts[0].FlushAll(); err != nil {
+	if err := mounts[0].FlushAll(ctx); err != nil {
 		return write, read, err
 	}
 	totalBytes := cfg.FileSize * int64(len(mounts))
@@ -68,7 +70,7 @@ func Fio(env sim.Env, mounts []fsapi.FileSystem, cfg FioConfig) (write, read Ban
 	for i, m := range mounts {
 		i, m := i, m
 		g.Go(func() {
-			f, err := m.Open(path(i), types.OWronly|types.OCreate|types.OTrunc, 0644)
+			f, err := m.Open(ctx, path(i), types.OWronly|types.OCreate|types.OTrunc, 0644)
 			if err != nil {
 				errs[i] = err
 				return
@@ -109,7 +111,7 @@ func Fio(env sim.Env, mounts []fsapi.FileSystem, cfg FioConfig) (write, read Ban
 	for i, m := range mounts {
 		i, m := i, m
 		g.Go(func() {
-			f, err := m.Open(path(i), types.ORdonly, 0)
+			f, err := m.Open(ctx, path(i), types.ORdonly, 0)
 			if err != nil {
 				errs[i] = err
 				return

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,12 +47,15 @@ type MdtestConfig struct {
 
 // MdtestEasy runs the CREATE / STAT / DELETE phases with empty files, each
 // process in its own leaf directory, fsync between phases (IO500
-// mdtest-easy). mounts supplies one FileSystem per process.
+// mdtest-easy). mounts supplies one FileSystem per process. Benchmark
+// phases run under a background context: the workload itself is the
+// deadline authority, not any caller.
 func MdtestEasy(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]PhaseResult, error) {
+	ctx := context.Background()
 	if cfg.Root == "" {
 		cfg.Root = "/mdtest-easy"
 	}
-	if err := setupTree(mounts[0], cfg.Root, len(mounts)); err != nil {
+	if err := setupTree(ctx, mounts[0], cfg.Root, len(mounts)); err != nil {
 		return nil, err
 	}
 	paths := easyPaths(cfg, len(mounts))
@@ -60,7 +64,7 @@ func MdtestEasy(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 	create := runPhase(env, "CREATE", mounts, func(proc int, m fsapi.FileSystem) int {
 		errs := 0
 		for _, p := range paths[proc] {
-			f, err := m.Open(p, types.OWronly|types.OCreate|types.OExcl, 0644)
+			f, err := m.Open(ctx, p, types.OWronly|types.OCreate|types.OExcl, 0644)
 			if err != nil {
 				errs++
 				continue
@@ -75,7 +79,7 @@ func MdtestEasy(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 	stat := runPhase(env, "STAT", mounts, func(proc int, m fsapi.FileSystem) int {
 		errs := 0
 		for _, p := range paths[proc] {
-			if _, err := m.Stat(p); err != nil {
+			if _, err := m.Stat(ctx, p); err != nil {
 				errs++
 			}
 		}
@@ -86,7 +90,7 @@ func MdtestEasy(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 	del := runPhase(env, "DELETE", mounts, func(proc int, m fsapi.FileSystem) int {
 		errs := 0
 		for _, p := range paths[proc] {
-			if err := m.Unlink(p); err != nil {
+			if err := m.Unlink(ctx, p); err != nil {
 				errs++
 			}
 		}
@@ -100,6 +104,7 @@ func MdtestEasy(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 // MdtestHard runs WRITE / STAT / READ / DELETE with small files spread over
 // shared directories accessed by arbitrary processes (IO500 mdtest-hard).
 func MdtestHard(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]PhaseResult, error) {
+	ctx := context.Background()
 	if cfg.Root == "" {
 		cfg.Root = "/mdtest-hard"
 	}
@@ -109,7 +114,7 @@ func MdtestHard(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 	if cfg.SharedDirs <= 0 {
 		cfg.SharedDirs = 8
 	}
-	if err := setupTree(mounts[0], cfg.Root, cfg.SharedDirs); err != nil {
+	if err := setupTree(ctx, mounts[0], cfg.Root, cfg.SharedDirs); err != nil {
 		return nil, err
 	}
 	paths := hardPaths(cfg, len(mounts))
@@ -122,7 +127,7 @@ func MdtestHard(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 	write := runPhase(env, "WRITE", mounts, func(proc int, m fsapi.FileSystem) int {
 		errs := 0
 		for _, p := range paths[proc] {
-			f, err := m.Open(p, types.OWronly|types.OCreate, 0644)
+			f, err := m.Open(ctx, p, types.OWronly|types.OCreate, 0644)
 			if err != nil {
 				errs++
 				continue
@@ -142,7 +147,7 @@ func MdtestHard(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 	stat := runPhase(env, "STAT", mounts, func(proc int, m fsapi.FileSystem) int {
 		errs := 0
 		for _, p := range paths[proc] {
-			if _, err := m.Stat(p); err != nil {
+			if _, err := m.Stat(ctx, p); err != nil {
 				errs++
 			}
 		}
@@ -154,7 +159,7 @@ func MdtestHard(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 		errs := 0
 		buf := make([]byte, cfg.FileSize)
 		for _, p := range paths[proc] {
-			f, err := m.Open(p, types.ORdonly, 0)
+			f, err := m.Open(ctx, p, types.ORdonly, 0)
 			if err != nil {
 				errs++
 				continue
@@ -171,7 +176,7 @@ func MdtestHard(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 	del := runPhase(env, "DELETE", mounts, func(proc int, m fsapi.FileSystem) int {
 		errs := 0
 		for _, p := range paths[proc] {
-			if err := m.Unlink(p); err != nil {
+			if err := m.Unlink(ctx, p); err != nil {
 				errs++
 			}
 		}
@@ -210,12 +215,12 @@ func hardPaths(cfg MdtestConfig, procs int) [][]string {
 
 // setupTree creates the root and numbered subdirectories before timing
 // starts (mdtest does its tree creation outside the measured phases).
-func setupTree(m fsapi.FileSystem, root string, dirs int) error {
-	if err := m.Mkdir(root, 0777); err != nil {
+func setupTree(ctx context.Context, m fsapi.FileSystem, root string, dirs int) error {
+	if err := m.Mkdir(ctx, root, 0777); err != nil {
 		return fmt.Errorf("workload: setup %s: %w", root, err)
 	}
 	for d := 0; d < dirs; d++ {
-		if err := m.Mkdir(fmt.Sprintf("%s/p%03d", root, d), 0777); err != nil {
+		if err := m.Mkdir(ctx, fmt.Sprintf("%s/p%03d", root, d), 0777); err != nil {
 			return fmt.Errorf("workload: setup dir %d: %w", d, err)
 		}
 	}
@@ -247,4 +252,4 @@ func runPhase(env sim.Env, name string, mounts []fsapi.FileSystem,
 }
 
 // flushAll is the fsync()-after-phase step.
-func flushAll(m fsapi.FileSystem) error { return m.FlushAll() }
+func flushAll(m fsapi.FileSystem) error { return m.FlushAll(context.Background()) }

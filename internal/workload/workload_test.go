@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -62,7 +63,7 @@ func TestMdtestEasyOnArkFS(t *testing.T) {
 	}
 	// All files deleted: the tree has only the per-proc dirs left.
 	for i := 0; i < 4; i++ {
-		ents, err := mounts[0].Readdir("/mdtest-easy/p00" + string(rune('0'+i)))
+		ents, err := mounts[0].Readdir(context.Background(), "/mdtest-easy/p00"+string(rune('0'+i)))
 		if err != nil || len(ents) != 0 {
 			t.Errorf("leftovers in p%d: %v, %v", i, ents, err)
 		}
@@ -152,7 +153,7 @@ func TestArchiveUnarchiveRoundTripOnArkFS(t *testing.T) {
 	}
 	// Every extracted file is stat-able with the right size.
 	for _, f := range d.Files[:8] {
-		st, err := mounts[0].Stat("/archive/cat-0" + string(rune('0'+f.Category)) + "/" + f.Name)
+		st, err := mounts[0].Stat(context.Background(), "/archive/cat-0"+string(rune('0'+f.Category))+"/"+f.Name)
 		if err != nil || st.Size != f.Size {
 			t.Fatalf("extracted %s: %+v, %v", f.Name, st, err)
 		}
