@@ -10,9 +10,14 @@
 //
 // Chaos mode: arkbench -chaos -seed N replays the seeded fault scenario
 // exactly; a failing run prints its seed so the sequence can be reproduced.
+//
+// Bench mode: arkbench -bench-json out.json -seed N writes the seeded
+// benchmark trajectory (mdtest, fio, scalability, metrics fingerprint) in the
+// stable arkfs-bench/v1 schema; the same seed yields a byte-identical file.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +27,37 @@ import (
 
 	"arkfs/internal/harness"
 	"arkfs/internal/objstore"
+	"arkfs/internal/obs"
+	"arkfs/internal/obs/expose"
 )
+
+// modeFlags is the subset of flags whose combinations can contradict each
+// other; validateFlags rejects the nonsensical ones before any work starts.
+type modeFlags struct {
+	Chaos     bool
+	Stats     bool
+	StatsJSON bool   // -json
+	BenchJSON string // -bench-json path
+}
+
+// validateFlags returns a usage error for contradictory mode combinations:
+// -chaos, -stats, and -bench-json are exclusive modes, and -json only
+// formats -stats output.
+func validateFlags(m modeFlags) error {
+	if m.Chaos && m.Stats {
+		return errors.New("-chaos and -stats are exclusive modes; run them separately")
+	}
+	if m.BenchJSON != "" && m.Chaos {
+		return errors.New("-bench-json and -chaos are exclusive modes; run them separately")
+	}
+	if m.BenchJSON != "" && m.Stats {
+		return errors.New("-bench-json and -stats are exclusive modes; run them separately")
+	}
+	if m.StatsJSON && !m.Stats {
+		return errors.New("-json only formats -stats output; add -stats (bench mode is always JSON via -bench-json)")
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -37,20 +72,71 @@ func main() {
 		retries = flag.Int("store-retries", 0, "enable the retrying store path with up to N attempts (0: off)")
 
 		chaos      = flag.Bool("chaos", false, "run a seeded chaos scenario instead of an experiment")
-		chaosSeed  = flag.Int64("seed", 1, "chaos scenario seed; a failing run prints the seed to replay")
+		chaosSeed  = flag.Int64("seed", 1, "chaos/bench scenario seed; a failing run prints the seed to replay")
 		chaosData  = flag.Bool("chaos-data", false, "chaos: write file contents and verify byte-exact read-back")
 		chaosVerbo = flag.Bool("chaos-log", false, "chaos: print the full run narration")
 
 		stats     = flag.Bool("stats", false, "run an instrumented deployment and print its metrics")
 		statsJSON = flag.Bool("json", false, "stats: emit the snapshot as JSON instead of a table")
+
+		benchJSON = flag.String("bench-json", "", "run the seeded benchmark trajectory and write the arkfs-bench/v1 report to this file (- for stdout)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /stats.json, /healthz and pprof on this address while running (empty: off)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: arkbench [flags] <fig1|fig4|fig5|fig6a|fig6b|fig7|table2|all|ablate|ablate-journal|ablate-readahead|ablate-entrysize>...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if err := validateFlags(modeFlags{
+		Chaos: *chaos, Stats: *stats, StatsJSON: *statsJSON, BenchJSON: *benchJSON,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "arkbench: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		dbg, err := expose.Serve(*debugAddr, expose.Options{Reg: reg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arkbench: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "arkbench: debug endpoints on http://%s/\n", dbg.Addr())
+	}
+
+	if *benchJSON != "" {
+		cfg := harness.BenchConfig{Seed: *chaosSeed, Obs: reg}
+		if *files > 0 {
+			cfg.FilesPerProc = *files
+		}
+		if *procs > 0 {
+			cfg.Procs = *procs
+		}
+		if *clients != "" {
+			cfg.Clients = parseClients(*clients)
+		}
+		rep, err := harness.RunBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arkbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		out := rep.JSON()
+		if *benchJSON == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*benchJSON, out, 0644); err != nil {
+			fmt.Fprintf(os.Stderr, "arkbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "arkbench: bench seed %d: %d mdtest phases, fio %.2f/%.2f GiB/s, fingerprint %s\n",
+			rep.Seed, len(rep.MdtestEasy)+len(rep.MdtestHard),
+			rep.FioWrite.GiBps, rep.FioRead.GiBps, rep.MetricsSHA256[:12])
+		return
+	}
 	if *stats {
-		snap, err := harness.RunStats(harness.StatsConfig{Flaky: *flaky, FlakySeed: *seed})
+		snap, err := harness.RunStats(harness.StatsConfig{Flaky: *flaky, FlakySeed: *seed, Obs: reg})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "arkbench: stats: %v\n", err)
 			os.Exit(1)
@@ -93,16 +179,7 @@ func main() {
 		r.Scale.FioProcs = *procs
 	}
 	if *clients != "" {
-		var cs []int
-		for _, part := range strings.Split(*clients, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n <= 0 {
-				fmt.Fprintf(os.Stderr, "arkbench: bad -clients value %q\n", part)
-				os.Exit(2)
-			}
-			cs = append(cs, n)
-		}
-		r.Scale.ScaleClients = cs
+		r.Scale.ScaleClients = parseClients(*clients)
 	}
 	if *flaky > 0 {
 		r.Flaky, r.FlakySeed = *flaky, *seed
@@ -166,4 +243,17 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func parseClients(s string) []int {
+	var cs []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "arkbench: bad -clients value %q\n", part)
+			os.Exit(2)
+		}
+		cs = append(cs, n)
+	}
+	return cs
 }

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		m    modeFlags
+		ok   bool
+	}{
+		{"default", modeFlags{}, true},
+		{"stats", modeFlags{Stats: true}, true},
+		{"stats json", modeFlags{Stats: true, StatsJSON: true}, true},
+		{"chaos", modeFlags{Chaos: true}, true},
+		{"bench", modeFlags{BenchJSON: "out.json"}, true},
+		{"chaos+stats", modeFlags{Chaos: true, Stats: true}, false},
+		{"json alone", modeFlags{StatsJSON: true}, false},
+		{"json+chaos", modeFlags{Chaos: true, StatsJSON: true}, false},
+		{"bench+chaos", modeFlags{BenchJSON: "o.json", Chaos: true}, false},
+		{"bench+stats", modeFlags{BenchJSON: "o.json", Stats: true}, false},
+		{"bench+json", modeFlags{BenchJSON: "o.json", StatsJSON: true}, false},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.m)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid combination accepted", tc.name)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,6 +43,8 @@ import (
 	"arkfs/internal/core"
 	"arkfs/internal/lease"
 	"arkfs/internal/objstore"
+	"arkfs/internal/obs"
+	"arkfs/internal/obs/expose"
 	"arkfs/internal/prt"
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
@@ -58,6 +61,9 @@ func main() {
 		gid      = flag.Uint("gid", 1000, "credential gid")
 		retries  = flag.Int("store-retries", 4, "retry transient object-store failures up to N attempts (0: fail fast)")
 		backoff  = flag.Duration("retry-backoff", 2*time.Millisecond, "initial retry backoff, doubling per attempt")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /stats.json, /traces, /healthz and pprof on this address (empty: off)")
+		slowOp    = flag.Duration("slow-op", 0, "log operations slower than this with their trace IDs (0: off; needs -debug-addr)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -95,6 +101,18 @@ func main() {
 		pol.InitialBackoff = *backoff
 		opts.Retry = &pol
 	}
+	if *slowOp > 0 && *debugAddr == "" {
+		fmt.Fprintln(os.Stderr, "arkfs: -slow-op needs -debug-addr (tracing is off without it)")
+		os.Exit(2)
+	}
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		// The debug server needs an instrumented client: attaching the
+		// registry turns on metrics and the trace ring.
+		reg = obs.NewRegistry()
+		opts.Obs = reg
+		net.SetObs(reg)
+	}
 	var bridge *rpc.TCPServer
 	if *serve != "" {
 		// Bind first so the advertised address is known before New.
@@ -102,6 +120,21 @@ func main() {
 	}
 	client := core.New(net, tr, opts)
 	defer client.Close()
+	if *debugAddr != "" {
+		dbg, err := expose.Serve(*debugAddr, expose.Options{
+			Reg:     reg,
+			Tracers: []*obs.Tracer{client.Tracer()},
+		})
+		if err != nil {
+			log.Fatalf("arkfs: debug server: %v", err)
+		}
+		defer dbg.Close()
+		if *slowOp > 0 {
+			expose.AttachSlowOpLog(client.Tracer(),
+				slog.New(slog.NewTextHandler(os.Stderr, nil)), *slowOp)
+		}
+		fmt.Fprintf(os.Stderr, "arkfs: debug endpoints on http://%s/\n", dbg.Addr())
+	}
 	if *serve != "" {
 		var err error
 		bridge, err = net.Bridge(*serve, client.ServiceName())

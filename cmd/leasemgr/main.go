@@ -4,17 +4,20 @@
 //
 // Usage:
 //
-//	leasemgr [-listen :7400] [-period 5s] [-restarted]
+//	leasemgr [-listen :7400] [-period 5s] [-restarted] [-debug-addr :7500] [-slow-op 50ms]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 
 	"arkfs/internal/lease"
+	"arkfs/internal/obs"
+	"arkfs/internal/obs/expose"
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
 )
@@ -23,15 +26,41 @@ func main() {
 	listen := flag.String("listen", ":7400", "TCP listen address")
 	period := flag.Duration("period", lease.DefaultPeriod, "lease period")
 	restarted := flag.Bool("restarted", false, "start in the post-crash quiesce state")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /stats.json, /traces, /healthz and pprof on this address (empty: off)")
+	slowOp := flag.Duration("slow-op", 0, "log lease operations slower than this (0: off; needs -debug-addr)")
 	flag.Parse()
 
 	env := sim.NewRealEnv()
 	net := rpc.NewNetwork(env, sim.NetModel{})
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		net.SetObs(reg)
+	}
 	mgr := lease.NewManager(net, lease.Options{
 		Period:    *period,
 		Workers:   8,
 		Restarted: *restarted,
+		Obs:       reg,
 	})
+	if *debugAddr != "" {
+		dbg, err := expose.Serve(*debugAddr, expose.Options{
+			Reg:     reg,
+			Tracers: []*obs.Tracer{mgr.Tracer()},
+		})
+		if err != nil {
+			log.Fatalf("leasemgr: debug server: %v", err)
+		}
+		defer dbg.Close()
+		if *slowOp > 0 {
+			expose.AttachSlowOpLog(mgr.Tracer(),
+				slog.New(slog.NewTextHandler(os.Stderr, nil)), *slowOp)
+		}
+		fmt.Printf("leasemgr: debug endpoints on http://%s/\n", dbg.Addr())
+	} else if *slowOp > 0 {
+		fmt.Fprintln(os.Stderr, "leasemgr: -slow-op needs -debug-addr (tracing is off without it)")
+		os.Exit(2)
+	}
 	srv, err := net.Bridge(*listen, mgr.Addr())
 	if err != nil {
 		log.Fatalf("leasemgr: %v", err)

@@ -296,7 +296,7 @@ func (c *Client) create(ctx context.Context, parent types.Ino, req CreateReq) (*
 		}
 		if ld != nil {
 			sp.SetRoute(obs.RouteLocal)
-			return c.localCreate(ld, parent, req)
+			return c.localCreate(ctx, ld, parent, req)
 		}
 		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
@@ -342,7 +342,7 @@ func (c *Client) unlink(ctx context.Context, parent types.Ino, req UnlinkReq) er
 		}
 		if ld != nil {
 			sp.SetRoute(obs.RouteLocal)
-			return c.localUnlink(ld, parent, req)
+			return c.localUnlink(ctx, ld, parent, req)
 		}
 		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
@@ -415,7 +415,7 @@ func (c *Client) setAttrIno(ctx context.Context, dir types.Ino, name string, pat
 		}
 		if ld != nil {
 			sp.SetRoute(obs.RouteLocal)
-			return c.localSetAttr(ld, dir, req)
+			return c.localSetAttr(ctx, ld, dir, req)
 		}
 		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)

@@ -214,9 +214,20 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 		// not retry, it simply stops issuing I/O.
 		tr = prt.New(crashpoint.NewGateStore(opts.Crash, tr.Store()), tr.ChunkSize())
 	}
+	var tracer *obs.Tracer
+	if opts.Obs != nil {
+		// The tracer is built before the journal so journal commits and
+		// checkpoints can parent their spans under the operations that fed
+		// them. Its ID stream is seeded from the (derived) client seed, so a
+		// seeded deployment replays with identical trace IDs.
+		tracer = obs.NewTracer(opts.TraceCap, env.Now)
+		tracer.SetProc("arkfs-" + opts.ID)
+		tracer.SetSeed(uint64(opts.Seed))
+	}
 	jcfg := opts.Journal
 	jcfg.Crash = opts.Crash
 	jcfg.Obs = opts.Obs
+	jcfg.Trace = tracer
 	c := &Client{
 		env:     env,
 		net:     net,
@@ -235,7 +246,8 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 	c.jrnl.SetTxnIDBase(uint64(opts.Seed) & 0xFFFFFFFF)
 	if opts.Obs != nil {
 		c.obsReg = opts.Obs
-		c.tracer = obs.NewTracer(opts.TraceCap, env.Now)
+		c.tracer = tracer
+		opts.Obs.Func("obs.trace.spans", c.tracer.Total)
 		c.opHists = make(map[string]*obs.Histogram, len(opNames))
 		for _, op := range opNames {
 			c.opHists[op] = opts.Obs.Histogram("core.op." + op)
@@ -268,7 +280,7 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 	if opts.Advertise == "" {
 		c.serviceName = c.addr
 	}
-	c.server = net.Listen(c.serviceName, opts.RPCWorkers, c.serve)
+	c.server = net.ListenCtx(c.serviceName, opts.RPCWorkers, c.serve)
 	env.Go(c.leaseKeeper)
 	env.Go(c.twopcResolver)
 	return c
@@ -402,7 +414,7 @@ func (c *Client) Close() error {
 		id := ld.leaseID
 		c.mu.Unlock()
 		clean := err == nil
-		_ = c.lm.Release(ino, id, clean)
+		_ = c.lm.Release(context.Background(), ino, id, clean)
 	}
 	c.mu.Lock()
 	c.led = make(map[types.Ino]*ledDir)
@@ -516,13 +528,23 @@ func (c *Client) acquireLease(ctx context.Context, dir types.Ino) (*ledDir, rpc.
 		if err := ctx.Err(); err != nil {
 			return nil, "", fmt.Errorf("core: lease acquire for %s: %w", dir.Short(), err)
 		}
-		resp, err := c.lm.Acquire(dir)
+		resp, err := c.lm.Acquire(ctx, dir)
 		if err != nil {
+			// A lost or timed-out manager round trip is not fatal: burn one
+			// acquire attempt and ask again. The retry stays inside the
+			// operation's span, so a flaky link shows up as a retry count on
+			// one trace, not a failed op (or a second trace).
+			if errors.Is(err, types.ErrTimedOut) && attempt < c.opts.AcquireRetries-1 {
+				obs.SpanFrom(ctx).AddRetry()
+				attempt++
+				c.retryBackoff(attempt)
+				continue
+			}
 			return nil, "", fmt.Errorf("core: lease acquire: %w", err)
 		}
 		switch {
 		case resp.Granted:
-			return c.becomeLeader(dir, resp)
+			return c.becomeLeader(ctx, dir, resp)
 		case resp.Redirect:
 			// If we believed we led this directory, that leadership is gone:
 			// drop the stale table (its journal was flushed at the last
@@ -558,10 +580,13 @@ func (c *Client) acquireLease(ctx context.Context, dir types.Ino) (*ledDir, rpc.
 // becomeLeader installs leadership state after a granted lease: running
 // journal recovery if required and (re)building the metadata table unless
 // the manager confirmed our copy is still current.
-func (c *Client) becomeLeader(dir types.Ino, grant lease.AcquireResp) (*ledDir, rpc.Addr, error) {
+func (c *Client) becomeLeader(ctx context.Context, dir types.Ino, grant lease.AcquireResp) (*ledDir, rpc.Addr, error) {
 	if grant.NeedRecovery {
 		c.crashHit(crashpoint.RecoveryPreReplay)
+		rsp := c.tracer.StartChild(obs.SpanContextFrom(ctx), "journal.recover", "")
+		rsp.SetDir(dir)
 		rep, err := journal.Recover(c.tr, dir)
+		rsp.End(err)
 		if err != nil {
 			// A dead process is silent: if the failure is our own crash, do
 			// not release — the lease lapses and the successor recovers. A
@@ -571,13 +596,13 @@ func (c *Client) becomeLeader(dir types.Ino, grant lease.AcquireResp) (*ledDir, 
 			closed := c.closed
 			c.mu.Unlock()
 			if !closed {
-				_ = c.lm.Release(dir, grant.LeaseID, false)
+				_ = c.lm.Release(ctx, dir, grant.LeaseID, false)
 			}
 			return nil, "", fmt.Errorf("core: recovery of %s: %w", dir.Short(), err)
 		}
 		c.jrnl.SetNextSeq(dir, rep.NextSeq)
 		c.crashHit(crashpoint.RecoveryPostReplay)
-		done, err := c.lm.RecoveryDone(dir, grant.LeaseID)
+		done, err := c.lm.RecoveryDone(ctx, dir, grant.LeaseID)
 		if err != nil || !done.OK {
 			return nil, "", fmt.Errorf("core: recovery handshake for %s failed: %w", dir.Short(), types.ErrIO)
 		}
@@ -607,13 +632,13 @@ func (c *Client) becomeLeader(dir types.Ino, grant lease.AcquireResp) (*ledDir, 
 	// the client also kept its table; after Close we always reload.
 	tbl, err := metatable.Load(c.tr, dir)
 	if err != nil {
-		_ = c.lm.Release(dir, grant.LeaseID, true)
+		_ = c.lm.Release(ctx, dir, grant.LeaseID, true)
 		return nil, "", fmt.Errorf("core: build metatable for %s: %w", dir.Short(), err)
 	}
 	// Check our own access to the directory (paper: release and report a
 	// permission error if the leader-to-be cannot access it).
 	if err := tbl.DirInode().Access(c.opts.Cred, types.MayExec); err != nil {
-		_ = c.lm.Release(dir, grant.LeaseID, true)
+		_ = c.lm.Release(ctx, dir, grant.LeaseID, true)
 		return nil, "", fmt.Errorf("core: access %s: %w", dir.Short(), err)
 	}
 	ld := &ledDir{
@@ -673,7 +698,7 @@ func (c *Client) ReleaseDir(dir types.Ino) error {
 	}
 	err := c.jrnl.Flush(dir)
 	c.jrnl.DropDir(dir)
-	_ = c.lm.Release(dir, ld.leaseID, err == nil)
+	_ = c.lm.Release(context.Background(), dir, ld.leaseID, err == nil)
 	return err
 }
 

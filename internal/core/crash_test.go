@@ -56,7 +56,7 @@ func TestCrashStopsLeaseExtensions(t *testing.T) {
 
 		succ := &lease.Client{Net: net, Mgr: mgr.Addr(), Self: "succ"}
 		for {
-			resp, err := succ.Acquire(node.Ino)
+			resp, err := succ.Acquire(context.Background(), node.Ino)
 			if err != nil {
 				t.Fatalf("successor acquire: %v", err)
 			}

@@ -625,14 +625,14 @@ func (c *Client) serveWriteLease(r WriteLeaseReq) WriteLeaseResp {
 	return WriteLeaseResp{Direct: c.upgradeWrite(ld, r.Ino, r.Client)}
 }
 
-func (c *Client) serveCloseFile(r CloseFileReq) CloseFileResp {
+func (c *Client) serveCloseFile(ctx context.Context, r CloseFileReq) CloseFileResp {
 	ld, errStr := c.mustLead(r.Dir)
 	if errStr != "" {
 		return CloseFileResp{Err: errStr}
 	}
 	c.releaseData(ld, r.Ino, r.Client)
 	if r.SetSize {
-		if _, err := c.localSetAttr(ld, r.Dir, SetAttrReq{
+		if _, err := c.localSetAttr(ctx, ld, r.Dir, SetAttrReq{
 			Dir: r.Dir, Name: c.nameOf(ld, r.Ino), Cred: types.Root, Implicit: true,
 			Patch: AttrPatch{SetSize: true, Size: r.Size, SetTimes: true, Mtime: r.Mtime},
 		}); err != nil {

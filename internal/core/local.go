@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"arkfs/internal/types"
@@ -15,7 +16,7 @@ import (
 // localCreate creates a child (file, directory, or symlink) in a led
 // directory. newIno is allocated by the caller so that remote creates keep
 // inode allocation on the requesting client.
-func (c *Client) localCreate(ld *ledDir, dir types.Ino, req CreateReq) (*types.Inode, error) {
+func (c *Client) localCreate(ctx context.Context, ld *ledDir, dir types.Ino, req CreateReq) (*types.Inode, error) {
 	ld.opMu.Lock()
 	defer ld.opMu.Unlock()
 	c.chargeMetaOp()
@@ -70,7 +71,7 @@ func (c *Client) localCreate(ld *ledDir, dir types.Ino, req CreateReq) (*types.I
 			return nil, fmt.Errorf("core: mkdir materialize: %w", err)
 		}
 	}
-	c.jrnl.Log(dir, []wire.Op{
+	c.jrnl.Log(ctx, dir, []wire.Op{
 		{Kind: wire.OpSetInode, Inode: child},
 		{Kind: wire.OpAddDentry, Name: req.Name, Ino: child.Ino, FType: child.Type},
 		{Kind: wire.OpSetInode, Inode: dirNode},
@@ -80,7 +81,7 @@ func (c *Client) localCreate(ld *ledDir, dir types.Ino, req CreateReq) (*types.I
 
 // localUnlink removes a name from a led directory. For rmdir the caller has
 // already verified the target directory is empty.
-func (c *Client) localUnlink(ld *ledDir, dir types.Ino, req UnlinkReq) error {
+func (c *Client) localUnlink(ctx context.Context, ld *ledDir, dir types.Ino, req UnlinkReq) error {
 	ld.opMu.Lock()
 	defer ld.opMu.Unlock()
 	c.chargeMetaOp()
@@ -114,7 +115,7 @@ func (c *Client) localUnlink(ld *ledDir, dir types.Ino, req UnlinkReq) error {
 	ld.table.SetDirInode(dirNode)
 	c.data.Invalidate(victim.Ino)
 	delete(ld.dataLeases, victim.Ino)
-	c.jrnl.Log(dir, []wire.Op{
+	c.jrnl.Log(ctx, dir, []wire.Op{
 		{Kind: wire.OpDelDentry, Name: req.Name},
 		{Kind: wire.OpDelInode, Ino: victim.Ino, Size: victim.Size, FType: victim.Type},
 		{Kind: wire.OpSetInode, Inode: dirNode},
@@ -142,7 +143,7 @@ func (c *Client) localStat(ld *ledDir, req StatReq) (*types.Inode, error) {
 
 // localSetAttr applies an attribute patch to name (or the directory itself)
 // in a led directory, enforcing POSIX ownership rules.
-func (c *Client) localSetAttr(ld *ledDir, dir types.Ino, req SetAttrReq) (*types.Inode, error) {
+func (c *Client) localSetAttr(ctx context.Context, ld *ledDir, dir types.Ino, req SetAttrReq) (*types.Inode, error) {
 	ld.opMu.Lock()
 	defer ld.opMu.Unlock()
 	c.chargeMetaOp()
@@ -209,11 +210,11 @@ func (c *Client) localSetAttr(ld *ledDir, dir types.Ino, req SetAttrReq) (*types
 		return nil, err
 	}
 	ops := []wire.Op{{Kind: wire.OpSetInode, Inode: node}}
-	c.jrnl.Log(dir, ops)
+	c.jrnl.Log(ctx, dir, ops)
 	if p.SetSize && p.Size < oldSize {
 		// Shrinking: recall any outstanding write lease so buffered data is
 		// flushed (or discarded consistently) before the dead chunks go.
-		c.recallWriter(ld, node.Ino)
+		c.recallWriter(ctx, ld, node.Ino)
 		c.data.Invalidate(node.Ino)
 		if err := c.tr.Truncate(node.Ino, oldSize, p.Size); err != nil {
 			return nil, err
@@ -225,7 +226,7 @@ func (c *Client) localSetAttr(ld *ledDir, dir types.Ino, req SetAttrReq) (*types
 // recallWriter flushes the write-lease holder's cache for ino, if any.
 // Callers may hold ld.opMu (it is env-aware); the remote flush handler never
 // takes another client's opMu, so there is no lock cycle.
-func (c *Client) recallWriter(ld *ledDir, ino types.Ino) {
+func (c *Client) recallWriter(ctx context.Context, ld *ledDir, ino types.Ino) {
 	dl := ld.dataLeases[ino]
 	if dl == nil || dl.writer == "" {
 		return
@@ -238,7 +239,7 @@ func (c *Client) recallWriter(ld *ledDir, ino types.Ino) {
 		c.recordWBErr(c.data.Flush(ino))
 		return
 	}
-	_, _ = c.net.CallFrom(c.addr, writer, FlushCacheReq{Ino: ino})
+	_, _ = c.net.CallFromCtx(ctx, c.addr, writer, FlushCacheReq{Ino: ino})
 }
 
 // localReaddir lists a led directory.
@@ -255,7 +256,7 @@ func (c *Client) localReaddir(ld *ledDir, req ReaddirReq) ([]wire.Dentry, error)
 
 // localRenameSameDir renames within one led directory: a single journaled
 // compound transaction, no 2PC needed.
-func (c *Client) localRenameSameDir(ld *ledDir, dir types.Ino, srcName, dstName string, cred types.Cred) error {
+func (c *Client) localRenameSameDir(ctx context.Context, ld *ledDir, dir types.Ino, srcName, dstName string, cred types.Cred) error {
 	ld.opMu.Lock()
 	defer ld.opMu.Unlock()
 	c.chargeMetaOp()
@@ -303,6 +304,6 @@ func (c *Client) localRenameSameDir(ld *ledDir, dir types.Ino, srcName, dstName 
 	ops = append(ops,
 		wire.Op{Kind: wire.OpAddDentry, Name: dstName, Ino: moving.Ino, FType: moving.Type},
 		wire.Op{Kind: wire.OpSetInode, Inode: dirNode})
-	c.jrnl.Log(dir, ops)
+	c.jrnl.Log(ctx, dir, ops)
 	return nil
 }

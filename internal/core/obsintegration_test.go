@@ -92,7 +92,7 @@ func TestMetricsRedirectedCountedBothSides(t *testing.T) {
 		}
 	}
 	if !sawRemote {
-		t.Fatalf("no remote-routed open span in requester trace:\n%s", c2.Tracer().Dump())
+		t.Fatalf("no remote-routed open span in requester trace:\n%s", c2.Tracer().Dump(0))
 	}
 }
 

@@ -113,7 +113,7 @@ func (c *Client) coordinateRename(ctx context.Context, r RenameReq) error {
 		return types.ErrStale
 	}
 	if r.SrcDir == r.DstDir {
-		return c.localRenameSameDir(ld, r.SrcDir, r.SrcName, r.DstName, r.Cred)
+		return c.localRenameSameDir(ctx, ld, r.SrcDir, r.SrcName, r.DstName, r.Cred)
 	}
 
 	// --- Phase 0: validate and pin the source side.
@@ -134,7 +134,7 @@ func (c *Client) coordinateRename(ctx context.Context, r RenameReq) error {
 	srcOps := []wire.Op{{Kind: wire.OpDelDentry, Name: r.SrcName}}
 
 	// --- Phase 1: prepare both journals (source first).
-	if err := c.jrnl.WritePrepare(r.SrcDir, txid, r.DstDir, srcOps); err != nil {
+	if err := c.jrnl.WritePrepare(ctx, r.SrcDir, txid, r.DstDir, srcOps); err != nil {
 		return err
 	}
 	prep := PrepareRenameReq{
@@ -143,7 +143,7 @@ func (c *Client) coordinateRename(ctx context.Context, r RenameReq) error {
 	}
 	var prepErr error
 	if dstLd, ok := c.ledDirFor(r.DstDir); ok {
-		prepErr = c.prepareRenameLocal(dstLd, prep)
+		prepErr = c.prepareRenameLocal(ctx, dstLd, prep)
 	} else {
 		dstLeader := r.DstLeaderHint
 		if dstLeader == "" || dstLeader == c.addr {
@@ -159,10 +159,10 @@ func (c *Client) coordinateRename(ctx context.Context, r RenameReq) error {
 
 	// --- Phase 2: decide, record the decision, apply both sides.
 	commit := prepErr == nil
-	if err := c.jrnl.WriteDecision(r.SrcDir, txid, r.DstDir, commit); err != nil {
+	if err := c.jrnl.WriteDecision(ctx, r.SrcDir, txid, r.DstDir, commit); err != nil {
 		// Could not persist the decision: abort locally; the participant
 		// will presume abort during recovery.
-		_ = c.jrnl.ResolvePrepared(r.SrcDir, txid, false)
+		_ = c.jrnl.ResolvePrepared(ctx, r.SrcDir, txid, false)
 		return fmt.Errorf("core: rename decision: %w", err)
 	}
 	if commit {
@@ -177,7 +177,7 @@ func (c *Client) coordinateRename(ctx context.Context, r RenameReq) error {
 		}
 		ld.opMu.Unlock()
 	}
-	if err := c.jrnl.ResolvePrepared(r.SrcDir, txid, commit); err != nil {
+	if err := c.jrnl.ResolvePrepared(ctx, r.SrcDir, txid, commit); err != nil {
 		return err
 	}
 	// Tell the participant the decision; once it has resolved its prepare,
@@ -185,7 +185,7 @@ func (c *Client) coordinateRename(ctx context.Context, r RenameReq) error {
 	decide := DecideRenameReq{TxID: txid, DstDir: r.DstDir, Commit: commit}
 	participantDone := false
 	if dstLd, ok := c.ledDirFor(r.DstDir); ok {
-		participantDone = c.decideRenameLocal(dstLd, decide) == nil
+		participantDone = c.decideRenameLocal(ctx, dstLd, decide) == nil
 	} else {
 		dstLeader := r.DstLeaderHint
 		if dstLeader == "" || dstLeader == c.addr {
@@ -216,7 +216,7 @@ type pendingRename struct {
 
 // prepareRenameLocal is the participant half of phase 1: validate, write the
 // prepare record, and tentatively insert the dentry.
-func (c *Client) prepareRenameLocal(ld *ledDir, r PrepareRenameReq) error {
+func (c *Client) prepareRenameLocal(ctx context.Context, ld *ledDir, r PrepareRenameReq) error {
 	child, err := wire.DecodeInode(r.Child)
 	if err != nil {
 		return err
@@ -258,7 +258,7 @@ func (c *Client) prepareRenameLocal(ld *ledDir, r PrepareRenameReq) error {
 	}
 	ld.opMu.Unlock()
 
-	if err := c.jrnl.WritePrepare(r.DstDir, r.TxID, r.CoordDir, dstOps); err != nil {
+	if err := c.jrnl.WritePrepare(ctx, r.DstDir, r.TxID, r.CoordDir, dstOps); err != nil {
 		// Roll the tentative insert back.
 		ld.opMu.Lock()
 		_, _ = ld.table.Remove(r.DstName)
@@ -312,7 +312,7 @@ func (c *Client) twopcResolver() {
 			if err != nil || !decided {
 				return true // transient store error or genuinely undecided
 			}
-			c.decideRenameLocal(ld, DecideRenameReq{TxID: pr.txid, DstDir: pr.dir, Commit: commit})
+			c.decideRenameLocal(context.Background(), ld, DecideRenameReq{TxID: pr.txid, DstDir: pr.dir, Commit: commit})
 			return true
 		})
 	}
@@ -322,7 +322,7 @@ func (c *Client) twopcResolver() {
 // means the durable resolution did not land; the coordinator must then retain
 // its decision record, or a crashed participant's recovery would flip the
 // committed rename into a presumed abort — losing the file from both sides.
-func (c *Client) decideRenameLocal(ld *ledDir, r DecideRenameReq) error {
+func (c *Client) decideRenameLocal(ctx context.Context, ld *ledDir, r DecideRenameReq) error {
 	v, ok := c.pending2pc.LoadAndDelete(r.TxID)
 	if !ok {
 		return nil
@@ -333,7 +333,7 @@ func (c *Client) decideRenameLocal(ld *ledDir, r DecideRenameReq) error {
 		_, _ = ld.table.Remove(pr.name)
 		ld.opMu.Unlock()
 	}
-	if err := c.jrnl.ResolvePrepared(pr.dir, r.TxID, r.Commit); err != nil {
+	if err := c.jrnl.ResolvePrepared(ctx, pr.dir, r.TxID, r.Commit); err != nil {
 		// Dead process or store fault: put the pending entry back so the
 		// resolver (or the next leader's recovery) finishes the job.
 		c.pending2pc.Store(r.TxID, pr)
@@ -342,18 +342,18 @@ func (c *Client) decideRenameLocal(ld *ledDir, r DecideRenameReq) error {
 	return nil
 }
 
-func (c *Client) servePrepareRename(r PrepareRenameReq) PrepareRenameResp {
+func (c *Client) servePrepareRename(ctx context.Context, r PrepareRenameReq) PrepareRenameResp {
 	ld, errStr := c.mustLead(r.DstDir)
 	if errStr != "" {
 		return PrepareRenameResp{Err: errStr}
 	}
-	return PrepareRenameResp{Err: errString(c.prepareRenameLocal(ld, r))}
+	return PrepareRenameResp{Err: errString(c.prepareRenameLocal(ctx, ld, r))}
 }
 
-func (c *Client) serveDecideRename(r DecideRenameReq) DecideRenameResp {
+func (c *Client) serveDecideRename(ctx context.Context, r DecideRenameReq) DecideRenameResp {
 	ld, errStr := c.mustLead(r.DstDir)
 	if errStr != "" {
 		return DecideRenameResp{Err: errStr}
 	}
-	return DecideRenameResp{Err: errString(c.decideRenameLocal(ld, r))}
+	return DecideRenameResp{Err: errString(c.decideRenameLocal(ctx, ld, r))}
 }

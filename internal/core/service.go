@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"arkfs/internal/obs"
 	"arkfs/internal/types"
 	"arkfs/internal/wire"
 )
@@ -10,40 +11,125 @@ import (
 // serve dispatches one forwarded operation on a directory this client leads
 // (paper §III-B: "the rest of the clients ... send their requests to the
 // directory leader so that the directory leader can perform the requested
-// operations on behalf of the other clients").
-func (c *Client) serve(req any) any {
+// operations on behalf of the other clients"). The worker context carries the
+// caller's wire span context; serve opens one server-side child span per
+// request so a forwarded operation stitches into a single trace across both
+// processes, and journal writes triggered below parent under that span.
+func (c *Client) serve(ctx context.Context, req any) any {
+	op, dir := serveMeta(req)
+	sp := c.tracer.StartChild(obs.RemoteFrom(ctx), op, "")
+	if sp != nil {
+		sp.SetDir(dir)
+		ctx = obs.WithSpan(ctx, sp)
+	}
+	resp := c.dispatch(ctx, req)
+	sp.End(errFromString(respErr(resp)))
+	return resp
+}
+
+func (c *Client) dispatch(ctx context.Context, req any) any {
 	switch r := req.(type) {
 	case LookupReq:
 		return c.serveLookup(r)
 	case CreateReq:
-		return c.serveCreate(r)
+		return c.serveCreate(ctx, r)
 	case UnlinkReq:
-		return c.serveUnlink(r)
+		return c.serveUnlink(ctx, r)
 	case StatReq:
 		return c.serveStat(r)
 	case SetAttrReq:
-		return c.serveSetAttr(r)
+		return c.serveSetAttr(ctx, r)
 	case ReaddirReq:
 		return c.serveReaddir(r)
 	case RenameReq:
-		// Forwarded renames run under the server's own (background) context;
-		// the requesting client's deadline applies to its RPC, not to the
-		// coordinator's 2PC, which must run to a decision once started.
-		return RenameResp{Err: errString(c.coordinateRename(context.Background(), r))}
+		// Forwarded renames run under the server worker's context — trace
+		// identity but no deadline: the requesting client's deadline applies
+		// to its RPC, not to the coordinator's 2PC, which must run to a
+		// decision once started.
+		return RenameResp{Err: errString(c.coordinateRename(ctx, r))}
 	case PrepareRenameReq:
-		return c.servePrepareRename(r)
+		return c.servePrepareRename(ctx, r)
 	case DecideRenameReq:
-		return c.serveDecideRename(r)
+		return c.serveDecideRename(ctx, r)
 	case OpenReq:
 		return c.serveOpen(r)
 	case WriteLeaseReq:
 		return c.serveWriteLease(r)
 	case CloseFileReq:
-		return c.serveCloseFile(r)
+		return c.serveCloseFile(ctx, r)
 	case FlushCacheReq:
 		return c.serveFlushCache(r)
 	default:
 		return StatResp{Err: "EINVAL"}
+	}
+}
+
+// serveMeta names the server-side span for a request and extracts the
+// directory it targets.
+func serveMeta(req any) (string, types.Ino) {
+	switch r := req.(type) {
+	case LookupReq:
+		return "serve.lookup", r.Dir
+	case CreateReq:
+		return "serve.create", r.Dir
+	case UnlinkReq:
+		return "serve.unlink", r.Dir
+	case StatReq:
+		return "serve.stat", r.Dir
+	case SetAttrReq:
+		return "serve.setattr", r.Dir
+	case ReaddirReq:
+		return "serve.readdir", r.Dir
+	case RenameReq:
+		return "serve.rename", r.SrcDir
+	case PrepareRenameReq:
+		return "serve.rename.prepare", r.DstDir
+	case DecideRenameReq:
+		return "serve.rename.decide", r.DstDir
+	case OpenReq:
+		return "serve.open", r.Dir
+	case WriteLeaseReq:
+		return "serve.writelease", r.Dir
+	case CloseFileReq:
+		return "serve.close", r.Dir
+	case FlushCacheReq:
+		return "serve.flushcache", types.Ino{}
+	default:
+		return "serve.unknown", types.Ino{}
+	}
+}
+
+// respErr extracts the errno string from any service response.
+func respErr(resp any) string {
+	switch r := resp.(type) {
+	case LookupResp:
+		return r.Err
+	case CreateResp:
+		return r.Err
+	case UnlinkResp:
+		return r.Err
+	case StatResp:
+		return r.Err
+	case SetAttrResp:
+		return r.Err
+	case ReaddirResp:
+		return r.Err
+	case RenameResp:
+		return r.Err
+	case PrepareRenameResp:
+		return r.Err
+	case DecideRenameResp:
+		return r.Err
+	case OpenResp:
+		return r.Err
+	case WriteLeaseResp:
+		return r.Err
+	case CloseFileResp:
+		return r.Err
+	case FlushCacheResp:
+		return r.Err
+	default:
+		return ""
 	}
 }
 
@@ -80,24 +166,24 @@ func (c *Client) serveLookup(r LookupReq) LookupResp {
 	return resp
 }
 
-func (c *Client) serveCreate(r CreateReq) CreateResp {
+func (c *Client) serveCreate(ctx context.Context, r CreateReq) CreateResp {
 	ld, errStr := c.mustLead(r.Dir)
 	if errStr != "" {
 		return CreateResp{Err: errStr}
 	}
-	node, err := c.localCreate(ld, r.Dir, r)
+	node, err := c.localCreate(ctx, ld, r.Dir, r)
 	if err != nil {
 		return CreateResp{Err: errString(err)}
 	}
 	return CreateResp{Inode: wire.EncodeInode(node)}
 }
 
-func (c *Client) serveUnlink(r UnlinkReq) UnlinkResp {
+func (c *Client) serveUnlink(ctx context.Context, r UnlinkReq) UnlinkResp {
 	ld, errStr := c.mustLead(r.Dir)
 	if errStr != "" {
 		return UnlinkResp{Err: errStr}
 	}
-	return UnlinkResp{Err: errString(c.localUnlink(ld, r.Dir, r))}
+	return UnlinkResp{Err: errString(c.localUnlink(ctx, ld, r.Dir, r))}
 }
 
 func (c *Client) serveStat(r StatReq) StatResp {
@@ -112,12 +198,12 @@ func (c *Client) serveStat(r StatReq) StatResp {
 	return StatResp{Inode: wire.EncodeInode(node)}
 }
 
-func (c *Client) serveSetAttr(r SetAttrReq) SetAttrResp {
+func (c *Client) serveSetAttr(ctx context.Context, r SetAttrReq) SetAttrResp {
 	ld, errStr := c.mustLead(r.Dir)
 	if errStr != "" {
 		return SetAttrResp{Err: errStr}
 	}
-	node, err := c.localSetAttr(ld, r.Dir, r)
+	node, err := c.localSetAttr(ctx, ld, r.Dir, r)
 	if err != nil {
 		return SetAttrResp{Err: errString(err)}
 	}

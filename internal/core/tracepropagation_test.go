@@ -1,0 +1,272 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"arkfs/internal/obs"
+	"arkfs/internal/rpc"
+)
+
+// spansOf collects every retained span of trace id across the given rings.
+func spansOf(id obs.TraceID, tracers ...*obs.Tracer) []obs.Span {
+	var out []obs.Span
+	for _, tr := range tracers {
+		out = append(out, tr.Filter(func(s obs.Span) bool { return s.Trace == id })...)
+	}
+	return out
+}
+
+// rootSpan finds the newest root span with the given op in a ring.
+func rootSpan(t *testing.T, tr *obs.Tracer, op string) obs.Span {
+	t.Helper()
+	var found *obs.Span
+	for _, s := range tr.Spans() {
+		if s.Op == op && s.Parent == 0 {
+			s := s
+			found = &s
+		}
+	}
+	if found == nil {
+		t.Fatalf("no root %q span in ring:\n%s", op, tr.Dump(0))
+	}
+	return *found
+}
+
+// TestTraceSpansRedirectedOp: a forwarded create produces ONE trace whose
+// spans live in both participants' rings — the requester's root, the leader's
+// server-side span, and the leader's journal commit with its object-store put
+// — all causally linked by parent IDs.
+func TestTraceSpansRedirectedOp(t *testing.T) {
+	tc := newTestCluster(t)
+	r1, r2 := obs.NewRegistry(), obs.NewRegistry()
+	c1 := tc.client(t, "leader", withObs(r1))
+	c2 := tc.client(t, "peer", withObs(r2))
+	ctx := context.Background()
+
+	if err := c1.Mkdir(ctx, "/shared", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Readdir(ctx, "/shared"); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := c2.Create(ctx, "/shared/from-peer", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	root := rootSpan(t, c2.Tracer(), "open")
+	if obs.SpanID(root.Trace) != root.ID {
+		t.Fatalf("root span ID %s != trace ID %s", root.ID, root.Trace)
+	}
+
+	// The leader's journal commit for the forwarded create lands after the
+	// commit interval (or a flush); poll both.
+	deadline := time.Now().Add(5 * time.Second)
+	var spans []obs.Span
+	for {
+		_ = c1.FlushAll(ctx)
+		spans = spansOf(root.Trace, c1.Tracer(), c2.Tracer())
+		if hasOp(spans, "journal.commit") && hasOp(spans, "objstore.put") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal.commit/objstore.put never joined trace %s:\n%+v", root.Trace, spans)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if len(spans) < 4 {
+		t.Fatalf("trace %s has %d spans, want >= 4: %+v", root.Trace, len(spans), spans)
+	}
+	procs := map[string]bool{}
+	byID := map[obs.SpanID]obs.Span{}
+	for _, s := range spans {
+		procs[s.Proc] = true
+		byID[s.ID] = s
+	}
+	if len(procs) < 2 {
+		t.Fatalf("trace %s confined to one process: %v", root.Trace, procs)
+	}
+
+	// Causal links: serve.create parents under the requester's root; the
+	// journal commit parents under serve.create; the put under the commit.
+	serve := mustOp(t, spans, "serve.create")
+	if serve.Parent != root.ID {
+		t.Fatalf("serve.create parent = %s, want root %s", serve.Parent, root.ID)
+	}
+	if serve.Proc == root.Proc {
+		t.Fatal("serve.create ran in the requester's process")
+	}
+	commit := mustOp(t, spans, "journal.commit")
+	if commit.Parent != serve.ID {
+		t.Fatalf("journal.commit parent = %s, want serve.create %s", commit.Parent, serve.ID)
+	}
+	put := mustOp(t, spans, "objstore.put")
+	if put.Parent != commit.ID {
+		t.Fatalf("objstore.put parent = %s, want journal.commit %s", put.Parent, commit.ID)
+	}
+}
+
+// TestTraceSpansCrossDirRename: a cross-directory rename (2PC) produces one
+// trace with prepare spans on both participants, parented into the
+// coordinator's operation.
+func TestTraceSpansCrossDirRename(t *testing.T) {
+	tc := newTestCluster(t)
+	r1, r2 := obs.NewRegistry(), obs.NewRegistry()
+	c1 := tc.client(t, "src", withObs(r1))
+	c2 := tc.client(t, "dst", withObs(r2))
+	ctx := context.Background()
+
+	if err := c1.Mkdir(ctx, "/a", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Mkdir(ctx, "/b", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Readdir(ctx, "/a"); err != nil { // c1 leads /a (source)
+		t.Fatal(err)
+	}
+	if _, err := c2.Readdir(ctx, "/b"); err != nil { // c2 leads /b (destination)
+		t.Fatal(err)
+	}
+	f, err := c1.Create(ctx, "/a/f", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c1.Rename(ctx, "/a/f", "/b/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	root := rootSpan(t, c1.Tracer(), "rename")
+	spans := spansOf(root.Trace, c1.Tracer(), c2.Tracer())
+	if len(spans) < 4 {
+		t.Fatalf("rename trace has %d spans, want >= 4: %+v", len(spans), spans)
+	}
+
+	// Coordinator side: the prepare record write parents under the rename.
+	var coordPrep, partPrep, servePrep obs.Span
+	for _, s := range spans {
+		switch {
+		case s.Op == "journal.2pc.prepare" && s.Proc == root.Proc:
+			coordPrep = s
+		case s.Op == "journal.2pc.prepare" && s.Proc != root.Proc:
+			partPrep = s
+		case s.Op == "serve.rename.prepare":
+			servePrep = s
+		}
+	}
+	if coordPrep.ID == 0 {
+		t.Fatalf("no coordinator 2pc.prepare span:\n%+v", spans)
+	}
+	if coordPrep.Parent != root.ID {
+		t.Fatalf("coordinator prepare parent = %s, want rename root %s", coordPrep.Parent, root.ID)
+	}
+	if servePrep.ID == 0 || servePrep.Proc == root.Proc {
+		t.Fatalf("participant serve.rename.prepare missing or misplaced:\n%+v", spans)
+	}
+	if servePrep.Parent != root.ID {
+		t.Fatalf("serve.rename.prepare parent = %s, want rename root %s", servePrep.Parent, root.ID)
+	}
+	if partPrep.ID == 0 {
+		t.Fatalf("no participant 2pc.prepare span:\n%+v", spans)
+	}
+	if partPrep.Parent != servePrep.ID {
+		t.Fatalf("participant prepare parent = %s, want serve span %s", partPrep.Parent, servePrep.ID)
+	}
+	if !hasOp(spans, "journal.2pc.decision") {
+		t.Fatalf("no decision span in trace:\n%+v", spans)
+	}
+	procs := map[string]bool{}
+	for _, s := range spans {
+		procs[s.Proc] = true
+	}
+	if len(procs) < 2 {
+		t.Fatalf("2PC trace confined to one process: %v", procs)
+	}
+}
+
+// TestTraceRetriesReuseTrace: under seeded network drops, a retried operation
+// stays ONE trace — the root span is minted once per public op and retries
+// only bump its retry counter, so span-per-op stays exactly 1.
+func TestTraceRetriesReuseTrace(t *testing.T) {
+	tc := newTestCluster(t)
+	r1, r2 := obs.NewRegistry(), obs.NewRegistry()
+	c1 := tc.client(t, "leader", withObs(r1))
+	c2 := tc.client(t, "peer", withObs(r2), func(o *Options) { o.TraceCap = 2048 })
+	ctx := context.Background()
+
+	if err := c1.Mkdir(ctx, "/drop", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Readdir(ctx, "/drop"); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := rpc.NewFaultPlan(tc.env, 7)
+	plan.SetDrop(0.3)
+	tc.net.SetFaultPlan(plan)
+	defer tc.net.SetFaultPlan(nil)
+
+	const ops = 25
+	for i := 0; i < ops; i++ {
+		// Individual failures are acceptable (retry budgets are finite); the
+		// invariant under test is one root span per call either way.
+		f, err := c2.Create(ctx, fmt.Sprintf("/drop/f%02d", i), 0644)
+		if err == nil {
+			_ = f.Close()
+		}
+	}
+	tc.net.SetFaultPlan(nil)
+
+	roots := c2.Tracer().Filter(func(s obs.Span) bool {
+		return s.Op == "open" && s.Parent == 0
+	})
+	if len(roots) != ops {
+		t.Fatalf("%d root open spans for %d calls — retries minted new traces", len(roots), ops)
+	}
+	traces := map[obs.TraceID]bool{}
+	var retried int
+	for _, s := range roots {
+		if traces[s.Trace] {
+			t.Fatalf("trace %s reused across calls", s.Trace)
+		}
+		traces[s.Trace] = true
+		if s.Retries > 0 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no retried spans despite a 30% drop rate — fault plan not exercised")
+	}
+}
+
+func hasOp(spans []obs.Span, op string) bool {
+	for _, s := range spans {
+		if s.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+func mustOp(t *testing.T, spans []obs.Span, op string) obs.Span {
+	t.Helper()
+	for _, s := range spans {
+		if s.Op == op {
+			return s
+		}
+	}
+	t.Fatalf("no %q span in trace: %+v", op, spans)
+	return obs.Span{}
+}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"arkfs/internal/objstore"
+	"arkfs/internal/obs"
+	"arkfs/internal/sim"
+	"arkfs/internal/workload"
+)
+
+// BenchSchema identifies the BenchReport JSON layout. Bump the suffix on any
+// field change: downstream tooling (CI artifact diffing, EXPERIMENTS.md
+// tables) keys on it.
+const BenchSchema = "arkfs-bench/v1"
+
+// BenchConfig parameterizes one benchmark trajectory. The zero value runs the
+// committed BENCH_seed.json configuration.
+type BenchConfig struct {
+	// Seed offsets every client's deterministic ID stream; it is recorded in
+	// the report so a run can be replayed bit-exactly.
+	Seed int64
+	// Clients is the scalability sweep (default 1,2,4,8).
+	Clients []int
+	// FilesPerProc is the mdtest file count per process (default 200).
+	FilesPerProc int
+	// Procs is the mdtest/fio process count (default 4).
+	Procs int
+	// FioFileSize is the per-process sequential file size (default 32 MiB).
+	FioFileSize int64
+	// Obs, when non-nil, is the registry the instrumented mdtest phase
+	// records into (live debug endpoints watch it mid-run). The fingerprint
+	// still reflects only this run: it is computed from a snapshot taken
+	// before any other phase reuses the registry.
+	Obs *obs.Registry
+}
+
+func (c *BenchConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 2, 4, 8}
+	}
+	if c.FilesPerProc <= 0 {
+		c.FilesPerProc = 200
+	}
+	if c.Procs <= 0 {
+		c.Procs = 4
+	}
+	if c.FioFileSize <= 0 {
+		c.FioFileSize = 32 << 20
+	}
+}
+
+// BenchPhase is one mdtest phase in the report. Elapsed is virtual-clock
+// nanoseconds: no wall time leaks into the schema.
+type BenchPhase struct {
+	Name      string  `json:"name"`
+	Ops       int     `json:"ops"`
+	Errors    int     `json:"errors"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// BenchBandwidth is one fio pass.
+type BenchBandwidth struct {
+	Bytes     int64   `json:"bytes"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	GiBps     float64 `json:"gibps"`
+}
+
+// BenchScalePoint is one client count in the scalability sweep.
+type BenchScalePoint struct {
+	Clients      int     `json:"clients"`
+	CreatePerSec float64 `json:"create_per_sec"`
+}
+
+// BenchReport is the stable -bench-json output. Every number derives from the
+// virtual clock and seeded IDs, so the same (schema, seed, config) yields a
+// byte-identical report.
+type BenchReport struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	Config struct {
+		Clients      []int `json:"clients"`
+		FilesPerProc int   `json:"files_per_proc"`
+		Procs        int   `json:"procs"`
+		FioFileSize  int64 `json:"fio_file_size"`
+	} `json:"config"`
+	MdtestEasy  []BenchPhase      `json:"mdtest_easy"`
+	MdtestHard  []BenchPhase      `json:"mdtest_hard"`
+	FioWrite    BenchBandwidth    `json:"fio_write"`
+	FioRead     BenchBandwidth    `json:"fio_read"`
+	Scalability []BenchScalePoint `json:"scalability"`
+	// MetricsFingerprint is the instrumented mdtest deployment's
+	// obs.Snapshot.Fingerprint() — the full sorted counter list.
+	MetricsFingerprint string `json:"metrics_fingerprint"`
+	// MetricsSHA256 is sha256(MetricsFingerprint), the short handle CI and
+	// humans compare.
+	MetricsSHA256 string `json:"metrics_sha256"`
+}
+
+// JSON renders the report with a trailing newline, suitable for committing.
+func (r *BenchReport) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // no unmarshalable fields in BenchReport
+	}
+	return append(b, '\n')
+}
+
+func benchPhases(ps []workload.PhaseResult) []BenchPhase {
+	out := make([]BenchPhase, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, BenchPhase{
+			Name: p.Name, Ops: p.Ops, Errors: p.Errors,
+			ElapsedNS: p.Elapsed.Nanoseconds(), OpsPerSec: p.OpsPerSec(),
+		})
+	}
+	return out
+}
+
+func benchBW(r workload.BandwidthResult) BenchBandwidth {
+	return BenchBandwidth{Bytes: r.Bytes, ElapsedNS: r.Elapsed.Nanoseconds(), GiBps: r.GiBps()}
+}
+
+// RunBench runs the seeded benchmark trajectory: instrumented mdtest-easy and
+// mdtest-hard (whose metrics registry yields the fingerprint), an fio
+// bandwidth pass, and a scalability sweep — everything under the virtual
+// clock. One invocation regenerates BENCH_<seed>.json.
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	cfg.fill()
+	rep := &BenchReport{Schema: BenchSchema, Seed: cfg.Seed}
+	rep.Config.Clients = cfg.Clients
+	rep.Config.FilesPerProc = cfg.FilesPerProc
+	rep.Config.Procs = cfg.Procs
+	rep.Config.FioFileSize = cfg.FioFileSize
+
+	cal := DefaultCalibration()
+	rados := objstore.RADOSProfile()
+	build := func(env sim.Env, n int, reg *obs.Registry) (*Deployment, error) {
+		return BuildArkFS(env, cal, rados, n, ArkFSOptions{
+			PermCache: true, Obs: reg, Seed: cfg.Seed,
+		})
+	}
+
+	// Phase 1: instrumented mdtest. The registry from this deployment is the
+	// report's fingerprint (a caller-supplied registry must be fresh, or its
+	// prior counts fold into the fingerprint).
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var runErr error
+	env := sim.NewVirtEnv()
+	env.Run(func() {
+		d, err := build(env, cfg.Procs, reg)
+		if err != nil {
+			runErr = fmt.Errorf("bench: deploy: %w", err)
+			return
+		}
+		defer d.Close()
+		easy, err := workload.MdtestEasy(env, d.Mounts, workload.MdtestConfig{
+			FilesPerProc: cfg.FilesPerProc, Root: "/bench-easy",
+		})
+		if err != nil {
+			runErr = fmt.Errorf("bench: mdtest-easy: %w", err)
+			return
+		}
+		rep.MdtestEasy = benchPhases(easy)
+		hard, err := workload.MdtestHard(env, d.Mounts, workload.MdtestConfig{
+			FilesPerProc: cfg.FilesPerProc / 2, SharedDirs: cfg.Procs, Root: "/bench-hard",
+		})
+		if err != nil {
+			runErr = fmt.Errorf("bench: mdtest-hard: %w", err)
+			return
+		}
+		rep.MdtestHard = benchPhases(hard)
+		env.Sleep(2 * cal.LeasePeriod) // let background work settle the gauges
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	fp := reg.Snapshot().Fingerprint()
+	rep.MetricsFingerprint = fp
+	rep.MetricsSHA256 = fmt.Sprintf("%x", sha256.Sum256([]byte(fp)))
+
+	// Phase 2: fio bandwidth (uninstrumented: the fingerprint covers the
+	// metadata trajectory; fio timing is its own result).
+	env = sim.NewVirtEnv()
+	env.Run(func() {
+		d, err := build(env, cfg.Procs, nil)
+		if err != nil {
+			runErr = fmt.Errorf("bench: fio deploy: %w", err)
+			return
+		}
+		defer d.Close()
+		w, r, err := workload.Fio(env, d.Mounts, workload.FioConfig{
+			FileSize: cfg.FioFileSize, ReqSize: 128 << 10, DropCaches: d.DropAllCaches,
+		})
+		if err != nil {
+			runErr = fmt.Errorf("bench: fio: %w", err)
+			return
+		}
+		rep.FioWrite, rep.FioRead = benchBW(w), benchBW(r)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Phase 3: scalability sweep (CREATE throughput per client count).
+	for _, n := range cfg.Clients {
+		var thr float64
+		env := sim.NewVirtEnv()
+		env.Run(func() {
+			d, err := build(env, n, nil)
+			if err != nil {
+				runErr = fmt.Errorf("bench: scale deploy %d: %w", n, err)
+				return
+			}
+			defer d.Close()
+			phases, err := workload.MdtestEasy(env, d.Mounts, workload.MdtestConfig{
+				FilesPerProc: 50, Root: "/bench-scale",
+			})
+			if err != nil {
+				runErr = fmt.Errorf("bench: scale %d: %w", n, err)
+				return
+			}
+			thr = phases[0].OpsPerSec()
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		rep.Scalability = append(rep.Scalability, BenchScalePoint{Clients: n, CreatePerSec: thr})
+	}
+	return rep, nil
+}

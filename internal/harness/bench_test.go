@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func quickBench() BenchConfig {
+	return BenchConfig{Seed: 42, Clients: []int{1, 2}, FilesPerProc: 40, Procs: 2, FioFileSize: 8 << 20}
+}
+
+// TestRunBenchSchemaStable: the report round-trips through its own JSON and
+// carries the schema tag, seed, and a non-empty fingerprint.
+func TestRunBenchSchemaStable(t *testing.T) {
+	rep, err := RunBench(quickBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, BenchSchema)
+	}
+	if rep.Seed != 42 {
+		t.Fatalf("seed = %d", rep.Seed)
+	}
+	if len(rep.MdtestEasy) == 0 || len(rep.MdtestHard) == 0 || len(rep.Scalability) != 2 {
+		t.Fatalf("incomplete report: %+v", rep)
+	}
+	for _, p := range append(rep.MdtestEasy, rep.MdtestHard...) {
+		if p.Errors != 0 {
+			t.Fatalf("phase %s had %d errors", p.Name, p.Errors)
+		}
+		if p.OpsPerSec <= 0 || p.ElapsedNS <= 0 {
+			t.Fatalf("phase %s has empty timing: %+v", p.Name, p)
+		}
+	}
+	if rep.FioWrite.GiBps <= 0 || rep.FioRead.GiBps <= 0 {
+		t.Fatalf("fio empty: w=%+v r=%+v", rep.FioWrite, rep.FioRead)
+	}
+	if rep.MetricsFingerprint == "" || len(rep.MetricsSHA256) != 64 {
+		t.Fatalf("fingerprint missing: sha=%q", rep.MetricsSHA256)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(rep.JSON(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.MetricsSHA256 != rep.MetricsSHA256 {
+		t.Fatal("round-trip lost the fingerprint hash")
+	}
+}
+
+// TestRunBenchDeterministic: the same seed and config yield byte-identical
+// JSON — the property that lets CI diff BENCH_seed.json against a fresh run.
+func TestRunBenchDeterministic(t *testing.T) {
+	a, err := RunBench(quickBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBench(quickBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Fatalf("same-seed bench runs differ:\n--- a\n%s\n--- b\n%s", a.JSON(), b.JSON())
+	}
+}

@@ -174,6 +174,10 @@ type ArkFSOptions struct {
 	// and the lease manager(s) record into it, and the deployment folds
 	// fault-layer tallies in. Nil disables instrumentation (zero overhead).
 	Obs *obs.Registry
+	// Seed offsets every client's deterministic ID seed (trace/span IDs
+	// derive from it), so two same-config runs with different seeds produce
+	// disjoint ID streams. Zero keeps the historical per-client seeds.
+	Seed int64
 }
 
 // BuildArkFS deploys ArkFS with n clients on the given storage profile.
@@ -255,7 +259,7 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 			LeasePeriod: cal.LeasePeriod,
 			Retry:       o.Retry,
 			Obs:         o.Obs,
-			Seed:        int64(1000 + i),
+			Seed:        o.Seed + int64(1000+i),
 		})
 		d.Mounts = append(d.Mounts, fsapi.Adapt(c))
 		d.Ark = append(d.Ark, c)

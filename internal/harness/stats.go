@@ -19,6 +19,9 @@ type StatsConfig struct {
 	// objstore.retries and faultstore.* series are non-zero in the output.
 	Flaky     float64
 	FlakySeed int64
+	// Obs, when non-nil, is the registry the run records into — callers that
+	// serve live debug endpoints pass theirs. Nil allocates a private one.
+	Obs *obs.Registry
 }
 
 func (c *StatsConfig) fill() {
@@ -40,7 +43,10 @@ func (c *StatsConfig) fill() {
 // byte-identical Fingerprint().
 func RunStats(cfg StatsConfig) (obs.Snapshot, error) {
 	cfg.fill()
-	reg := obs.NewRegistry()
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	var runErr error
 	env := sim.NewVirtEnv()
 	env.Run(func() {

@@ -17,6 +17,7 @@
 package journal
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -48,6 +49,11 @@ type Config struct {
 	// counters, commit and checkpoint latency histograms (environment clock),
 	// running-transaction buffer occupancy, and 2PC outcomes. Nil is inert.
 	Obs *obs.Registry
+	// Trace, when non-nil, receives child spans for the asynchronous half of
+	// every journaled mutation: commit, checkpoint, 2PC records, and the
+	// object-store verbs underneath them, parented under the trace of the
+	// operation that opened the transaction. Nil is inert.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig matches the paper's settings.
@@ -77,6 +83,7 @@ type Journal struct {
 	c2pcPrepares *obs.Counter
 	c2pcCommits  *obs.Counter
 	c2pcAborts   *obs.Counter
+	trace        *obs.Tracer // nil-safe span sink
 
 	mu     sync.Mutex
 	dirs   map[types.Ino]*dirJournal
@@ -89,8 +96,9 @@ type dirJournal struct {
 	dir types.Ino
 
 	mu        sync.Mutex
-	running   []wire.Op // the running compound transaction
-	scheduled bool      // a timed commit is already queued
+	running   []wire.Op       // the running compound transaction
+	runSC     obs.SpanContext // trace of the op that opened the running txn
+	scheduled bool            // a timed commit is already queued
 	cancel    func() bool
 	nextSeq   uint64
 	prepared  map[uint64]uint64 // txid -> journal seq of the prepare record
@@ -109,8 +117,9 @@ type ckptItem struct {
 	dj   *dirJournal
 	txn  *wire.Txn
 	seq  uint64
-	ops  []wire.Op // ops to apply (may differ from txn.Ops for 2PC applies)
-	del  []string  // journal object keys to delete after applying
+	ops  []wire.Op       // ops to apply (may differ from txn.Ops for 2PC applies)
+	del  []string        // journal object keys to delete after applying
+	sc   obs.SpanContext // trace the checkpoint span parents under
 	done *sim.Chan[error]
 }
 
@@ -128,7 +137,7 @@ func New(env sim.Env, tr *prt.Translator, cfg Config) *Journal {
 	if cfg.CheckpointFanout <= 0 {
 		cfg.CheckpointFanout = 16
 	}
-	j := &Journal{env: env, tr: tr, cfg: cfg, dirs: make(map[types.Ino]*dirJournal)}
+	j := &Journal{env: env, tr: tr, cfg: cfg, trace: cfg.Trace, dirs: make(map[types.Ino]*dirJournal)}
 	j.cAppends = cfg.Obs.Counter("journal.appends")
 	j.cOps = cfg.Obs.Counter("journal.ops")
 	j.gBuffer = cfg.Obs.Gauge("journal.buffer.ops")
@@ -218,13 +227,20 @@ func (j *Journal) SetTxnIDBase(base uint64) {
 }
 
 // Log appends metadata mutations to dir's running transaction and schedules
-// a timed commit. It is the fast path: pure memory work.
-func (j *Journal) Log(dir types.Ino, ops []wire.Op) {
+// a timed commit. It is the fast path: pure memory work. The trace identity
+// in ctx is captured when this append opens a fresh running transaction, so
+// the eventual commit/checkpoint spans link back to the operation that
+// started the batch (later appends ride along untraced — a batch has one
+// owner, the way a group commit has one leader).
+func (j *Journal) Log(ctx context.Context, dir types.Ino, ops []wire.Op) {
 	j.cAppends.Inc()
 	j.cOps.Add(int64(len(ops)))
 	j.gBuffer.Add(int64(len(ops)))
 	dj := j.dirJournal(dir)
 	dj.mu.Lock()
+	if len(dj.running) == 0 && ctx != nil {
+		dj.runSC = obs.SpanContextFrom(ctx)
+	}
 	dj.running = append(dj.running, ops...)
 	if !dj.scheduled {
 		dj.scheduled = true
@@ -285,7 +301,9 @@ func (j *Journal) commitLoop(q *sim.Chan[*commitItem]) {
 		dj := it.dj
 		dj.mu.Lock()
 		ops := dj.running
+		sc := dj.runSC
 		dj.running = nil
+		dj.runSC = obs.SpanContext{}
 		if dj.scheduled && it.force && dj.cancel != nil {
 			dj.cancel() // a flush superseded the timed commit
 		}
@@ -318,7 +336,13 @@ func (j *Journal) commitLoop(q *sim.Chan[*commitItem]) {
 		key := prt.JournalKey(dj.dir, seq)
 		j.cfg.Crash.Hit(crashpoint.PreJournalPut)
 		commitStart := j.env.Now()
-		if err := j.tr.Store().Put(key, wire.EncodeTxn(txn)); err != nil {
+		sp := j.trace.StartChild(sc, "journal.commit", key)
+		sp.SetDir(dj.dir)
+		put := j.trace.StartChild(sp.Context(), "objstore.put", key)
+		err := j.tr.Store().Put(key, wire.EncodeTxn(txn))
+		put.End(err)
+		sp.End(err)
+		if err != nil {
 			j.cCommitErrs.Inc()
 			j.recordErr(dj, fmt.Errorf("journal: commit %s: %w", key, err))
 			if it.done != nil {
@@ -332,7 +356,7 @@ func (j *Journal) commitLoop(q *sim.Chan[*commitItem]) {
 		// the next leader's journal replay.
 		j.cfg.Crash.Hit(crashpoint.PostJournalPut)
 		if !j.ckptQ(dj.dir).Send(&ckptItem{
-			dj: dj, txn: txn, seq: seq, ops: ops, del: []string{key}, done: it.done,
+			dj: dj, txn: txn, seq: seq, ops: ops, del: []string{key}, sc: sc, done: it.done,
 		}) {
 			j.recordErr(dj, fmt.Errorf("journal: shut down before checkpoint of %s: %w", key, types.ErrIO))
 			if it.done != nil {
@@ -352,20 +376,27 @@ func (j *Journal) ckptLoop(q *sim.Chan[*ckptItem]) {
 		}
 		if it.ops != nil {
 			ckptStart := j.env.Now()
+			sp := j.trace.StartChild(it.sc, "journal.checkpoint", "")
+			sp.SetDir(it.dj.dir)
 			if err := applyOps(j.env, j.tr, it.dj.dir, it.ops, j.cfg.CheckpointFanout, j.cfg.Crash); err != nil {
 				j.cCkptErrs.Inc()
 				j.recordErr(it.dj, err)
+				sp.End(err)
 			} else {
 				// Fully applied; the journal record still exists, so a crash
 				// here makes recovery replay the transaction a second time.
 				j.cfg.Crash.Hit(crashpoint.PostCheckpoint)
 				for _, key := range it.del {
-					if err := j.tr.Store().Delete(key); err != nil {
+					del := j.trace.StartChild(sp.Context(), "objstore.delete", key)
+					err := j.tr.Store().Delete(key)
+					del.End(err)
+					if err != nil {
 						j.recordErr(it.dj, fmt.Errorf("journal: invalidate %s: %w", key, err))
 					}
 				}
 				j.cCkpts.Inc()
 				j.hCkpt.Observe(j.env.Now() - ckptStart)
+				sp.End(nil)
 			}
 		}
 		if it.done != nil {

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -37,7 +38,7 @@ func TestLogFlushCheckpointsToOriginals(t *testing.T) {
 	src := types.NewInoSource(1)
 	dir := src.Next()
 	child := mkFileInode(src, 10)
-	j.Log(dir, createOps(dir, "f1", child))
+	j.Log(context.Background(), dir, createOps(dir, "f1", child))
 	if err := j.Flush(dir); err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestTimedCommitFiresWithoutFlush(t *testing.T) {
 	defer stop()
 	src := types.NewInoSource(2)
 	dir := src.Next()
-	j.Log(dir, createOps(dir, "x", mkFileInode(src, 1)))
+	j.Log(context.Background(), dir, createOps(dir, "x", mkFileInode(src, 1)))
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		ents, _ := tr.LoadDentries(dir)
@@ -90,7 +91,7 @@ func TestCompoundTransactionsBatch(t *testing.T) {
 	dir := src.Next()
 	before := fault.Ops()
 	for i := 0; i < 100; i++ {
-		j.Log(dir, createOps(dir, "f"+string(rune('a'+i%26))+string(rune('a'+i/26)), mkFileInode(src, 1)))
+		j.Log(context.Background(), dir, createOps(dir, "f"+string(rune('a'+i%26))+string(rune('a'+i/26)), mkFileInode(src, 1)))
 	}
 	if got := fault.Ops() - before; got != 0 {
 		t.Fatalf("Log touched the store %d times; must be pure memory", got)
@@ -113,11 +114,11 @@ func TestUnlinkDropsDataChunks(t *testing.T) {
 	if err := tr.WriteAt(f.Ino, make([]byte, 200), 0); err != nil {
 		t.Fatal(err)
 	}
-	j.Log(dir, createOps(dir, "victim", f))
+	j.Log(context.Background(), dir, createOps(dir, "victim", f))
 	if err := j.Flush(dir); err != nil {
 		t.Fatal(err)
 	}
-	j.Log(dir, []wire.Op{
+	j.Log(context.Background(), dir, []wire.Op{
 		{Kind: wire.OpDelDentry, Name: "victim"},
 		{Kind: wire.OpDelInode, Ino: f.Ino, Size: f.Size},
 	})
@@ -230,7 +231,7 @@ func TestFlushSurfacesCommitErrors(t *testing.T) {
 	src := types.NewInoSource(8)
 	dir := src.Next()
 	fault.FailNext(prt.PrefixJournal, 1)
-	j.Log(dir, createOps(dir, "f", mkFileInode(src, 1)))
+	j.Log(context.Background(), dir, createOps(dir, "f", mkFileInode(src, 1)))
 	if err := j.Flush(dir); !errors.Is(err, types.ErrIO) {
 		t.Fatalf("flush must surface the commit failure, got %v", err)
 	}
@@ -286,7 +287,7 @@ func TestParallelDirectoriesIndependentJournals(t *testing.T) {
 				local := types.NewInoSource(seed)
 				for k := 0; k < 20; k++ {
 					child := &types.Inode{Ino: local.Next(), Type: types.TypeRegular, Nlink: 1}
-					j.Log(dir, createOps(dir, "f"+string(rune('a'+k)), child))
+					j.Log(context.Background(), dir, createOps(dir, "f"+string(rune('a'+k)), child))
 				}
 				if err := j.Flush(dir); err != nil {
 					t.Error(err)

@@ -1,9 +1,11 @@
 package journal
 
 import (
+	"context"
 	"fmt"
 
 	"arkfs/internal/crashpoint"
+	"arkfs/internal/obs"
 	"arkfs/internal/prt"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
@@ -21,8 +23,9 @@ import (
 // peer is the coordinating directory (for participants) or the participant
 // directory (for the coordinator); recovery follows it to find the decision.
 // Any buffered running transaction for dir is flushed first so the journal
-// replays in operation order.
-func (j *Journal) WritePrepare(dir types.Ino, txid uint64, peer types.Ino, ops []wire.Op) error {
+// replays in operation order. The prepare write becomes a child span of the
+// trace in ctx (the rename operation driving the 2PC).
+func (j *Journal) WritePrepare(ctx context.Context, dir types.Ino, txid uint64, peer types.Ino, ops []wire.Op) error {
 	if err := j.Flush(dir); err != nil {
 		return fmt.Errorf("journal: pre-prepare flush: %w", err)
 	}
@@ -36,7 +39,13 @@ func (j *Journal) WritePrepare(dir types.Ino, txid uint64, peer types.Ino, ops [
 		Stamp: j.env.Now(), Ops: ops,
 	}
 	key := prt.JournalKey(dir, seq)
-	if err := j.tr.Store().Put(key, wire.EncodeTxn(txn)); err != nil {
+	sp := j.trace.StartChild(obs.SpanContextFrom(ctx), "journal.2pc.prepare", key)
+	sp.SetDir(dir)
+	put := j.trace.StartChild(sp.Context(), "objstore.put", key)
+	err := j.tr.Store().Put(key, wire.EncodeTxn(txn))
+	put.End(err)
+	sp.End(err)
+	if err != nil {
 		return fmt.Errorf("journal: write prepare %s: %w", key, err)
 	}
 	dj.mu.Lock()
@@ -52,7 +61,7 @@ func (j *Journal) WritePrepare(dir types.Ino, txid uint64, peer types.Ino, ops [
 // decision for txid in dir's journal. peer is the participant directory;
 // recovery keeps the decision record alive until the participant's prepare
 // record has been resolved, so a doubly-crashed rename still converges.
-func (j *Journal) WriteDecision(dir types.Ino, txid uint64, peer types.Ino, commit bool) error {
+func (j *Journal) WriteDecision(ctx context.Context, dir types.Ino, txid uint64, peer types.Ino, commit bool) error {
 	dj := j.dirJournal(dir)
 	dj.mu.Lock()
 	seq := dj.nextSeq
@@ -64,7 +73,13 @@ func (j *Journal) WriteDecision(dir types.Ino, txid uint64, peer types.Ino, comm
 	}
 	txn := &wire.Txn{ID: txid, Dir: dir, Kind: kind, Peer: peer, Stamp: j.env.Now()}
 	key := prt.JournalKey(dir, seq)
-	if err := j.tr.Store().Put(key, wire.EncodeTxn(txn)); err != nil {
+	sp := j.trace.StartChild(obs.SpanContextFrom(ctx), "journal.2pc.decision", key)
+	sp.SetDir(dir)
+	put := j.trace.StartChild(sp.Context(), "objstore.put", key)
+	err := j.tr.Store().Put(key, wire.EncodeTxn(txn))
+	put.End(err)
+	sp.End(err)
+	if err != nil {
 		return fmt.Errorf("journal: write decision %s: %w", key, err)
 	}
 	dj.mu.Lock()
@@ -103,8 +118,9 @@ func (j *Journal) DeleteDecision(dir types.Ino, txid uint64) error {
 // ResolvePrepared applies (commit=true) or discards (commit=false) a
 // prepared transaction and removes its prepare record. The coordinator's
 // decision record is GC'd separately via DeleteDecision. It runs through the
-// directory's checkpoint worker to stay serialized with normal checkpoints.
-func (j *Journal) ResolvePrepared(dir types.Ino, txid uint64, commit bool) error {
+// directory's checkpoint worker to stay serialized with normal checkpoints;
+// the checkpoint span parents under the trace in ctx.
+func (j *Journal) ResolvePrepared(ctx context.Context, dir types.Ino, txid uint64, commit bool) error {
 	dj := j.dirJournal(dir)
 	dj.mu.Lock()
 	seq, okSeq := dj.prepared[txid]
@@ -124,7 +140,7 @@ func (j *Journal) ResolvePrepared(dir types.Ino, txid uint64, commit bool) error
 		applied = []wire.Op{} // non-nil: still delete the records
 	}
 	done := sim.NewChan[error](j.env)
-	if !j.ckptQ(dir).Send(&ckptItem{dj: dj, ops: applied, del: del, done: done}) {
+	if !j.ckptQ(dir).Send(&ckptItem{dj: dj, ops: applied, del: del, sc: obs.SpanContextFrom(ctx), done: done}) {
 		return fmt.Errorf("journal: shut down resolving txn %d: %w", txid, types.ErrIO)
 	}
 	err, ok := done.Recv()

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -75,19 +76,19 @@ func TestTwoPCHappyPath(t *testing.T) {
 	fx := newRenameFixture(t, tr)
 	txid := j.NewTxnID()
 
-	if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+	if err := j.WritePrepare(context.Background(), fx.src, txid, fx.dst, fx.srcOps); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.WritePrepare(fx.dst, txid, fx.src, fx.dstOps); err != nil {
+	if err := j.WritePrepare(context.Background(), fx.dst, txid, fx.src, fx.dstOps); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.WriteDecision(fx.src, txid, fx.dst, true); err != nil {
+	if err := j.WriteDecision(context.Background(), fx.src, txid, fx.dst, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.ResolvePrepared(fx.src, txid, true); err != nil {
+	if err := j.ResolvePrepared(context.Background(), fx.src, txid, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.ResolvePrepared(fx.dst, txid, true); err != nil {
+	if err := j.ResolvePrepared(context.Background(), fx.dst, txid, true); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.DeleteDecision(fx.src, txid); err != nil {
@@ -107,19 +108,19 @@ func TestTwoPCAbortDiscardsOps(t *testing.T) {
 	defer stop()
 	fx := newRenameFixture(t, tr)
 	txid := j.NewTxnID()
-	if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+	if err := j.WritePrepare(context.Background(), fx.src, txid, fx.dst, fx.srcOps); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.WritePrepare(fx.dst, txid, fx.src, fx.dstOps); err != nil {
+	if err := j.WritePrepare(context.Background(), fx.dst, txid, fx.src, fx.dstOps); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.WriteDecision(fx.src, txid, fx.dst, false); err != nil {
+	if err := j.WriteDecision(context.Background(), fx.src, txid, fx.dst, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.ResolvePrepared(fx.src, txid, false); err != nil {
+	if err := j.ResolvePrepared(context.Background(), fx.src, txid, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.ResolvePrepared(fx.dst, txid, false); err != nil {
+	if err := j.ResolvePrepared(context.Background(), fx.dst, txid, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.DeleteDecision(fx.src, txid); err != nil {
@@ -137,13 +138,13 @@ func TestTwoPCRecoveryCommitted(t *testing.T) {
 			tr, j, stop := twoPCSetup(t)
 			fx := newRenameFixture(t, tr)
 			txid := j.NewTxnID()
-			if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+			if err := j.WritePrepare(context.Background(), fx.src, txid, fx.dst, fx.srcOps); err != nil {
 				t.Fatal(err)
 			}
-			if err := j.WritePrepare(fx.dst, txid, fx.src, fx.dstOps); err != nil {
+			if err := j.WritePrepare(context.Background(), fx.dst, txid, fx.src, fx.dstOps); err != nil {
 				t.Fatal(err)
 			}
-			if err := j.WriteDecision(fx.src, txid, fx.dst, true); err != nil {
+			if err := j.WriteDecision(context.Background(), fx.src, txid, fx.dst, true); err != nil {
 				t.Fatal(err)
 			}
 			stop() // crash: nothing applied
@@ -172,10 +173,10 @@ func TestTwoPCRecoveryPresumedAbort(t *testing.T) {
 	tr, j, stop := twoPCSetup(t)
 	fx := newRenameFixture(t, tr)
 	txid := j.NewTxnID()
-	if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+	if err := j.WritePrepare(context.Background(), fx.src, txid, fx.dst, fx.srcOps); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.WritePrepare(fx.dst, txid, fx.src, fx.dstOps); err != nil {
+	if err := j.WritePrepare(context.Background(), fx.dst, txid, fx.src, fx.dstOps); err != nil {
 		t.Fatal(err)
 	}
 	stop()
@@ -199,16 +200,16 @@ func TestTwoPCRecoveryOneSideApplied(t *testing.T) {
 	tr, j, stop := twoPCSetup(t)
 	fx := newRenameFixture(t, tr)
 	txid := j.NewTxnID()
-	if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+	if err := j.WritePrepare(context.Background(), fx.src, txid, fx.dst, fx.srcOps); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.WritePrepare(fx.dst, txid, fx.src, fx.dstOps); err != nil {
+	if err := j.WritePrepare(context.Background(), fx.dst, txid, fx.src, fx.dstOps); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.WriteDecision(fx.src, txid, fx.dst, true); err != nil {
+	if err := j.WriteDecision(context.Background(), fx.src, txid, fx.dst, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.ResolvePrepared(fx.src, txid, true); err != nil {
+	if err := j.ResolvePrepared(context.Background(), fx.src, txid, true); err != nil {
 		t.Fatal(err)
 	}
 	stop() // participant crashes before applying
@@ -243,12 +244,12 @@ func TestPrepareFlushesRunningTxnFirst(t *testing.T) {
 	fx := newRenameFixture(t, tr)
 	src := types.NewInoSource(33)
 	extra := &types.Inode{Ino: src.Next(), Type: types.TypeRegular, Nlink: 1}
-	j.Log(fx.src, []wire.Op{
+	j.Log(context.Background(), fx.src, []wire.Op{
 		{Kind: wire.OpSetInode, Inode: extra},
 		{Kind: wire.OpAddDentry, Name: "pending", Ino: extra.Ino, FType: types.TypeRegular},
 	})
 	txid := j.NewTxnID()
-	if err := j.WritePrepare(fx.src, txid, fx.dst, fx.srcOps); err != nil {
+	if err := j.WritePrepare(context.Background(), fx.src, txid, fx.dst, fx.srcOps); err != nil {
 		t.Fatal(err)
 	}
 	stop()

@@ -1,6 +1,7 @@
 package lease
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,7 @@ type Manager struct {
 	// managers attached to the same registry, so they aggregate cluster-wide.
 	cAcquires, cExtensions, cRedirects *obs.Counter
 	cReleases, cRecoveries, cWaits     *obs.Counter
+	tracer                             *obs.Tracer // nil without Options.Obs
 }
 
 // Options configures a Manager.
@@ -65,8 +67,24 @@ type Options struct {
 	// one lease period so stale leaders can expire (paper §III-E-2).
 	Restarted bool
 	// Obs, when non-nil, exposes the manager's counters (acquire/extension/
-	// redirect/release/recovery/wait) in the registry at snapshot time.
+	// redirect/release/recovery/wait) in the registry at snapshot time and
+	// enables the manager's trace ring: every handled request becomes a child
+	// span under the caller's trace.
 	Obs *obs.Registry
+	// TraceSeed overrides the trace-ID stream seed (default: a hash of the
+	// manager's address, deterministic across replays).
+	TraceSeed uint64
+}
+
+// addrSeed derives a deterministic trace seed from an address: FNV-1a, so a
+// replayed deployment mints the same manager span IDs without configuration.
+func addrSeed(addr rpc.Addr) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // NewManager starts a lease manager on net.
@@ -97,9 +115,23 @@ func NewManager(net *rpc.Network, opts Options) *Manager {
 	m.cReleases = opts.Obs.Counter("lease.releases")
 	m.cRecoveries = opts.Obs.Counter("lease.recoveries")
 	m.cWaits = opts.Obs.Counter("lease.waits")
-	m.server = net.Listen(opts.Addr, opts.Workers, m.handle)
+	if opts.Obs != nil {
+		m.tracer = obs.NewTracer(0, m.env.Now)
+		m.tracer.SetProc(string(opts.Addr))
+		seed := opts.TraceSeed
+		if seed == 0 {
+			seed = addrSeed(opts.Addr)
+		}
+		m.tracer.SetSeed(seed)
+		opts.Obs.Func("obs.trace.spans", m.tracer.Total)
+	}
+	m.server = net.ListenCtx(opts.Addr, opts.Workers, m.handle)
 	return m
 }
+
+// Tracer returns the manager's span ring (nil without Options.Obs; the nil
+// tracer is a valid no-op sink).
+func (m *Manager) Tracer() *obs.Tracer { return m.tracer }
 
 // Addr returns the manager's network address.
 func (m *Manager) Addr() rpc.Addr { return m.addr }
@@ -114,14 +146,30 @@ func (m *Manager) Stats() *ManagerStats { return &m.stats }
 // NewManager with Restarted simulates a manager crash + restart.
 func (m *Manager) Close() { m.server.Close() }
 
-func (m *Manager) handle(req any) any {
+func (m *Manager) handle(ctx context.Context, req any) any {
+	// Each handled request is a child span under the caller's trace (or a
+	// local root when the caller is untraced), so lease waits and redirects
+	// show up inside the operation that paid for them.
+	parent := obs.RemoteFrom(ctx)
 	switch r := req.(type) {
 	case AcquireReq:
-		return m.acquire(r)
+		sp := m.tracer.StartChild(parent, "lease.Acquire", "")
+		sp.SetDir(r.Dir)
+		resp := m.acquire(r)
+		sp.End(nil)
+		return resp
 	case ReleaseReq:
-		return m.release(r)
+		sp := m.tracer.StartChild(parent, "lease.Release", "")
+		sp.SetDir(r.Dir)
+		resp := m.release(r)
+		sp.End(nil)
+		return resp
 	case RecoveryDoneReq:
-		return m.recoveryDone(r)
+		sp := m.tracer.StartChild(parent, "lease.RecoveryDone", "")
+		sp.SetDir(r.Dir)
+		resp := m.recoveryDone(r)
+		sp.End(nil)
+		return resp
 	default:
 		return AcquireResp{} // unknown message: deny
 	}
@@ -294,9 +342,11 @@ func (c *Client) mgrFor(dir types.Ino) rpc.Addr {
 	return c.Mgr
 }
 
-// Acquire requests (or extends) the lease of dir.
-func (c *Client) Acquire(dir types.Ino) (AcquireResp, error) {
-	resp, err := c.Net.CallFrom(c.Self, c.mgrFor(dir), AcquireReq{Dir: dir, Client: c.Self})
+// Acquire requests (or extends) the lease of dir. The caller's trace
+// identity in ctx rides to the manager so its handling shows as a child
+// span of the acquiring operation.
+func (c *Client) Acquire(ctx context.Context, dir types.Ino) (AcquireResp, error) {
+	resp, err := c.Net.CallFromCtx(ctx, c.Self, c.mgrFor(dir), AcquireReq{Dir: dir, Client: c.Self})
 	if err != nil {
 		return AcquireResp{}, err
 	}
@@ -304,15 +354,15 @@ func (c *Client) Acquire(dir types.Ino) (AcquireResp, error) {
 }
 
 // Release gives the lease back; clean reports a full metadata flush.
-func (c *Client) Release(dir types.Ino, id uint64, clean bool) error {
-	_, err := c.Net.CallFrom(c.Self, c.mgrFor(dir), ReleaseReq{Dir: dir, LeaseID: id, Client: c.Self, Clean: clean})
+func (c *Client) Release(ctx context.Context, dir types.Ino, id uint64, clean bool) error {
+	_, err := c.Net.CallFromCtx(ctx, c.Self, c.mgrFor(dir), ReleaseReq{Dir: dir, LeaseID: id, Client: c.Self, Clean: clean})
 	return err
 }
 
 // RecoveryDone reports a finished journal recovery and returns the renewed
 // expiry.
-func (c *Client) RecoveryDone(dir types.Ino, id uint64) (RecoveryDoneResp, error) {
-	resp, err := c.Net.CallFrom(c.Self, c.mgrFor(dir), RecoveryDoneReq{Dir: dir, LeaseID: id, Client: c.Self})
+func (c *Client) RecoveryDone(ctx context.Context, dir types.Ino, id uint64) (RecoveryDoneResp, error) {
+	resp, err := c.Net.CallFromCtx(ctx, c.Self, c.mgrFor(dir), RecoveryDoneReq{Dir: dir, LeaseID: id, Client: c.Self})
 	if err != nil {
 		return RecoveryDoneResp{}, err
 	}

@@ -1,6 +1,7 @@
 package lease
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -18,7 +19,7 @@ func TestAcquireExtendRelease(t *testing.T) {
 		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
 		dir := types.RootIno
 
-		resp, err := c1.Acquire(dir)
+		resp, err := c1.Acquire(context.Background(), dir)
 		if err != nil || !resp.Granted || resp.SameLeader || resp.NeedRecovery {
 			t.Fatalf("first acquire: %+v, %v", resp, err)
 		}
@@ -26,7 +27,7 @@ func TestAcquireExtendRelease(t *testing.T) {
 
 		// Extension keeps the lease id and reports SameLeader.
 		env.Sleep(500 * time.Millisecond)
-		ext, err := c1.Acquire(dir)
+		ext, err := c1.Acquire(context.Background(), dir)
 		if err != nil || !ext.Granted || !ext.SameLeader || ext.LeaseID != id {
 			t.Fatalf("extension: %+v, %v", ext, err)
 		}
@@ -35,10 +36,10 @@ func TestAcquireExtendRelease(t *testing.T) {
 		}
 
 		// Clean release; re-acquire by the same client keeps the metatable.
-		if err := c1.Release(dir, id, true); err != nil {
+		if err := c1.Release(context.Background(), dir, id, true); err != nil {
 			t.Fatal(err)
 		}
-		again, err := c1.Acquire(dir)
+		again, err := c1.Acquire(context.Background(), dir)
 		if err != nil || !again.Granted || !again.SameLeader {
 			t.Fatalf("re-acquire after clean release: %+v, %v", again, err)
 		}
@@ -58,10 +59,10 @@ func TestFCFSRedirect(t *testing.T) {
 		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
 		dir := types.RootIno
 
-		if r, _ := c1.Acquire(dir); !r.Granted {
+		if r, _ := c1.Acquire(context.Background(), dir); !r.Granted {
 			t.Fatal("c1 grant failed")
 		}
-		r2, err := c2.Acquire(dir)
+		r2, err := c2.Acquire(context.Background(), dir)
 		if err != nil || r2.Granted || !r2.Redirect || r2.Leader != "c1" {
 			t.Fatalf("c2 should be redirected to c1: %+v, %v", r2, err)
 		}
@@ -81,25 +82,25 @@ func TestLeaseExpiryHandsOver(t *testing.T) {
 		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
 		dir := types.RootIno
 
-		r1, _ := c1.Acquire(dir)
+		r1, _ := c1.Acquire(context.Background(), dir)
 		if !r1.Granted {
 			t.Fatal("grant failed")
 		}
 		// c1 releases cleanly; c2 acquires without recovery and without the
 		// SameLeader shortcut.
-		if err := c1.Release(dir, r1.LeaseID, true); err != nil {
+		if err := c1.Release(context.Background(), dir, r1.LeaseID, true); err != nil {
 			t.Fatal(err)
 		}
-		r2, _ := c2.Acquire(dir)
+		r2, _ := c2.Acquire(context.Background(), dir)
 		if !r2.Granted || r2.SameLeader || r2.NeedRecovery {
 			t.Fatalf("c2 grant: %+v", r2)
 		}
 		// After c2 releases cleanly, c1 re-acquiring must NOT see SameLeader
 		// (someone else held the directory in between).
-		if err := c2.Release(dir, r2.LeaseID, true); err != nil {
+		if err := c2.Release(context.Background(), dir, r2.LeaseID, true); err != nil {
 			t.Fatal(err)
 		}
-		r3, _ := c1.Acquire(dir)
+		r3, _ := c1.Acquire(context.Background(), dir)
 		if !r3.Granted || r3.SameLeader {
 			t.Fatalf("c1 after interleaved holder: %+v", r3)
 		}
@@ -117,36 +118,36 @@ func TestCrashTriggersRecoveryFlow(t *testing.T) {
 		c3 := &Client{Net: net, Mgr: m.Addr(), Self: "c3"}
 		dir := types.RootIno
 
-		r1, _ := c1.Acquire(dir)
+		r1, _ := c1.Acquire(context.Background(), dir)
 		if !r1.Granted {
 			t.Fatal("grant failed")
 		}
 		// c1 "crashes": never releases. Within the grace window, acquires
 		// must wait.
 		env.Sleep(1500 * time.Millisecond) // expired at 1s, grace until 2s
-		w, _ := c2.Acquire(dir)
+		w, _ := c2.Acquire(context.Background(), dir)
 		if !w.Wait {
 			t.Fatalf("expected Wait during grace window: %+v", w)
 		}
 		env.Sleep(w.RetryAfter - env.Now() + time.Millisecond)
 
 		// Past the grace window: the next acquirer is told to recover.
-		r2, _ := c2.Acquire(dir)
+		r2, _ := c2.Acquire(context.Background(), dir)
 		if !r2.Granted || !r2.NeedRecovery {
 			t.Fatalf("expected recovery grant: %+v", r2)
 		}
 		// Others wait while recovery is in flight.
-		w3, _ := c3.Acquire(dir)
+		w3, _ := c3.Acquire(context.Background(), dir)
 		if !w3.Wait {
 			t.Fatalf("expected Wait during recovery: %+v", w3)
 		}
 		// Recovery completes; the recoverer's lease is renewed.
-		done, err := c2.RecoveryDone(dir, r2.LeaseID)
+		done, err := c2.RecoveryDone(context.Background(), dir, r2.LeaseID)
 		if err != nil || !done.OK {
 			t.Fatalf("RecoveryDone: %+v, %v", done, err)
 		}
 		// Now c3 is redirected to c2 (the lease is live again).
-		r3, _ := c3.Acquire(dir)
+		r3, _ := c3.Acquire(context.Background(), dir)
 		if !r3.Redirect || r3.Leader != "c2" {
 			t.Fatalf("post-recovery: %+v", r3)
 		}
@@ -163,7 +164,7 @@ func TestManagerRestartQuiesce(t *testing.T) {
 		m := NewManager(net, Options{Period: time.Second, Restarted: true})
 		defer m.Close()
 		c := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
-		w, err := c.Acquire(types.RootIno)
+		w, err := c.Acquire(context.Background(), types.RootIno)
 		if err != nil || !w.Wait || !w.Quiesce {
 			t.Fatalf("acquire during quiesce: %+v, %v", w, err)
 		}
@@ -171,12 +172,12 @@ func TestManagerRestartQuiesce(t *testing.T) {
 		// The restart lost the chain state, so the manager cannot know whether
 		// the directory's last leader crashed mid-journal: the first grant
 		// waits out the data-lease grace and then forces a recovery.
-		g, err := c.Acquire(types.RootIno)
+		g, err := c.Acquire(context.Background(), types.RootIno)
 		if err != nil || !g.Wait || g.Quiesce {
 			t.Fatalf("first acquire after quiesce should wait out the grace: %+v, %v", g, err)
 		}
 		env.Sleep(g.RetryAfter - env.Now() + time.Millisecond)
-		r, err := c.Acquire(types.RootIno)
+		r, err := c.Acquire(context.Background(), types.RootIno)
 		if err != nil || !r.Granted || !r.NeedRecovery {
 			t.Fatalf("post-restart grant must carry NeedRecovery: %+v, %v", r, err)
 		}
@@ -192,18 +193,18 @@ func TestReleaseValidatesOwnership(t *testing.T) {
 		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
 		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
 		dir := types.RootIno
-		r1, _ := c1.Acquire(dir)
+		r1, _ := c1.Acquire(context.Background(), dir)
 		// Wrong client and wrong id must both be rejected.
-		if err := c2.Release(dir, r1.LeaseID, true); err != nil {
+		if err := c2.Release(context.Background(), dir, r1.LeaseID, true); err != nil {
 			t.Fatal(err)
 		}
-		if r, _ := c2.Acquire(dir); !r.Redirect {
+		if r, _ := c2.Acquire(context.Background(), dir); !r.Redirect {
 			t.Fatalf("foreign release must not free the lease: %+v", r)
 		}
-		if err := c1.Release(dir, r1.LeaseID+99, true); err != nil {
+		if err := c1.Release(context.Background(), dir, r1.LeaseID+99, true); err != nil {
 			t.Fatal(err)
 		}
-		if r, _ := c2.Acquire(dir); !r.Redirect {
+		if r, _ := c2.Acquire(context.Background(), dir); !r.Redirect {
 			t.Fatalf("stale-id release must not free the lease: %+v", r)
 		}
 	})
@@ -222,12 +223,12 @@ func TestManyDirectoriesIndependent(t *testing.T) {
 			dir := src.Next()
 			g.Go(func() {
 				c := &Client{Net: net, Mgr: m.Addr(), Self: rpc.Addr("c" + string(rune('a'+i%26)) + string(rune('a'+i/26)))}
-				r, err := c.Acquire(dir)
+				r, err := c.Acquire(context.Background(), dir)
 				if err != nil || !r.Granted {
 					t.Errorf("client %d: %+v, %v", i, r, err)
 					return
 				}
-				if err := c.Release(dir, r.LeaseID, true); err != nil {
+				if err := c.Release(context.Background(), dir, r.LeaseID, true); err != nil {
 					t.Errorf("client %d release: %v", i, err)
 				}
 			})
@@ -247,13 +248,13 @@ func TestExpireForTestHelper(t *testing.T) {
 		defer m.Close()
 		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
 		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
-		r1, _ := c1.Acquire(types.RootIno)
+		r1, _ := c1.Acquire(context.Background(), types.RootIno)
 		if !r1.Granted {
 			t.Fatal("grant failed")
 		}
 		m.expireForTest(types.RootIno)
 		// Lapsed without clean release → crash path (grace window first).
-		w, _ := c2.Acquire(types.RootIno)
+		w, _ := c2.Acquire(context.Background(), types.RootIno)
 		if !w.Wait && !w.NeedRecovery {
 			t.Fatalf("expected crash handling: %+v", w)
 		}
@@ -269,29 +270,29 @@ func TestRecoveryDoneValidation(t *testing.T) {
 		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
 		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
 		dir := types.RootIno
-		r1, _ := c1.Acquire(dir)
+		r1, _ := c1.Acquire(context.Background(), dir)
 		if !r1.Granted {
 			t.Fatal("grant failed")
 		}
 		// RecoveryDone without a recovery in flight is rejected.
-		if done, _ := c1.RecoveryDone(dir, r1.LeaseID); done.OK {
+		if done, _ := c1.RecoveryDone(context.Background(), dir, r1.LeaseID); done.OK {
 			t.Fatal("RecoveryDone accepted outside recovery")
 		}
 		// Crash + grace, then c2 recovers.
 		env.Sleep(2500 * time.Millisecond)
-		r2, _ := c2.Acquire(dir)
+		r2, _ := c2.Acquire(context.Background(), dir)
 		if !r2.NeedRecovery {
 			t.Fatalf("expected recovery grant: %+v", r2)
 		}
 		// The wrong client cannot complete someone else's recovery.
-		if done, _ := c1.RecoveryDone(dir, r2.LeaseID); done.OK {
+		if done, _ := c1.RecoveryDone(context.Background(), dir, r2.LeaseID); done.OK {
 			t.Fatal("foreign RecoveryDone accepted")
 		}
 		// The wrong lease id is rejected too.
-		if done, _ := c2.RecoveryDone(dir, r2.LeaseID+1); done.OK {
+		if done, _ := c2.RecoveryDone(context.Background(), dir, r2.LeaseID+1); done.OK {
 			t.Fatal("stale-id RecoveryDone accepted")
 		}
-		if done, _ := c2.RecoveryDone(dir, r2.LeaseID); !done.OK {
+		if done, _ := c2.RecoveryDone(context.Background(), dir, r2.LeaseID); !done.OK {
 			t.Fatal("legitimate RecoveryDone rejected")
 		}
 	})
@@ -307,12 +308,12 @@ func TestSameHolderReacquireAfterLapse(t *testing.T) {
 		defer m.Close()
 		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
 		dir := types.RootIno
-		r1, _ := c1.Acquire(dir)
+		r1, _ := c1.Acquire(context.Background(), dir)
 		if !r1.Granted {
 			t.Fatal("grant failed")
 		}
 		env.Sleep(3 * time.Second) // well past expiry, no release
-		r2, _ := c1.Acquire(dir)
+		r2, _ := c1.Acquire(context.Background(), dir)
 		if !r2.Granted || !r2.SameLeader || r2.NeedRecovery {
 			t.Fatalf("same-holder reacquire: %+v", r2)
 		}
@@ -335,19 +336,19 @@ func TestUncleanReleaseForcesRecovery(t *testing.T) {
 		c1 := &Client{Net: net, Mgr: m.Addr(), Self: "c1"}
 		c2 := &Client{Net: net, Mgr: m.Addr(), Self: "c2"}
 		dir := types.RootIno
-		r1, _ := c1.Acquire(dir)
+		r1, _ := c1.Acquire(context.Background(), dir)
 		if !r1.Granted {
 			t.Fatal("grant failed")
 		}
-		if err := c1.Release(dir, r1.LeaseID, false); err != nil {
+		if err := c1.Release(context.Background(), dir, r1.LeaseID, false); err != nil {
 			t.Fatal(err)
 		}
-		w, _ := c2.Acquire(dir)
+		w, _ := c2.Acquire(context.Background(), dir)
 		if w.Granted || !w.Wait {
 			t.Fatalf("unclean release must impose the recovery grace: %+v", w)
 		}
 		env.Sleep(w.RetryAfter - env.Now() + time.Millisecond)
-		r2, _ := c2.Acquire(dir)
+		r2, _ := c2.Acquire(context.Background(), dir)
 		if !r2.Granted || !r2.NeedRecovery {
 			t.Fatalf("grant after unclean release must carry NeedRecovery: %+v", r2)
 		}
@@ -369,30 +370,30 @@ func TestDeadRecovererRegrants(t *testing.T) {
 		c3 := &Client{Net: net, Mgr: m.Addr(), Self: "c3"}
 		dir := types.RootIno
 
-		r1, _ := c1.Acquire(dir)
+		r1, _ := c1.Acquire(context.Background(), dir)
 		if !r1.Granted {
 			t.Fatal("grant failed")
 		}
 		env.Sleep(3 * time.Second) // c1 crashes silently; lease + grace lapse
-		r2, _ := c2.Acquire(dir)
+		r2, _ := c2.Acquire(context.Background(), dir)
 		if !r2.Granted || !r2.NeedRecovery {
 			t.Fatalf("expected recovery grant: %+v", r2)
 		}
 		// c2 dies mid-recovery. While its lease (plus grace) is live, others
 		// wait; afterwards a fresh recovery chain starts.
-		w, _ := c3.Acquire(dir)
+		w, _ := c3.Acquire(context.Background(), dir)
 		if w.Granted || !w.Wait {
 			t.Fatalf("recovery in flight, want wait: %+v", w)
 		}
 		env.Sleep(3 * time.Second)
-		r3, _ := c3.Acquire(dir)
+		r3, _ := c3.Acquire(context.Background(), dir)
 		if !r3.Granted || !r3.NeedRecovery {
 			t.Fatalf("dead recoverer must yield a fresh recovery grant: %+v", r3)
 		}
 		if r3.LeaseID == r2.LeaseID {
 			t.Fatal("fresh recovery chain must change the lease id")
 		}
-		if done, _ := c3.RecoveryDone(dir, r3.LeaseID); !done.OK {
+		if done, _ := c3.RecoveryDone(context.Background(), dir, r3.LeaseID); !done.OK {
 			t.Fatal("new recoverer's RecoveryDone rejected")
 		}
 	})

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"arkfs/internal/obs"
 	"arkfs/internal/types"
 )
 
@@ -27,6 +28,9 @@ import (
 type Gateway struct {
 	store Store
 	mux   *http.ServeMux
+
+	// Per-verb tallies; nil (no registry attached) counts nothing.
+	cPut, cGet, cHead, cDelete, cList, cErrors *obs.Counter
 }
 
 // NewGateway wraps store in a REST handler.
@@ -35,6 +39,17 @@ func NewGateway(store Store) *Gateway {
 	g.mux.HandleFunc("/o/", g.object)
 	g.mux.HandleFunc("/list", g.list)
 	return g
+}
+
+// SetObs attaches a metrics registry: the gateway counts each REST verb
+// (gateway.put/get/head/delete/list) and failed requests (gateway.errors).
+func (g *Gateway) SetObs(reg *obs.Registry) {
+	g.cPut = reg.Counter("gateway.put")
+	g.cGet = reg.Counter("gateway.get")
+	g.cHead = reg.Counter("gateway.head")
+	g.cDelete = reg.Counter("gateway.delete")
+	g.cList = reg.Counter("gateway.list")
+	g.cErrors = reg.Counter("gateway.errors")
 }
 
 // ServeHTTP implements http.Handler.
@@ -50,34 +65,43 @@ func (g *Gateway) object(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodPut:
+		g.cPut.Inc()
 		data, err := io.ReadAll(r.Body)
 		if err != nil {
+			g.cErrors.Inc()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		if err := g.store.Put(key, data); err != nil {
+			g.cErrors.Inc()
 			httpError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
 	case http.MethodGet:
+		g.cGet.Inc()
 		data, err := g.store.Get(key)
 		if err != nil {
+			g.cErrors.Inc()
 			httpError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		_, _ = w.Write(data)
 	case http.MethodHead:
+		g.cHead.Inc()
 		size, err := g.store.Head(key)
 		if err != nil {
+			g.cErrors.Inc()
 			httpError(w, err)
 			return
 		}
 		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 		w.WriteHeader(http.StatusOK)
 	case http.MethodDelete:
+		g.cDelete.Inc()
 		if err := g.store.Delete(key); err != nil {
+			g.cErrors.Inc()
 			httpError(w, err)
 			return
 		}
@@ -92,8 +116,10 @@ func (g *Gateway) list(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	g.cList.Inc()
 	keys, err := g.store.List(r.URL.Query().Get("prefix"))
 	if err != nil {
+		g.cErrors.Inc()
 		httpError(w, err)
 		return
 	}

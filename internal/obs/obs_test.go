@@ -36,8 +36,14 @@ func TestNilSinksAreNoOps(t *testing.T) {
 	sp.SetDir(types.RootIno)
 	sp.AddRetry()
 	sp.End(nil)
-	if tr.Total() != 0 || tr.Spans() != nil || tr.Dump() != "" {
+	tr.SetProc("p")
+	tr.SetSeed(1)
+	tr.OnCommit(func(Span) {})
+	if tr.Total() != 0 || tr.Spans() != nil || tr.Dump(0) != "" || tr.Filter(nil) != nil {
 		t.Fatal("nil tracer recorded spans")
+	}
+	if sc := tr.StartChild(SpanContext{}, "op", "/p").Context(); sc.Valid() {
+		t.Fatal("nil tracer minted a span context")
 	}
 }
 
@@ -169,10 +175,166 @@ func TestTracerRing(t *testing.T) {
 		s.Err != "EEXIST" || s.Dur != time.Millisecond {
 		t.Fatalf("span fields wrong: %+v", s)
 	}
-	dump := tr.Dump()
+	dump := tr.Dump(0)
 	if !strings.Contains(dump, "create /f") || !strings.Contains(dump, "EEXIST") {
 		t.Fatalf("dump missing fields:\n%s", dump)
 	}
+	if got := strings.Count(tr.Dump(2), "\n"); got != 2 {
+		t.Fatalf("Dump(2) rendered %d spans, want 2", got)
+	}
+}
+
+// TestHistogramEmptyQuantiles: an empty histogram snapshots to all zeros
+// rather than garbage bucket bounds.
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat") // registered, never observed
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.MaxNanos != 0 {
+		t.Fatalf("empty histogram not all-zero: %+v", s)
+	}
+	if s.MeanNanos() != 0 {
+		t.Fatalf("empty mean = %d, want 0", s.MeanNanos())
+	}
+}
+
+// TestHistogramOverflowMixedQuantiles: with bounded and overflow samples
+// mixed, low quantiles report bucket bounds and the top quantile reports the
+// true max, never a nonsense bound from the overflow bucket.
+func TestHistogramOverflowMixedQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(10 * time.Minute)
+	s := r.Snapshot().Histograms["lat"]
+	if s.P50 != int64(time.Microsecond) {
+		t.Fatalf("p50 = %d, want %d", s.P50, int64(time.Microsecond))
+	}
+	if s.P99 != int64(time.Microsecond) {
+		t.Fatalf("p99 = %d, want %d (rank 99 of 100)", s.P99, int64(time.Microsecond))
+	}
+	if s.MaxNanos != int64(10*time.Minute) {
+		t.Fatalf("max = %d, want %d", s.MaxNanos, int64(10*time.Minute))
+	}
+}
+
+// TestTraceIDsDeterministic: two tracers with the same seed mint identical
+// ID sequences; different seeds diverge; IDs are never zero.
+func TestTraceIDsDeterministic(t *testing.T) {
+	mint := func(seed uint64) []SpanContext {
+		tr := NewTracer(8, nil)
+		tr.SetSeed(seed)
+		var out []SpanContext
+		for i := 0; i < 4; i++ {
+			sp := tr.StartRoot("op", "/p")
+			out = append(out, sp.Context())
+			sp.End(nil)
+		}
+		return out
+	}
+	a, b, c := mint(7), mint(7), mint(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] == c[i] {
+			t.Fatalf("different seeds collided at %d: %v", i, a[i])
+		}
+		if !a[i].Valid() || a[i].Span == 0 {
+			t.Fatalf("invalid minted context: %v", a[i])
+		}
+	}
+}
+
+// TestStartChildParentLinks: children inherit the trace and point at their
+// parent; a zero parent context degrades to a fresh root.
+func TestStartChildParentLinks(t *testing.T) {
+	tr := NewTracer(8, nil)
+	tr.SetProc("proc-a")
+	root := tr.StartRoot("create", "/d/f")
+	if root.Trace == 0 || SpanID(root.Trace) != root.ID || root.Parent != 0 {
+		t.Fatalf("bad root identity: %+v", root)
+	}
+	child := tr.StartChild(root.Context(), "serve.Create", "/d/f")
+	if child.Trace != root.Trace {
+		t.Fatalf("child trace %v != root trace %v", child.Trace, root.Trace)
+	}
+	if child.Parent != root.ID || child.ID == root.ID {
+		t.Fatalf("bad child linkage: %+v", child)
+	}
+	if child.Proc != "proc-a" {
+		t.Fatalf("proc not stamped: %q", child.Proc)
+	}
+	orphan := tr.StartChild(SpanContext{}, "op", "/x")
+	if orphan.Parent != 0 || orphan.Trace == 0 {
+		t.Fatalf("zero parent should mint a root: %+v", orphan)
+	}
+	child.End(nil)
+	root.End(nil)
+	orphan.End(nil)
+}
+
+// TestTracerFilter: Filter selects by predicate, oldest first.
+func TestTracerFilter(t *testing.T) {
+	tr := NewTracer(8, nil)
+	for i := 0; i < 3; i++ {
+		tr.Start("stat", "/a").End(nil)
+	}
+	tr.Start("create", "/b").End(types.ErrExist)
+	errs := tr.Filter(func(s Span) bool { return s.Err != "" })
+	if len(errs) != 1 || errs[0].Op != "create" {
+		t.Fatalf("error filter: %+v", errs)
+	}
+	if got := len(tr.Filter(func(s Span) bool { return s.Op == "stat" })); got != 3 {
+		t.Fatalf("op filter matched %d, want 3", got)
+	}
+	if got := len(tr.Filter(nil)); got != 4 {
+		t.Fatalf("nil predicate matched %d, want all 4", got)
+	}
+}
+
+// TestTracerOnCommit: the commit hook sees every completed span.
+func TestTracerOnCommit(t *testing.T) {
+	tr := NewTracer(4, nil)
+	var mu sync.Mutex
+	var got []string
+	tr.OnCommit(func(s Span) {
+		mu.Lock()
+		got = append(got, s.Op)
+		mu.Unlock()
+	})
+	tr.Start("a", "/").End(nil)
+	tr.Start("b", "/").End(nil)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("hook saw %v", got)
+	}
+}
+
+// TestRemoteSpanContextCarrier: the wire context round-trips through a ctx,
+// and SpanContextFrom prefers a live local span over the incoming remote one.
+func TestRemoteSpanContextCarrier(t *testing.T) {
+	tr := NewTracer(4, nil)
+	remote := SpanContext{Trace: 5, Span: 9}
+	ctx := WithRemote(context.Background(), remote)
+	if got := RemoteFrom(ctx); got != remote {
+		t.Fatalf("RemoteFrom = %v, want %v", got, remote)
+	}
+	if got := SpanContextFrom(ctx); got != remote {
+		t.Fatalf("SpanContextFrom without local span = %v, want remote %v", got, remote)
+	}
+	sp := tr.StartChild(remote, "serve", "/x")
+	ctx = WithSpan(ctx, sp)
+	if got := SpanContextFrom(ctx); got != sp.Context() {
+		t.Fatalf("SpanContextFrom = %v, want local %v", got, sp.Context())
+	}
+	if got := RemoteFrom(context.Background()); got.Valid() {
+		t.Fatalf("RemoteFrom on empty ctx = %v, want zero", got)
+	}
+	sp.End(nil)
 }
 
 func TestSpanContextCarrier(t *testing.T) {

@@ -1,9 +1,12 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+
+	"arkfs/internal/obs"
 )
 
 // TCP bridging lets the live cmd/ tools run ArkFS components in separate
@@ -22,10 +25,12 @@ const TCPPrefix = "tcp!"
 func TCPAddr(hostport string) Addr { return Addr(TCPPrefix + hostport) }
 
 // Bridge exposes the local listener at target on a TCP endpoint. Remote
-// peers reach it with TCPAddr(server.Addr()).
+// peers reach it with TCPAddr(server.Addr()). The incoming trace identity is
+// relayed onto the local fabric, so a trace started in another process
+// continues through the bridged call.
 func (n *Network) Bridge(bind string, target Addr) (*TCPServer, error) {
-	return ListenTCP(bind, func(req any) any {
-		resp, err := n.Call(target, req)
+	return ListenTCP(bind, func(ctx context.Context, req any) any {
+		resp, err := n.CallFromCtx(ctx, "", target, req)
 		if err != nil {
 			return nil // the caller surfaces a decode/transport error
 		}
@@ -39,8 +44,9 @@ var tcpPool = struct {
 	conns map[string]*TCPClient
 }{conns: make(map[string]*TCPClient)}
 
-// callTCP performs a call to a "tcp!host:port" address.
-func (n *Network) callTCP(to Addr, req any) (any, error) {
+// callTCP performs a call to a "tcp!host:port" address, carrying the
+// caller's trace identity in the wire envelope.
+func (n *Network) callTCP(sc obs.SpanContext, to Addr, req any) (any, error) {
 	hostport := strings.TrimPrefix(string(to), TCPPrefix)
 	tcpPool.mu.Lock()
 	cli := tcpPool.conns[hostport]
@@ -60,7 +66,7 @@ func (n *Network) callTCP(to Addr, req any) (any, error) {
 		}
 		tcpPool.mu.Unlock()
 	}
-	resp, err := cli.Call(req)
+	resp, err := cli.Call(sc, req)
 	if err != nil {
 		// Drop the broken connection so the next call re-dials.
 		tcpPool.mu.Lock()

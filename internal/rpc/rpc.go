@@ -30,6 +30,14 @@ type Addr string
 // nested Calls), but must not hold locks across such blocking.
 type Handler func(req any) any
 
+// CtxHandler is a Handler that also receives the server-side context. The
+// fabric populates it with the caller's trace identity (obs.RemoteFrom), so
+// handlers can parent their own spans under the caller's trace. The context
+// carries no deadline: the simulated network cannot interrupt in-flight
+// virtual-time waits, and a forwarded operation must not inherit the remote
+// caller's cancellation.
+type CtxHandler func(ctx context.Context, req any) any
+
 // Sizer lets a message declare its wire size so bandwidth-limited links can
 // charge transfer time; messages without it are charged latency only.
 type Sizer interface {
@@ -125,6 +133,7 @@ func (n *Network) histFor(req any) *obs.Histogram {
 
 type call struct {
 	req   any
+	sc    obs.SpanContext // caller's trace identity, zero when untraced
 	reply *sim.Chan[any]
 }
 
@@ -139,6 +148,13 @@ type Server struct {
 // Listen registers addr with workers goroutines running h. It panics on a
 // duplicate address, which is always a wiring bug.
 func (n *Network) Listen(addr Addr, workers int, h Handler) *Server {
+	return n.ListenCtx(addr, workers, func(_ context.Context, req any) any { return h(req) })
+}
+
+// ListenCtx is Listen for trace-aware handlers: each request's handler
+// context carries the caller's span identity (retrieve with obs.RemoteFrom
+// or parent children via the ambient helpers).
+func (n *Network) ListenCtx(addr Addr, workers int, h CtxHandler) *Server {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -157,7 +173,11 @@ func (n *Network) Listen(addr Addr, workers int, h Handler) *Server {
 				if !ok {
 					return
 				}
-				c.reply.Send(h(c.req))
+				ctx := context.Background()
+				if c.sc.Valid() {
+					ctx = obs.WithRemote(ctx, c.sc)
+				}
+				c.reply.Send(h(ctx, c.req))
 			}
 		})
 	}
@@ -188,31 +208,39 @@ func (n *Network) Call(to Addr, req any) (any, error) {
 // plan apply per-link rules (partitions between address sets) in both the
 // request and the response direction.
 func (n *Network) CallFrom(from, to Addr, req any) (any, error) {
-	if n.reg == nil {
-		return n.callFrom(from, to, req)
-	}
-	start := n.env.Now()
-	resp, err := n.callFrom(from, to, req)
-	n.cCalls.Inc()
-	n.histFor(req).Observe(n.env.Now() - start)
-	return resp, err
+	return n.dispatch(obs.SpanContext{}, from, to, req)
 }
 
 // CallFromCtx is CallFrom gated on a context: a context that is already done
 // fails fast with its error before any network time is charged. Cancellation
 // of a call already in flight is not modeled — virtual-time waits cannot be
 // interrupted by real channels — so ctx acts as a deadline checked at the
-// call boundary, which is where the retry loops in core re-enter.
+// call boundary, which is where the retry loops in core re-enter. The
+// caller's trace identity (local span or relayed remote context) rides the
+// message so the server side can continue the trace.
 func (n *Network) CallFromCtx(ctx context.Context, from, to Addr, req any) (any, error) {
+	var sc obs.SpanContext
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		sc = obs.SpanContextFrom(ctx)
 	}
-	return n.CallFrom(from, to, req)
+	return n.dispatch(sc, from, to, req)
 }
 
-func (n *Network) callFrom(from, to Addr, req any) (any, error) {
+func (n *Network) dispatch(sc obs.SpanContext, from, to Addr, req any) (any, error) {
+	if n.reg == nil {
+		return n.callFrom(sc, from, to, req)
+	}
+	start := n.env.Now()
+	resp, err := n.callFrom(sc, from, to, req)
+	n.cCalls.Inc()
+	n.histFor(req).Observe(n.env.Now() - start)
+	return resp, err
+}
+
+func (n *Network) callFrom(sc obs.SpanContext, from, to Addr, req any) (any, error) {
 	fault := n.faultPlan()
 	if fault != nil {
 		if err := fault.apply(from, to, "request"); err != nil {
@@ -221,7 +249,7 @@ func (n *Network) callFrom(from, to Addr, req any) (any, error) {
 		}
 	}
 	if strings.HasPrefix(string(to), TCPPrefix) {
-		resp, err := n.callTCP(to, req)
+		resp, err := n.callTCP(sc, to, req)
 		if err != nil {
 			n.cTimeouts.Inc()
 			return resp, err
@@ -246,7 +274,7 @@ func (n *Network) callFrom(from, to Addr, req any) (any, error) {
 		size = sz.WireSize()
 	}
 	n.env.Sleep(n.model.TransferTime(size))
-	c := &call{req: req, reply: sim.NewChan[any](n.env)}
+	c := &call{req: req, sc: sc, reply: sim.NewChan[any](n.env)}
 	if !s.inbox.Send(c) {
 		n.cTimeouts.Inc()
 		return nil, fmt.Errorf("rpc: server %q closed: %w", to, types.ErrTimedOut)

@@ -1,12 +1,14 @@
 package rpc
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"sync"
 	"testing"
 	"time"
 
+	"arkfs/internal/obs"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
 )
@@ -142,7 +144,7 @@ type tcpMsg struct{ S string }
 
 func TestTCPRoundTrip(t *testing.T) {
 	gob.Register(tcpMsg{})
-	srv, err := ListenTCP("127.0.0.1:0", func(req any) any {
+	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, req any) any {
 		m := req.(tcpMsg)
 		return tcpMsg{S: m.S + "!"}
 	})
@@ -161,7 +163,7 @@ func TestTCPRoundTrip(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 25; j++ {
-				resp, err := cli.Call(tcpMsg{S: "hi"})
+				resp, err := cli.Call(obs.SpanContext{}, tcpMsg{S: "hi"})
 				if err != nil {
 					t.Error(err)
 					return
@@ -178,7 +180,7 @@ func TestTCPRoundTrip(t *testing.T) {
 
 func TestTCPServerCloseUnblocksClients(t *testing.T) {
 	gob.Register(tcpMsg{})
-	srv, err := ListenTCP("127.0.0.1:0", func(req any) any { return req })
+	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, req any) any { return req })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,10 +190,91 @@ func TestTCPServerCloseUnblocksClients(t *testing.T) {
 	}
 	defer cli.Close()
 	srv.Close()
-	if _, err := cli.Call(tcpMsg{S: "x"}); err == nil {
+	if _, err := cli.Call(obs.SpanContext{}, tcpMsg{S: "x"}); err == nil {
 		// A race may let one call through; a second must fail.
-		if _, err := cli.Call(tcpMsg{S: "y"}); err == nil {
+		if _, err := cli.Call(obs.SpanContext{}, tcpMsg{S: "y"}); err == nil {
 			t.Fatal("calls to closed server keep succeeding")
 		}
+	}
+}
+
+// TestCallCtxCarriesSpanContext: the caller's trace identity — whether a
+// live local span or a relayed remote context — arrives in the server
+// handler's context; untraced calls arrive with the zero context.
+func TestCallCtxCarriesSpanContext(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	net := NewNetwork(env, sim.NetModel{})
+	var mu sync.Mutex
+	var seen []obs.SpanContext
+	srv := net.ListenCtx("srv", 1, func(ctx context.Context, req any) any {
+		mu.Lock()
+		seen = append(seen, obs.RemoteFrom(ctx))
+		mu.Unlock()
+		return req
+	})
+	defer srv.Close()
+
+	tr := obs.NewTracer(4, nil)
+	tr.SetSeed(3)
+	sp := tr.StartRoot("op", "/p")
+	ctx := obs.WithSpan(context.Background(), sp)
+	if _, err := net.CallFromCtx(ctx, "cli", "srv", 1); err != nil {
+		t.Fatal(err)
+	}
+	relay := obs.WithRemote(context.Background(), sp.Context())
+	if _, err := net.CallFromCtx(relay, "cli", "srv", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.CallFromCtx(context.Background(), "cli", "srv", 3); err != nil {
+		t.Fatal(err)
+	}
+	sp.End(nil)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("server saw %d calls, want 3", len(seen))
+	}
+	if seen[0] != sp.Context() || seen[1] != sp.Context() {
+		t.Fatalf("trace identity lost: %v / %v, want %v", seen[0], seen[1], sp.Context())
+	}
+	if seen[2].Valid() {
+		t.Fatalf("untraced call arrived with identity %v", seen[2])
+	}
+}
+
+// TestTCPTracePropagation: the envelope carries the span context across a
+// real socket.
+func TestTCPTracePropagation(t *testing.T) {
+	gob.Register(tcpMsg{})
+	var mu sync.Mutex
+	var seen []obs.SpanContext
+	srv, err := ListenTCP("127.0.0.1:0", func(ctx context.Context, req any) any {
+		mu.Lock()
+		seen = append(seen, obs.RemoteFrom(ctx))
+		mu.Unlock()
+		return req
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	want := obs.SpanContext{Trace: 0xabc, Span: 0xdef}
+	if _, err := cli.Call(want, tcpMsg{S: "traced"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Call(obs.SpanContext{}, tcpMsg{S: "plain"}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != want || seen[1].Valid() {
+		t.Fatalf("server saw %v, want [%v, zero]", seen, want)
 	}
 }

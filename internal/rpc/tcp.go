@@ -1,33 +1,42 @@
 package rpc
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
 
+	"arkfs/internal/obs"
 	"arkfs/internal/types"
 )
 
-// envelope frames one gob-encoded message on the wire.
+// envelope frames one gob-encoded message on the wire. Trace/Span carry the
+// caller's trace identity across the process boundary (zero when untraced) —
+// the TCP analogue of the SpanContext the in-process fabric attaches to each
+// call.
 type envelope struct {
+	Trace   uint64
+	Span    uint64
 	Payload any
 }
 
-// TCPServer serves Handler over a TCP listener using gob encoding, one
+// TCPServer serves CtxHandler over a TCP listener using gob encoding, one
 // goroutine per connection with pipelined requests. Callers must gob.Register
 // their concrete message types.
 type TCPServer struct {
 	ln      net.Listener
-	handler Handler
+	handler CtxHandler
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closed  bool
 }
 
-// ListenTCP starts a server on addr ("host:port", ":0" for ephemeral).
-func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+// ListenTCP starts a server on addr ("host:port", ":0" for ephemeral). The
+// handler context carries the remote caller's trace identity when the
+// envelope names one.
+func ListenTCP(addr string, h CtxHandler) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
@@ -92,7 +101,12 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err := dec.Decode(&in); err != nil {
 			return
 		}
-		out := envelope{Payload: s.handler(in.Payload)}
+		ctx := context.Background()
+		sc := obs.SpanContext{Trace: obs.TraceID(in.Trace), Span: obs.SpanID(in.Span)}
+		if sc.Valid() {
+			ctx = obs.WithRemote(ctx, sc)
+		}
+		out := envelope{Trace: in.Trace, Span: in.Span, Payload: s.handler(ctx, in.Payload)}
 		if err := enc.Encode(&out); err != nil {
 			return
 		}
@@ -117,11 +131,14 @@ func DialTCP(addr string) (*TCPClient, error) {
 	return &TCPClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
-// Call performs one request/response exchange.
-func (c *TCPClient) Call(req any) (any, error) {
+// Call performs one request/response exchange. sc is the caller's trace
+// identity; pass the zero SpanContext when untraced.
+func (c *TCPClient) Call(sc obs.SpanContext, req any) (any, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(&envelope{Payload: req}); err != nil {
+	if err := c.enc.Encode(&envelope{
+		Trace: uint64(sc.Trace), Span: uint64(sc.Span), Payload: req,
+	}); err != nil {
 		return nil, fmt.Errorf("rpc: send: %w: %w", err, types.ErrIO)
 	}
 	var resp envelope
