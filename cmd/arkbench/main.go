@@ -14,6 +14,11 @@
 // Bench mode: arkbench -bench-json out.json -seed N writes the seeded
 // benchmark trajectory (mdtest, fio, scalability, metrics fingerprint) in the
 // stable arkfs-bench/v1 schema; the same seed yields a byte-identical file.
+//
+// Fsck mode: arkbench -fsck -seed N deploys and populates a file system,
+// shuts it down cleanly, bit-flips a few objects at rest, and reports what
+// the offline checker detects; with -repair it also runs the scrubber and
+// fails unless the image re-checks clean.
 package main
 
 import (
@@ -34,15 +39,17 @@ import (
 // modeFlags is the subset of flags whose combinations can contradict each
 // other; validateFlags rejects the nonsensical ones before any work starts.
 type modeFlags struct {
-	Chaos     bool
-	Stats     bool
-	StatsJSON bool   // -json
-	BenchJSON string // -bench-json path
+	Chaos      bool
+	Stats      bool
+	StatsJSON  bool   // -json
+	BenchJSON  string // -bench-json path
+	Fsck       bool
+	FsckRepair bool // -repair
 }
 
 // validateFlags returns a usage error for contradictory mode combinations:
-// -chaos, -stats, and -bench-json are exclusive modes, and -json only
-// formats -stats output.
+// -chaos, -stats, -bench-json, and -fsck are exclusive modes, -json only
+// formats -stats output, and -repair only modifies -fsck.
 func validateFlags(m modeFlags) error {
 	if m.Chaos && m.Stats {
 		return errors.New("-chaos and -stats are exclusive modes; run them separately")
@@ -53,8 +60,20 @@ func validateFlags(m modeFlags) error {
 	if m.BenchJSON != "" && m.Stats {
 		return errors.New("-bench-json and -stats are exclusive modes; run them separately")
 	}
+	if m.Fsck && m.Chaos {
+		return errors.New("-fsck and -chaos are exclusive modes; run them separately")
+	}
+	if m.Fsck && m.Stats {
+		return errors.New("-fsck and -stats are exclusive modes; run them separately")
+	}
+	if m.Fsck && m.BenchJSON != "" {
+		return errors.New("-fsck and -bench-json are exclusive modes; run them separately")
+	}
 	if m.StatsJSON && !m.Stats {
 		return errors.New("-json only formats -stats output; add -stats (bench mode is always JSON via -bench-json)")
+	}
+	if m.FsckRepair && !m.Fsck {
+		return errors.New("-repair only applies to -fsck; add -fsck")
 	}
 	return nil
 }
@@ -72,12 +91,15 @@ func main() {
 		retries = flag.Int("store-retries", 0, "enable the retrying store path with up to N attempts (0: off)")
 
 		chaos      = flag.Bool("chaos", false, "run a seeded chaos scenario instead of an experiment")
-		chaosSeed  = flag.Int64("seed", 1, "chaos/bench scenario seed; a failing run prints the seed to replay")
+		chaosSeed  = flag.Int64("seed", 1, "chaos/bench/fsck scenario seed; a failing run prints the seed to replay")
 		chaosData  = flag.Bool("chaos-data", false, "chaos: write file contents and verify byte-exact read-back")
 		chaosVerbo = flag.Bool("chaos-log", false, "chaos: print the full run narration")
 
 		stats     = flag.Bool("stats", false, "run an instrumented deployment and print its metrics")
 		statsJSON = flag.Bool("json", false, "stats: emit the snapshot as JSON instead of a table")
+
+		fsckMode   = flag.Bool("fsck", false, "run a seeded corruption/scrub drill instead of an experiment")
+		fsckRepair = flag.Bool("repair", false, "fsck: scrub-repair the corrupted image and fail unless it re-checks clean")
 
 		benchJSON = flag.String("bench-json", "", "run the seeded benchmark trajectory and write the arkfs-bench/v1 report to this file (- for stdout)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /stats.json, /healthz and pprof on this address while running (empty: off)")
@@ -89,6 +111,7 @@ func main() {
 	flag.Parse()
 	if err := validateFlags(modeFlags{
 		Chaos: *chaos, Stats: *stats, StatsJSON: *statsJSON, BenchJSON: *benchJSON,
+		Fsck: *fsckMode, FsckRepair: *fsckRepair,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "arkbench: %v\n", err)
 		flag.Usage()
@@ -146,6 +169,14 @@ func main() {
 			fmt.Println()
 		} else {
 			fmt.Print(snap.Table())
+		}
+		return
+	}
+	if *fsckMode {
+		rep := harness.RunFsck(harness.FsckConfig{Seed: *chaosSeed, Repair: *fsckRepair})
+		fmt.Print(rep.Summary())
+		if rep.Failed() {
+			os.Exit(1)
 		}
 		return
 	}

@@ -19,6 +19,13 @@ func TestValidateFlags(t *testing.T) {
 		{"bench+chaos", modeFlags{BenchJSON: "o.json", Chaos: true}, false},
 		{"bench+stats", modeFlags{BenchJSON: "o.json", Stats: true}, false},
 		{"bench+json", modeFlags{BenchJSON: "o.json", StatsJSON: true}, false},
+		{"fsck", modeFlags{Fsck: true}, true},
+		{"fsck repair", modeFlags{Fsck: true, FsckRepair: true}, true},
+		{"repair alone", modeFlags{FsckRepair: true}, false},
+		{"fsck+chaos", modeFlags{Fsck: true, Chaos: true}, false},
+		{"fsck+stats", modeFlags{Fsck: true, Stats: true}, false},
+		{"fsck+bench", modeFlags{Fsck: true, BenchJSON: "o.json"}, false},
+		{"repair+chaos", modeFlags{FsckRepair: true, Chaos: true}, false},
 	}
 	for _, tc := range cases {
 		err := validateFlags(tc.m)

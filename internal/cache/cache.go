@@ -257,6 +257,22 @@ func (c *Cache) ensure(ino types.Ino, idx uint64, fetch, prefetch bool) (*entry,
 		e.data = data
 		ready := e.loading
 		e.loading = nil
+		if err != nil {
+			// Remove the failed entry entirely: leaving it resident with no
+			// data would serve zeros for bytes the store still holds (and a
+			// prefetch error would poison the later foreground read). The
+			// next access refetches.
+			if e.lruElem != nil {
+				c.lru.Remove(e.lruElem)
+				e.lruElem = nil
+			}
+			if fc := c.files[ino]; fc != nil {
+				fc.tree.Delete(idx)
+				if fc.tree.Len() == 0 && fc.raWindow == 0 {
+					delete(c.files, ino)
+				}
+			}
+		}
 		c.mu.Unlock()
 		ready.Close()
 		if err != nil {
@@ -266,9 +282,11 @@ func (c *Cache) ensure(ino types.Ino, idx uint64, fetch, prefetch bool) (*entry,
 	}
 }
 
-// fetchChunk reads one data object; a missing object is a hole (empty data).
+// fetchChunk reads and CRC-verifies one data object; a missing object is a
+// hole (empty data). A chunk failing verification surfaces a typed integrity
+// error rather than silently wrong bytes.
 func (c *Cache) fetchChunk(ino types.Ino, idx uint64) ([]byte, error) {
-	data, err := c.tr.Store().Get(prt.DataKey(ino, int64(idx)))
+	data, err := c.tr.GetChunk(ino, int64(idx))
 	if err != nil {
 		if isNotExist(err) {
 			return nil, nil

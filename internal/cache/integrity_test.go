@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"arkfs/internal/objstore"
+	"arkfs/internal/prt"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// Regression: a sequential read whose readahead window crosses a torn chunk
+// must surface a typed integrity error when the reader reaches the torn
+// chunk — never silently short or zero bytes. The tear is persistent on the
+// read side (FaultStore serves the same short object to the async prefetch
+// and to the foreground read that follows), so whichever of the two fetches
+// the chunk first, the consumer sees ErrIntegrity; neighbouring chunks keep
+// serving verified bytes.
+func TestReadaheadCrossingTornChunkSurfacesIntegrity(t *testing.T) {
+	const chunk = 64
+	env := sim.NewRealEnv()
+	t.Cleanup(env.Shutdown)
+	fs := objstore.NewFaultStore(objstore.NewMemStore())
+	tr := prt.New(fs, chunk)
+	c := New(env, tr, Config{EntrySize: chunk, MaxEntries: 100, MaxReadahead: 2 * chunk})
+
+	ino := types.NewInoSource(1).Next()
+	var want []byte
+	for idx := 0; idx < 3; idx++ {
+		want = append(want, chunkPattern(idx, chunk)...)
+	}
+	if err := tr.WriteAt(ino, want, 0); err != nil {
+		t.Fatal(err)
+	}
+	const size = 3 * chunk
+
+	// Tear reads of chunk 1 only. The sealed object is served at half its
+	// length, so its CRC trailer cannot verify.
+	fs.TearNextRead(prt.DataKey(ino, 1), 1)
+
+	// A read starting at offset 0 jumps the window to MaxReadahead and
+	// prefetches chunks 1 and 2 behind it.
+	buf := make([]byte, chunk)
+	if n, err := c.Read(ino, buf, 0, size); err != nil || n != chunk {
+		t.Fatalf("chunk 0 read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, want[:chunk]) {
+		t.Fatal("chunk 0 bytes mismatch")
+	}
+	if c.Stat().Readaheads.Load() == 0 {
+		t.Fatal("readahead never engaged; the test is not crossing the boundary")
+	}
+
+	// Reaching the torn chunk surfaces the typed error, whether the async
+	// prefetch or this read fetched it first.
+	if _, err := c.Read(ino, buf, chunk, size); !errors.Is(err, types.ErrIntegrity) {
+		t.Fatalf("read of torn chunk: %v, want ErrIntegrity", err)
+	}
+
+	// The tear poisons only its own chunk: the neighbour past the boundary
+	// still reads verified bytes.
+	if n, err := c.Read(ino, buf, 2*chunk, size); err != nil || n != chunk {
+		t.Fatalf("chunk 2 read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, want[2*chunk:]) {
+		t.Fatal("chunk 2 bytes mismatch")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"arkfs/internal/prt"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
+	"arkfs/internal/wire"
 )
 
 // faultCacheSetup builds a cache over a FaultStore-backed translator.
@@ -167,7 +168,11 @@ func TestFlushSnapshotsAgainstConcurrentWrite(t *testing.T) {
 	if err := <-flushDone; err != nil {
 		t.Fatal(err)
 	}
-	stored, err := gs.Get(prt.DataKey(ino, 0))
+	raw, err := gs.Get(prt.DataKey(ino, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := wire.Unseal(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +189,11 @@ func TestFlushSnapshotsAgainstConcurrentWrite(t *testing.T) {
 	if err := c.Flush(ino); err != nil {
 		t.Fatal(err)
 	}
-	stored, err = gs.Get(prt.DataKey(ino, 0))
+	raw, err = gs.Get(prt.DataKey(ino, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err = wire.Unseal(raw)
 	if err != nil {
 		t.Fatal(err)
 	}

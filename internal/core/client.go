@@ -143,9 +143,24 @@ type ledDir struct {
 	table   *metatable.Table
 	leaseID uint64
 	expiry  time.Duration
+	// degraded marks a directory whose checkpointed state failed
+	// verification at load: it is served read-only from the last valid
+	// state until the scrubber repairs the underlying objects.
+	degraded bool
 	// dataLeases tracks per-child-file read/write leases issued by this
 	// leader (paper §III-D).
 	dataLeases map[types.Ino]*dataLease
+}
+
+// writable gates every mutating operation on a led directory: a directory
+// degraded by detected corruption is served read-only until repaired.
+// Callers hold ld.opMu or tolerate a stale read of the flag (it is set once,
+// before the ledDir is published).
+func (ld *ledDir) writable() error {
+	if ld.degraded {
+		return fmt.Errorf("core: directory degraded by detected corruption, serving read-only: %w", types.ErrReadOnly)
+	}
+	return nil
 }
 
 // dataLease is the lease state of one child file.
@@ -214,6 +229,9 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 		// not retry, it simply stops issuing I/O.
 		tr = prt.New(crashpoint.NewGateStore(opts.Crash, tr.Store()), tr.ChunkSize())
 	}
+	// Checksum failures anywhere under this client (inode, dentry, chunk)
+	// count against integrity.detected. Nil-safe for uninstrumented clients.
+	tr.SetObs(opts.Obs)
 	var tracer *obs.Tracer
 	if opts.Obs != nil {
 		// The tracer is built before the journal so journal commits and
@@ -585,7 +603,7 @@ func (c *Client) becomeLeader(ctx context.Context, dir types.Ino, grant lease.Ac
 		c.crashHit(crashpoint.RecoveryPreReplay)
 		rsp := c.tracer.StartChild(obs.SpanContextFrom(ctx), "journal.recover", "")
 		rsp.SetDir(dir)
-		rep, err := journal.Recover(c.tr, dir)
+		rep, err := journal.RecoverWith(c.tr, dir, c.obsReg)
 		rsp.End(err)
 		if err != nil {
 			// A dead process is silent: if the failure is our own crash, do
@@ -630,7 +648,24 @@ func (c *Client) becomeLeader(ctx context.Context, dir types.Ino, grant lease.Ac
 	// Fresh leadership (or re-grant after release): load the metadata table
 	// from the object store. The paper's SameLeader shortcut only helps when
 	// the client also kept its table; after Close we always reload.
+	degraded := false
 	tbl, err := metatable.Load(c.tr, dir)
+	if err != nil && errors.Is(err, types.ErrIntegrity) {
+		// The checkpointed state is rotten but the lease is ours: serve the
+		// directory read-only from whatever still verifies rather than
+		// failing every operation. The scrubber repairs the objects; the
+		// next leadership change reloads cleanly.
+		var lost int
+		dsp := c.tracer.StartChild(obs.SpanContextFrom(ctx), "integrity.degraded", dir.Short())
+		dsp.SetDir(dir)
+		tbl, lost, err = metatable.LoadDegraded(c.tr, dir)
+		dsp.End(err)
+		if err == nil {
+			degraded = true
+			c.obsReg.Counter("integrity.degraded").Inc()
+			c.obsReg.Counter("integrity.degraded.entries.lost").Add(int64(lost))
+		}
+	}
 	if err != nil {
 		_ = c.lm.Release(ctx, dir, grant.LeaseID, true)
 		return nil, "", fmt.Errorf("core: build metatable for %s: %w", dir.Short(), err)
@@ -646,6 +681,7 @@ func (c *Client) becomeLeader(ctx context.Context, dir types.Ino, grant lease.Ac
 		table:      tbl,
 		leaseID:    grant.LeaseID,
 		expiry:     grant.Expiry,
+		degraded:   degraded,
 		dataLeases: make(map[types.Ino]*dataLease),
 	}
 	c.mu.Lock()

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"arkfs/internal/obs"
+	"arkfs/internal/types"
+)
+
+// A directory whose checkpointed dentry block is corrupt at rest is served
+// degraded by the next leader: reads work on whatever survives verification,
+// every mutation returns EROFS, and integrity.degraded is counted. Other
+// directories stay fully writable.
+func TestCorruptCheckpointServesDegradedReadOnly(t *testing.T) {
+	tc := newTestCluster(t)
+	c1 := tc.client(t, "c1")
+	ctx := context.Background()
+	if err := c1.Mkdir(ctx, "/deg", 0777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c1.Create(ctx, "/deg/kept", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if err := c1.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c1.resolvePath(ctx, "/deg", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degIno := res.node.Ino
+	c1.Crash()
+
+	// Rot the checkpointed dentry block while no leader holds the lease.
+	key := "e:" + degIno.String()
+	raw, err := tc.store.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := append([]byte(nil), raw...)
+	cp[len(cp)/2] ^= 0x08
+	if err := tc.store.Put(key, cp); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	c2 := tc.client(t, "c2", func(o *Options) { o.Obs = reg })
+	// The next leader takes over after lease expiry + grace; reads of the
+	// degraded directory succeed (empty: the whole block was lost).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c2.Readdir(ctx, "/deg"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("c2 never became leader of the degraded directory")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	ents, err := c2.Readdir(ctx, "/deg")
+	if err != nil {
+		t.Fatalf("degraded readdir: %v", err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("corrupt block yielded entries: %v", ents)
+	}
+	// Every mutation is refused with EROFS.
+	if _, err := c2.Create(ctx, "/deg/new", 0644); !errors.Is(err, types.ErrReadOnly) {
+		t.Fatalf("create in degraded dir: %v, want EROFS", err)
+	}
+	if err := c2.Mkdir(ctx, "/deg/sub", 0755); !errors.Is(err, types.ErrReadOnly) {
+		t.Fatalf("mkdir in degraded dir: %v, want EROFS", err)
+	}
+	if v := reg.Counter("integrity.degraded").Value(); v == 0 {
+		t.Fatal("integrity.degraded never counted")
+	}
+	// The blast radius is one directory: the rest of the tree stays writable.
+	if err := c2.Mkdir(ctx, "/healthy", 0755); err != nil {
+		t.Fatalf("unrelated directory not writable: %v", err)
+	}
+}

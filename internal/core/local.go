@@ -21,6 +21,9 @@ func (c *Client) localCreate(ctx context.Context, ld *ledDir, dir types.Ino, req
 	defer ld.opMu.Unlock()
 	c.chargeMetaOp()
 	c.stats.LocalMetaOps.Add(1)
+	if err := ld.writable(); err != nil {
+		return nil, err
+	}
 	if err := types.ValidName(req.Name); err != nil {
 		return nil, err
 	}
@@ -86,6 +89,9 @@ func (c *Client) localUnlink(ctx context.Context, ld *ledDir, dir types.Ino, req
 	defer ld.opMu.Unlock()
 	c.chargeMetaOp()
 	c.stats.LocalMetaOps.Add(1)
+	if err := ld.writable(); err != nil {
+		return err
+	}
 	dirNode := ld.table.DirInode()
 	if err := dirNode.Access(req.Cred, types.MayWrite|types.MayExec); err != nil {
 		return err
@@ -148,6 +154,9 @@ func (c *Client) localSetAttr(ctx context.Context, ld *ledDir, dir types.Ino, re
 	defer ld.opMu.Unlock()
 	c.chargeMetaOp()
 	c.stats.LocalMetaOps.Add(1)
+	if err := ld.writable(); err != nil {
+		return nil, err
+	}
 	var node *types.Inode
 	if req.Name == "" {
 		node = ld.table.DirInode()
@@ -261,6 +270,9 @@ func (c *Client) localRenameSameDir(ctx context.Context, ld *ledDir, dir types.I
 	defer ld.opMu.Unlock()
 	c.chargeMetaOp()
 	c.stats.LocalMetaOps.Add(1)
+	if err := ld.writable(); err != nil {
+		return err
+	}
 	if err := types.ValidName(dstName); err != nil {
 		return err
 	}

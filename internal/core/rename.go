@@ -118,6 +118,10 @@ func (c *Client) coordinateRename(ctx context.Context, r RenameReq) error {
 
 	// --- Phase 0: validate and pin the source side.
 	ld.opMu.Lock()
+	if err := ld.writable(); err != nil {
+		ld.opMu.Unlock()
+		return err
+	}
 	dirNode := ld.table.DirInode()
 	if err := dirNode.Access(r.Cred, types.MayWrite|types.MayExec); err != nil {
 		ld.opMu.Unlock()
@@ -222,6 +226,10 @@ func (c *Client) prepareRenameLocal(ctx context.Context, ld *ledDir, r PrepareRe
 		return err
 	}
 	ld.opMu.Lock()
+	if err := ld.writable(); err != nil {
+		ld.opMu.Unlock()
+		return err
+	}
 	dirNode := ld.table.DirInode()
 	if err := dirNode.Access(r.Cred, types.MayWrite|types.MayExec); err != nil {
 		ld.opMu.Unlock()

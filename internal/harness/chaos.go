@@ -57,6 +57,15 @@ type ChaosConfig struct {
 	Partitions  int
 	DropWindows int
 	FlakyFlips  int
+	// Corruption drill. CorruptWindows scripted windows flip bits on reads in
+	// flight (transient: the stored object is untouched, a retry reads clean
+	// bytes), exercising the verify-on-read paths live. After the oracle
+	// verification, CorruptObjects live objects are bit-flipped at rest, the
+	// scrubber must detect and repair every one, and the image must re-check
+	// clean modulo the tolerated leak classes. Defaults 1 and 2; negative
+	// disables.
+	CorruptWindows int
+	CorruptObjects int
 }
 
 func (c *ChaosConfig) fill() {
@@ -89,6 +98,12 @@ func (c *ChaosConfig) fill() {
 	if c.FlakyFlips == 0 {
 		c.FlakyFlips = 1
 	}
+	if c.CorruptWindows == 0 {
+		c.CorruptWindows = 1
+	}
+	if c.CorruptObjects == 0 {
+		c.CorruptObjects = 2
+	}
 }
 
 // ChaosEvent is one scripted fault, scheduled before the run starts.
@@ -111,6 +126,11 @@ type ChaosReport struct {
 	// deletes, oracle content mismatches, and fsck findings.
 	Errors []string
 	Fsck   *fsck.Report
+	// Corrupted lists the object keys the integrity epilogue bit-flipped at
+	// rest after verification; Scrub is the repair pass that followed, whose
+	// post-check must come back clean modulo tolerated leaks.
+	Corrupted []string
+	Scrub     *fsck.ScrubReport
 	// Metrics is the deterministic metrics fingerprint of the run's shared
 	// observability registry (counters and histogram counts; no latencies).
 	Metrics string
@@ -130,6 +150,19 @@ func (r *ChaosReport) Fingerprint() string {
 	fired := append([]string(nil), r.Fired...)
 	sort.Strings(fired)
 	b.WriteString("fired: " + strings.Join(fired, ",") + "\n")
+	if len(r.Corrupted) > 0 {
+		b.WriteString("corrupted: " + strings.Join(r.Corrupted, ",") + "\n")
+	}
+	if r.Scrub != nil {
+		// Sorted: scrub passes walk map-keyed groups, so raw action order is
+		// not stable across runs even when the action set is.
+		acts := make([]string, 0, len(r.Scrub.Actions))
+		for _, a := range r.Scrub.Actions {
+			acts = append(acts, a.Op+" "+a.Key)
+		}
+		sort.Strings(acts)
+		b.WriteString("scrub: " + strings.Join(acts, ";") + "\n")
+	}
 	b.WriteString(r.Metrics)
 	return b.String()
 }
@@ -147,6 +180,14 @@ func (r *ChaosReport) Summary() string {
 	if r.Fsck != nil {
 		fmt.Fprintf(&b, "fsck: %d dirs, %d files, %d problems, %d pending journal records\n",
 			r.Fsck.Dirs, r.Fsck.Files, len(r.Fsck.Problems), r.Fsck.PendingJournalRecords)
+	}
+	if len(r.Corrupted) > 0 && r.Scrub != nil {
+		post := 0
+		if r.Scrub.Post != nil {
+			post = len(r.Scrub.Post.Problems)
+		}
+		fmt.Fprintf(&b, "integrity: %d object(s) bit-flipped at rest, scrub took %d action(s), %d post-repair problem(s)\n",
+			len(r.Corrupted), len(r.Scrub.Actions), post)
 	}
 	if r.Failed() {
 		fmt.Fprintf(&b, "FAILED (replay with seed %d):\n", r.Seed)
@@ -436,6 +477,16 @@ func (r *chaosRun) run() {
 		addEvent(t, fmt.Sprintf("flaky-on p=%.3f", prob), func() { r.fault.SetFlaky(prob, seed) })
 		addEvent(t+dur, "flaky-off", func() { r.fault.SetFlaky(0, 0) })
 	}
+	for i := 0; i < cfg.CorruptWindows; i++ {
+		t := at()
+		dur := lp/2 + time.Duration(rng.Int63n(int64(lp)))
+		// Kept low: every verify-on-read path re-reads once before reacting
+		// destructively, so only a double flip on the same object can do harm.
+		prob := 0.005 + rng.Float64()*0.015
+		seed := rng.Int63()
+		addEvent(t, fmt.Sprintf("corrupt-reads-on p=%.3f", prob), func() { r.fault.SetCorruptReads("", prob, seed) })
+		addEvent(t+dur, "corrupt-reads-off", func() { r.fault.SetCorruptReads("", 0, 0) })
+	}
 	var mgrDownUntil time.Duration
 	for i := 0; i < cfg.MgrRestarts; i++ {
 		t := at()
@@ -510,6 +561,7 @@ func (r *chaosRun) run() {
 	r.plan.HealAll()
 	r.plan.SetDrop(0)
 	r.fault.SetFlaky(0, 0)
+	r.fault.SetCorruptReads("", 0, 0)
 	r.logf("drain: faults healed, closing survivors")
 	for i, s := range r.slots {
 		c, set := s.client()
@@ -525,6 +577,7 @@ func (r *chaosRun) run() {
 	env.Sleep(3 * cfg.LeasePeriod) // expiry + recovery grace for lapsed leases
 
 	r.verify()
+	r.integrityEpilogue()
 	r.rep.Metrics = r.reg.Snapshot().Fingerprint()
 }
 
@@ -631,6 +684,18 @@ func (r *chaosRun) renameFile(s *slotState, src, dst string) {
 	r.oracle.set(dst, oMustExist)
 }
 
+// toleratedLeaks are the fsck problem classes a kill can legitimately leave
+// behind: a crash between the object puts of one logical operation leaks
+// unreachable objects (an inode whose dentry-add record was never durable,
+// chunks whose metadata flush never happened) — space for a GC pass, not
+// corruption. Everything outside this set — dangling dentries, torn records,
+// structural damage — fails the run.
+var toleratedLeaks = map[string]bool{
+	"orphan-inode": true, "orphan-dentries": true,
+	"dangling-chunks": true, "orphan-chunks": true,
+	"chunk-beyond-eof": true, "orphan-journal": true,
+}
+
 // verify walks the namespace with a fresh client (forcing journal recovery of
 // every crashed directory), checks the oracle, and runs fsck.
 func (r *chaosRun) verify() {
@@ -724,18 +789,8 @@ func (r *chaosRun) verify() {
 		return
 	}
 	r.rep.Fsck = rep
-	// A kill between the object puts of one logical operation legitimately
-	// leaks unreachable objects (an inode whose dentry-add record was never
-	// durable, chunks whose metadata flush never happened): space for a GC
-	// pass, not corruption. Everything in the corruption class — dangling
-	// dentries, torn records, structural damage — fails the run.
-	leak := map[string]bool{
-		"orphan-inode": true, "orphan-dentries": true,
-		"dangling-chunks": true, "orphan-chunks": true,
-		"chunk-beyond-eof": true, "orphan-journal": true,
-	}
 	for _, p := range rep.Problems {
-		if leak[p.Kind] {
+		if toleratedLeaks[p.Kind] {
 			r.logf("fsck leak (tolerated): %s", p)
 			continue
 		}
@@ -767,5 +822,90 @@ func (r *chaosRun) checkContent(v *core.Client, p string) {
 			r.errf("verify %s: content mismatch at byte %d", p, i)
 			return
 		}
+	}
+}
+
+// integrityEpilogue is the at-rest corruption drill, run after the oracle
+// verification so it cannot disturb those checks: flip one byte in
+// CorruptObjects live objects chosen deterministically from the converged
+// image, then demand the scrubber detect and act on every one, and that the
+// repaired image re-checks clean modulo the tolerated leak classes.
+func (r *chaosRun) integrityEpilogue() {
+	if r.cfg.CorruptObjects <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(r.cfg.Seed*104729 + 11))
+	// Data chunks, dentry blocks, and journal records: every class the
+	// scrubber repairs or quarantines without leaving structural damage.
+	// Inode objects are excluded — quarantining one whose journaled copy was
+	// checkpointed away leaves a dangling dentry, which is corruption-class.
+	// The superblock is excluded because its rewrite assumes the default
+	// chunk size and chaos runs format with a smaller one.
+	var candidates []string
+	for _, prefix := range []string{prt.PrefixData, prt.PrefixDentry, prt.PrefixJournal} {
+		keys, err := r.cluster.List(prefix)
+		if err != nil {
+			r.errf("epilogue list %s: %v", prefix, err)
+			return
+		}
+		candidates = append(candidates, keys...)
+	}
+	sort.Strings(candidates)
+	if len(candidates) == 0 {
+		return
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	n := r.cfg.CorruptObjects
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	picked := append([]string(nil), candidates[:n]...)
+	sort.Strings(picked)
+	for _, k := range picked {
+		raw, err := r.cluster.Get(k)
+		if err != nil {
+			r.errf("epilogue read %s: %v", k, err)
+			return
+		}
+		if len(raw) == 0 {
+			continue
+		}
+		cp := append([]byte(nil), raw...)
+		cp[rng.Intn(len(cp))] ^= 0x20
+		if err := r.cluster.Put(k, cp); err != nil {
+			r.errf("epilogue corrupt %s: %v", k, err)
+			return
+		}
+		r.rep.Corrupted = append(r.rep.Corrupted, k)
+		r.logf("epilogue: flipped one bit at rest in %s", k)
+	}
+
+	scrub, err := fsck.Scrub(r.cluster, true)
+	r.rep.Scrub = scrub
+	if err != nil {
+		r.errf("epilogue scrub: %v", err)
+		return
+	}
+	acted := map[string]bool{}
+	for _, a := range scrub.Actions {
+		acted[a.Key] = true
+	}
+	for _, k := range r.rep.Corrupted {
+		if !acted[k] {
+			r.errf("epilogue: scrub neither repaired nor quarantined corrupted object %s", k)
+		}
+	}
+	if scrub.Post == nil {
+		r.errf("epilogue: repair run produced no post-check")
+		return
+	}
+	for _, p := range scrub.Post.Problems {
+		if toleratedLeaks[p.Kind] {
+			r.logf("epilogue fsck leak (tolerated): %s", p)
+			continue
+		}
+		r.errf("epilogue post-repair fsck: %s", p)
 	}
 }

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// The repairing drill must detect every injected flip, act on it, and leave
+// an image that re-checks clean modulo the tolerated crash leaks.
+func TestFsckDrillRepairConverges(t *testing.T) {
+	rep := RunFsck(FsckConfig{Seed: 3, Repair: true})
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if len(rep.Corrupted) == 0 {
+		t.Fatal("drill corrupted nothing")
+	}
+	if rep.Pre.Clean() {
+		t.Fatal("corruption at rest went undetected")
+	}
+	if rep.Post == nil {
+		t.Fatal("repair run produced no re-check")
+	}
+	if rep.Failed() {
+		t.Fatalf("drill failed:\n%s", rep.Summary())
+	}
+}
+
+// Without -repair the scrub only plans: the store is untouched, the planned
+// actions still cover every corrupted object, and the drill passes on
+// detection alone.
+func TestFsckDrillDetectOnly(t *testing.T) {
+	rep := RunFsck(FsckConfig{Seed: 5})
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.Scrub == nil || !rep.Scrub.Planned {
+		t.Fatal("detect-only drill should plan, not repair")
+	}
+	if rep.Post != nil {
+		t.Fatal("detect-only drill should not re-check")
+	}
+	if rep.Failed() {
+		t.Fatalf("drill failed:\n%s", rep.Summary())
+	}
+	if !strings.Contains(rep.Summary(), "scrub planned") {
+		t.Fatalf("summary does not mention the plan:\n%s", rep.Summary())
+	}
+}
+
+// The same seed corrupts the same objects: the drill is replayable.
+func TestFsckDrillSameSeedSameTargets(t *testing.T) {
+	a := RunFsck(FsckConfig{Seed: 11})
+	b := RunFsck(FsckConfig{Seed: 11})
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("errs: %v, %v", a.Err, b.Err)
+	}
+	if strings.Join(a.Corrupted, ",") != strings.Join(b.Corrupted, ",") {
+		t.Fatalf("same seed corrupted different objects:\n%v\n%v", a.Corrupted, b.Corrupted)
+	}
+}

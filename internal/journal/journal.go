@@ -18,6 +18,7 @@ package journal
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -425,6 +426,33 @@ func (dj *dirJournal) takeErr() error {
 // uses it. The checkpoint workers use applyOps with an environment, which
 // fans independent inode writes out in parallel.
 func ApplyOps(tr *prt.Translator, dir types.Ino, ops []wire.Op) error {
+	return applyOps(nil, tr, dir, ops, 1, nil)
+}
+
+// applyOpsRepair is ApplyOps for recovery and scrub: when the directory's
+// checkpointed dentry block fails verification, it is rebuilt from the
+// journal operations instead of failing the replay — the journal is the
+// authority the checkpoint is derived from. Entries present only in the lost
+// block are not recoverable here; the scrubber reports the resulting orphan
+// inodes. Rebuilds count against integrity.repaired on reg.
+func applyOpsRepair(tr *prt.Translator, dir types.Ino, ops []wire.Op, reg *obs.Registry) error {
+	err := applyOps(nil, tr, dir, ops, 1, nil)
+	if err == nil || !errors.Is(err, types.ErrIntegrity) {
+		return err
+	}
+	// One confirming retry before the destructive rebuild: a transient read
+	// fault (a flip on the wire, not rot at rest) must not cost the directory
+	// its checkpoint-only entries. Rot at rest fails the re-read identically.
+	err = applyOps(nil, tr, dir, ops, 1, nil)
+	if err == nil || !errors.Is(err, types.ErrIntegrity) {
+		return err
+	}
+	// The corrupt block is unreadable regardless; replaying onto an empty
+	// table recovers every journal-covered entry.
+	if derr := tr.DeleteDentries(dir); derr != nil {
+		return fmt.Errorf("journal: drop corrupt dentry block of %s: %w", dir.Short(), derr)
+	}
+	reg.Counter("integrity.repaired").Inc()
 	return applyOps(nil, tr, dir, ops, 1, nil)
 }
 

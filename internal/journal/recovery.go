@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"arkfs/internal/obs"
 	"arkfs/internal/prt"
 	"arkfs/internal/types"
 	"arkfs/internal/wire"
@@ -14,11 +15,17 @@ import (
 type Report struct {
 	// Replayed counts committed transactions applied to the originals.
 	Replayed int
-	// Committed2PC and Aborted2PC count resolved prepared transactions.
+	// Committed2PC and Aborted2PC count resolved prepared transactions;
+	// Undecided2PC counts prepares retained because a corrupt record hides
+	// the coordinator's decision.
 	Committed2PC int
 	Aborted2PC   int
-	// Corrupt counts records dropped for CRC/decode failures (torn writes).
+	Undecided2PC int
+	// Corrupt counts records that failed CRC/decode (torn or bit-rotted).
 	Corrupt int
+	// Truncated counts records discarded by the truncation rule: the first
+	// corrupt record and everything after it in sequence order.
+	Truncated int
 	// NextSeq is one past the highest sequence observed; the new leader
 	// primes its journal with it.
 	NextSeq uint64
@@ -29,63 +36,109 @@ type Report struct {
 // checkpointing (paper §III-E-1); they are replayed in sequence order.
 // Prepared transactions are resolved through the coordinator's journal with
 // presumed abort. All of dir's journal objects are removed on success.
+//
+// Corruption follows the truncation rule: the journal is cut at the first
+// record that fails verification, and every later record is discarded
+// unreplayed — a transaction is only durable if every record before it is
+// intact, exactly like a single-file write-ahead log. Replaying past a gap
+// could apply operations whose prerequisites were in the lost record.
 func Recover(tr *prt.Translator, dir types.Ino) (Report, error) {
+	return RecoverWith(tr, dir, nil)
+}
+
+// RecoverWith is Recover with integrity counters registered on reg
+// (integrity.detected, integrity.truncated, integrity.repaired). A nil
+// registry is inert.
+func RecoverWith(tr *prt.Translator, dir types.Ino, reg *obs.Registry) (Report, error) {
 	var rep Report
+	detected := reg.Counter("integrity.detected")
+	truncated := reg.Counter("integrity.truncated")
 	keys, err := tr.Store().List(prt.JournalPrefix(dir))
 	if err != nil {
 		return rep, fmt.Errorf("journal: recovery list: %w", err)
 	}
 	// Keys encode the sequence in fixed-width hex, so lexical order is
-	// sequence order; List already sorts.
+	// sequence order; List already sorts. Re-sort defensively anyway.
 	type rec struct {
 		key string
 		seq uint64
 		txn *wire.Txn
 	}
-	var recs []rec
+	ordered := make([]rec, 0, len(keys))
 	for _, key := range keys {
 		seq, err := prt.ParseJournalSeq(key)
 		if err != nil {
+			// Not a journal record at all; count it but leave it for the
+			// scrubber — it does not occupy a slot in the sequence.
 			rep.Corrupt++
+			detected.Inc()
 			continue
 		}
 		if seq+1 > rep.NextSeq {
 			rep.NextSeq = seq + 1
 		}
-		raw, err := tr.Store().Get(key)
-		if err != nil {
-			if errors.Is(err, types.ErrNotExist) {
-				continue // raced with a concurrent invalidation
-			}
-			return rep, fmt.Errorf("journal: recovery read %s: %w", key, err)
-		}
-		txn, err := wire.DecodeTxn(raw)
-		if err != nil {
-			// Torn write at the crash point: discard the record.
-			rep.Corrupt++
-			if derr := tr.Store().Delete(key); derr != nil {
-				return rep, fmt.Errorf("journal: recovery drop %s: %w", key, derr)
+		ordered = append(ordered, rec{key: key, seq: seq})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+
+	recs := ordered[:0]
+	cut := false
+	for i := range ordered {
+		r := &ordered[i]
+		if cut {
+			// Past the first bad record: discard without replaying.
+			rep.Truncated++
+			truncated.Inc()
+			if derr := tr.Store().Delete(r.key); derr != nil {
+				return rep, fmt.Errorf("journal: recovery truncate %s: %w", r.key, derr)
 			}
 			continue
 		}
-		recs = append(recs, rec{key: key, seq: seq, txn: txn})
+		txn, found, err := readTxn(tr, r.key)
+		if err != nil {
+			return rep, fmt.Errorf("journal: recovery read %s: %w", r.key, err)
+		}
+		if !found {
+			continue // raced with a concurrent invalidation
+		}
+		if txn == nil {
+			// Verified corrupt (survived a confirming re-read): cut here.
+			rep.Corrupt++
+			detected.Inc()
+			rep.Truncated++
+			truncated.Inc()
+			cut = true
+			if derr := tr.Store().Delete(r.key); derr != nil {
+				return rep, fmt.Errorf("journal: recovery truncate %s: %w", r.key, derr)
+			}
+			continue
+		}
+		r.txn = txn
+		recs = append(recs, *r)
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
 
 	for _, r := range recs {
 		switch r.txn.Kind {
 		case wire.TxnNormal:
-			if err := ApplyOps(tr, dir, r.txn.Ops); err != nil {
+			if err := applyOpsRepair(tr, dir, r.txn.Ops, reg); err != nil {
 				return rep, fmt.Errorf("journal: recovery replay seq %d: %w", r.seq, err)
 			}
 			rep.Replayed++
 		case wire.TxnPrepare:
-			committed, err := decisionFor(tr, r.txn)
+			committed, undecided, err := decisionFor(tr, r.txn)
 			if err != nil {
 				return rep, err
 			}
+			if undecided {
+				// A corrupt record in the coordinator's journal may be the
+				// decision: neither commit nor presume abort. Retain the
+				// prepare; the coordinator's own recovery truncates the bad
+				// record and a later pass resolves it.
+				rep.Undecided2PC++
+				continue
+			}
 			if committed {
-				if err := ApplyOps(tr, dir, r.txn.Ops); err != nil {
+				if err := applyOpsRepair(tr, dir, r.txn.Ops, reg); err != nil {
 					return rep, fmt.Errorf("journal: recovery 2pc apply txn %d: %w", r.txn.ID, err)
 				}
 				rep.Committed2PC++
@@ -104,6 +157,7 @@ func Recover(tr *prt.Translator, dir types.Ino) (Report, error) {
 			}
 		default:
 			rep.Corrupt++
+			detected.Inc()
 		}
 		if err := tr.Store().Delete(r.key); err != nil {
 			return rep, fmt.Errorf("journal: recovery invalidate %s: %w", r.key, err)
@@ -112,8 +166,36 @@ func Recover(tr *prt.Translator, dir types.Ino) (Report, error) {
 	return rep, nil
 }
 
+// readTxn fetches and decodes one journal record. A record that fails
+// verification is re-read once before being declared corrupt, so transient
+// read-side corruption (a flipped bit on the wire, not at rest) cannot make
+// recovery truncate an acknowledged transaction. Returns (nil, true, nil)
+// for a record that is verifiably corrupt at rest and (nil, false, nil) for
+// a record deleted underneath the scan.
+func readTxn(tr *prt.Translator, key string) (*wire.Txn, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		raw, err := tr.Store().Get(key)
+		if err != nil {
+			if errors.Is(err, types.ErrNotExist) {
+				return nil, false, nil
+			}
+			return nil, false, err
+		}
+		txn, derr := wire.DecodeTxn(raw)
+		if derr == nil {
+			return txn, true, nil
+		}
+		lastErr = derr
+	}
+	_ = lastErr
+	return nil, true, nil
+}
+
 // hasPrepare reports whether dir's journal still holds a prepare record for
-// txid.
+// txid. A record that cannot be decoded is conservatively treated as the
+// prepare: retaining a decision record longer than necessary is harmless,
+// while dropping one early flips a committed rename into a presumed abort.
 func hasPrepare(tr *prt.Translator, dir types.Ino, txid uint64) (bool, error) {
 	if dir.IsNil() {
 		return false, nil
@@ -129,7 +211,7 @@ func hasPrepare(tr *prt.Translator, dir types.Ino, txid uint64) (bool, error) {
 		}
 		txn, err := wire.DecodeTxn(raw)
 		if err != nil {
-			continue
+			return true, nil // could be the prepare; retain the decision
 		}
 		if txn.Kind == wire.TxnPrepare && txn.ID == txid {
 			return true, nil
@@ -140,15 +222,18 @@ func hasPrepare(tr *prt.Translator, dir types.Ino, txid uint64) (bool, error) {
 
 // decisionFor locates the coordinator's decision for a prepared transaction.
 // For a coordinator's own prepare (peer journal holds no decision), its own
-// journal is scanned too. Missing decision = presumed abort.
-func decisionFor(tr *prt.Translator, prepare *wire.Txn) (bool, error) {
+// journal is scanned too. Missing decision = presumed abort — but only when
+// every record scanned was readable: a corrupt record could be the commit
+// decision, so its presence makes the outcome undecided rather than abort.
+func decisionFor(tr *prt.Translator, prepare *wire.Txn) (committed, undecided bool, err error) {
+	sawCorrupt := false
 	for _, dir := range []types.Ino{prepare.Peer, prepare.Dir} {
 		if dir.IsNil() {
 			continue
 		}
 		keys, err := tr.Store().List(prt.JournalPrefix(dir))
 		if err != nil {
-			return false, fmt.Errorf("journal: decision scan: %w", err)
+			return false, false, fmt.Errorf("journal: decision scan: %w", err)
 		}
 		for _, key := range keys {
 			raw, err := tr.Store().Get(key)
@@ -157,6 +242,7 @@ func decisionFor(tr *prt.Translator, prepare *wire.Txn) (bool, error) {
 			}
 			txn, err := wire.DecodeTxn(raw)
 			if err != nil {
+				sawCorrupt = true
 				continue
 			}
 			if txn.ID != prepare.ID {
@@ -164,13 +250,16 @@ func decisionFor(tr *prt.Translator, prepare *wire.Txn) (bool, error) {
 			}
 			switch txn.Kind {
 			case wire.TxnCommit:
-				return true, nil
+				return true, false, nil
 			case wire.TxnAbort:
-				return false, nil
+				return false, false, nil
 			}
 		}
 	}
-	return false, nil // presumed abort
+	if sawCorrupt {
+		return false, true, nil // the decision may be inside the corrupt record
+	}
+	return false, false, nil // presumed abort
 }
 
 // PendingDecision consults the coordinator directory's journal for the fate
@@ -201,7 +290,13 @@ func PendingDecision(tr *prt.Translator, coordDir types.Ino, txid uint64) (decid
 			return false, false, fmt.Errorf("journal: decision probe read %s: %w", key, err)
 		}
 		txn, err := wire.DecodeTxn(raw)
-		if err != nil || txn.ID != txid {
+		if err != nil {
+			// A corrupt record may be the decision for txid: undecided.
+			// The coordinator's recovery truncates it; probe again later.
+			prepareSeen = true
+			continue
+		}
+		if txn.ID != txid {
 			continue
 		}
 		switch txn.Kind {

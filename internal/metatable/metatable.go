@@ -7,6 +7,7 @@
 package metatable
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -55,6 +56,49 @@ func Load(tr *prt.Translator, dir types.Ino) (*Table, error) {
 		t.children[de.Ino] = child
 	}
 	return t, nil
+}
+
+// LoadDegraded builds as much of the metatable as survives verification:
+// a corrupt dentry block yields an empty entry table, and a corrupt or
+// missing child inode drops that entry. The result is the last valid state
+// the store can prove — the caller serves it read-only and reports how many
+// entries were lost. Only integrity failures are tolerated; infrastructure
+// errors (including an unreadable directory inode) still fail the load.
+func LoadDegraded(tr *prt.Translator, dir types.Ino) (*Table, int, error) {
+	dirInode, err := tr.LoadInode(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("metatable: load dir inode: %w", err)
+	}
+	if !dirInode.IsDir() {
+		return nil, 0, fmt.Errorf("metatable: %s: %w", dir.Short(), types.ErrNotDir)
+	}
+	lost := 0
+	dentries, err := tr.LoadDentries(dir)
+	if err != nil {
+		if !errors.Is(err, types.ErrIntegrity) {
+			return nil, 0, fmt.Errorf("metatable: load dentries: %w", err)
+		}
+		lost++ // the whole block; entries are uncountable
+		dentries = nil
+	}
+	t := &Table{
+		dir:      dirInode,
+		entries:  make(map[string]wire.Dentry, len(dentries)),
+		children: make(map[types.Ino]*types.Inode, len(dentries)),
+	}
+	for _, de := range dentries {
+		child, err := tr.LoadInode(de.Ino)
+		if err != nil {
+			if errors.Is(err, types.ErrIntegrity) || errors.Is(err, types.ErrNotExist) {
+				lost++
+				continue
+			}
+			return nil, lost, fmt.Errorf("metatable: load child %q: %w", de.Name, err)
+		}
+		t.entries[de.Name] = de
+		t.children[de.Ino] = child
+	}
+	return t, lost, nil
 }
 
 // NewEmpty builds a table for a directory that was just created in memory

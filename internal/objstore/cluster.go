@@ -10,6 +10,7 @@ import (
 
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
+	"arkfs/internal/wire"
 )
 
 // Profile describes a simulated object-store deployment: node count,
@@ -30,6 +31,9 @@ type Profile struct {
 	// whose reads never parse data). SizeOnlyPrefix discards only keys with
 	// the given prefix — e.g. "d:" keeps metadata objects (inodes, dentries,
 	// journals) intact while bulky file data is represented by size alone.
+	// Reads of a discarded object synthesize a zero payload with a valid
+	// CRC32C trailer (wire.Seal framing), so integrity-verifying readers
+	// accept it instead of flagging phantom corruption.
 	SizeOnly       bool
 	SizeOnlyPrefix string
 }
@@ -175,6 +179,18 @@ func (c *Cluster) placement(key string) []*node {
 	return out
 }
 
+// syntheticFrame stands in for a discarded payload: zeros of the stored size
+// whose trailing 4 bytes are a valid CRC32C trailer over the rest (wire.Seal
+// framing). Every persisted ArkFS record is sealed, so a size-only read must
+// still verify — the bytes are fake, but the framing is honest. Objects too
+// small to carry a trailer are returned as plain zeros.
+func syntheticFrame(size int64) []byte {
+	if size < 4 {
+		return make([]byte, size)
+	}
+	return wire.Seal(make([]byte, size-4, size))
+}
+
 // serviceTime is the node-side cost of touching size bytes of media.
 func (c *Cluster) serviceTime(size int64) time.Duration {
 	d := c.prof.OpOverhead
@@ -216,7 +232,7 @@ func (c *Cluster) serve(n *node, inbox *sim.Chan[*nodeReq]) {
 			c.env.Sleep(c.serviceTime(val.size))
 			resp.size = val.size
 			if c.prof.discards(req.key) {
-				resp.data = make([]byte, val.size)
+				resp.data = syntheticFrame(val.size)
 			} else {
 				resp.data = val.data
 			}
@@ -238,7 +254,7 @@ func (c *Cluster) serve(n *node, inbox *sim.Chan[*nodeReq]) {
 			c.env.Sleep(c.serviceTime(win))
 			resp.size = win
 			if c.prof.discards(req.key) {
-				resp.data = make([]byte, win)
+				resp.data = clipRange(syntheticFrame(val.size), req.off, req.len)
 			} else {
 				resp.data = clipRange(val.data, req.off, req.len)
 			}

@@ -32,6 +32,20 @@ type FaultStore struct {
 	rng         *rand.Rand
 	opsObserved int
 	injected    int
+
+	corruptPrefix string
+	corruptLeft   int
+
+	corruptReadPrefix string
+	corruptReadProb   float64
+	corruptReadRNG    *rand.Rand
+
+	corruptNextReadPrefix string
+	corruptNextReadLeft   int
+
+	tornReadPrefix string
+	tornReadLeft   int
+	tornReadLen    map[string]int64
 }
 
 // NewFaultStore wraps inner with no faults armed.
@@ -58,6 +72,53 @@ func (f *FaultStore) FailNextRead(prefix string, n int) {
 func (f *FaultStore) TearNext(prefix string, n int) {
 	f.mu.Lock()
 	f.tornPrefix, f.tornLeft = prefix, n
+	f.mu.Unlock()
+}
+
+// CorruptNext arms the store to flip one bit in the next n values written
+// (Put) whose key has the given prefix — bit rot at rest: the corrupt bytes
+// persist and every later read returns them. Symmetric with TearNext and
+// counted in Injected().
+func (f *FaultStore) CorruptNext(prefix string, n int) {
+	f.mu.Lock()
+	f.corruptPrefix, f.corruptLeft = prefix, n
+	f.mu.Unlock()
+}
+
+// SetCorruptReads makes every Get/GetRange whose key has the given prefix
+// return a copy with one bit flipped, with probability prob drawn from an RNG
+// seeded with seed so runs are reproducible. The corruption is transient —
+// the stored object is untouched, so a retry reads clean bytes — modelling a
+// fault on the wire rather than rot at rest. prob <= 0 disables the mode.
+func (f *FaultStore) SetCorruptReads(prefix string, prob float64, seed int64) {
+	f.mu.Lock()
+	f.corruptReadPrefix, f.corruptReadProb = prefix, prob
+	f.corruptReadRNG = rand.New(rand.NewSource(seed))
+	f.mu.Unlock()
+}
+
+// CorruptNextRead arms the store to flip one bit in the next n values served
+// by Get/GetRange whose key has the given prefix. Like SetCorruptReads the
+// corruption is transient — the stored object is untouched and a retry reads
+// clean bytes — but the trigger is a deterministic countdown rather than a
+// probability, so tests can corrupt exactly one read.
+func (f *FaultStore) CorruptNextRead(prefix string, n int) {
+	f.mu.Lock()
+	f.corruptNextReadPrefix, f.corruptNextReadLeft = prefix, n
+	f.mu.Unlock()
+}
+
+// TearNextRead arms the store to serve the next n objects read (Get or
+// GetRange) whose key has the given prefix as if they had been truncated to
+// half their stored length. A key torn this way stays torn: every later read
+// of it — including ranged readahead — observes the same short object, so a
+// reader cannot see the full value reappear mid-sequence.
+func (f *FaultStore) TearNextRead(prefix string, n int) {
+	f.mu.Lock()
+	f.tornReadPrefix, f.tornReadLeft = prefix, n
+	if f.tornReadLen == nil {
+		f.tornReadLen = make(map[string]int64)
+	}
 	f.mu.Unlock()
 }
 
@@ -130,9 +191,70 @@ func (f *FaultStore) shouldTear(key string) bool {
 	defer f.mu.Unlock()
 	if f.tornLeft > 0 && hasPrefix(key, f.tornPrefix) {
 		f.tornLeft--
+		f.injected++
 		return true
 	}
 	return false
+}
+
+func (f *FaultStore) shouldCorrupt(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.corruptLeft > 0 && hasPrefix(key, f.corruptPrefix) {
+		f.corruptLeft--
+		f.injected++
+		return true
+	}
+	return false
+}
+
+// corruptOnRead decides whether a read of key should return flipped bytes
+// and, if so, which byte index the flip lands on (reduced modulo the value
+// length by the caller).
+func (f *FaultStore) corruptOnRead(key string) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.corruptNextReadLeft > 0 && hasPrefix(key, f.corruptNextReadPrefix) {
+		f.corruptNextReadLeft--
+		f.injected++
+		return 9973, true // fixed offset, reduced modulo the value length
+	}
+	if f.corruptReadProb > 0 && f.corruptReadRNG != nil && hasPrefix(key, f.corruptReadPrefix) &&
+		f.corruptReadRNG.Float64() < f.corruptReadProb {
+		f.injected++
+		return f.corruptReadRNG.Intn(1 << 20), true
+	}
+	return 0, false
+}
+
+// tearOnRead reports the length key should be served at, consuming one armed
+// read-tear (recording size/2 for the key) or recalling a previous one.
+func (f *FaultStore) tearOnRead(key string, size int64) (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tlen, ok := f.tornReadLen[key]; ok {
+		return tlen, true
+	}
+	if f.tornReadLeft > 0 && hasPrefix(key, f.tornReadPrefix) {
+		f.tornReadLeft--
+		f.injected++
+		if f.tornReadLen == nil {
+			f.tornReadLen = make(map[string]int64)
+		}
+		f.tornReadLen[key] = size / 2
+		return size / 2, true
+	}
+	return 0, false
+}
+
+// flipBit returns data with one bit inverted at pos (reduced modulo the
+// length). The input is assumed to be a caller-owned copy.
+func flipBit(data []byte, pos int) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	data[pos%len(data)] ^= 0x01
+	return data
 }
 
 func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
@@ -145,6 +267,10 @@ func (f *FaultStore) Put(key string, data []byte) error {
 	if f.shouldTear(key) {
 		return f.Inner.Put(key, data[:len(data)/2])
 	}
+	if f.shouldCorrupt(key) {
+		cp := append([]byte(nil), data...)
+		return f.Inner.Put(key, flipBit(cp, len(cp)/2))
+	}
 	return f.Inner.Put(key, data)
 }
 
@@ -153,15 +279,57 @@ func (f *FaultStore) Get(key string) ([]byte, error) {
 	if err := f.observe("get", key, true); err != nil {
 		return nil, err
 	}
-	return f.Inner.Get(key)
+	v, err := f.Inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if tlen, torn := f.tearOnRead(key, int64(len(v))); torn && int64(len(v)) > tlen {
+		v = v[:tlen]
+	}
+	if pos, ok := f.corruptOnRead(key); ok {
+		v = flipBit(v, pos)
+	}
+	return v, nil
 }
 
-// GetRange implements Store with fault injection.
+// GetRange implements Store with fault injection. A key torn by TearNextRead
+// is served as the same short object Get reports: bytes beyond the torn
+// length do not exist from the reader's point of view.
 func (f *FaultStore) GetRange(key string, off, n int64) ([]byte, error) {
 	if err := f.observe("getrange", key, true); err != nil {
 		return nil, err
 	}
-	return f.Inner.GetRange(key, off, n)
+	v, err := f.Inner.GetRange(key, off, n)
+	if err != nil {
+		return nil, err
+	}
+	if f.readTearArmedOrRecorded(key) {
+		size, herr := f.Inner.Head(key)
+		if herr == nil {
+			if tlen, torn := f.tearOnRead(key, size); torn {
+				if off >= tlen {
+					v = nil
+				} else if off+int64(len(v)) > tlen {
+					v = v[:tlen-off]
+				}
+			}
+		}
+	}
+	if pos, ok := f.corruptOnRead(key); ok {
+		v = flipBit(v, pos)
+	}
+	return v, nil
+}
+
+// readTearArmedOrRecorded reports whether a read-tear could apply to key, so
+// GetRange only pays the extra Head when one is armed or already recorded.
+func (f *FaultStore) readTearArmedOrRecorded(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.tornReadLen[key]; ok {
+		return true
+	}
+	return f.tornReadLeft > 0 && hasPrefix(key, f.tornReadPrefix)
 }
 
 // Delete implements Store with fault injection.

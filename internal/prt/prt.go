@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"arkfs/internal/objstore"
+	"arkfs/internal/obs"
 	"arkfs/internal/types"
 	"arkfs/internal/wire"
 )
@@ -46,25 +47,29 @@ type Superblock struct {
 	ChunkSize int64
 }
 
-// EncodeSuperblock serializes the superblock.
+// EncodeSuperblock serializes the superblock with a CRC32C trailer.
 func EncodeSuperblock(sb Superblock) []byte {
 	buf := make([]byte, 0, 16)
 	buf = binary.AppendUvarint(buf, uint64(sb.Version))
 	buf = binary.AppendVarint(buf, sb.ChunkSize)
-	return buf
+	return wire.Seal(buf)
 }
 
-// DecodeSuperblock parses a superblock object.
-func DecodeSuperblock(raw []byte) (Superblock, error) {
+// DecodeSuperblock parses and CRC-verifies a superblock object.
+func DecodeSuperblock(frame []byte) (Superblock, error) {
 	var sb Superblock
+	raw, err := wire.Unseal(frame)
+	if err != nil {
+		return sb, fmt.Errorf("prt: superblock: %w", err)
+	}
 	v, n := binary.Uvarint(raw)
 	if n <= 0 {
-		return sb, fmt.Errorf("prt: corrupt superblock: %w", types.ErrIO)
+		return sb, fmt.Errorf("prt: corrupt superblock: %w", types.ErrIntegrity)
 	}
 	sb.Version = uint32(v)
 	cs, m := binary.Varint(raw[n:])
 	if m <= 0 || cs <= 0 {
-		return sb, fmt.Errorf("prt: corrupt superblock chunk size: %w", types.ErrIO)
+		return sb, fmt.Errorf("prt: corrupt superblock chunk size: %w", types.ErrIntegrity)
 	}
 	sb.ChunkSize = cs
 	return sb, nil
@@ -104,6 +109,7 @@ func DataKey(ino types.Ino, idx int64) string {
 type Translator struct {
 	store     objstore.Store
 	chunkSize int64
+	detected  *obs.Counter // integrity.detected; nil-safe
 }
 
 // New creates a translator over the backend. chunkSize <= 0 selects
@@ -113,6 +119,21 @@ func New(store objstore.Store, chunkSize int64) *Translator {
 		chunkSize = DefaultChunkSize
 	}
 	return &Translator{store: store, chunkSize: chunkSize}
+}
+
+// SetObs registers the translator's integrity counter on reg. A nil registry
+// leaves detection uncounted but still reported through typed errors.
+func (t *Translator) SetObs(reg *obs.Registry) {
+	t.detected = reg.Counter("integrity.detected")
+}
+
+// noteIntegrity counts err against integrity.detected when it is a checksum
+// failure, and returns it unchanged for wrapping convenience.
+func (t *Translator) noteIntegrity(err error) error {
+	if err != nil && errors.Is(err, types.ErrIntegrity) {
+		t.detected.Inc()
+	}
+	return err
 }
 
 // Store exposes the underlying backend for components (journal, recovery)
@@ -130,7 +151,11 @@ func (t *Translator) LoadInode(ino types.Ino) (*types.Inode, error) {
 	if err != nil {
 		return nil, fmt.Errorf("prt: load inode %s: %w", ino.Short(), err)
 	}
-	return wire.DecodeInode(raw)
+	n, err := wire.DecodeInode(raw)
+	if err != nil {
+		return nil, t.noteIntegrity(fmt.Errorf("prt: inode %s: %w", ino.Short(), err))
+	}
+	return n, nil
 }
 
 // SaveInode encodes and stores an inode record.
@@ -156,7 +181,11 @@ func (t *Translator) LoadDentries(dir types.Ino) ([]wire.Dentry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("prt: load dentries %s: %w", dir.Short(), err)
 	}
-	return wire.DecodeDentries(raw)
+	des, err := wire.DecodeDentries(raw)
+	if err != nil {
+		return nil, t.noteIntegrity(fmt.Errorf("prt: dentries %s: %w", dir.Short(), err))
+	}
+	return des, nil
 }
 
 // SaveDentries stores a directory's dentry block.
@@ -173,6 +202,33 @@ func (t *Translator) DeleteDentries(dir types.Ino) error {
 }
 
 // --- Data objects ------------------------------------------------------------
+
+// GetChunk fetches, CRC-verifies, and returns the payload of one data chunk.
+// A missing chunk propagates ErrNotExist (a hole); a chunk that fails
+// verification returns a typed integrity error — never silently wrong bytes.
+func (t *Translator) GetChunk(ino types.Ino, idx int64) ([]byte, error) {
+	raw, err := t.store.Get(DataKey(ino, idx))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := wire.Unseal(raw)
+	if err != nil {
+		return nil, t.noteIntegrity(fmt.Errorf("prt: chunk %d of %s: %w", idx, ino.Short(), err))
+	}
+	return payload, nil
+}
+
+// PutChunk seals and stores the payload of one data chunk. The payload is not
+// mutated: the CRC trailer is appended to a fresh frame.
+func (t *Translator) PutChunk(ino types.Ino, idx int64, payload []byte) error {
+	// Full slice expression so Seal's append cannot scribble past the
+	// payload into a caller-owned buffer.
+	frame := wire.Seal(payload[:len(payload):len(payload)])
+	if err := t.store.Put(DataKey(ino, idx), frame); err != nil {
+		return fmt.Errorf("prt: write chunk %d of %s: %w", idx, ino.Short(), err)
+	}
+	return nil
+}
 
 // ReadAt fills buf from the file's data objects starting at offset off and
 // reports the bytes read. size is the file's current size; reads are clipped
@@ -196,7 +252,7 @@ func (t *Translator) ReadAt(ino types.Ino, buf []byte, off, size int64) (int, er
 		if r := t.chunkSize - inChunk; want > r {
 			want = r
 		}
-		chunk, err := t.store.Get(DataKey(ino, idx))
+		chunk, err := t.GetChunk(ino, idx)
 		switch {
 		case errors.Is(err, types.ErrNotExist):
 			// Hole: zero-fill.
@@ -238,7 +294,7 @@ func (t *Translator) WriteAt(ino types.Ino, buf []byte, off int64) error {
 			// Full-chunk overwrite: no read needed.
 			chunk = buf[written : written+int(want)]
 		} else {
-			old, err := t.store.Get(DataKey(ino, idx))
+			old, err := t.GetChunk(ino, idx)
 			if err != nil && !errors.Is(err, types.ErrNotExist) {
 				return fmt.Errorf("prt: rmw chunk %d of %s: %w", idx, ino.Short(), err)
 			}
@@ -251,8 +307,8 @@ func (t *Translator) WriteAt(ino types.Ino, buf []byte, off int64) error {
 			}
 			copy(chunk[inChunk:], buf[written:written+int(want)])
 		}
-		if err := t.store.Put(DataKey(ino, idx), chunk); err != nil {
-			return fmt.Errorf("prt: write chunk %d of %s: %w", idx, ino.Short(), err)
+		if err := t.PutChunk(ino, idx, chunk); err != nil {
+			return err
 		}
 		written += int(want)
 	}
@@ -275,7 +331,7 @@ func (t *Translator) Truncate(ino types.Ino, oldSize, newSize int64) error {
 	}
 	if rem := newSize % t.chunkSize; rem > 0 && newSize > 0 {
 		idx := newSize / t.chunkSize
-		old, err := t.store.Get(DataKey(ino, idx))
+		old, err := t.GetChunk(ino, idx)
 		if errors.Is(err, types.ErrNotExist) {
 			return nil
 		}
@@ -283,7 +339,7 @@ func (t *Translator) Truncate(ino types.Ino, oldSize, newSize int64) error {
 			return fmt.Errorf("prt: truncate trim chunk %d: %w", idx, err)
 		}
 		if int64(len(old)) > rem {
-			if err := t.store.Put(DataKey(ino, idx), old[:rem]); err != nil {
+			if err := t.PutChunk(ino, idx, old[:rem]); err != nil {
 				return fmt.Errorf("prt: truncate rewrite chunk %d: %w", idx, err)
 			}
 		}

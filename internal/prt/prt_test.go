@@ -169,7 +169,7 @@ func TestTruncateDeletesAndTrims(t *testing.T) {
 	if len(keys) != 2 {
 		t.Fatalf("after truncate to 20: %d chunks, want 2 (%v)", len(keys), keys)
 	}
-	tail, err := store.Get(DataKey(ino, 1))
+	tail, err := tr.GetChunk(ino, 1)
 	if err != nil || len(tail) != 4 {
 		t.Fatalf("straddling chunk len = %d, want 4 (%v)", len(tail), err)
 	}

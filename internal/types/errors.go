@@ -1,6 +1,9 @@
 package types
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // The POSIX-style error set. ArkFS components wrap these with context via
 // fmt.Errorf("...: %w", err); callers test with errors.Is, mirroring how a
@@ -23,9 +26,16 @@ var (
 	ErrLoop        = errors.New("too many levels of symbolic links") // ELOOP
 	ErrXDev        = errors.New("invalid cross-device link")         // EXDEV
 	ErrTimedOut    = errors.New("operation timed out")               // ETIMEDOUT
+	ErrReadOnly    = errors.New("read-only file system")             // EROFS
 	ErrNotLeader   = errors.New("not the directory leader")          // ArkFS-internal
 	ErrLeaseLost   = errors.New("directory lease lost")              // ArkFS-internal
 )
+
+// ErrIntegrity reports a checksum or framing failure on a persisted record:
+// the bytes came back, but they are not the bytes that were written. It wraps
+// ErrIO so legacy errors.Is(err, ErrIO) checks keep matching, while readers
+// that care can distinguish detected corruption from plain I/O failure.
+var ErrIntegrity = fmt.Errorf("data integrity check failed: %w", ErrIO)
 
 // Errno returns the Linux errno-style symbolic name for a wrapped error,
 // or "EIO" for anything unrecognized; benchmark harnesses and the CLI use it
@@ -66,6 +76,11 @@ func Errno(err error) string {
 		return "EXDEV"
 	case errors.Is(err, ErrTimedOut):
 		return "ETIMEDOUT"
+	case errors.Is(err, ErrReadOnly):
+		return "EROFS"
+	case errors.Is(err, ErrIntegrity):
+		// Must precede any ErrIO fallback: ErrIntegrity wraps ErrIO.
+		return "EINTEGRITY"
 	case errors.Is(err, ErrNotLeader):
 		return "ENOTLEADER"
 	case errors.Is(err, ErrLeaseLost):
@@ -97,6 +112,8 @@ var errnoTable = map[string]error{
 	"ELOOP":        ErrLoop,
 	"EXDEV":        ErrXDev,
 	"ETIMEDOUT":    ErrTimedOut,
+	"EROFS":        ErrReadOnly,
+	"EINTEGRITY":   ErrIntegrity,
 	"ENOTLEADER":   ErrNotLeader,
 	"ELEASELOST":   ErrLeaseLost,
 }

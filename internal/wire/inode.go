@@ -28,11 +28,15 @@ func EncodeInode(n *types.Inode) []byte {
 		e.uvarint(uint64(a.ID))
 		e.byte(a.Perms)
 	}
-	return e.buf
+	return Seal(e.buf)
 }
 
-// DecodeInode parses an inode record.
-func DecodeInode(buf []byte) (*types.Inode, error) {
+// DecodeInode parses and CRC-verifies an inode record.
+func DecodeInode(frame []byte) (*types.Inode, error) {
+	buf, err := Unseal(frame)
+	if err != nil {
+		return nil, fmt.Errorf("inode: %w", err)
+	}
 	d := &decoder{buf: buf}
 	if v := d.byte(); d.err == nil && v != verInode {
 		return nil, fmt.Errorf("%w: inode version %d", ErrCorrupt, v)
@@ -57,7 +61,7 @@ func DecodeInode(buf []byte) (*types.Inode, error) {
 		return nil, fmt.Errorf("%w: absurd acl count %d", ErrCorrupt, nACL)
 	}
 	if nACL > 0 {
-		n.ACL = make(types.ACL, 0, nACL)
+		n.ACL = make(types.ACL, 0, d.capHint(nACL, 3))
 		for i := uint64(0); i < nACL; i++ {
 			tag := types.ACLTag(d.byte())
 			id := uint32(d.uvarint())
@@ -92,11 +96,15 @@ func EncodeDentries(entries []Dentry) []byte {
 		e.ino(de.Ino)
 		e.byte(byte(de.Type))
 	}
-	return e.buf
+	return Seal(e.buf)
 }
 
-// DecodeDentries parses a dentry block.
-func DecodeDentries(buf []byte) ([]Dentry, error) {
+// DecodeDentries parses and CRC-verifies a dentry block.
+func DecodeDentries(frame []byte) ([]Dentry, error) {
+	buf, err := Unseal(frame)
+	if err != nil {
+		return nil, fmt.Errorf("dentries: %w", err)
+	}
 	d := &decoder{buf: buf}
 	if v := d.byte(); d.err == nil && v != verDentry {
 		return nil, fmt.Errorf("%w: dentry version %d", ErrCorrupt, v)
@@ -108,7 +116,7 @@ func DecodeDentries(buf []byte) ([]Dentry, error) {
 	if n > 1<<24 {
 		return nil, fmt.Errorf("%w: absurd dentry count %d", ErrCorrupt, n)
 	}
-	out := make([]Dentry, 0, n)
+	out := make([]Dentry, 0, d.capHint(n, 18))
 	for i := uint64(0); i < n; i++ {
 		de := Dentry{Name: d.str(), Ino: d.ino(), Type: types.FileType(d.byte())}
 		if d.err != nil {

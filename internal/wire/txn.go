@@ -1,9 +1,7 @@
 package wire
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"time"
 
 	"arkfs/internal/types"
@@ -88,9 +86,7 @@ func EncodeTxn(t *Txn) []byte {
 			panic(fmt.Sprintf("wire: unknown op kind %d", op.Kind))
 		}
 	}
-	sum := crc32.Checksum(e.buf, castagnoli)
-	e.buf = binary.BigEndian.AppendUint32(e.buf, sum)
-	return e.buf
+	return Seal(e.buf)
 }
 
 // DecodeTxn parses and CRC-verifies a transaction record.
@@ -98,10 +94,9 @@ func DecodeTxn(buf []byte) (*Txn, error) {
 	if len(buf) < 5 {
 		return nil, fmt.Errorf("%w: txn record too short (%d bytes)", ErrCorrupt, len(buf))
 	}
-	body, trailer := buf[:len(buf)-4], buf[len(buf)-4:]
-	want := binary.BigEndian.Uint32(trailer)
-	if got := crc32.Checksum(body, castagnoli); got != want {
-		return nil, fmt.Errorf("%w: txn crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	body, err := Unseal(buf)
+	if err != nil {
+		return nil, fmt.Errorf("txn: %w", err)
 	}
 	d := &decoder{buf: body}
 	if v := d.byte(); d.err == nil && v != verTxn {
@@ -120,7 +115,7 @@ func DecodeTxn(buf []byte) (*Txn, error) {
 	if n > 1<<22 {
 		return nil, fmt.Errorf("%w: absurd op count %d", ErrCorrupt, n)
 	}
-	t.Ops = make([]Op, 0, n)
+	t.Ops = make([]Op, 0, d.capHint(n, 2))
 	for i := uint64(0); i < n; i++ {
 		var op Op
 		op.Kind = OpKind(d.byte())

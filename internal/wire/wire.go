@@ -15,17 +15,43 @@ import (
 	"arkfs/internal/types"
 )
 
-// Encoding version bytes, one per record kind.
+// Encoding version bytes, one per record kind. Version 2 added the CRC32C
+// trailer to inode and dentry records (journal records carried one from the
+// start), so every persisted metadata object is self-verifying.
 const (
-	verInode  byte = 1
-	verDentry byte = 1
+	verInode  byte = 2
+	verDentry byte = 2
 	verTxn    byte = 1
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// ErrCorrupt is wrapped by all decode failures.
-var ErrCorrupt = fmt.Errorf("wire: corrupt record: %w", types.ErrIO)
+// ErrCorrupt is wrapped by all decode failures. It wraps types.ErrIntegrity
+// (and transitively types.ErrIO), so readers can distinguish detected
+// corruption from other storage failures with errors.Is.
+var ErrCorrupt = fmt.Errorf("wire: corrupt record: %w", types.ErrIntegrity)
+
+// Seal appends the CRC32C (Castagnoli) checksum of buf as a 4-byte big-endian
+// trailer, in place when capacity allows. Every persisted ArkFS record — txn,
+// inode, dentry block, data chunk, superblock — is framed this way.
+func Seal(buf []byte) []byte {
+	sum := crc32.Checksum(buf, castagnoli)
+	return binary.BigEndian.AppendUint32(buf, sum)
+}
+
+// Unseal verifies a sealed frame and returns the payload with the trailer
+// stripped. The payload aliases frame; callers that mutate it must copy.
+func Unseal(frame []byte) ([]byte, error) {
+	if len(frame) < 4 {
+		return nil, fmt.Errorf("%w: frame too short (%d bytes)", ErrCorrupt, len(frame))
+	}
+	body, trailer := frame[:len(frame)-4], frame[len(frame)-4:]
+	want := binary.BigEndian.Uint32(trailer)
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	return body, nil
+}
 
 type encoder struct{ buf []byte }
 
@@ -99,6 +125,16 @@ func (d *decoder) bytes() []byte {
 }
 
 func (d *decoder) str() string { return string(d.bytes()) }
+
+// capHint bounds a count-prefixed pre-allocation by the bytes actually left
+// in the buffer (per = minimum encoded size of one element), so a hostile
+// count cannot force a huge allocation before decoding fails.
+func (d *decoder) capHint(n, per uint64) int {
+	if rem := uint64(len(d.buf) - d.off); per > 0 && n > rem/per {
+		n = rem / per
+	}
+	return int(n)
+}
 
 func (d *decoder) ino() types.Ino {
 	var i types.Ino
