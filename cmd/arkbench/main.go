@@ -22,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,12 +40,13 @@ import (
 // modeFlags is the subset of flags whose combinations can contradict each
 // other; validateFlags rejects the nonsensical ones before any work starts.
 type modeFlags struct {
-	Chaos      bool
-	Stats      bool
-	StatsJSON  bool   // -json
-	BenchJSON  string // -bench-json path
-	Fsck       bool
-	FsckRepair bool // -repair
+	Chaos         bool
+	Stats         bool
+	StatsJSON     bool   // -json
+	BenchJSON     string // -bench-json path
+	BenchBaseline string // -bench-baseline path
+	Fsck          bool
+	FsckRepair    bool // -repair
 }
 
 // validateFlags returns a usage error for contradictory mode combinations:
@@ -75,6 +77,9 @@ func validateFlags(m modeFlags) error {
 	if m.FsckRepair && !m.Fsck {
 		return errors.New("-repair only applies to -fsck; add -fsck")
 	}
+	if m.BenchBaseline != "" && m.BenchJSON == "" {
+		return errors.New("-bench-baseline only checks -bench-json output; add -bench-json")
+	}
 	return nil
 }
 
@@ -101,8 +106,9 @@ func main() {
 		fsckMode   = flag.Bool("fsck", false, "run a seeded corruption/scrub drill instead of an experiment")
 		fsckRepair = flag.Bool("repair", false, "fsck: scrub-repair the corrupted image and fail unless it re-checks clean")
 
-		benchJSON = flag.String("bench-json", "", "run the seeded benchmark trajectory and write the arkfs-bench/v1 report to this file (- for stdout)")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /stats.json, /healthz and pprof on this address while running (empty: off)")
+		benchJSON     = flag.String("bench-json", "", "run the seeded benchmark trajectory and write the arkfs-bench/v1 report to this file (- for stdout)")
+		benchBaseline = flag.String("bench-baseline", "", "bench: compare the run against this committed arkfs-bench/v1 report and fail on a metadata-throughput regression")
+		debugAddr     = flag.String("debug-addr", "", "serve /metrics, /stats.json, /healthz and pprof on this address while running (empty: off)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: arkbench [flags] <fig1|fig4|fig5|fig6a|fig6b|fig7|table2|all|ablate|ablate-journal|ablate-readahead|ablate-entrysize>...\n")
@@ -111,7 +117,7 @@ func main() {
 	flag.Parse()
 	if err := validateFlags(modeFlags{
 		Chaos: *chaos, Stats: *stats, StatsJSON: *statsJSON, BenchJSON: *benchJSON,
-		Fsck: *fsckMode, FsckRepair: *fsckRepair,
+		BenchBaseline: *benchBaseline, Fsck: *fsckMode, FsckRepair: *fsckRepair,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "arkbench: %v\n", err)
 		flag.Usage()
@@ -156,6 +162,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "arkbench: bench seed %d: %d mdtest phases, fio %.2f/%.2f GiB/s, fingerprint %s\n",
 			rep.Seed, len(rep.MdtestEasy)+len(rep.MdtestHard),
 			rep.FioWrite.GiBps, rep.FioRead.GiBps, rep.MetricsSHA256[:12])
+		if *benchBaseline != "" {
+			if err := checkBaseline(rep, *benchBaseline); err != nil {
+				fmt.Fprintf(os.Stderr, "arkbench: bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "arkbench: bench: no regression against %s\n", *benchBaseline)
+		}
 		return
 	}
 	if *stats {
@@ -274,6 +287,51 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkBaseline guards the committed benchmark trajectory: the regenerated
+// report's headline metadata rates (mdtest-easy CREATE, mdtest-hard WRITE)
+// must not fall below the committed baseline. Both runs are deterministic on
+// the virtual clock, so an equal-seed comparison is exact — any drop is a
+// real regression on the commit path, not measurement noise.
+func checkBaseline(rep *harness.BenchReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base harness.BenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Schema != rep.Schema {
+		return fmt.Errorf("baseline %s: schema %q, want %q", path, base.Schema, rep.Schema)
+	}
+	checks := []struct {
+		label     string
+		got, want float64
+	}{
+		{"mdtest-easy CREATE", phaseRate(rep.MdtestEasy, "CREATE"), phaseRate(base.MdtestEasy, "CREATE")},
+		{"mdtest-hard WRITE", phaseRate(rep.MdtestHard, "WRITE"), phaseRate(base.MdtestHard, "WRITE")},
+	}
+	for _, c := range checks {
+		if c.want <= 0 {
+			return fmt.Errorf("baseline %s: missing %s phase", path, c.label)
+		}
+		if c.got < c.want {
+			return fmt.Errorf("%s regressed: %.1f ops/s below committed baseline %.1f ops/s",
+				c.label, c.got, c.want)
+		}
+	}
+	return nil
+}
+
+func phaseRate(phases []harness.BenchPhase, name string) float64 {
+	for _, p := range phases {
+		if p.Name == name {
+			return p.OpsPerSec
+		}
+	}
+	return 0
 }
 
 func parseClients(s string) []int {

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"arkfs/internal/crashpoint"
+	"arkfs/internal/types"
+)
+
+// crashClient builds a client carrying a crashpoint set, for scripting the
+// exact instant the process dies relative to the async commit pipeline.
+func crashClient(t *testing.T, tc *testCluster, id string) (*Client, *crashpoint.Set) {
+	t.Helper()
+	set := crashpoint.NewSet()
+	c := tc.client(t, id, func(o *Options) { o.Crash = set })
+	return c, set
+}
+
+// waitReaddir polls until a successor client can serve the directory (the
+// dead leader's lease must lapse first) and returns the entries.
+func waitReaddir(t *testing.T, c *Client, path string) []string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		des, err := c.Readdir(context.Background(), path)
+		if err == nil {
+			names := make([]string, len(des))
+			for i, de := range des {
+				names[i] = de.Name
+			}
+			return names
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("successor never served %s: %v", path, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func has(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// A crash before the journal PUT loses the acknowledged-but-unsynced op —
+// which is allowed — but fsync must then report failure, never success: the
+// ack-durable contract is "fsync returned nil implies the op survives".
+func TestCrashBeforeJournalPutFailsFsync(t *testing.T) {
+	tc := newTestCluster(t)
+	c1, set := crashClient(t, tc, "c1")
+	ctx := context.Background()
+	if err := c1.Mkdir(ctx, "/d", 0777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c1.Create(ctx, "/d/keep", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if err := c1.FlushAll(ctx); err != nil { // /d and /d/keep become durable
+		t.Fatal(err)
+	}
+
+	f, err = c1.Create(ctx, "/d/lost", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	set.Arm(crashpoint.PreJournalPut, c1.Crash)
+	if err := c1.Fsync(ctx, "/d/lost"); err == nil {
+		t.Fatal("fsync returned nil for a record that never reached the store")
+	}
+	fired := set.Fired()
+	if len(fired) != 1 || fired[0] != crashpoint.PreJournalPut {
+		t.Fatalf("crash site did not fire as scripted: %v", fired)
+	}
+
+	c2 := tc.client(t, "c2")
+	names := waitReaddir(t, c2, "/d")
+	if !has(names, "keep") {
+		t.Fatalf("durable /d/keep lost after recovery: %v", names)
+	}
+	if has(names, "lost") {
+		t.Fatalf("/d/lost survived a crash before its journal PUT: %v", names)
+	}
+}
+
+// A crash the instant the journal record lands is the async pipeline's
+// critical window: the op is durable but nothing is checkpointed and the
+// client never confirmed the fsync. The successor's replay must surface it.
+func TestCrashAfterJournalPutRecordSurvives(t *testing.T) {
+	tc := newTestCluster(t)
+	c1, set := crashClient(t, tc, "c1")
+	ctx := context.Background()
+	if err := c1.Mkdir(ctx, "/d", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := c1.Create(ctx, "/d/x", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	set.Arm(crashpoint.PostJournalPut, c1.Crash)
+	_ = c1.Fsync(ctx, "/d/x") // the PUT fires the kill; the error is immaterial
+	fired := set.Fired()
+	if len(fired) != 1 || fired[0] != crashpoint.PostJournalPut {
+		t.Fatalf("crash site did not fire as scripted: %v", fired)
+	}
+
+	c2 := tc.client(t, "c2")
+	names := waitReaddir(t, c2, "/d")
+	if !has(names, "x") {
+		t.Fatalf("durable record not replayed: /d/x missing from %v", names)
+	}
+	if _, err := c2.Stat(ctx, "/d/x"); err != nil {
+		t.Fatalf("stat of replayed file: %v", err)
+	}
+}
+
+// A cross-directory rename's prepare phase must barrier the source and
+// destination journals first: earlier acknowledged ops in those directories
+// become durable before any 2PC record exists, so a crash right after the
+// prepares cannot lose them (the rename itself dies by presumed abort).
+func TestPrepareBarriersEarlierAcknowledgedOps(t *testing.T) {
+	tc := newTestCluster(t)
+	c1, set := crashClient(t, tc, "c1")
+	ctx := context.Background()
+	for _, d := range []string{"/a", "/b"} {
+		if err := c1.Mkdir(ctx, d, 0777); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := c1.Create(ctx, "/a/src", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if err := c1.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Acknowledged but not yet durable: only the rename's pre-prepare
+	// barrier stands between this create and the crash.
+	f, err = c1.Create(ctx, "/a/x", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	set.Arm(crashpoint.TwoPCPostPrepare, c1.Crash)
+	renameErr := c1.Rename(ctx, "/a/src", "/b/dst")
+	fired := set.Fired()
+	if len(fired) != 1 || fired[0] != crashpoint.TwoPCPostPrepare {
+		t.Fatalf("crash site did not fire as scripted: %v (rename err %v)", fired, renameErr)
+	}
+
+	c2 := tc.client(t, "c2")
+	aNames := waitReaddir(t, c2, "/a")
+	if !has(aNames, "x") {
+		t.Fatalf("/a/x lost despite the prepare barrier: %v", aNames)
+	}
+	// Presumed abort: the half-renamed file stays at its source.
+	if !has(aNames, "src") {
+		t.Fatalf("/a/src gone after aborted rename: %v", aNames)
+	}
+	if _, err := c2.Stat(ctx, "/b/dst"); !errors.Is(err, types.ErrNotExist) {
+		t.Fatalf("/b/dst exists after presumed abort: %v", err)
+	}
+}

@@ -258,20 +258,25 @@ func (c *Client) Fsync(ctx context.Context, path string) error {
 	if res.node != nil && res.node.IsDir() {
 		dir = res.node.Ino
 	}
-	if _, ok := c.ledDirFor(dir); ok {
-		return op.end(errnoWrap("fsync", path, c.jrnl.Flush(dir)))
+	if ld, ok := c.ledDirFor(dir); ok {
+		return op.end(errnoWrap("fsync", path, c.fsyncDir(dir, ld)))
 	}
 	return op.end(nil) // a remote leader owns the journal; its commit cadence applies
 }
 
-// FlushAll writes back all cached data and commits and checkpoints every
-// journal this client owns (the fsync-per-phase behavior the benchmarks use).
+// FlushAll writes back all cached data and makes every acknowledged metadata
+// mutation durable (the fsync-per-phase behavior the benchmarks use). The
+// journal half is a durability barrier, not a checkpoint: once every journal
+// record is in the object store, a crash is recoverable by replay, and the
+// checkpoint workers fold the records into the original objects behind the
+// barrier. Lease handoff (Close, ReleaseDir) still uses the strong
+// commit-and-checkpoint flush.
 func (c *Client) FlushAll(ctx context.Context) error {
 	_, op := c.startOp(ctx, "flushall", "")
 	if err := c.data.FlushAll(); err != nil {
 		return op.end(err)
 	}
-	if err := c.jrnl.FlushAll(); err != nil {
+	if err := c.jrnl.BarrierAll(); err != nil {
 		return op.end(err)
 	}
 	// Surface any background write-back failure (lease recall, close path)

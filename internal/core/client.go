@@ -150,6 +150,11 @@ type ledDir struct {
 	// dataLeases tracks per-child-file read/write leases issued by this
 	// leader (paper §III-D).
 	dataLeases map[types.Ino]*dataLease
+	// durableEpoch is the metatable epoch covered by the last successful
+	// durability barrier (guarded by c.mu). An fsync that finds the table
+	// epoch unchanged has nothing new to make durable and skips the journal
+	// barrier entirely.
+	durableEpoch uint64
 }
 
 // writable gates every mutating operation on a led directory: a directory
@@ -418,13 +423,13 @@ func (c *Client) Close() error {
 	}
 	c.mu.Unlock()
 
-	err := c.data.FlushAll()
-	if jerr := c.jrnl.FlushAll(); err == nil {
-		err = jerr
-	}
-	if werr := c.takeWBErr(); err == nil {
-		err = werr
-	}
+	// Close is a lease-handoff barrier: the journal FlushAll is the strong
+	// (commit + checkpoint) form, because a cleanly released directory is
+	// loaded by the next leader without journal replay. Both flush failures
+	// matter to the caller — a swallowed journal error here would report a
+	// clean close over lost acknowledged metadata — so the errors are joined
+	// rather than first-one-wins.
+	err := errors.Join(c.data.FlushAll(), c.jrnl.FlushAll(), c.takeWBErr())
 	for ino, ld := range held {
 		// An in-flight leaseKeeper extension may still be writing ld, so the
 		// ID must be read under the lock (and freshest-ID wins).
@@ -700,6 +705,32 @@ func (c *Client) crashHit(site crashpoint.Site) {
 	c.opts.Crash.Hit(site)
 }
 
+// fsyncDir makes dir's acknowledged metadata durable — the externalization
+// barrier of the async commit path. The metatable epoch short-circuits a
+// quiescent directory: if no mutation was acknowledged since the last
+// successful barrier, there is nothing new to make durable and the journal
+// is not consulted. Otherwise it waits on the journal durability watermark
+// (not the checkpoint): a durable record is recoverable by replay, which is
+// all fsync promises.
+func (c *Client) fsyncDir(dir types.Ino, ld *ledDir) error {
+	epoch := ld.table.Epoch()
+	c.mu.Lock()
+	durable := ld.durableEpoch
+	c.mu.Unlock()
+	if epoch == durable {
+		return nil
+	}
+	if err := c.jrnl.Barrier(dir); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if epoch > ld.durableEpoch {
+		ld.durableEpoch = epoch
+	}
+	c.mu.Unlock()
+	return nil
+}
+
 // Leads reports whether this client currently holds the lease of dir. The
 // chaos harness uses it to decide how strong an acknowledgement was: Fsync
 // only flushes journals this client owns, so a nil Fsync on a remote-led
@@ -721,7 +752,10 @@ func (c *Client) ledDirFor(dir types.Ino) (*ledDir, bool) {
 }
 
 // ReleaseDir flushes and gives up leadership of dir, e.g. when an archiving
-// job finishes a directory.
+// job finishes a directory. This is the strong (commit + checkpoint) flush:
+// a clean release tells the next leader it may load the metatable without
+// journal replay, so nothing may be left in the journal. Only fsync-style
+// barriers are durability-only; handoff never is.
 func (c *Client) ReleaseDir(dir types.Ino) error {
 	c.mu.Lock()
 	ld, ok := c.led[dir]

@@ -173,9 +173,14 @@ func TestUnlinkAndRmdir(t *testing.T) {
 	if _, err := c.Stat(context.Background(), "/d"); !isNotExist(err) {
 		t.Fatalf("stat after rmdir: %v", err)
 	}
-	// After a full flush, the store must not leak objects for the deleted
-	// tree (superblock + root inode + root dentries only).
+	// After a full flush and checkpoint, the store must not leak objects for
+	// the deleted tree (superblock + root inode + root dentries only).
+	// Client.FlushAll is a durability barrier; the journal's strong flush
+	// forces the checkpoint this store-level assertion needs.
 	if err := c.FlushAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.jrnl.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
 	keys, _ := tc.store.List("")

@@ -390,9 +390,10 @@ func (f *File) Sync() error {
 		f.wrote = false
 		f.mu.Unlock()
 	}
-	// Make the metadata durable if we own the journal.
-	if _, ok := f.c.ledDirFor(f.parent); ok {
-		if err := f.c.jrnl.Flush(f.parent); err != nil {
+	// Make the metadata durable if we own the journal (durability barrier,
+	// not a checkpoint — see Client.fsyncDir).
+	if ld, ok := f.c.ledDirFor(f.parent); ok {
+		if err := f.c.fsyncDir(f.parent, ld); err != nil {
 			return errnoWrap("fsync", f.path, err)
 		}
 	}

@@ -29,6 +29,11 @@ func TestCorruptCheckpointServesDegradedReadOnly(t *testing.T) {
 	if err := c1.FlushAll(ctx); err != nil {
 		t.Fatal(err)
 	}
+	// The test corrupts the checkpointed dentry block, so the block must
+	// exist: force the checkpoint behind the durability barrier.
+	if err := c1.jrnl.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 	res, err := c1.resolvePath(ctx, "/deg", true)
 	if err != nil {
 		t.Fatal(err)

@@ -302,8 +302,12 @@ func TestRenameCrossDirectorySingleClient(t *testing.T) {
 	if string(got) != "move me" {
 		t.Fatalf("content after rename: %q", got)
 	}
-	// Everything checkpointed cleanly: no journal residue after flush.
+	// Everything checkpointed cleanly: no journal residue after the strong
+	// flush (Client.FlushAll is only a durability barrier).
 	if err := c.FlushAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.jrnl.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
 	keys, _ := tc.store.List("j:")

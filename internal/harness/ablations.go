@@ -95,11 +95,17 @@ func (h *Runner) AblationJournal() (*Experiment, error) {
 		jc   journal.Config
 	}{
 		{"per-dir journals, 1s batching (paper)", journal.Config{
-			CommitInterval: time.Second, CommitWorkers: 4, CheckpointWorkers: 4, CheckpointFanout: 64}},
+			CommitInterval: time.Second, CommitWorkers: 4, CheckpointWorkers: 4, CheckpointFanout: 64,
+			PipelineDepth: 8}},
 		{"serialized journal path", journal.Config{
-			CommitInterval: time.Second, CommitWorkers: 1, CheckpointWorkers: 1, CheckpointFanout: 1}},
+			CommitInterval: time.Second, CommitWorkers: 1, CheckpointWorkers: 1, CheckpointFanout: 1,
+			PipelineDepth: 1}},
 		{"no batching (commit per op)", journal.Config{
-			CommitInterval: time.Nanosecond, CommitWorkers: 4, CheckpointWorkers: 4, CheckpointFanout: 64}},
+			CommitInterval: time.Nanosecond, CommitWorkers: 4, CheckpointWorkers: 4, CheckpointFanout: 64,
+			PipelineDepth: 8}},
+		{"no commit pipelining (depth 1)", journal.Config{
+			CommitInterval: time.Second, CommitWorkers: 4, CheckpointWorkers: 4, CheckpointFanout: 64,
+			PipelineDepth: 1}},
 	}
 	for _, cfg := range configs {
 		h.logf("ablate-journal: %s", cfg.name)

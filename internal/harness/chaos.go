@@ -347,6 +347,7 @@ func (r *chaosRun) newClient(slot *slotState, idx int) {
 		Journal: journal.Config{
 			CommitInterval: r.cfg.LeasePeriod / 4,
 			CommitWorkers:  2, CheckpointWorkers: 2, CheckpointFanout: 8,
+			PipelineDepth: 4,
 		},
 		Cache: cache.Config{
 			EntrySize: r.chunk, MaxEntries: 32,

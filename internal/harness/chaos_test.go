@@ -2,7 +2,9 @@ package harness
 
 import (
 	"context"
+	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -18,6 +20,7 @@ import (
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
+	"arkfs/internal/wire"
 )
 
 // chaosSeeds returns the seed matrix: CHAOS_SEEDS (comma-separated) when set
@@ -182,4 +185,130 @@ func TestChaosDirectedLeaderCrashDuringPartition(t *testing.T) {
 			t.Fatalf("fsck not clean after recovery: %v", rep.Problems)
 		}
 	})
+}
+
+// TestChaosDirectedAsyncCommitCrash scripts the async commit pipeline's
+// acknowledged-durable contract: a leader acknowledges a burst of creates
+// spread over several commit ticks (multiple records in flight at once),
+// fsyncs them, then dies the instant a later record lands — before any of
+// its checkpoints. The successor's replay must surface every fsync'd file,
+// and the run must be deterministic under the virtual clock: two identical
+// runs fire the same crash site and recover the same directory listing.
+func TestChaosDirectedAsyncCommitCrash(t *testing.T) {
+	const lp = 200 * time.Millisecond
+	run := func() (names []string, fired []crashpoint.Site) {
+		env := sim.NewVirtEnv()
+		env.Run(func() {
+			cluster := objstore.NewCluster(env, objstore.TestProfile())
+			defer cluster.Close()
+			if err := core.Format(prt.New(cluster, 4096)); err != nil {
+				t.Fatal(err)
+			}
+			net := rpc.NewNetwork(env, sim.NetModel{Latency: 20 * time.Microsecond, Bandwidth: 1 << 30})
+			mgr := lease.NewManager(net, lease.Options{Period: lp, Workers: 8})
+			defer mgr.Close()
+
+			// A short interval and a deep window keep several journal PUTs of
+			// the same directory in flight at once.
+			jcfg := journal.Config{CommitInterval: lp / 16, CommitWorkers: 8,
+				CheckpointWorkers: 4, PipelineDepth: 8}
+			set := crashpoint.NewSet()
+			leader := core.New(net, prt.New(cluster, 4096), core.Options{
+				ID: "leader", Cred: types.Cred{Uid: 1, Gid: 1}, LeasePeriod: lp,
+				Journal: jcfg, Crash: set, AcquireRetries: 64,
+			})
+			if err := leader.Mkdir(context.Background(), "/work", 0777); err != nil {
+				t.Fatal(err)
+			}
+			if err := leader.FlushAll(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+
+			// Acknowledge a burst across commit ticks, then fsync: every one
+			// of these is now promised to survive any crash.
+			for i := 0; i < 8; i++ {
+				f, err := leader.Create(context.Background(), fmt.Sprintf("/work/b%d", i), 0644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = f.Close()
+				env.Sleep(lp / 8) // let the group-commit tick seal this record
+			}
+			if err := leader.Fsync(context.Background(), "/work/b0"); err != nil {
+				t.Fatal(err)
+			}
+
+			// One more acknowledged create; the leader dies the moment its
+			// record is durable, checkpoints still pending.
+			f, err := leader.Create(context.Background(), "/work/tail", 0644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = f.Close()
+			set.Arm(crashpoint.PostJournalPut, leader.Crash)
+			_ = leader.Fsync(context.Background(), "/work/tail")
+			fired = set.Fired()
+			if !set.Killed() {
+				t.Fatal("leader not killed")
+			}
+
+			env.Sleep(4 * lp) // lease lapse + recovery grace
+
+			successor := core.New(net, prt.New(cluster, 4096), core.Options{
+				ID: "successor", Cred: types.Cred{Uid: 1, Gid: 1}, LeasePeriod: lp,
+				Journal: jcfg, AcquireRetries: 64,
+			})
+			var des []wire.Dentry
+			for attempt := 0; attempt < 20; attempt++ {
+				des, err = successor.Readdir(context.Background(), "/work")
+				if err == nil {
+					break
+				}
+				env.Sleep(lp / 2)
+			}
+			if err != nil {
+				t.Fatalf("successor never served /work: %v", err)
+			}
+			for _, de := range des {
+				names = append(names, de.Name)
+			}
+			sort.Strings(names)
+
+			// The fsync'd burst is non-negotiable; tail's record was durable
+			// when the crash fired, so replay must surface it too.
+			want := map[string]bool{"tail": true}
+			for i := 0; i < 8; i++ {
+				want[fmt.Sprintf("b%d", i)] = true
+			}
+			got := map[string]bool{}
+			for _, n := range names {
+				got[n] = true
+			}
+			for n := range want {
+				if !got[n] {
+					t.Fatalf("acknowledged-durable /work/%s lost after recovery (have %v)", n, names)
+				}
+			}
+			if err := successor.Close(); err != nil {
+				t.Fatalf("successor close: %v", err)
+			}
+			rep, err := fsck.Check(cluster)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("fsck not clean after recovery: %v", rep.Problems)
+			}
+		})
+		return names, fired
+	}
+
+	namesA, firedA := run()
+	namesB, firedB := run()
+	if fmt.Sprint(namesA) != fmt.Sprint(namesB) || fmt.Sprint(firedA) != fmt.Sprint(firedB) {
+		t.Fatalf("same-seed replay diverged:\nA: %v %v\nB: %v %v", namesA, firedA, namesB, firedB)
+	}
+	if len(firedA) != 1 || firedA[0] != crashpoint.PostJournalPut {
+		t.Fatalf("crash site did not fire as scripted: %v", firedA)
+	}
 }

@@ -243,6 +243,7 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 			Journal: journal.Config{
 				CommitInterval: time.Second, CommitWorkers: 4,
 				CheckpointWorkers: 4, CheckpointFanout: 64,
+				PipelineDepth: 8,
 			},
 			Cache: cache.Config{
 				EntrySize:        o.ChunkSize,

@@ -1,27 +1,55 @@
-// Package journal implements ArkFS's per-directory journaling (paper §III-E).
+// Package journal implements ArkFS's per-directory journaling (paper §III-E)
+// with an asynchronous, pipelined commit path.
 //
 // Each directory a client leads gets its own journal: a sequence of objects
 // "j:<dir>:<seq>" holding CRC-protected compound transactions. Metadata
-// mutations accumulate in an in-memory running transaction for up to the
-// commit interval (1 s by default); commit workers turn running transactions
-// into committing transactions and write them to the journal; checkpoint
-// workers then apply them to the original inode/dentry objects and invalidate
-// (delete) the journal objects. Directories are statically mapped to commit
-// and checkpoint workers by inode number, so independent directories journal
-// in parallel while each directory stays strictly ordered.
+// mutations are acknowledged immediately from the in-memory metatable and
+// accumulate in a running transaction for up to the commit interval (1 s by
+// default). When the interval tick fires, every dirty directory is sealed in
+// one pass (cross-directory group commit) and the sealed records feed a
+// pipelined PUT stage: up to PipelineDepth records of the same directory may
+// be in flight at once, each written by any put worker, so record N+1 is
+// encoded and sent while record N is still on the wire.
+//
+// Sequence order is preserved not by serializing the PUTs but by the
+// per-directory durability watermark: durableTo is the lowest sequence not
+// yet known durable, and it only advances contiguously. Checkpoints — the
+// application of a committed record to the original inode/dentry objects —
+// are dispatched strictly in sequence order as the watermark passes each
+// record, so the originals always reflect a prefix of the journal. An
+// operation externalizes (becomes visible to another client via lease
+// handoff, fsync, or 2PC) only once every record it depends on is under the
+// watermark:
+//
+//   - Barrier waits for durability only (the fsync path): a durable record
+//     is recoverable by the next leader's replay, which is all fsync
+//     promises.
+//   - Flush waits for durability and checkpoint (the lease-handoff path): a
+//     cleanly released directory is loaded without journal replay, so its
+//     journal must be empty.
+//
+// If a journal PUT fails permanently, the pipeline for that directory is
+// poisoned: records that landed above the gap are deleted (the journal must
+// stay a replayable prefix), queued records are dropped, and the error
+// surfaces at the next barrier — acknowledgements are tentative until a
+// barrier confirms them, exactly the contract fsync(2) has always had.
 //
 // Operations spanning two directories (RENAME) use a two-phase commit: both
 // journals receive a prepare record, the coordinating directory's journal
 // receives the decision record, and recovery resolves prepared-but-undecided
-// transactions by consulting the coordinator's journal (presumed abort).
+// transactions by consulting the coordinator's journal (presumed abort). The
+// prepare is written only after a durability barrier on the directory, so a
+// prepared transaction never depends on a record that could still be lost.
 package journal
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arkfs/internal/crashpoint"
@@ -43,6 +71,10 @@ type Config struct {
 	// CheckpointFanout bounds the concurrent inode-object writes one
 	// transaction's checkpoint issues (they are independent objects).
 	CheckpointFanout int
+	// PipelineDepth bounds how many journal PUTs of one directory may be in
+	// flight at once. 1 serializes appends (the pre-async behavior); higher
+	// values overlap record N+1's PUT with record N's.
+	PipelineDepth int
 	// Crash, when non-nil, announces the commit/checkpoint/2PC crash sites
 	// this journal passes through; chaos scenarios arm it. Nil is inert.
 	Crash *crashpoint.Set
@@ -57,9 +89,9 @@ type Config struct {
 	Trace *obs.Tracer
 }
 
-// DefaultConfig matches the paper's settings.
+// DefaultConfig matches the paper's settings plus the async pipeline depth.
 func DefaultConfig() Config {
-	return Config{CommitInterval: time.Second, CommitWorkers: 4, CheckpointWorkers: 4, CheckpointFanout: 16}
+	return Config{CommitInterval: time.Second, CommitWorkers: 4, CheckpointWorkers: 4, CheckpointFanout: 16, PipelineDepth: 4}
 }
 
 // Journal manages every per-directory journal owned by one client.
@@ -68,8 +100,8 @@ type Journal struct {
 	tr  *prt.Translator
 	cfg Config
 
-	commitQs []*sim.Chan[*commitItem]
-	ckptQs   []*sim.Chan[*ckptItem]
+	putQs  []*sim.Chan[*putItem]
+	ckptQs []*sim.Chan[*ckptItem]
 
 	// Metric sinks (nil-safe no-ops when cfg.Obs is nil).
 	cAppends     *obs.Counter
@@ -81,15 +113,20 @@ type Journal struct {
 	cCkpts       *obs.Counter
 	cCkptErrs    *obs.Counter
 	hCkpt        *obs.Histogram
+	cGroupSeals  *obs.Counter
+	cBarriers    *obs.Counter
+	gInflight    *obs.Gauge
 	c2pcPrepares *obs.Counter
 	c2pcCommits  *obs.Counter
 	c2pcAborts   *obs.Counter
 	trace        *obs.Tracer // nil-safe span sink
 
+	seqs   atomic.Uint64 // txn id counter
+	idBase atomic.Uint64 // client-unique high bits for txn ids
+
 	mu     sync.Mutex
+	closed bool
 	dirs   map[types.Ino]*dirJournal
-	seqs   uint64 // txn id counter
-	idBase uint64 // client-unique high bits for txn ids
 }
 
 // dirJournal is the journal state of a single led directory.
@@ -99,19 +136,48 @@ type dirJournal struct {
 	mu        sync.Mutex
 	running   []wire.Op       // the running compound transaction
 	runSC     obs.SpanContext // trace of the op that opened the running txn
-	scheduled bool            // a timed commit is already queued
+	scheduled bool            // a timed commit is already armed
 	cancel    func() bool
 	nextSeq   uint64
+
+	// Pipeline state. Sequences in [durableTo, nextSeq) are sealed and either
+	// queued, in flight, or landed out of order; durableTo advances only
+	// contiguously, and checkpoints dispatch in sequence order as it does.
+	gen       uint64             // bumped on failure; stale completions self-delete
+	queued    []*record          // sealed, waiting for a pipeline slot
+	inflight  int                // PUTs currently in flight
+	landed    map[uint64]*record // durable out of order, awaiting the watermark
+	durableTo uint64             // every seq < durableTo is durable (or a tolerated hole)
+	waiters   []durWaiter
+
 	prepared  map[uint64]uint64 // txid -> journal seq of the prepare record
 	prepOps   map[uint64][]wire.Op
 	decisions map[uint64]uint64 // txid -> journal seq of the decision record
-	err       error             // first async commit/checkpoint error, surfaced at Flush
+	err       error             // first async commit/checkpoint error, surfaced at a barrier
 }
 
-type commitItem struct {
-	dj    *dirJournal
-	force bool
-	done  *sim.Chan[error] // non-nil: flush barrier, reply after checkpoint
+// record is one sealed journal transaction moving through the PUT pipeline.
+// A record with a nil txn is a sequence hole: a slot consumed by a
+// synchronously written 2PC record or abandoned by a failed PUT, which the
+// watermark passes without dispatching a checkpoint.
+type record struct {
+	seq uint64
+	gen uint64
+	key string
+	txn *wire.Txn
+	ops []wire.Op
+	sc  obs.SpanContext
+}
+
+// durWaiter is a parked durability barrier: woken once durableTo >= target.
+type durWaiter struct {
+	target uint64
+	ch     *sim.Chan[struct{}]
+}
+
+type putItem struct {
+	dj  *dirJournal
+	rec *record
 }
 
 type ckptItem struct {
@@ -138,6 +204,9 @@ func New(env sim.Env, tr *prt.Translator, cfg Config) *Journal {
 	if cfg.CheckpointFanout <= 0 {
 		cfg.CheckpointFanout = 16
 	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 4
+	}
 	j := &Journal{env: env, tr: tr, cfg: cfg, trace: cfg.Trace, dirs: make(map[types.Ino]*dirJournal)}
 	j.cAppends = cfg.Obs.Counter("journal.appends")
 	j.cOps = cfg.Obs.Counter("journal.ops")
@@ -148,13 +217,16 @@ func New(env sim.Env, tr *prt.Translator, cfg Config) *Journal {
 	j.cCkpts = cfg.Obs.Counter("journal.checkpoints")
 	j.cCkptErrs = cfg.Obs.Counter("journal.checkpoint.errors")
 	j.hCkpt = cfg.Obs.Histogram("journal.checkpoint.latency")
+	j.cGroupSeals = cfg.Obs.Counter("journal.group.seals")
+	j.cBarriers = cfg.Obs.Counter("journal.barriers")
+	j.gInflight = cfg.Obs.Gauge("journal.pipeline.inflight")
 	j.c2pcPrepares = cfg.Obs.Counter("journal.2pc.prepares")
 	j.c2pcCommits = cfg.Obs.Counter("journal.2pc.commits")
 	j.c2pcAborts = cfg.Obs.Counter("journal.2pc.aborts")
 	for i := 0; i < cfg.CommitWorkers; i++ {
-		q := sim.NewChan[*commitItem](env)
-		j.commitQs = append(j.commitQs, q)
-		env.Go(func() { j.commitLoop(q) })
+		q := sim.NewChan[*putItem](env)
+		j.putQs = append(j.putQs, q)
+		env.Go(func() { j.putLoop(q) })
 	}
 	for i := 0; i < cfg.CheckpointWorkers; i++ {
 		q := sim.NewChan[*ckptItem](env)
@@ -164,23 +236,45 @@ func New(env sim.Env, tr *prt.Translator, cfg Config) *Journal {
 	return j
 }
 
-// Close stops the workers. Buffered but uncommitted mutations are dropped —
-// call FlushAll first for a clean shutdown.
+// Close stops the workers. Buffered but uncommitted mutations are dropped and
+// later Log calls are ignored — call FlushAll first for a clean shutdown.
+// Parked barriers are woken with a shutdown error.
 func (j *Journal) Close() {
-	for _, q := range j.commitQs {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.closed = true
+	djs := make([]*dirJournal, 0, len(j.dirs))
+	for _, dj := range j.dirs {
+		djs = append(djs, dj)
+	}
+	j.mu.Unlock()
+	for _, q := range j.putQs {
 		q.Close()
 	}
 	for _, q := range j.ckptQs {
 		q.Close()
 	}
+	for _, dj := range djs {
+		dj.mu.Lock()
+		if dj.cancel != nil {
+			dj.cancel()
+			dj.scheduled, dj.cancel = false, nil
+		}
+		ws := dj.waiters
+		dj.waiters = nil
+		dj.mu.Unlock()
+		for _, w := range ws {
+			w.ch.Close() // Recv returns !ok: the barrier reports shutdown
+		}
+	}
 }
 
-// commitQ returns the commit queue statically assigned to dir.
-func (j *Journal) commitQ(dir types.Ino) *sim.Chan[*commitItem] {
-	return j.commitQs[int(dir.Lo()%uint64(len(j.commitQs)))]
-}
-
-// ckptQ returns the checkpoint queue statically assigned to dir.
+// ckptQ returns the checkpoint queue statically assigned to dir: one
+// directory's checkpoints always serialize through the same worker, which is
+// what keeps them applied in sequence order.
 func (j *Journal) ckptQ(dir types.Ino) *sim.Chan[*ckptItem] {
 	return j.ckptQs[int(dir.Lo()%uint64(len(j.ckptQs)))]
 }
@@ -189,10 +283,15 @@ func (j *Journal) ckptQ(dir types.Ino) *sim.Chan[*ckptItem] {
 func (j *Journal) dirJournal(dir types.Ino) *dirJournal {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.dirJournalLocked(dir)
+}
+
+func (j *Journal) dirJournalLocked(dir types.Ino) *dirJournal {
 	dj := j.dirs[dir]
 	if dj == nil {
 		dj = &dirJournal{
 			dir:      dir,
+			landed:   make(map[uint64]*record),
 			prepared: make(map[uint64]uint64),
 			prepOps:  make(map[uint64][]wire.Op),
 		}
@@ -202,11 +301,14 @@ func (j *Journal) dirJournal(dir types.Ino) *dirJournal {
 }
 
 // SetNextSeq primes the journal sequence for dir; the new leader calls this
-// after recovery with one past the highest sequence it observed.
+// after recovery with one past the highest sequence it observed. Everything
+// below that sequence was either replayed or discarded, so the durability
+// watermark starts there too.
 func (j *Journal) SetNextSeq(dir types.Ino, seq uint64) {
 	dj := j.dirJournal(dir)
 	dj.mu.Lock()
 	dj.nextSeq = seq
+	dj.durableTo = seq
 	dj.mu.Unlock()
 }
 
@@ -214,30 +316,34 @@ func (j *Journal) SetNextSeq(dir types.Ino, seq uint64) {
 // (see SetTxnIDBase) plus a local counter, so ids never collide across the
 // clients whose journals a recovery scan may compare.
 func (j *Journal) NewTxnID() uint64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.seqs++
-	return j.idBase | j.seqs
+	return j.idBase.Load() | j.seqs.Add(1)
 }
 
 // SetTxnIDBase installs the client-unique high bits of transaction ids.
 func (j *Journal) SetTxnIDBase(base uint64) {
-	j.mu.Lock()
-	j.idBase = base << 32
-	j.mu.Unlock()
+	j.idBase.Store(base << 32)
 }
 
-// Log appends metadata mutations to dir's running transaction and schedules
-// a timed commit. It is the fast path: pure memory work. The trace identity
-// in ctx is captured when this append opens a fresh running transaction, so
-// the eventual commit/checkpoint spans link back to the operation that
-// started the batch (later appends ride along untraced — a batch has one
-// owner, the way a group commit has one leader).
+// Log appends metadata mutations to dir's running transaction and arms the
+// group-commit timer. It is the fast path: the op was already acknowledged
+// from the metatable, and this is pure memory work. The trace identity in ctx
+// is captured when this append opens a fresh running transaction, so the
+// eventual commit/checkpoint spans link back to the operation that started
+// the batch (later appends ride along untraced — a batch has one owner, the
+// way a group commit has one leader). Appends on a closed journal are
+// dropped: a directory journaled concurrently with Close would otherwise
+// wedge a record that no worker will ever write.
 func (j *Journal) Log(ctx context.Context, dir types.Ino, ops []wire.Op) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	dj := j.dirJournalLocked(dir)
+	j.mu.Unlock()
 	j.cAppends.Inc()
 	j.cOps.Add(int64(len(ops)))
 	j.gBuffer.Add(int64(len(ops)))
-	dj := j.dirJournal(dir)
 	dj.mu.Lock()
 	if len(dj.running) == 0 && ctx != nil {
 		dj.runSC = obs.SpanContextFrom(ctx)
@@ -245,43 +351,353 @@ func (j *Journal) Log(ctx context.Context, dir types.Ino, ops []wire.Op) {
 	dj.running = append(dj.running, ops...)
 	if !dj.scheduled {
 		dj.scheduled = true
-		dj.cancel = j.env.After(j.cfg.CommitInterval, func() {
-			j.commitQ(dir).Send(&commitItem{dj: dj})
-		})
+		dj.cancel = j.env.After(j.cfg.CommitInterval, j.groupCommit)
 	}
 	dj.mu.Unlock()
 }
 
-// Flush commits dir's running transaction immediately and waits until it is
-// checkpointed — the fsync path. It also surfaces any earlier async error.
+// groupCommit is the commit tick: the first directory whose interval expires
+// seals every dirty directory in one deterministic pass, so independent
+// directories share one wakeup and their records enter the PUT pipeline
+// together (cross-directory group commit).
+func (j *Journal) groupCommit() {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	djs := make([]*dirJournal, 0, len(j.dirs))
+	for _, dj := range j.dirs {
+		djs = append(djs, dj)
+	}
+	j.mu.Unlock()
+	// Map order is randomized; seal in inode order so virtual-clock runs of
+	// the same seed schedule identically.
+	sort.Slice(djs, func(a, b int) bool {
+		return bytes.Compare(djs[a].dir[:], djs[b].dir[:]) < 0
+	})
+	sealed := 0
+	for _, dj := range djs {
+		dj.mu.Lock()
+		if dj.scheduled {
+			if dj.cancel != nil {
+				dj.cancel()
+			}
+			dj.scheduled, dj.cancel = false, nil
+			if j.sealLocked(dj) {
+				sealed++
+			}
+		}
+		dj.mu.Unlock()
+	}
+	if sealed > 1 {
+		j.cGroupSeals.Add(int64(sealed - 1)) // records that rode a shared tick
+	}
+}
+
+// sealLocked turns dir's running transaction into a sealed record, assigns
+// its sequence, and feeds the PUT pipeline. Caller holds dj.mu. Reports
+// whether a record was sealed (false for an empty running transaction).
+func (j *Journal) sealLocked(dj *dirJournal) bool {
+	if len(dj.running) == 0 {
+		return false
+	}
+	ops, sc := dj.running, dj.runSC
+	dj.running, dj.runSC = nil, obs.SpanContext{}
+	j.gBuffer.Add(-int64(len(ops)))
+	seq := dj.nextSeq
+	dj.nextSeq++
+	rec := &record{
+		seq: seq,
+		gen: dj.gen,
+		key: prt.JournalKey(dj.dir, seq),
+		txn: &wire.Txn{
+			ID:    j.NewTxnID(),
+			Dir:   dj.dir,
+			Kind:  wire.TxnNormal,
+			Stamp: j.env.Now(),
+			Ops:   ops,
+		},
+		ops: ops,
+		sc:  sc,
+	}
+	j.dispatchLocked(dj, rec)
+	return true
+}
+
+// dispatchLocked hands a sealed record to a put worker, or parks it in the
+// backlog when the directory's pipeline window is full. Caller holds dj.mu.
+// Records of one directory spread over the put workers by sequence, which is
+// what lets record N+1's PUT start while N's is still in flight.
+func (j *Journal) dispatchLocked(dj *dirJournal, rec *record) {
+	if dj.inflight >= j.cfg.PipelineDepth {
+		dj.queued = append(dj.queued, rec)
+		return
+	}
+	dj.inflight++
+	j.gInflight.Add(1)
+	q := j.putQs[int((dj.dir.Lo()+rec.seq)%uint64(len(j.putQs)))]
+	if !q.Send(&putItem{dj: dj, rec: rec}) {
+		dj.inflight--
+		j.gInflight.Add(-1)
+		j.poisonLocked(dj, fmt.Errorf("journal: shut down during commit of %s: %w", rec.key, types.ErrIO))
+	}
+}
+
+// putLoop is a put worker: it writes sealed records to the object store and
+// reports their durability to the owning directory's watermark.
+func (j *Journal) putLoop(q *sim.Chan[*putItem]) {
+	for {
+		it, ok := q.Recv()
+		if !ok {
+			return
+		}
+		dj, rec := it.dj, it.rec
+		j.cfg.Crash.Hit(crashpoint.PreJournalPut)
+		start := j.env.Now()
+		sp := j.trace.StartChild(rec.sc, "journal.commit", rec.key)
+		sp.SetDir(dj.dir)
+		put := j.trace.StartChild(sp.Context(), "objstore.put", rec.key)
+		err := j.tr.Store().Put(rec.key, wire.EncodeTxn(rec.txn))
+		put.End(err)
+		sp.End(err)
+		if err != nil {
+			j.putFailed(dj, rec, err)
+			continue
+		}
+		j.cCommits.Inc()
+		j.hCommit.Observe(j.env.Now() - start)
+		// The record is durable: from here on a crash must be recoverable by
+		// the next leader's journal replay.
+		j.cfg.Crash.Hit(crashpoint.PostJournalPut)
+		j.putLanded(dj, rec)
+	}
+}
+
+// putLanded marks one record durable, advances the contiguous watermark, and
+// refills the pipeline window from the backlog. A record whose generation is
+// stale landed after its pipeline was poisoned; its object is deleted so the
+// journal stays a replayable prefix.
+func (j *Journal) putLanded(dj *dirJournal, rec *record) {
+	var doomed []string
+	dj.mu.Lock()
+	dj.inflight--
+	j.gInflight.Add(-1)
+	if rec.gen != dj.gen {
+		doomed = append(doomed, rec.key)
+	} else {
+		dj.landed[rec.seq] = rec
+		j.advanceLocked(dj)
+		for len(dj.queued) > 0 && dj.inflight < j.cfg.PipelineDepth {
+			next := dj.queued[0]
+			dj.queued = dj.queued[1:]
+			j.dispatchLocked(dj, next)
+		}
+	}
+	dj.mu.Unlock()
+	for _, key := range doomed {
+		_ = j.tr.Store().Delete(key)
+	}
+}
+
+// putFailed poisons dir's pipeline after a permanent PUT failure.
+func (j *Journal) putFailed(dj *dirJournal, rec *record, err error) {
+	j.cCommitErrs.Inc()
+	var doomed []string
+	dj.mu.Lock()
+	dj.inflight--
+	j.gInflight.Add(-1)
+	if rec.gen == dj.gen {
+		doomed = j.poisonLocked(dj, fmt.Errorf("journal: commit %s: %w", rec.key, err))
+	}
+	dj.mu.Unlock()
+	for _, key := range doomed {
+		_ = j.tr.Store().Delete(key)
+	}
+}
+
+// poisonLocked handles a lost record: the error is recorded for the next
+// barrier, records landed above the gap are scheduled for deletion (returned
+// for the caller to delete outside the lock — replaying them without their
+// predecessor could apply ops whose prerequisites were lost), the backlog is
+// dropped, in-flight PUTs are invalidated via the generation counter, and the
+// watermark jumps over the wreckage so future records start clean. Caller
+// holds dj.mu.
+func (j *Journal) poisonLocked(dj *dirJournal, err error) (doomed []string) {
+	if dj.err == nil {
+		dj.err = err
+	}
+	dj.gen++
+	for seq, r := range dj.landed {
+		if r.txn != nil {
+			doomed = append(doomed, r.key)
+		}
+		delete(dj.landed, seq)
+	}
+	dj.queued = nil
+	dj.durableTo = dj.nextSeq
+	j.wakeLocked(dj)
+	return doomed
+}
+
+// advanceLocked walks the watermark over contiguously landed records,
+// dispatching each one's checkpoint in sequence order, then wakes any
+// barriers the new watermark satisfies. Caller holds dj.mu.
+func (j *Journal) advanceLocked(dj *dirJournal) {
+	for {
+		r, ok := dj.landed[dj.durableTo]
+		if !ok {
+			break
+		}
+		delete(dj.landed, dj.durableTo)
+		dj.durableTo++
+		if r.txn == nil {
+			continue // sequence hole: nothing to checkpoint
+		}
+		if !j.ckptQ(dj.dir).Send(&ckptItem{
+			dj: dj, txn: r.txn, seq: r.seq, ops: r.ops, del: []string{r.key}, sc: r.sc,
+		}) {
+			if dj.err == nil {
+				dj.err = fmt.Errorf("journal: shut down before checkpoint of %s: %w", r.key, types.ErrIO)
+			}
+		}
+	}
+	j.wakeLocked(dj)
+}
+
+// wakeLocked releases every barrier whose target the watermark has reached.
+// Caller holds dj.mu.
+func (j *Journal) wakeLocked(dj *dirJournal) {
+	kept := dj.waiters[:0]
+	for _, w := range dj.waiters {
+		if dj.durableTo >= w.target {
+			w.ch.Send(struct{}{})
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	dj.waiters = kept
+}
+
+// markSeqResolved records a sequence slot that was written (or abandoned)
+// outside the pipeline — 2PC prepare and decision records are PUT
+// synchronously — so the durability watermark can pass it.
+func (j *Journal) markSeqResolved(dj *dirJournal, seq uint64) {
+	dj.mu.Lock()
+	if seq >= dj.durableTo {
+		dj.landed[seq] = &record{seq: seq, gen: dj.gen}
+		j.advanceLocked(dj)
+	}
+	dj.mu.Unlock()
+}
+
+// Barrier seals dir's running transaction — cancelling the armed commit
+// timer under the directory lock, so a superseded tick cannot enqueue
+// redundant work — and waits until every record this client sealed for dir
+// is durable in the object store. It does not wait for checkpoints: a
+// durable record is recoverable by the next leader's replay, which is all
+// fsync promises. Any earlier async commit or checkpoint error is surfaced
+// (and consumed) here.
+func (j *Journal) Barrier(dir types.Ino) error {
+	j.cBarriers.Inc()
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: shut down during barrier: %w", types.ErrIO)
+	}
+	dj := j.dirJournalLocked(dir)
+	j.mu.Unlock()
+
+	dj.mu.Lock()
+	if dj.scheduled {
+		if dj.cancel != nil {
+			dj.cancel() // the forced commit supersedes the timed one
+		}
+		dj.scheduled, dj.cancel = false, nil
+	}
+	j.sealLocked(dj)
+	if dj.durableTo >= dj.nextSeq {
+		err := dj.err
+		dj.err = nil
+		dj.mu.Unlock()
+		return err
+	}
+	w := durWaiter{target: dj.nextSeq, ch: sim.NewChan[struct{}](j.env)}
+	dj.waiters = append(dj.waiters, w)
+	dj.mu.Unlock()
+	if _, ok := w.ch.Recv(); !ok {
+		return fmt.Errorf("journal: shut down during barrier: %w", types.ErrIO)
+	}
+	return dj.takeErr()
+}
+
+// Flush is the strong barrier: it commits dir's running transaction and
+// waits until every record is durable and checkpointed into the original
+// objects, leaving the journal empty. Lease handoff requires it — a cleanly
+// released directory is loaded by the next leader without journal replay.
 func (j *Journal) Flush(dir types.Ino) error {
+	barrierErr := j.Barrier(dir)
+	// Even after a commit failure the records that did land have checkpoints
+	// in flight; drain them so the handoff invariant (empty journal) holds.
 	dj := j.dirJournal(dir)
 	done := sim.NewChan[error](j.env)
-	if !j.commitQ(dir).Send(&commitItem{dj: dj, force: true, done: done}) {
+	if !j.ckptQ(dir).Send(&ckptItem{dj: dj, done: done}) {
+		if barrierErr != nil {
+			return barrierErr
+		}
 		return fmt.Errorf("journal: shut down during flush: %w", types.ErrIO)
 	}
 	err, ok := done.Recv()
 	if !ok {
+		if barrierErr != nil {
+			return barrierErr
+		}
 		return fmt.Errorf("journal: shut down during flush: %w", types.ErrIO)
+	}
+	if barrierErr != nil {
+		return barrierErr
 	}
 	return err
 }
 
-// FlushAll flushes every directory this client has journaled.
-func (j *Journal) FlushAll() error {
-	j.mu.Lock()
-	dirs := make([]types.Ino, 0, len(j.dirs))
-	for d := range j.dirs {
-		dirs = append(dirs, d)
-	}
-	j.mu.Unlock()
+// FlushAll flushes every directory this client has journaled, looping until
+// the directory set is stable: a directory journaled concurrently with the
+// sweep is picked up by a later pass instead of being silently skipped.
+func (j *Journal) FlushAll() error { return j.sweep(j.Flush) }
+
+// BarrierAll is FlushAll's durability-only counterpart: every acknowledged
+// mutation in every directory becomes durable, but checkpoints are left to
+// the background workers. This is the fsync-per-phase barrier benchmarks and
+// applications use.
+func (j *Journal) BarrierAll() error { return j.sweep(j.Barrier) }
+
+// sweep applies fn to every journaled directory, re-snapshotting the
+// directory set until a pass finds nothing new.
+func (j *Journal) sweep(fn func(types.Ino) error) error {
 	var firstErr error
-	for _, d := range dirs {
-		if err := j.Flush(d); err != nil && firstErr == nil {
-			firstErr = err
+	seen := make(map[types.Ino]bool)
+	for {
+		j.mu.Lock()
+		todo := make([]types.Ino, 0, len(j.dirs))
+		for d := range j.dirs {
+			if !seen[d] {
+				todo = append(todo, d)
+			}
+		}
+		j.mu.Unlock()
+		if len(todo) == 0 {
+			return firstErr
+		}
+		sort.Slice(todo, func(a, b int) bool {
+			return bytes.Compare(todo[a][:], todo[b][:]) < 0
+		})
+		for _, d := range todo {
+			seen[d] = true
+			if err := fn(d); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	return firstErr
 }
 
 // DropDir forgets dir's journal state (after a clean flush + lease release).
@@ -289,82 +705,6 @@ func (j *Journal) DropDir(dir types.Ino) {
 	j.mu.Lock()
 	delete(j.dirs, dir)
 	j.mu.Unlock()
-}
-
-// commitLoop is a commit worker: it turns running transactions into
-// committing transactions and writes them to the journal.
-func (j *Journal) commitLoop(q *sim.Chan[*commitItem]) {
-	for {
-		it, ok := q.Recv()
-		if !ok {
-			return
-		}
-		dj := it.dj
-		dj.mu.Lock()
-		ops := dj.running
-		sc := dj.runSC
-		dj.running = nil
-		dj.runSC = obs.SpanContext{}
-		if dj.scheduled && it.force && dj.cancel != nil {
-			dj.cancel() // a flush superseded the timed commit
-		}
-		dj.scheduled = false
-		dj.cancel = nil
-		seq := dj.nextSeq
-		if len(ops) > 0 {
-			dj.nextSeq++
-		}
-		dj.mu.Unlock()
-		j.gBuffer.Add(-int64(len(ops)))
-
-		if len(ops) == 0 {
-			if it.done != nil {
-				// Barrier only: ride through the checkpoint queue so every
-				// previously queued item for this dir completes first.
-				if !j.ckptQ(dj.dir).Send(&ckptItem{dj: dj, done: it.done}) {
-					it.done.Send(fmt.Errorf("journal: shut down during flush: %w", types.ErrIO))
-				}
-			}
-			continue
-		}
-		txn := &wire.Txn{
-			ID:    j.NewTxnID(),
-			Dir:   dj.dir,
-			Kind:  wire.TxnNormal,
-			Stamp: j.env.Now(),
-			Ops:   ops,
-		}
-		key := prt.JournalKey(dj.dir, seq)
-		j.cfg.Crash.Hit(crashpoint.PreJournalPut)
-		commitStart := j.env.Now()
-		sp := j.trace.StartChild(sc, "journal.commit", key)
-		sp.SetDir(dj.dir)
-		put := j.trace.StartChild(sp.Context(), "objstore.put", key)
-		err := j.tr.Store().Put(key, wire.EncodeTxn(txn))
-		put.End(err)
-		sp.End(err)
-		if err != nil {
-			j.cCommitErrs.Inc()
-			j.recordErr(dj, fmt.Errorf("journal: commit %s: %w", key, err))
-			if it.done != nil {
-				it.done.Send(dj.takeErr())
-			}
-			continue
-		}
-		j.cCommits.Inc()
-		j.hCommit.Observe(j.env.Now() - commitStart)
-		// The record is durable: from here on a crash must be recoverable by
-		// the next leader's journal replay.
-		j.cfg.Crash.Hit(crashpoint.PostJournalPut)
-		if !j.ckptQ(dj.dir).Send(&ckptItem{
-			dj: dj, txn: txn, seq: seq, ops: ops, del: []string{key}, sc: sc, done: it.done,
-		}) {
-			j.recordErr(dj, fmt.Errorf("journal: shut down before checkpoint of %s: %w", key, types.ErrIO))
-			if it.done != nil {
-				it.done.Send(dj.takeErr())
-			}
-		}
-	}
 }
 
 // ckptLoop is a checkpoint worker: it applies committed transactions to the

@@ -22,12 +22,15 @@ import (
 // WritePrepare synchronously journals a prepare record carrying ops for dir.
 // peer is the coordinating directory (for participants) or the participant
 // directory (for the coordinator); recovery follows it to find the decision.
-// Any buffered running transaction for dir is flushed first so the journal
-// replays in operation order. The prepare write becomes a child span of the
-// trace in ctx (the rename operation driving the 2PC).
+// The prepare stands behind a durability barrier: every record sealed before
+// it must be durable first, so a prepared transaction never depends on a
+// record that could still be lost (it does not wait for checkpoints — replay
+// order is what matters, and the watermark guarantees the replayable prefix).
+// The prepare write becomes a child span of the trace in ctx (the rename
+// operation driving the 2PC).
 func (j *Journal) WritePrepare(ctx context.Context, dir types.Ino, txid uint64, peer types.Ino, ops []wire.Op) error {
-	if err := j.Flush(dir); err != nil {
-		return fmt.Errorf("journal: pre-prepare flush: %w", err)
+	if err := j.Barrier(dir); err != nil {
+		return fmt.Errorf("journal: pre-prepare barrier: %w", err)
 	}
 	dj := j.dirJournal(dir)
 	dj.mu.Lock()
@@ -45,6 +48,10 @@ func (j *Journal) WritePrepare(ctx context.Context, dir types.Ino, txid uint64, 
 	err := j.tr.Store().Put(key, wire.EncodeTxn(txn))
 	put.End(err)
 	sp.End(err)
+	// Written or not, the slot is resolved: a failed synchronous PUT leaves a
+	// hole the watermark (and recovery) tolerates, and blocking the watermark
+	// on it would wedge every later barrier.
+	j.markSeqResolved(dj, seq)
 	if err != nil {
 		return fmt.Errorf("journal: write prepare %s: %w", key, err)
 	}
@@ -79,6 +86,9 @@ func (j *Journal) WriteDecision(ctx context.Context, dir types.Ino, txid uint64,
 	err := j.tr.Store().Put(key, wire.EncodeTxn(txn))
 	put.End(err)
 	sp.End(err)
+	// Resolve the slot either way so the durability watermark can pass it
+	// (see WritePrepare).
+	j.markSeqResolved(dj, seq)
 	if err != nil {
 		return fmt.Errorf("journal: write decision %s: %w", key, err)
 	}

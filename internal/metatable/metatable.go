@@ -25,6 +25,11 @@ type Table struct {
 	dir      *types.Inode
 	entries  map[string]wire.Dentry
 	children map[types.Ino]*types.Inode
+	// epoch counts acknowledged mutations. The async commit path uses it as
+	// the dependency stamp between the table and the journal: a durability
+	// barrier that completed at epoch E covers every mutation up to E, so a
+	// later fsync with an unchanged epoch has nothing new to make durable.
+	epoch uint64
 }
 
 // Load builds the metatable for dir from the object store: the directory
@@ -123,7 +128,17 @@ func (t *Table) DirInode() *types.Inode {
 func (t *Table) SetDirInode(n *types.Inode) {
 	t.mu.Lock()
 	t.dir = n.Clone()
+	t.epoch++
 	t.mu.Unlock()
+}
+
+// Epoch returns the table's mutation count: the stamp an acknowledged
+// operation depends on. Two equal epochs mean no mutation happened between
+// the two reads.
+func (t *Table) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
 }
 
 // Lookup resolves name to its dentry and a copy of the child inode.
@@ -158,6 +173,7 @@ func (t *Table) Insert(name string, child *types.Inode) error {
 	}
 	t.entries[name] = wire.Dentry{Name: name, Ino: child.Ino, Type: child.Type}
 	t.children[child.Ino] = child.Clone()
+	t.epoch++
 	return nil
 }
 
@@ -172,6 +188,7 @@ func (t *Table) Remove(name string) (*types.Inode, error) {
 	delete(t.entries, name)
 	child := t.children[de.Ino]
 	delete(t.children, de.Ino)
+	t.epoch++
 	if child == nil {
 		return nil, fmt.Errorf("metatable: %q: dangling dentry: %w", name, types.ErrIO)
 	}
@@ -186,6 +203,7 @@ func (t *Table) UpdateChild(n *types.Inode) error {
 		return fmt.Errorf("metatable: inode %s not in table: %w", n.Ino.Short(), types.ErrStale)
 	}
 	t.children[n.Ino] = n.Clone()
+	t.epoch++
 	return nil
 }
 

@@ -71,7 +71,9 @@ func MdtestEasy(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 			}
 			_ = f.Close()
 		}
-		flushAll(m)
+		if flushAll(m) != nil {
+			errs++
+		}
 		return errs
 	}, cfg.FilesPerProc)
 	results = append(results, create)
@@ -94,7 +96,9 @@ func MdtestEasy(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 				errs++
 			}
 		}
-		flushAll(m)
+		if flushAll(m) != nil {
+			errs++
+		}
 		return errs
 	}, cfg.FilesPerProc)
 	results = append(results, del)
@@ -139,7 +143,9 @@ func MdtestHard(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 				errs++
 			}
 		}
-		flushAll(m)
+		if flushAll(m) != nil {
+			errs++
+		}
 		return errs
 	}, cfg.FilesPerProc)
 	results = append(results, write)
@@ -180,7 +186,9 @@ func MdtestHard(env sim.Env, mounts []fsapi.FileSystem, cfg MdtestConfig) ([]Pha
 				errs++
 			}
 		}
-		flushAll(m)
+		if flushAll(m) != nil {
+			errs++
+		}
 		return errs
 	}, cfg.FilesPerProc)
 	results = append(results, del)
