@@ -55,6 +55,7 @@ func main() {
 	var (
 		storeURL = flag.String("store", "", "objstored base URL (empty: in-memory store)")
 		mgrAddr  = flag.String("leasemgr", "", "lease manager address, e.g. tcp!127.0.0.1:7400 (empty: embedded)")
+		mgrRing  = flag.String("leasemgrs", "", "comma-separated lease-shard ring, e.g. tcp!h:7400,tcp!h:7401 (as printed by leasemgr -shards N; overrides -leasemgr)")
 		id       = flag.String("id", "cli", "client id")
 		serve    = flag.String("serve", "", "TCP bind for serving forwarded ops from peer clients")
 		uid      = flag.Uint("uid", 1000, "credential uid")
@@ -83,17 +84,36 @@ func main() {
 	}
 	tr := prt.New(store, 0)
 
+	// Lease routing: a static ring of remote shards (-leasemgrs), one remote
+	// manager (-leasemgr), or an embedded manager. The ring member strings
+	// must match the ones leasemgr advertises byte-for-byte — rendezvous
+	// routing hashes the address bytes, so any difference splits ownership.
+	var router lease.Router
 	leaseAddr := rpc.Addr(*mgrAddr)
-	if leaseAddr == "" {
+	if *mgrRing != "" {
+		var members []rpc.Addr
+		for _, part := range strings.Split(*mgrRing, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				members = append(members, rpc.Addr(part))
+			}
+		}
+		if len(members) == 0 {
+			fmt.Fprintln(os.Stderr, "arkfs: -leasemgrs needs at least one member")
+			os.Exit(2)
+		}
+		router = lease.NewRouter(lease.NewRing(members...))
+		leaseAddr = members[0] // fallback only; the router decides routes
+	} else if leaseAddr == "" {
 		mgr := lease.NewManager(net, lease.Options{})
 		defer mgr.Close()
 		leaseAddr = mgr.Addr()
 	}
 
 	opts := core.Options{
-		ID:       *id,
-		Cred:     types.Cred{Uid: uint32(*uid), Gid: uint32(*gid)},
-		LeaseMgr: leaseAddr,
+		ID:          *id,
+		Cred:        types.Cred{Uid: uint32(*uid), Gid: uint32(*gid)},
+		LeaseMgr:    leaseAddr,
+		LeaseRouter: router,
 	}
 	if *retries > 1 {
 		pol := objstore.DefaultRetryPolicy()
@@ -240,7 +260,7 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 		if _, err := f.Write(data); err != nil {
 			return err
 		}
-		if err := f.Sync(); err != nil {
+		if err := f.Fsync(ctx); err != nil {
 			return err
 		}
 		return f.Close()
@@ -282,7 +302,7 @@ func runCommand(c *core.Client, tr *prt.Translator, args []string) error {
 		if _, err := f.Write([]byte(strings.Join(rest[1:], " ") + "\n")); err != nil {
 			return err
 		}
-		if err := f.Sync(); err != nil {
+		if err := f.Fsync(ctx); err != nil {
 			return err
 		}
 		return f.Close()

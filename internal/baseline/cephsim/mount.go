@@ -410,6 +410,10 @@ func (f *file) Sync() error {
 	return nil
 }
 
+// Fsync implements the context-aware flush; the MDS call path is uniform
+// latency, so it reduces to Sync.
+func (f *file) Fsync(context.Context) error { return f.Sync() }
+
 func (f *file) Close() error {
 	f.mu.Lock()
 	if f.closed {

@@ -452,6 +452,10 @@ func (f *file) Sync() error {
 	return nil
 }
 
+// Fsync implements the context-aware flush; the simulated upload has no
+// cancellation points, so it reduces to Sync.
+func (f *file) Fsync(context.Context) error { return f.Sync() }
+
 func (f *file) Close() error {
 	f.mu.Lock()
 	if f.closed {

@@ -468,6 +468,10 @@ func (f *file) Sync() error {
 	return nil
 }
 
+// Fsync implements the context-aware flush; the staged upload has no
+// cancellation points, so it reduces to Sync.
+func (f *file) Fsync(context.Context) error { return f.Sync() }
+
 func (f *file) Close() error { return f.Sync() }
 
 // DropAllCaches evicts every staging copy (benchmark cache-drop step).

@@ -29,9 +29,11 @@ type Options struct {
 	Cred types.Cred
 	// LeaseMgr is the lease manager's address.
 	LeaseMgr rpc.Addr
-	// LeaseRoute selects a lease-manager shard per directory (the paper's
-	// future-work "cluster of lease managers"); nil uses LeaseMgr for all.
-	LeaseRoute func(types.Ino) rpc.Addr
+	// LeaseRouter routes each directory to its lease-manager shard (the
+	// paper's future-work "cluster of lease managers", lease.Cluster.Router).
+	// The router carries the client's cached ring; stale-ring redirects
+	// update it transparently. Nil uses LeaseMgr for every directory.
+	LeaseRouter lease.Router
 	// PermCache enables the permission caching mode (paper §III-C): remote
 	// directory permissions and lookups are cached for one lease period,
 	// trading strict ACL-change visibility for locality in path resolution.
@@ -298,7 +300,7 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 			opts.Obs.Func("objstore.retries.exhausted", rs.Exhausted.Load)
 		}
 	}
-	c.lm = &lease.Client{Net: net, Mgr: opts.LeaseMgr, Self: c.addr, Route: opts.LeaseRoute}
+	c.lm = &lease.Client{Net: net, Mgr: opts.LeaseMgr, Self: c.addr, Router: opts.LeaseRouter}
 	c.serviceName = rpc.Addr("arkfs-svc-" + opts.ID)
 	if opts.Advertise == "" {
 		c.serviceName = c.addr

@@ -369,7 +369,12 @@ func (f *File) baseName() string {
 
 // Sync flushes cached data and pushes size/mtime to the parent's leader —
 // fsync(2) for this handle.
-func (f *File) Sync() error {
+func (f *File) Sync() error { return f.Fsync(context.Background()) }
+
+// Fsync is Sync under the caller's context: its deadline and trace identity
+// ride the size/mtime update to the leader, so a cancelled workload stops at
+// the metadata forwarding boundary instead of blocking through it.
+func (f *File) Fsync(ctx context.Context) error {
 	f.c.chargeFUSE()
 	f.mu.Lock()
 	if f.closed {
@@ -383,7 +388,7 @@ func (f *File) Sync() error {
 	}
 	if wrote {
 		patch := AttrPatch{SetSize: true, Size: size, SetTimes: true, Mtime: f.c.env.Now()}
-		if _, err := f.c.setAttrIno(context.Background(), f.parent, f.baseName(), patch, true); err != nil {
+		if _, err := f.c.setAttrIno(ctx, f.parent, f.baseName(), patch, true); err != nil {
 			return errnoWrap("fsync", f.path, err)
 		}
 		f.mu.Lock()

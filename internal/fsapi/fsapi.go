@@ -13,7 +13,9 @@ import (
 )
 
 // File is an open file handle. Handle-level I/O is context-free (mirroring
-// the io interfaces); cancellation applies at operation start via Open.
+// the io interfaces); cancellation applies at operation start via Open —
+// except Fsync, whose flush work is heavy enough to deserve a context of its
+// own.
 type File interface {
 	io.Reader
 	io.Writer
@@ -21,8 +23,14 @@ type File interface {
 	io.WriterAt
 	io.Seeker
 	io.Closer
-	// Sync flushes the handle's data and metadata (fsync).
+	// Sync flushes the handle's data and metadata (fsync), context-free for
+	// io-style callers. Equivalent to Fsync(context.Background()).
 	Sync() error
+	// Fsync is Sync under a context: the caller's deadline and trace
+	// identity propagate into the flush's store and metadata RPCs, so a
+	// workload's fsync shows up inside its operation span and honors
+	// cancellation at the forwarding boundaries.
+	Fsync(ctx context.Context) error
 	// Size returns the handle's view of the file size.
 	Size() int64
 }

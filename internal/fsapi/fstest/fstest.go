@@ -49,8 +49,8 @@ func Run(t *testing.T, fs fsapi.FileSystem, level Level) {
 	if _, err := f.Write(payload); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	if err := f.Sync(); err != nil {
-		t.Fatalf("sync: %v", err)
+	if err := f.Fsync(ctx); err != nil {
+		t.Fatalf("fsync: %v", err)
 	}
 	if err := f.Close(); err != nil {
 		t.Fatalf("close: %v", err)

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"arkfs/internal/lease"
 	"arkfs/internal/objstore"
 	"arkfs/internal/prt"
 	"arkfs/internal/types"
@@ -128,6 +129,17 @@ func Check(store objstore.Store) (*Report, error) {
 			// evidence preserved by a scrub -repair run, outside the live
 			// key space by construction
 			rep.Quarantined++
+		case strings.HasPrefix(k, lease.SnapshotPrefix):
+			// lease-manager grant-table snapshot: control-plane state, not
+			// part of the file-system namespace. Verify the seal so a
+			// corrupted snapshot is surfaced (a shard restarting onto it
+			// degrades to the conservative cold-restart path, which is safe
+			// but slow).
+			if raw, gerr := store.Get(k); gerr == nil {
+				if _, serr := wire.Unseal(raw); serr != nil {
+					rep.add("corrupt-lease-snapshot", k, "grant-table snapshot fails its CRC: %v", serr)
+				}
+			}
 		default:
 			rep.add("unknown-key", k, "object key outside the PRT scheme")
 		}

@@ -13,8 +13,8 @@ import (
 
 // BenchSchema identifies the BenchReport JSON layout. Bump the suffix on any
 // field change: downstream tooling (CI artifact diffing, EXPERIMENTS.md
-// tables) keys on it.
-const BenchSchema = "arkfs-bench/v1"
+// tables) keys on it. v2 added the sharded lease-cluster scalability sweep.
+const BenchSchema = "arkfs-bench/v2"
 
 // BenchConfig parameterizes one benchmark trajectory. The zero value runs the
 // committed BENCH_seed.json configuration.
@@ -30,6 +30,21 @@ type BenchConfig struct {
 	Procs int
 	// FioFileSize is the per-process sequential file size (default 32 MiB).
 	FioFileSize int64
+	// ShardedClients is the elastic lease-cluster sweep (default
+	// 512,1024,2048,4096): each count runs against a Shards-member lease
+	// ring, next to a single-manager point at ShardedClients[0] that anchors
+	// the comparison. Negative Shards disables the sweep.
+	ShardedClients []int
+	// Shards is the lease-ring size for the sharded sweep (default 4).
+	Shards int
+	// ShardedDirs and ShardedFilesPerDir shape the per-client lease churn in
+	// the sharded sweep (defaults 16 and 1): each client works through
+	// ShardedDirs fresh directories — one lease acquire each — creating
+	// ShardedFilesPerDir files per directory. Acquire-heavy on purpose: the
+	// lease-acquire wave, not per-client create work, is the resource under
+	// test.
+	ShardedDirs        int
+	ShardedFilesPerDir int
 	// Obs, when non-nil, is the registry the instrumented mdtest phase
 	// records into (live debug endpoints watch it mid-run). The fingerprint
 	// still reflects only this run: it is computed from a snapshot taken
@@ -52,6 +67,18 @@ func (c *BenchConfig) fill() {
 	}
 	if c.FioFileSize <= 0 {
 		c.FioFileSize = 32 << 20
+	}
+	if len(c.ShardedClients) == 0 {
+		c.ShardedClients = []int{512, 1024, 2048, 4096}
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.ShardedDirs <= 0 {
+		c.ShardedDirs = 16
+	}
+	if c.ShardedFilesPerDir <= 0 {
+		c.ShardedFilesPerDir = 1
 	}
 }
 
@@ -78,6 +105,15 @@ type BenchScalePoint struct {
 	CreatePerSec float64 `json:"create_per_sec"`
 }
 
+// BenchShardPoint is one point in the sharded lease-cluster sweep: CREATE
+// throughput at a client count against a Shards-member lease ring (Shards 1
+// is the single-manager anchor).
+type BenchShardPoint struct {
+	Clients      int     `json:"clients"`
+	Shards       int     `json:"shards"`
+	CreatePerSec float64 `json:"create_per_sec"`
+}
+
 // BenchReport is the stable -bench-json output. Every number derives from the
 // virtual clock and seeded IDs, so the same (schema, seed, config) yields a
 // byte-identical report.
@@ -85,16 +121,28 @@ type BenchReport struct {
 	Schema string `json:"schema"`
 	Seed   int64  `json:"seed"`
 	Config struct {
-		Clients      []int `json:"clients"`
-		FilesPerProc int   `json:"files_per_proc"`
-		Procs        int   `json:"procs"`
-		FioFileSize  int64 `json:"fio_file_size"`
+		Clients            []int `json:"clients"`
+		FilesPerProc       int   `json:"files_per_proc"`
+		Procs              int   `json:"procs"`
+		FioFileSize        int64 `json:"fio_file_size"`
+		ShardedClients     []int `json:"sharded_clients"`
+		Shards             int   `json:"shards"`
+		ShardedDirs        int   `json:"sharded_dirs"`
+		ShardedFilesPerDir int   `json:"sharded_files_per_dir"`
 	} `json:"config"`
 	MdtestEasy  []BenchPhase      `json:"mdtest_easy"`
 	MdtestHard  []BenchPhase      `json:"mdtest_hard"`
 	FioWrite    BenchBandwidth    `json:"fio_write"`
 	FioRead     BenchBandwidth    `json:"fio_read"`
 	Scalability []BenchScalePoint `json:"scalability"`
+	// ShardedScalability is the elastic lease-cluster sweep: a single-manager
+	// and a multi-shard point per client count. Unlike every other section,
+	// these numbers are stable only to ~0.1% across process invocations: with
+	// thousands of clients feeding several shard queues, same-virtual-instant
+	// event ordering (which the host scheduler decides) feeds back into
+	// queueing delays. CI compares them with a tolerance instead of
+	// byte-diffing.
+	ShardedScalability []BenchShardPoint `json:"sharded_scalability"`
 	// MetricsFingerprint is the instrumented mdtest deployment's
 	// obs.Snapshot.Fingerprint() — the full sorted counter list.
 	MetricsFingerprint string `json:"metrics_fingerprint"`
@@ -138,6 +186,10 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 	rep.Config.FilesPerProc = cfg.FilesPerProc
 	rep.Config.Procs = cfg.Procs
 	rep.Config.FioFileSize = cfg.FioFileSize
+	rep.Config.ShardedClients = cfg.ShardedClients
+	rep.Config.Shards = cfg.Shards
+	rep.Config.ShardedDirs = cfg.ShardedDirs
+	rep.Config.ShardedFilesPerDir = cfg.ShardedFilesPerDir
 
 	cal := DefaultCalibration()
 	rados := objstore.RADOSProfile()
@@ -235,6 +287,48 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			return nil, runErr
 		}
 		rep.Scalability = append(rep.Scalability, BenchScalePoint{Clients: n, CreatePerSec: thr})
+	}
+
+	// Phase 4: sharded lease-cluster sweep (lease churn, not mdtest: every
+	// fresh directory is a lease acquire, so the manager tier is the
+	// contended resource). One single-manager anchor at the smallest client
+	// count, then the elastic-ring points.
+	if cfg.Shards > 1 {
+		shardPoint := func(n, shards int) (float64, error) {
+			var thr float64
+			var perr error
+			env := sim.NewVirtEnv()
+			env.Run(func() {
+				d, err := BuildArkFS(env, cal, rados, n, ArkFSOptions{
+					PermCache: true, Seed: cfg.Seed, LeaseShards: shards,
+				})
+				if err != nil {
+					perr = fmt.Errorf("bench: sharded deploy %d/%d: %w", n, shards, err)
+					return
+				}
+				defer d.Close()
+				res, err := workload.LeaseChurn(env, d.Mounts, workload.LeaseChurnConfig{
+					Dirs: cfg.ShardedDirs, FilesPerDir: cfg.ShardedFilesPerDir,
+					Root: "/bench-shard",
+				})
+				if err != nil {
+					perr = fmt.Errorf("bench: sharded %d/%d: %w", n, shards, err)
+					return
+				}
+				thr = res.OpsPerSec()
+			})
+			return thr, perr
+		}
+		for _, n := range cfg.ShardedClients {
+			for _, shards := range []int{1, cfg.Shards} {
+				thr, err := shardPoint(n, shards)
+				if err != nil {
+					return nil, err
+				}
+				rep.ShardedScalability = append(rep.ShardedScalability,
+					BenchShardPoint{Clients: n, Shards: shards, CreatePerSec: thr})
+			}
+		}
 	}
 	return rep, nil
 }

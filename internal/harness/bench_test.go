@@ -7,7 +7,12 @@ import (
 )
 
 func quickBench() BenchConfig {
-	return BenchConfig{Seed: 42, Clients: []int{1, 2}, FilesPerProc: 40, Procs: 2, FioFileSize: 8 << 20}
+	return BenchConfig{
+		Seed: 42, Clients: []int{1, 2}, FilesPerProc: 40, Procs: 2, FioFileSize: 8 << 20,
+		// Tiny sharded sweep: enough to exercise the phase, small enough that
+		// two full runs fit a unit test.
+		ShardedClients: []int{8}, Shards: 2, ShardedDirs: 2, ShardedFilesPerDir: 1,
+	}
 }
 
 // TestRunBenchSchemaStable: the report round-trips through its own JSON and
@@ -37,6 +42,16 @@ func TestRunBenchSchemaStable(t *testing.T) {
 	if rep.FioWrite.GiBps <= 0 || rep.FioRead.GiBps <= 0 {
 		t.Fatalf("fio empty: w=%+v r=%+v", rep.FioWrite, rep.FioRead)
 	}
+	if len(rep.ShardedScalability) != 2 {
+		t.Fatalf("sharded sweep has %d points, want 2", len(rep.ShardedScalability))
+	}
+	for i, p := range rep.ShardedScalability {
+		wantShards := []int{1, 2}[i]
+		if p.Clients != 8 || p.Shards != wantShards || p.CreatePerSec <= 0 {
+			t.Fatalf("sharded point %d = %+v, want 8 clients / %d shards / positive rate",
+				i, p, wantShards)
+		}
+	}
 	if rep.MetricsFingerprint == "" || len(rep.MetricsSHA256) != 64 {
 		t.Fatalf("fingerprint missing: sha=%q", rep.MetricsSHA256)
 	}
@@ -50,7 +65,10 @@ func TestRunBenchSchemaStable(t *testing.T) {
 }
 
 // TestRunBenchDeterministic: the same seed and config yield byte-identical
-// JSON — the property that lets CI diff BENCH_seed.json against a fresh run.
+// JSON apart from the sharded sweep rates, which are only stable to a small
+// tolerance (multi-shard queueing makes same-virtual-instant event order —
+// decided by the host scheduler — feed back into timings). This is the exact
+// contract CI enforces when it regenerates BENCH_seed.json.
 func TestRunBenchDeterministic(t *testing.T) {
 	a, err := RunBench(quickBench())
 	if err != nil {
@@ -59,6 +77,25 @@ func TestRunBenchDeterministic(t *testing.T) {
 	b, err := RunBench(quickBench())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(a.ShardedScalability) != len(b.ShardedScalability) {
+		t.Fatalf("sharded sweep shape differs: %d vs %d points",
+			len(a.ShardedScalability), len(b.ShardedScalability))
+	}
+	for i, pa := range a.ShardedScalability {
+		pb := b.ShardedScalability[i]
+		if pa.Clients != pb.Clients || pa.Shards != pb.Shards {
+			t.Fatalf("sharded point %d keys differ: %+v vs %+v", i, pa, pb)
+		}
+		if diff := pa.CreatePerSec - pb.CreatePerSec; diff > pa.CreatePerSec*0.01 || -diff > pa.CreatePerSec*0.01 {
+			t.Fatalf("sharded point %d rates differ beyond 1%%: %.1f vs %.1f",
+				i, pa.CreatePerSec, pb.CreatePerSec)
+		}
+	}
+	// Everything outside the sharded rates must be byte-identical.
+	for i := range a.ShardedScalability {
+		a.ShardedScalability[i].CreatePerSec = 0
+		b.ShardedScalability[i].CreatePerSec = 0
 	}
 	if !bytes.Equal(a.JSON(), b.JSON()) {
 		t.Fatalf("same-seed bench runs differ:\n--- a\n%s\n--- b\n%s", a.JSON(), b.JSON())

@@ -57,6 +57,18 @@ type ChaosConfig struct {
 	Partitions  int
 	DropWindows int
 	FlakyFlips  int
+	// LeaseShards > 1 runs the scenario against an elastic lease-manager
+	// cluster (consistent-hash ring, grant-table persistence on) instead of
+	// the single manager. Reshards scripted membership changes run
+	// mid-workload: AddShard events grow the ring and hand live grants over;
+	// RemoveShard events shrink it back, tombstoning the removed shard.
+	// ShardRestarts kill-and-replace a ring member, which must resume from
+	// its persisted grant table instead of stalling behind restart amnesia.
+	// All three default when LeaseShards > 1 (2 reshards, 1 restart);
+	// negative disables.
+	LeaseShards   int
+	Reshards      int
+	ShardRestarts int
 	// Corruption drill. CorruptWindows scripted windows flip bits on reads in
 	// flight (transient: the stored object is untouched, a retry reads clean
 	// bytes), exercising the verify-on-read paths live. After the oracle
@@ -104,6 +116,14 @@ func (c *ChaosConfig) fill() {
 	if c.CorruptObjects == 0 {
 		c.CorruptObjects = 2
 	}
+	if c.LeaseShards > 1 {
+		if c.Reshards == 0 {
+			c.Reshards = 2
+		}
+		if c.ShardRestarts == 0 {
+			c.ShardRestarts = 1
+		}
+	}
 }
 
 // ChaosEvent is one scripted fault, scheduled before the run starts.
@@ -134,6 +154,10 @@ type ChaosReport struct {
 	// Metrics is the deterministic metrics fingerprint of the run's shared
 	// observability registry (counters and histogram counts; no latencies).
 	Metrics string
+	// Handoff tallies, meaningful when LeaseShards > 1: grants that moved
+	// between shards intact during reshards, and grants whose transfer
+	// failed (those directories fall back to the crash-grace stall).
+	HandoffMoved, HandoffLost int64
 }
 
 // Failed reports whether the run violated any invariant.
@@ -294,6 +318,9 @@ type chaosRun struct {
 	plan    *rpc.FaultPlan
 	mgrMu   sync.Mutex
 	mgr     *lease.Manager
+	leases  *lease.Cluster
+	addedMu sync.Mutex
+	added   []rpc.Addr // shards added by reshard events, newest last
 	reg     *obs.Registry
 	slots   []*slotState
 	oracle  *chaosOracle
@@ -301,6 +328,15 @@ type chaosRun struct {
 
 	logMu sync.Mutex
 	fires *sim.Chan[int] // slot indices whose client just crashed
+}
+
+// router mints a fresh per-client ring router in cluster mode (nil for the
+// single manager; core then uses the static LeaseMgr address).
+func (r *chaosRun) router() lease.Router {
+	if r.leases == nil {
+		return nil
+	}
+	return r.leases.Router()
 }
 
 func (r *chaosRun) logf(format string, args ...any) {
@@ -343,6 +379,7 @@ func (r *chaosRun) newClient(slot *slotState, idx int) {
 	c := core.New(r.net, prt.New(r.fault, r.chunk), core.Options{
 		ID:          fmt.Sprintf("s%d-g%d", idx, gen),
 		Cred:        types.Cred{Uid: 1000, Gid: 1000},
+		LeaseRouter: r.router(),
 		LeasePeriod: r.cfg.LeasePeriod,
 		Journal: journal.Config{
 			CommitInterval: r.cfg.LeasePeriod / 4,
@@ -384,14 +421,26 @@ func (r *chaosRun) run() {
 	r.plan = rpc.NewFaultPlan(env, cfg.Seed+1)
 	r.plan.SetTimeout(lp / 16)
 	r.net.SetFaultPlan(r.plan)
-	r.mgr = lease.NewManager(r.net, lease.Options{Period: lp, Workers: 8, Obs: r.reg})
+	if cfg.LeaseShards > 1 {
+		// Elastic cluster mode: rendezvous ring over the shards, grant
+		// tables persisted to the raw cluster (control-plane writes bypass
+		// the scripted data-path faults; failover realism comes from the
+		// shard kill/restart events).
+		r.leases = lease.NewCluster(r.net, lease.ClusterOptions{
+			Shards:  cfg.LeaseShards,
+			Store:   r.cluster,
+			Manager: lease.Options{Period: lp, Workers: 8, Obs: r.reg},
+		})
+	} else {
+		r.mgr = lease.NewManager(r.net, lease.Options{Period: lp, Workers: 8, Obs: r.reg})
+	}
 	r.fires = sim.NewChan[int](env)
 
 	// --- Setup phase: the working directories exist and are durable before
 	// any fault fires; the root directory is never mutated again, so chaos
 	// cannot lose a working directory itself.
 	setup := core.New(r.net, prt.New(r.cluster, r.chunk), core.Options{
-		ID: "setup", Cred: types.Cred{Uid: 1000, Gid: 1000}, LeasePeriod: lp,
+		ID: "setup", Cred: types.Cred{Uid: 1000, Gid: 1000}, LeaseRouter: r.router(), LeasePeriod: lp,
 		Journal: journal.Config{CommitInterval: lp / 4, CommitWorkers: 2, CheckpointWorkers: 2},
 	})
 	r.slots = make([]*slotState, cfg.Slots)
@@ -457,11 +506,19 @@ func (r *chaosRun) run() {
 	for i := 0; i < cfg.Partitions; i++ {
 		t := at()
 		dur := lp/2 + time.Duration(rng.Int63n(int64(2*lp)))
-		// One-way wildcard partition: nobody reaches the lease manager, so
-		// extends and acquires time out until the heal.
-		r.plan.PartitionFor(nil, []rpc.Addr{r.mgr.Addr()}, base+t, base+t+dur)
-		addEvent(t, fmt.Sprintf("partition *->leasemgr for %v", dur), nil)
-		addEvent(t+dur, "heal *->leasemgr", nil)
+		// One-way wildcard partition: nobody reaches the lease manager (or,
+		// sharded, one ring member), so extends and acquires time out until
+		// the heal.
+		target := rpc.Addr("leasemgr")
+		if r.leases != nil {
+			members := r.leases.Ring().Members
+			target = members[rng.Intn(len(members))]
+		} else {
+			target = r.mgr.Addr()
+		}
+		r.plan.PartitionFor(nil, []rpc.Addr{target}, base+t, base+t+dur)
+		addEvent(t, fmt.Sprintf("partition *->%s for %v", target, dur), nil)
+		addEvent(t+dur, fmt.Sprintf("heal *->%s", target), nil)
 	}
 	for i := 0; i < cfg.DropWindows; i++ {
 		t := at()
@@ -489,22 +546,85 @@ func (r *chaosRun) run() {
 		addEvent(t+dur, "corrupt-reads-off", func() { r.fault.SetCorruptReads("", 0, 0) })
 	}
 	var mgrDownUntil time.Duration
-	for i := 0; i < cfg.MgrRestarts; i++ {
-		t := at()
-		down := lp / 2
-		if t+down > mgrDownUntil {
-			mgrDownUntil = t + down
+	if r.leases == nil {
+		for i := 0; i < cfg.MgrRestarts; i++ {
+			t := at()
+			down := lp / 2
+			if t+down > mgrDownUntil {
+				mgrDownUntil = t + down
+			}
+			addEvent(t, "mgr-stop", func() {
+				r.mgrMu.Lock()
+				r.mgr.Close()
+				r.mgrMu.Unlock()
+			})
+			addEvent(t+down, "mgr-restart (quiesce)", func() {
+				r.mgrMu.Lock()
+				r.mgr = lease.NewManager(r.net, lease.Options{Period: lp, Workers: 8, Restarted: true, Obs: r.reg})
+				r.mgrMu.Unlock()
+			})
 		}
-		addEvent(t, "mgr-stop", func() {
-			r.mgrMu.Lock()
-			r.mgr.Close()
-			r.mgrMu.Unlock()
-		})
-		addEvent(t+down, "mgr-restart (quiesce)", func() {
-			r.mgrMu.Lock()
-			r.mgr = lease.NewManager(r.net, lease.Options{Period: lp, Workers: 8, Restarted: true, Obs: r.reg})
-			r.mgrMu.Unlock()
-		})
+	} else {
+		// Shard failover: kill a ring member mid-workload and replace it
+		// half a period later. With the persisted grant table the
+		// replacement resumes granting; its territory must not pay the full
+		// restart-amnesia grace.
+		initial := r.leases.Ring().Members
+		for i := 0; i < cfg.ShardRestarts; i++ {
+			t := at()
+			down := lp / 2
+			victim := initial[rng.Intn(len(initial))]
+			if t+down > mgrDownUntil {
+				mgrDownUntil = t + down
+			}
+			addEvent(t, fmt.Sprintf("shard-stop %s", victim), func() {
+				if err := r.leases.KillShard(victim); err != nil {
+					r.logf("shard-stop %s: %v", victim, err)
+				}
+			})
+			addEvent(t+down, fmt.Sprintf("shard-restart %s (resume)", victim), func() {
+				if err := r.leases.RestartShard(victim); err != nil {
+					r.logf("shard-restart %s: %v", victim, err)
+				}
+			})
+		}
+		// Runtime resharding: grow the ring mid-workload (handing live
+		// grants to the new shard), and shrink it back by removing the most
+		// recently added shard (tombstoning it). A remove scheduled before
+		// any add has landed is a no-op.
+		for i := 0; i < cfg.Reshards; i++ {
+			t := at()
+			if i%2 == 0 {
+				addEvent(t, "lease-addshard", func() {
+					addr, err := r.leases.AddShard()
+					if err != nil {
+						r.logf("addshard: %v", err)
+						return
+					}
+					r.addedMu.Lock()
+					r.added = append(r.added, addr)
+					r.addedMu.Unlock()
+					r.logf("addshard %s, ring now %s", addr, r.leases.Ring())
+				})
+			} else {
+				addEvent(t, "lease-removeshard", func() {
+					r.addedMu.Lock()
+					if len(r.added) == 0 {
+						r.addedMu.Unlock()
+						r.logf("removeshard: nothing added yet, skipping")
+						return
+					}
+					victim := r.added[len(r.added)-1]
+					r.added = r.added[:len(r.added)-1]
+					r.addedMu.Unlock()
+					if err := r.leases.RemoveShard(victim); err != nil {
+						r.logf("removeshard %s: %v", victim, err)
+						return
+					}
+					r.logf("removeshard %s, ring now %s", victim, r.leases.Ring())
+				})
+			}
+		}
 	}
 	sort.Slice(r.rep.Script, func(i, j int) bool {
 		if r.rep.Script[i].At != r.rep.Script[j].At {
@@ -579,6 +699,8 @@ func (r *chaosRun) run() {
 
 	r.verify()
 	r.integrityEpilogue()
+	r.rep.HandoffMoved = r.reg.Counter("lease.handoff.moved").Value()
+	r.rep.HandoffLost = r.reg.Counter("lease.handoff.lost").Value()
 	r.rep.Metrics = r.reg.Snapshot().Fingerprint()
 }
 
@@ -635,7 +757,7 @@ func (r *chaosRun) createFile(s *slotState, path string, dirIn types.Ino) bool {
 			r.oracle.set(path, oMayExist)
 			return false
 		}
-		if err := f.Sync(); err != nil {
+		if err := f.Fsync(context.Background()); err != nil {
 			_ = f.Close()
 			r.oracle.set(path, oMayExist)
 			return false
@@ -701,7 +823,7 @@ var toleratedLeaks = map[string]bool{
 // every crashed directory), checks the oracle, and runs fsck.
 func (r *chaosRun) verify() {
 	v := core.New(r.net, prt.New(r.fault, r.chunk), core.Options{
-		ID: "verify", Cred: types.Cred{Uid: 1000, Gid: 1000}, LeasePeriod: r.cfg.LeasePeriod,
+		ID: "verify", Cred: types.Cred{Uid: 1000, Gid: 1000}, LeaseRouter: r.router(), LeasePeriod: r.cfg.LeasePeriod,
 		Journal:        journal.Config{CommitInterval: r.cfg.LeasePeriod / 4, CommitWorkers: 2, CheckpointWorkers: 2},
 		AcquireRetries: 64,
 		Seed:           r.cfg.Seed*7919 + 999983,

@@ -36,6 +36,10 @@ type Calibration struct {
 	// ArkMetaOp is ArkFS's local metadata-table operation cost (hashing,
 	// journal encoding, locking).
 	ArkMetaOp time.Duration
+	// LeaseOp is the lease manager's per-request service cost, serialized
+	// over its worker pool: the knob that makes a single manager saturate
+	// under an acquire wave the way a real lease server's CPU does.
+	LeaseOp time.Duration
 	// MemCopyPerByte charges cache memcpy work.
 	MemCopyPerByte time.Duration
 	// LeasePeriod is the directory lease duration (paper default 5 s).
@@ -53,6 +57,7 @@ func DefaultCalibration() Calibration {
 		ClientNet:      sim.NetModel{Latency: 30 * time.Microsecond, Bandwidth: 6250 << 20},
 		FUSEOverhead:   5 * time.Microsecond,
 		ArkMetaOp:      6 * time.Microsecond,
+		LeaseOp:        20 * time.Microsecond,
 		MemCopyPerByte: time.Nanosecond / 8, // ~8 GB/s effective memcpy
 		LeasePeriod:    5 * time.Second,
 		RPCWorkers:     4,
@@ -119,6 +124,10 @@ type Deployment struct {
 	// Ark holds the raw ArkFS clients behind Mounts (nil for baselines),
 	// for retry/cache statistics.
 	Ark []*core.Client
+	// Leases is the elastic lease cluster, non-nil when the deployment was
+	// built with ArkFSOptions.LeaseShards > 1. Chaos scenarios drive
+	// AddShard/RemoveShard/KillShard through it mid-workload.
+	Leases *lease.Cluster
 	// Reg is the deployment-wide metrics registry (nil unless the deployment
 	// was built with ArkFSOptions.Obs).
 	Reg   *obs.Registry
@@ -160,9 +169,16 @@ type ArkFSOptions struct {
 	ChunkSize int64 // 0: 2 MiB
 	// CacheEntries bounds the data cache per client (memory control).
 	CacheEntries int
-	// LeaseShards > 1 deploys a sharded lease-manager cluster (the paper's
-	// future work) instead of the single manager.
+	// LeaseShards > 1 deploys an elastic lease-manager cluster (the paper's
+	// future work) instead of the single manager: directories route onto
+	// shards by rendezvous hashing, and the deployment's Leases handle
+	// reshards it at runtime.
 	LeaseShards int
+	// LeasePersist gives every lease shard grant-table persistence through
+	// the object store (sealed snapshots under "lm:"), so a killed and
+	// restarted shard resumes its grants instead of stalling a full grace
+	// period. Only meaningful with LeaseShards > 1.
+	LeasePersist bool
 	// FlakyProb > 0 inserts a FaultStore between the clients and the
 	// cluster that fails every store op with this probability (seeded by
 	// FlakySeed), for fault-injection experiments. Formatting bypasses it.
@@ -219,21 +235,30 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 	if o.Obs != nil {
 		net.SetObs(o.Obs)
 	}
-	var route func(types.Ino) rpc.Addr
 	d.close = append(d.close, cluster.Close)
+	lo := lease.Options{Period: cal.LeasePeriod, Workers: 8, ServiceCost: cal.LeaseOp, Obs: o.Obs}
 	if o.LeaseShards > 1 {
-		shards := lease.NewShards(net, o.LeaseShards, "leasemgr", lease.Options{Period: cal.LeasePeriod, Workers: 8, Obs: o.Obs})
-		route = shards.Route()
-		d.close = append(d.close, shards.Close)
+		co := lease.ClusterOptions{Shards: o.LeaseShards, Manager: lo}
+		if o.LeasePersist {
+			co.Store = store
+		}
+		d.Leases = lease.NewCluster(net, co)
+		d.close = append(d.close, d.Leases.Close)
 	} else {
-		mgr := lease.NewManager(net, lease.Options{Period: cal.LeasePeriod, Workers: 8, Obs: o.Obs})
+		mgr := lease.NewManager(net, lo)
 		d.close = append(d.close, mgr.Close)
 	}
 	for i := 0; i < n; i++ {
+		var router lease.Router
+		if d.Leases != nil {
+			// Each client owns its router: the cached ring updates lazily
+			// from StaleRing redirects, per client.
+			router = d.Leases.Router()
+		}
 		c := core.New(net, tr, core.Options{
 			ID:           fmt.Sprintf("%04d", i),
 			Cred:         types.Cred{Uid: 1000, Gid: 1000},
-			LeaseRoute:   route,
+			LeaseRouter:  router,
 			PermCache:    o.PermCache,
 			FUSEOverhead: cal.FUSEOverhead,
 			Cost: sim.CostModel{

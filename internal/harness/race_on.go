@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the binary was built with the race detector.
+// Race instrumentation slows the wall-clock scheduler enough that chaos fault
+// windows land on different operations between runs, so seed-replay
+// fingerprint equality only holds in uninstrumented builds.
+const raceEnabled = true

@@ -154,6 +154,20 @@ type dirJournal struct {
 	prepOps   map[uint64][]wire.Op
 	decisions map[uint64]uint64 // txid -> journal seq of the decision record
 	err       error             // first async commit/checkpoint error, surfaced at a barrier
+
+	// ckptStuck is set when a checkpoint failed to apply its transaction.
+	// Unlike err it is never consumed by a barrier: the unapplied record is
+	// persistent state (it sits in the journal awaiting ordered replay), so
+	// every Flush must keep failing — forcing an unclean release and a
+	// NeedRecovery grant for the next leader — until recovery resets the
+	// directory. Later records are left unapplied too (see ckptLoop): applying
+	// around the gap could reorder same-name mutations.
+	ckptStuck error
+	// stale holds journal keys whose transactions applied but whose
+	// invalidation failed. Replaying them is idempotent, so they are not an
+	// error — but a clean release promises an empty journal, so Flush retries
+	// the deletes and fails the flush if any survive.
+	stale []string
 }
 
 // record is one sealed journal transaction moving through the PUT pipeline.
@@ -309,6 +323,17 @@ func (j *Journal) SetNextSeq(dir types.Ino, seq uint64) {
 	dj.mu.Lock()
 	dj.nextSeq = seq
 	dj.durableTo = seq
+	// Recovery replayed (and invalidated) everything below seq, so any stuck
+	// or stale pipeline state from the previous leadership is obsolete. The
+	// generation bump makes in-flight completions of old PUTs self-delete.
+	dj.ckptStuck = nil
+	dj.stale = nil
+	dj.err = nil
+	dj.gen++
+	dj.queued = nil
+	for s := range dj.landed {
+		delete(dj.landed, s)
+	}
 	dj.mu.Unlock()
 }
 
@@ -716,34 +741,88 @@ func (j *Journal) ckptLoop(q *sim.Chan[*ckptItem]) {
 			return
 		}
 		if it.ops != nil {
-			ckptStart := j.env.Now()
-			sp := j.trace.StartChild(it.sc, "journal.checkpoint", "")
-			sp.SetDir(it.dj.dir)
-			if err := applyOps(j.env, j.tr, it.dj.dir, it.ops, j.cfg.CheckpointFanout, j.cfg.Crash); err != nil {
+			it.dj.mu.Lock()
+			stuck := it.dj.ckptStuck
+			it.dj.mu.Unlock()
+			if stuck != nil {
+				// An earlier record of this directory failed to apply.
+				// Applying this one around the gap could reorder same-name
+				// mutations, so leave it (and its journal object) for the
+				// ordered replay a NeedRecovery grant runs.
 				j.cCkptErrs.Inc()
-				j.recordErr(it.dj, err)
-				sp.End(err)
 			} else {
-				// Fully applied; the journal record still exists, so a crash
-				// here makes recovery replay the transaction a second time.
-				j.cfg.Crash.Hit(crashpoint.PostCheckpoint)
-				for _, key := range it.del {
-					del := j.trace.StartChild(sp.Context(), "objstore.delete", key)
-					err := j.tr.Store().Delete(key)
-					del.End(err)
-					if err != nil {
-						j.recordErr(it.dj, fmt.Errorf("journal: invalidate %s: %w", key, err))
+				ckptStart := j.env.Now()
+				sp := j.trace.StartChild(it.sc, "journal.checkpoint", "")
+				sp.SetDir(it.dj.dir)
+				if err := applyOps(j.env, j.tr, it.dj.dir, it.ops, j.cfg.CheckpointFanout, j.cfg.Crash); err != nil {
+					j.cCkptErrs.Inc()
+					it.dj.mu.Lock()
+					it.dj.ckptStuck = err
+					it.dj.mu.Unlock()
+					j.recordErr(it.dj, err)
+					sp.End(err)
+				} else {
+					// Fully applied; the journal record still exists, so a crash
+					// here makes recovery replay the transaction a second time.
+					j.cfg.Crash.Hit(crashpoint.PostCheckpoint)
+					for _, key := range it.del {
+						del := j.trace.StartChild(sp.Context(), "objstore.delete", key)
+						err := j.tr.Store().Delete(key)
+						del.End(err)
+						if err != nil {
+							// Applied but not invalidated: replay is idempotent,
+							// so this is not a barrier error — but the key must
+							// go before a clean release (see drainErr).
+							it.dj.mu.Lock()
+							it.dj.stale = append(it.dj.stale, key)
+							it.dj.mu.Unlock()
+						}
 					}
+					j.cCkpts.Inc()
+					j.hCkpt.Observe(j.env.Now() - ckptStart)
+					sp.End(nil)
 				}
-				j.cCkpts.Inc()
-				j.hCkpt.Observe(j.env.Now() - ckptStart)
-				sp.End(nil)
 			}
 		}
 		if it.done != nil {
-			it.done.Send(it.dj.takeErr())
+			it.done.Send(j.drainErr(it.dj))
 		}
 	}
+}
+
+// drainErr computes the outcome of a flush drain: stale invalidations are
+// retried (faults may have healed), and a stuck checkpoint is reported as a
+// persistent error — unlike dj.err it cannot be consumed by an intermediate
+// barrier, so a directory with an unapplied journal record can never be
+// released clean. Only a recovery replay (SetNextSeq) clears it.
+func (j *Journal) drainErr(dj *dirJournal) error {
+	dj.mu.Lock()
+	stale := dj.stale
+	dj.stale = nil
+	stuck := dj.ckptStuck
+	dj.mu.Unlock()
+	var kept []string
+	var staleErr error
+	for _, key := range stale {
+		if err := j.tr.Store().Delete(key); err != nil && !errors.Is(err, types.ErrNotExist) {
+			kept = append(kept, key)
+			if staleErr == nil {
+				staleErr = fmt.Errorf("journal: invalidate %s: %w", key, err)
+			}
+		}
+	}
+	if len(kept) > 0 {
+		dj.mu.Lock()
+		dj.stale = append(dj.stale, kept...)
+		dj.mu.Unlock()
+	}
+	if stuck != nil {
+		return fmt.Errorf("journal: unapplied record for %s awaits replay: %w", dj.dir.Short(), stuck)
+	}
+	if staleErr != nil {
+		return staleErr
+	}
+	return dj.takeErr()
 }
 
 func (j *Journal) recordErr(dj *dirJournal, err error) {

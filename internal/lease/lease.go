@@ -58,6 +58,12 @@ type AcquireResp struct {
 	// against their per-directory retry budget — RetryAfter is a firm
 	// "come back then" hint, and every directory is affected equally.
 	Quiesce bool
+	// StaleRing: the caller's ring epoch is behind (or it asked a shard that
+	// no longer owns Dir); Ring is the shard's current membership. The client
+	// must update its router and retry at the owner — an EAGAIN-style
+	// redirect, never a wrong-shard grant.
+	StaleRing bool
+	Ring      Ring
 }
 
 // ReleaseReq gives up a lease. Clean indicates all metadata was flushed.
@@ -71,6 +77,9 @@ type ReleaseReq struct {
 // ReleaseResp acknowledges a ReleaseReq.
 type ReleaseResp struct {
 	OK bool
+	// StaleRing: Dir moved to another shard (see AcquireResp.StaleRing).
+	StaleRing bool
+	Ring      Ring
 }
 
 // RecoveryDoneReq reports that the caller finished journal recovery for Dir;
@@ -86,6 +95,39 @@ type RecoveryDoneResp struct {
 	OK      bool
 	Expiry  time.Duration
 	LeaseID uint64
+	// StaleRing: Dir moved to another shard (see AcquireResp.StaleRing).
+	StaleRing bool
+	Ring      Ring
+}
+
+// DirGrant is one directory's live lease chain on the wire: everything a
+// gaining shard needs to continue granting without a grace-period stall —
+// holder, fencing token, expiry, and the recovery flags.
+type DirGrant struct {
+	Dir        types.Ino
+	Holder     rpc.Addr
+	LeaseID    uint64
+	Expiry     time.Duration
+	Clean      bool
+	PrevHolder rpc.Addr
+	Recovering bool
+	RecoverID  uint64
+}
+
+// HandoffReq transfers grant state from a losing shard to the gaining shard
+// during a resharding: every DirGrant routes to the receiver under the ring
+// at Epoch. Directories whose transfer fails are the only ones that pay the
+// grace-period stall at the new owner.
+type HandoffReq struct {
+	Epoch  Epoch
+	From   rpc.Addr
+	Grants []DirGrant
+}
+
+// HandoffResp acknowledges a HandoffReq.
+type HandoffResp struct {
+	OK       bool
+	Accepted int
 }
 
 func init() {
@@ -96,4 +138,7 @@ func init() {
 	gob.Register(ReleaseResp{})
 	gob.Register(RecoveryDoneReq{})
 	gob.Register(RecoveryDoneResp{})
+	gob.Register(HandoffReq{})
+	gob.Register(HandoffResp{})
+	gob.Register(Ring{})
 }

@@ -45,8 +45,8 @@ var tcpPool = struct {
 }{conns: make(map[string]*TCPClient)}
 
 // callTCP performs a call to a "tcp!host:port" address, carrying the
-// caller's trace identity in the wire envelope.
-func (n *Network) callTCP(sc obs.SpanContext, to Addr, req any) (any, error) {
+// caller's trace identity and ring epoch in the wire envelope.
+func (n *Network) callTCP(sc obs.SpanContext, epoch uint64, to Addr, req any) (any, error) {
 	hostport := strings.TrimPrefix(string(to), TCPPrefix)
 	tcpPool.mu.Lock()
 	cli := tcpPool.conns[hostport]
@@ -66,7 +66,7 @@ func (n *Network) callTCP(sc obs.SpanContext, to Addr, req any) (any, error) {
 		}
 		tcpPool.mu.Unlock()
 	}
-	resp, err := cli.Call(sc, req)
+	resp, err := cli.CallEpoch(sc, epoch, req)
 	if err != nil {
 		// Drop the broken connection so the next call re-dials.
 		tcpPool.mu.Lock()

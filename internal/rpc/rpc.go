@@ -131,9 +131,33 @@ func (n *Network) histFor(req any) *obs.Histogram {
 	return h
 }
 
+// ringEpochKey carries the caller's lease-ring epoch in a context. The epoch
+// is part of the rpc envelope, not any one message type: CallFromCtx lifts it
+// from the caller's context onto the wire, and the server side re-injects it
+// into the handler's context, in-process and across the TCP bridge alike.
+type ringEpochKey struct{}
+
+// WithRingEpoch stamps ctx with the caller's ring epoch; every subsequent
+// CallFromCtx carries it in the envelope. Epoch 0 means "no ring".
+func WithRingEpoch(ctx context.Context, epoch uint64) context.Context {
+	return context.WithValue(ctx, ringEpochKey{}, epoch)
+}
+
+// RingEpochFrom returns the ring epoch carried by ctx (0 when absent).
+func RingEpochFrom(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	if v, ok := ctx.Value(ringEpochKey{}).(uint64); ok {
+		return v
+	}
+	return 0
+}
+
 type call struct {
 	req   any
 	sc    obs.SpanContext // caller's trace identity, zero when untraced
+	epoch uint64          // caller's ring epoch, 0 when unsharded
 	reply *sim.Chan[any]
 }
 
@@ -177,6 +201,9 @@ func (n *Network) ListenCtx(addr Addr, workers int, h CtxHandler) *Server {
 				if c.sc.Valid() {
 					ctx = obs.WithRemote(ctx, c.sc)
 				}
+				if c.epoch != 0 {
+					ctx = WithRingEpoch(ctx, c.epoch)
+				}
 				c.reply.Send(h(ctx, c.req))
 			}
 		})
@@ -208,7 +235,7 @@ func (n *Network) Call(to Addr, req any) (any, error) {
 // plan apply per-link rules (partitions between address sets) in both the
 // request and the response direction.
 func (n *Network) CallFrom(from, to Addr, req any) (any, error) {
-	return n.dispatch(obs.SpanContext{}, from, to, req)
+	return n.dispatch(obs.SpanContext{}, 0, from, to, req)
 }
 
 // CallFromCtx is CallFrom gated on a context: a context that is already done
@@ -220,27 +247,29 @@ func (n *Network) CallFrom(from, to Addr, req any) (any, error) {
 // message so the server side can continue the trace.
 func (n *Network) CallFromCtx(ctx context.Context, from, to Addr, req any) (any, error) {
 	var sc obs.SpanContext
+	var epoch uint64
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		sc = obs.SpanContextFrom(ctx)
+		epoch = RingEpochFrom(ctx)
 	}
-	return n.dispatch(sc, from, to, req)
+	return n.dispatch(sc, epoch, from, to, req)
 }
 
-func (n *Network) dispatch(sc obs.SpanContext, from, to Addr, req any) (any, error) {
+func (n *Network) dispatch(sc obs.SpanContext, epoch uint64, from, to Addr, req any) (any, error) {
 	if n.reg == nil {
-		return n.callFrom(sc, from, to, req)
+		return n.callFrom(sc, epoch, from, to, req)
 	}
 	start := n.env.Now()
-	resp, err := n.callFrom(sc, from, to, req)
+	resp, err := n.callFrom(sc, epoch, from, to, req)
 	n.cCalls.Inc()
 	n.histFor(req).Observe(n.env.Now() - start)
 	return resp, err
 }
 
-func (n *Network) callFrom(sc obs.SpanContext, from, to Addr, req any) (any, error) {
+func (n *Network) callFrom(sc obs.SpanContext, epoch uint64, from, to Addr, req any) (any, error) {
 	fault := n.faultPlan()
 	if fault != nil {
 		if err := fault.apply(from, to, "request"); err != nil {
@@ -249,7 +278,7 @@ func (n *Network) callFrom(sc obs.SpanContext, from, to Addr, req any) (any, err
 		}
 	}
 	if strings.HasPrefix(string(to), TCPPrefix) {
-		resp, err := n.callTCP(sc, to, req)
+		resp, err := n.callTCP(sc, epoch, to, req)
 		if err != nil {
 			n.cTimeouts.Inc()
 			return resp, err
@@ -274,7 +303,7 @@ func (n *Network) callFrom(sc obs.SpanContext, from, to Addr, req any) (any, err
 		size = sz.WireSize()
 	}
 	n.env.Sleep(n.model.TransferTime(size))
-	c := &call{req: req, sc: sc, reply: sim.NewChan[any](n.env)}
+	c := &call{req: req, sc: sc, epoch: epoch, reply: sim.NewChan[any](n.env)}
 	if !s.inbox.Send(c) {
 		n.cTimeouts.Inc()
 		return nil, fmt.Errorf("rpc: server %q closed: %w", to, types.ErrTimedOut)

@@ -14,11 +14,14 @@ import (
 // envelope frames one gob-encoded message on the wire. Trace/Span carry the
 // caller's trace identity across the process boundary (zero when untraced) —
 // the TCP analogue of the SpanContext the in-process fabric attaches to each
-// call.
+// call. RingEpoch carries the caller's lease-ring epoch (0 when unsharded),
+// so a bridged lease shard can detect stale clients exactly like an
+// in-process one.
 type envelope struct {
-	Trace   uint64
-	Span    uint64
-	Payload any
+	Trace     uint64
+	Span      uint64
+	RingEpoch uint64
+	Payload   any
 }
 
 // TCPServer serves CtxHandler over a TCP listener using gob encoding, one
@@ -106,6 +109,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if sc.Valid() {
 			ctx = obs.WithRemote(ctx, sc)
 		}
+		if in.RingEpoch != 0 {
+			ctx = WithRingEpoch(ctx, in.RingEpoch)
+		}
 		out := envelope{Trace: in.Trace, Span: in.Span, Payload: s.handler(ctx, in.Payload)}
 		if err := enc.Encode(&out); err != nil {
 			return
@@ -134,10 +140,16 @@ func DialTCP(addr string) (*TCPClient, error) {
 // Call performs one request/response exchange. sc is the caller's trace
 // identity; pass the zero SpanContext when untraced.
 func (c *TCPClient) Call(sc obs.SpanContext, req any) (any, error) {
+	return c.CallEpoch(sc, 0, req)
+}
+
+// CallEpoch is Call with the caller's lease-ring epoch attached to the
+// envelope (0 when unsharded).
+func (c *TCPClient) CallEpoch(sc obs.SpanContext, ringEpoch uint64, req any) (any, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(&envelope{
-		Trace: uint64(sc.Trace), Span: uint64(sc.Span), Payload: req,
+		Trace: uint64(sc.Trace), Span: uint64(sc.Span), RingEpoch: ringEpoch, Payload: req,
 	}); err != nil {
 		return nil, fmt.Errorf("rpc: send: %w: %w", err, types.ErrIO)
 	}

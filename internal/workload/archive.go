@@ -206,7 +206,7 @@ func Archive(env sim.Env, m fsapi.FileSystem, d *Dataset, tarImage []byte, cfg A
 	if _, err := io.CopyBuffer(dst, src, make([]byte, 1<<20)); err != nil {
 		return ArchiveResult{}, fmt.Errorf("workload: tar ingest: %w", err)
 	}
-	if err := dst.Sync(); err != nil {
+	if err := dst.Fsync(ctx); err != nil {
 		return ArchiveResult{}, err
 	}
 	if err := dst.Close(); err != nil {

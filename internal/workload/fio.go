@@ -85,7 +85,7 @@ func Fio(env sim.Env, mounts []fsapi.FileSystem, cfg FioConfig) (write, read Ban
 					return
 				}
 			}
-			if err := f.Sync(); err != nil {
+			if err := f.Fsync(ctx); err != nil {
 				errs[i] = err
 				return
 			}

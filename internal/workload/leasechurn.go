@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+
+	"arkfs/internal/fsapi"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// LeaseChurnConfig parameterizes the lease-acquisition scalability workload.
+type LeaseChurnConfig struct {
+	// Dirs is the number of fresh directories each process works through;
+	// every one costs a lease acquire on whichever shard the ring routes it
+	// to.
+	Dirs int
+	// FilesPerDir is the per-directory create count (small on purpose: the
+	// acquire wave, not per-file work, is the resource under test).
+	FilesPerDir int
+	// Root is the benchmark directory prefix.
+	Root string
+}
+
+// LeaseChurn measures directory-lease acquisition at scale: every process
+// makes Dirs fresh directories under its private subtree and creates
+// FilesPerDir files in each. Entering a fresh directory is one lease acquire
+// against its shard, so with thousands of processes the acquire wave — not
+// file I/O — is the contended resource; for the same reason there is no
+// closing flush (the creates land in per-directory journals without touching
+// the shared store on the measured path).
+//
+// Unlike mdtest's setupTree, each process mkdirs its own subtree in an
+// unmeasured warm-up: otherwise process 0 would hold every parent lease and
+// the measured phase would serialize on its RPC workers instead of the lease
+// tier.
+func LeaseChurn(env sim.Env, mounts []fsapi.FileSystem, cfg LeaseChurnConfig) (PhaseResult, error) {
+	ctx := context.Background()
+	if cfg.Root == "" {
+		cfg.Root = "/lease-churn"
+	}
+	if err := mounts[0].Mkdir(ctx, cfg.Root, 0777); err != nil {
+		return PhaseResult{}, fmt.Errorf("workload: setup %s: %w", cfg.Root, err)
+	}
+	warm := runPhase(env, "WARMUP", mounts, func(proc int, m fsapi.FileSystem) int {
+		if err := m.Mkdir(ctx, fmt.Sprintf("%s/p%04d", cfg.Root, proc), 0777); err != nil {
+			return 1
+		}
+		return 0
+	}, 1)
+	if warm.Errors > 0 {
+		return PhaseResult{}, fmt.Errorf("workload: lease-churn warm-up: %d errors", warm.Errors)
+	}
+	res := runPhase(env, "ACQUIRE", mounts, func(proc int, m fsapi.FileSystem) int {
+		errs := 0
+		for d := 0; d < cfg.Dirs; d++ {
+			dir := fmt.Sprintf("%s/p%04d/d%04d", cfg.Root, proc, d)
+			if err := m.Mkdir(ctx, dir, 0755); err != nil {
+				errs++
+				continue
+			}
+			for f := 0; f < cfg.FilesPerDir; f++ {
+				fh, err := m.Open(ctx, fmt.Sprintf("%s/f%04d", dir, f),
+					types.OWronly|types.OCreate|types.OExcl, 0644)
+				if err != nil {
+					errs++
+					continue
+				}
+				_ = fh.Close()
+			}
+		}
+		return errs
+	}, cfg.Dirs*(cfg.FilesPerDir+1))
+	return res, nil
+}
