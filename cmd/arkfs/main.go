@@ -57,6 +57,7 @@ func main() {
 		mgrAddr  = flag.String("leasemgr", "", "lease manager address, e.g. tcp!127.0.0.1:7400 (empty: embedded)")
 		mgrRing  = flag.String("leasemgrs", "", "comma-separated lease-shard ring, e.g. tcp!h:7400,tcp!h:7401 (as printed by leasemgr -shards N; overrides -leasemgr)")
 		id       = flag.String("id", "cli", "client id")
+		tenant   = flag.String("tenant", "", "tenant id stamped on every op's spans and accounting (empty: tenant-<id>)")
 		serve    = flag.String("serve", "", "TCP bind for serving forwarded ops from peer clients")
 		uid      = flag.Uint("uid", 1000, "credential uid")
 		gid      = flag.Uint("gid", 1000, "credential gid")
@@ -111,6 +112,7 @@ func main() {
 
 	opts := core.Options{
 		ID:          *id,
+		Tenant:      *tenant,
 		Cred:        types.Cred{Uid: uint32(*uid), Gid: uint32(*gid)},
 		LeaseMgr:    leaseAddr,
 		LeaseRouter: router,

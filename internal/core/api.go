@@ -34,26 +34,39 @@ type opTrack struct {
 
 // startOp opens a span for op and attaches it to ctx. With observability off
 // it returns ctx unchanged and a nil tracker; end is nil-safe, so call sites
-// never branch.
+// never branch. This is where the tenant attribution is minted: the root
+// span carries it and the context propagates it through every forward (the
+// RPC envelope lifts it on each hop).
 func (c *Client) startOp(ctx context.Context, op, path string) (context.Context, *opTrack) {
 	if c.obsReg == nil {
 		return ctx, nil
 	}
 	t := &opTrack{c: c, hist: c.opHists[op], span: c.tracer.Start(op, path), start: c.env.Now()}
+	t.span.SetTenant(c.opts.Tenant)
+	ctx = obs.WithTenant(ctx, c.opts.Tenant)
 	if t.span != nil {
 		ctx = obs.WithSpan(ctx, t.span)
 	}
 	return ctx, t
 }
 
-// end closes the span and records the operation latency, passing err through
-// so call sites stay one-liners.
+// end closes the span and records the operation latency — globally and in the
+// per-tenant table, with the trace ID as the bucket exemplar — passing err
+// through so call sites stay one-liners.
 func (t *opTrack) end(err error) error {
 	if t == nil {
 		return err
 	}
 	t.span.End(err)
-	t.hist.Observe(t.c.env.Now() - t.start)
+	d := t.c.env.Now() - t.start
+	var trace obs.TraceID
+	var retries int
+	if t.span != nil {
+		trace = t.span.Trace
+		retries = t.span.Retries
+	}
+	t.hist.ObserveTrace(d, trace)
+	t.c.tenants.Observe(t.c.opts.Tenant, d, trace, err != nil, retries)
 	return err
 }
 

@@ -80,6 +80,13 @@ type Options struct {
 	// TraceCap sizes the per-op trace ring buffer (default 256 spans); only
 	// meaningful when Obs is set.
 	TraceCap int
+	// Tenant is the tenant every operation this client issues is attributed
+	// to: stamped on each root span, carried in the RPC envelope across
+	// forwards (leader redirects, lease RPCs, 2PC participant calls), and
+	// accounted in the registry's per-tenant table on every hop. Empty
+	// derives "tenant-<ID>", so single-tenant deployments attribute per
+	// client without configuration.
+	Tenant string
 }
 
 // Client is one ArkFS mount: the public near-POSIX API plus the leader-side
@@ -120,6 +127,7 @@ type Client struct {
 	// Observability sinks (all nil-safe no-ops when Options.Obs is nil).
 	obsReg       *obs.Registry
 	tracer       *obs.Tracer
+	tenants      *obs.TenantTable          // per-tenant accounting, nil when Obs is
 	opHists      map[string]*obs.Histogram // read-only after New
 	cBytesRead   *obs.Counter
 	cBytesWrite  *obs.Counter
@@ -216,6 +224,9 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 			opts.Seed = opts.Seed*131 + int64(r)
 		}
 	}
+	if opts.Tenant == "" {
+		opts.Tenant = "tenant-" + opts.ID
+	}
 	env := net.Env()
 	if opts.Obs != nil {
 		// Per-verb store counters sit under everything else, so each retry
@@ -272,6 +283,7 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 	if opts.Obs != nil {
 		c.obsReg = opts.Obs
 		c.tracer = tracer
+		c.tenants = opts.Obs.Tenants()
 		opts.Obs.Func("obs.trace.spans", c.tracer.Total)
 		c.opHists = make(map[string]*obs.Histogram, len(opNames))
 		for _, op := range opNames {
@@ -387,6 +399,9 @@ func (c *Client) Registry() *obs.Registry { return c.obsReg }
 // Tracer exposes the per-op trace ring (nil when observability is off); the
 // chaos harness dumps it when a run fails.
 func (c *Client) Tracer() *obs.Tracer { return c.tracer }
+
+// Tenant returns the tenant this client's operations are attributed to.
+func (c *Client) Tenant() string { return c.opts.Tenant }
 
 // recordWBErr keeps the first background write-back failure for FlushAll and
 // Close to surface; the cache keeps the data dirty, so a later flush retries.
@@ -610,6 +625,7 @@ func (c *Client) becomeLeader(ctx context.Context, dir types.Ino, grant lease.Ac
 		c.crashHit(crashpoint.RecoveryPreReplay)
 		rsp := c.tracer.StartChild(obs.SpanContextFrom(ctx), "journal.recover", "")
 		rsp.SetDir(dir)
+		rsp.SetTenant(obs.TenantFrom(ctx))
 		rep, err := journal.RecoverWith(c.tr, dir, c.obsReg)
 		rsp.End(err)
 		if err != nil {
@@ -665,6 +681,7 @@ func (c *Client) becomeLeader(ctx context.Context, dir types.Ino, grant lease.Ac
 		var lost int
 		dsp := c.tracer.StartChild(obs.SpanContextFrom(ctx), "integrity.degraded", dir.Short())
 		dsp.SetDir(dir)
+		dsp.SetTenant(obs.TenantFrom(ctx))
 		tbl, lost, err = metatable.LoadDegraded(c.tr, dir)
 		dsp.End(err)
 		if err == nil {

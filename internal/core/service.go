@@ -20,6 +20,8 @@ func (c *Client) serve(ctx context.Context, req any) any {
 	sp := c.tracer.StartChild(obs.RemoteFrom(ctx), op, "")
 	if sp != nil {
 		sp.SetDir(dir)
+		sp.SetTenant(obs.TenantFrom(ctx))
+		sp.SetWait(obs.QueueWaitFrom(ctx))
 		ctx = obs.WithSpan(ctx, sp)
 	}
 	resp := c.dispatch(ctx, req)

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"arkfs/internal/obs"
+	"arkfs/internal/rpc"
+)
+
+func withTenant(tenant string) func(*Options) {
+	return func(o *Options) { o.Tenant = tenant }
+}
+
+// TestTenantRedirectedOp: a forwarded create carries the requester's tenant ID
+// onto every span of the trace — the requester's root, the leader's
+// server-side span, and the leader's asynchronous journal commit — and the
+// leader's RPC inbox attributes queue wait to the same tenant.
+func TestTenantRedirectedOp(t *testing.T) {
+	tc := newTestCluster(t)
+	netReg := obs.NewRegistry()
+	tc.net.SetObs(netReg)
+	r1, r2 := obs.NewRegistry(), obs.NewRegistry()
+	c1 := tc.client(t, "leader", withObs(r1))
+	c2 := tc.client(t, "peer", withObs(r2), withTenant("acme-batch"))
+	ctx := context.Background()
+
+	if err := c1.Mkdir(ctx, "/shared", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Readdir(ctx, "/shared"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c2.Create(ctx, "/shared/from-peer", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	root := rootSpan(t, c2.Tracer(), "open")
+	if root.Tenant != "acme-batch" {
+		t.Fatalf("root span tenant = %q, want acme-batch", root.Tenant)
+	}
+
+	// The leader's journal commit lands asynchronously; poll as in the trace
+	// propagation tests.
+	deadline := time.Now().Add(5 * time.Second)
+	var spans []obs.Span
+	for {
+		_ = c1.FlushAll(ctx)
+		spans = spansOf(root.Trace, c1.Tracer(), c2.Tracer())
+		if hasOp(spans, "journal.commit") && hasOp(spans, "objstore.put") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal.commit/objstore.put never joined trace %s:\n%+v", root.Trace, spans)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	procs := map[string]bool{}
+	for _, s := range spans {
+		procs[s.Proc] = true
+		if s.Tenant != "acme-batch" {
+			t.Errorf("span %s/%s tenant = %q, want acme-batch", s.Proc, s.Op, s.Tenant)
+		}
+	}
+	if len(procs) < 2 {
+		t.Fatalf("trace %s confined to one process: %v", root.Trace, procs)
+	}
+
+	// The leader-side serve span runs after a queue pickup, so its recorded
+	// wait and the network registry's per-tenant wait attribution must exist.
+	serve := mustOp(t, spans, "serve.create")
+	if serve.Tenant != "acme-batch" {
+		t.Fatalf("serve.create tenant = %q, want acme-batch", serve.Tenant)
+	}
+	snap := netReg.Snapshot()
+	ts, ok := snap.Tenants["acme-batch"]
+	if !ok {
+		t.Fatalf("network registry tracked no acme-batch tenant: %+v", snap.Tenants)
+	}
+	if ts.Wait.Count == 0 || ts.Service.Count == 0 {
+		t.Fatalf("acme-batch queue wait/service counts = %d/%d, want > 0", ts.Wait.Count, ts.Service.Count)
+	}
+	if qw := snap.Histograms["rpc.queue.wait"]; qw.Count == 0 {
+		t.Fatal("rpc.queue.wait histogram empty despite forwarded ops")
+	}
+
+	// Per-client accounting: the peer's registry attributes its ops to the
+	// configured tenant, the leader's to its derived default tenant-<id>.
+	if ops := r2.Snapshot().Tenants["acme-batch"].Ops; ops == 0 {
+		t.Fatal("peer registry has no acme-batch ops")
+	}
+	if ops := r1.Snapshot().Tenants["tenant-leader"].Ops; ops == 0 {
+		t.Fatalf("leader registry has no tenant-leader ops: %+v", r1.Snapshot().Tenants)
+	}
+}
+
+// TestTenantCrossDirRename2PC: a cross-directory rename propagates the
+// coordinator's tenant onto the 2PC spans of BOTH participants — including
+// the participant-side prepare written in another process.
+func TestTenantCrossDirRename2PC(t *testing.T) {
+	tc := newTestCluster(t)
+	r1, r2 := obs.NewRegistry(), obs.NewRegistry()
+	c1 := tc.client(t, "src", withObs(r1), withTenant("alpha"))
+	c2 := tc.client(t, "dst", withObs(r2))
+	ctx := context.Background()
+
+	if err := c1.Mkdir(ctx, "/a", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Mkdir(ctx, "/b", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Readdir(ctx, "/a"); err != nil { // c1 leads /a (source)
+		t.Fatal(err)
+	}
+	if _, err := c2.Readdir(ctx, "/b"); err != nil { // c2 leads /b (destination)
+		t.Fatal(err)
+	}
+	f, err := c1.Create(ctx, "/a/f", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c1.Rename(ctx, "/a/f", "/b/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	root := rootSpan(t, c1.Tracer(), "rename")
+	if root.Tenant != "alpha" {
+		t.Fatalf("rename root tenant = %q, want alpha", root.Tenant)
+	}
+	spans := spansOf(root.Trace, c1.Tracer(), c2.Tracer())
+	var prepProcs = map[string]bool{}
+	for _, s := range spans {
+		switch s.Op {
+		case "journal.2pc.prepare":
+			prepProcs[s.Proc] = true
+			if s.Tenant != "alpha" {
+				t.Errorf("prepare span in %s tenant = %q, want alpha", s.Proc, s.Tenant)
+			}
+		case "journal.2pc.decision", "serve.rename.prepare":
+			if s.Tenant != "alpha" {
+				t.Errorf("%s span tenant = %q, want alpha", s.Op, s.Tenant)
+			}
+		}
+	}
+	if len(prepProcs) < 2 {
+		t.Fatalf("2pc.prepare spans confined to %v, want both participants:\n%+v", prepProcs, spans)
+	}
+}
+
+// TestTenantSurvivesRetries: under seeded network drops, retried operations
+// keep their tenant on the (single) root span per call, and the retry counts
+// land in the tenant's accounting row.
+func TestTenantSurvivesRetries(t *testing.T) {
+	tc := newTestCluster(t)
+	r1, r2 := obs.NewRegistry(), obs.NewRegistry()
+	c1 := tc.client(t, "leader", withObs(r1))
+	c2 := tc.client(t, "peer", withObs(r2), withTenant("retry-tenant"),
+		func(o *Options) { o.TraceCap = 2048 })
+	ctx := context.Background()
+
+	if err := c1.Mkdir(ctx, "/drop", 0777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Readdir(ctx, "/drop"); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := rpc.NewFaultPlan(tc.env, 7)
+	plan.SetDrop(0.3)
+	tc.net.SetFaultPlan(plan)
+	defer tc.net.SetFaultPlan(nil)
+
+	const ops = 25
+	for i := 0; i < ops; i++ {
+		f, err := c2.Create(ctx, fmt.Sprintf("/drop/f%02d", i), 0644)
+		if err == nil {
+			_ = f.Close()
+		}
+	}
+	tc.net.SetFaultPlan(nil)
+
+	roots := c2.Tracer().Filter(func(s obs.Span) bool {
+		return s.Op == "open" && s.Parent == 0
+	})
+	if len(roots) != ops {
+		t.Fatalf("%d root open spans for %d calls", len(roots), ops)
+	}
+	var retried int
+	for _, s := range roots {
+		if s.Tenant != "retry-tenant" {
+			t.Fatalf("root span %s tenant = %q, want retry-tenant", s.Trace, s.Tenant)
+		}
+		if s.Retries > 0 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no retried spans despite a 30% drop rate — fault plan not exercised")
+	}
+	ts := r2.Snapshot().Tenants["retry-tenant"]
+	if ts.Ops < ops {
+		t.Fatalf("retry-tenant ops = %d, want >= %d", ts.Ops, ops)
+	}
+	if ts.Retries == 0 {
+		t.Fatal("retry-tenant accounting shows zero retries")
+	}
+}

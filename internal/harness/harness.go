@@ -194,6 +194,11 @@ type ArkFSOptions struct {
 	// derive from it), so two same-config runs with different seeds produce
 	// disjoint ID streams. Zero keeps the historical per-client seeds.
 	Seed int64
+	// Tenants > 0 colors the clients with that many tenant IDs round-robin
+	// (client i becomes "tenant-<i mod Tenants>"), so per-tenant accounting
+	// aggregates several clients per tenant. Zero keeps the per-client
+	// default ("tenant-<ID>").
+	Tenants int
 }
 
 // BuildArkFS deploys ArkFS with n clients on the given storage profile.
@@ -255,8 +260,13 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 			// from StaleRing redirects, per client.
 			router = d.Leases.Router()
 		}
+		var tenant string
+		if o.Tenants > 0 {
+			tenant = fmt.Sprintf("tenant-%02d", i%o.Tenants)
+		}
 		c := core.New(net, tr, core.Options{
 			ID:           fmt.Sprintf("%04d", i),
+			Tenant:       tenant,
 			Cred:         types.Cred{Uid: 1000, Gid: 1000},
 			LeaseRouter:  router,
 			PermCache:    o.PermCache,

@@ -22,6 +22,13 @@ type StatsConfig struct {
 	// Obs, when non-nil, is the registry the run records into — callers that
 	// serve live debug endpoints pass theirs. Nil allocates a private one.
 	Obs *obs.Registry
+	// Tenants > 0 colors the clients with that many tenant IDs (round-robin)
+	// and appends the zipfian multi-tenant workload, so the snapshot carries a
+	// populated per-tenant table. Zero keeps one tenant per client and skips
+	// that phase.
+	Tenants int
+	// TenantSeed feeds the multi-tenant workload's zipfian draws.
+	TenantSeed int64
 }
 
 func (c *StatsConfig) fill() {
@@ -50,7 +57,7 @@ func RunStats(cfg StatsConfig) (obs.Snapshot, error) {
 	var runErr error
 	env := sim.NewVirtEnv()
 	env.Run(func() {
-		o := ArkFSOptions{PermCache: true, Obs: reg}
+		o := ArkFSOptions{PermCache: true, Obs: reg, Tenants: cfg.Tenants}
 		if cfg.Flaky > 0 {
 			o.FlakyProb, o.FlakySeed = cfg.Flaky, cfg.FlakySeed
 			pol := objstore.DefaultRetryPolicy()
@@ -73,6 +80,15 @@ func RunStats(cfg StatsConfig) (obs.Snapshot, error) {
 		}); err != nil {
 			runErr = fmt.Errorf("stats: mdtest-hard: %w", err)
 			return
+		}
+		if cfg.Tenants > 0 {
+			if _, err := workload.MultiTenant(env, d.Mounts, workload.MultiTenantConfig{
+				OpsPerProc: cfg.FilesPerProc / 2, Dirs: cfg.SharedDirs,
+				Seed: cfg.TenantSeed, Root: "/stats-tenants",
+			}); err != nil {
+				runErr = fmt.Errorf("stats: multitenant: %w", err)
+				return
+			}
 		}
 		// Let background lease/journal work quiesce so gauges settle.
 		env.Sleep(2 * DefaultCalibration().LeasePeriod)

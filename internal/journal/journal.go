@@ -110,6 +110,8 @@ type Journal struct {
 	cCommits     *obs.Counter
 	cCommitErrs  *obs.Counter
 	hCommit      *obs.Histogram
+	hCommitWait  *obs.Histogram
+	hWatermark   *obs.Histogram
 	cCkpts       *obs.Counter
 	cCkptErrs    *obs.Counter
 	hCkpt        *obs.Histogram
@@ -136,6 +138,7 @@ type dirJournal struct {
 	mu        sync.Mutex
 	running   []wire.Op       // the running compound transaction
 	runSC     obs.SpanContext // trace of the op that opened the running txn
+	runTenant string          // tenant of the op that opened the running txn
 	scheduled bool            // a timed commit is already armed
 	cancel    func() bool
 	nextSeq   uint64
@@ -175,12 +178,14 @@ type dirJournal struct {
 // synchronously written 2PC record or abandoned by a failed PUT, which the
 // watermark passes without dispatching a checkpoint.
 type record struct {
-	seq uint64
-	gen uint64
-	key string
-	txn *wire.Txn
-	ops []wire.Op
-	sc  obs.SpanContext
+	seq    uint64
+	gen    uint64
+	key    string
+	txn    *wire.Txn
+	ops    []wire.Op
+	sc     obs.SpanContext
+	tenant string        // tenant of the op that opened the batch, for span attribution
+	sealAt time.Duration // env clock at seal; decomposes commit latency into queue wait vs PUT
 }
 
 // durWaiter is a parked durability barrier: woken once durableTo >= target.
@@ -195,13 +200,14 @@ type putItem struct {
 }
 
 type ckptItem struct {
-	dj   *dirJournal
-	txn  *wire.Txn
-	seq  uint64
-	ops  []wire.Op       // ops to apply (may differ from txn.Ops for 2PC applies)
-	del  []string        // journal object keys to delete after applying
-	sc   obs.SpanContext // trace the checkpoint span parents under
-	done *sim.Chan[error]
+	dj     *dirJournal
+	txn    *wire.Txn
+	seq    uint64
+	ops    []wire.Op       // ops to apply (may differ from txn.Ops for 2PC applies)
+	del    []string        // journal object keys to delete after applying
+	sc     obs.SpanContext // trace the checkpoint span parents under
+	tenant string          // tenant attribution inherited from the record
+	done   *sim.Chan[error]
 }
 
 // New starts a client's journaling workers.
@@ -228,6 +234,8 @@ func New(env sim.Env, tr *prt.Translator, cfg Config) *Journal {
 	j.cCommits = cfg.Obs.Counter("journal.commits")
 	j.cCommitErrs = cfg.Obs.Counter("journal.commit.errors")
 	j.hCommit = cfg.Obs.Histogram("journal.commit.latency")
+	j.hCommitWait = cfg.Obs.Histogram("journal.commit.wait")
+	j.hWatermark = cfg.Obs.Histogram("journal.watermark.latency")
 	j.cCkpts = cfg.Obs.Counter("journal.checkpoints")
 	j.cCkptErrs = cfg.Obs.Counter("journal.checkpoint.errors")
 	j.hCkpt = cfg.Obs.Histogram("journal.checkpoint.latency")
@@ -372,6 +380,7 @@ func (j *Journal) Log(ctx context.Context, dir types.Ino, ops []wire.Op) {
 	dj.mu.Lock()
 	if len(dj.running) == 0 && ctx != nil {
 		dj.runSC = obs.SpanContextFrom(ctx)
+		dj.runTenant = obs.TenantFrom(ctx)
 	}
 	dj.running = append(dj.running, ops...)
 	if !dj.scheduled {
@@ -427,15 +436,16 @@ func (j *Journal) sealLocked(dj *dirJournal) bool {
 	if len(dj.running) == 0 {
 		return false
 	}
-	ops, sc := dj.running, dj.runSC
-	dj.running, dj.runSC = nil, obs.SpanContext{}
+	ops, sc, tenant := dj.running, dj.runSC, dj.runTenant
+	dj.running, dj.runSC, dj.runTenant = nil, obs.SpanContext{}, ""
 	j.gBuffer.Add(-int64(len(ops)))
 	seq := dj.nextSeq
 	dj.nextSeq++
 	rec := &record{
-		seq: seq,
-		gen: dj.gen,
-		key: prt.JournalKey(dj.dir, seq),
+		seq:    seq,
+		gen:    dj.gen,
+		sealAt: j.env.Now(),
+		key:    prt.JournalKey(dj.dir, seq),
 		txn: &wire.Txn{
 			ID:    j.NewTxnID(),
 			Dir:   dj.dir,
@@ -443,8 +453,9 @@ func (j *Journal) sealLocked(dj *dirJournal) bool {
 			Stamp: j.env.Now(),
 			Ops:   ops,
 		},
-		ops: ops,
-		sc:  sc,
+		ops:    ops,
+		sc:     sc,
+		tenant: tenant,
 	}
 	j.dispatchLocked(dj, rec)
 	return true
@@ -480,9 +491,16 @@ func (j *Journal) putLoop(q *sim.Chan[*putItem]) {
 		dj, rec := it.dj, it.rec
 		j.cfg.Crash.Hit(crashpoint.PreJournalPut)
 		start := j.env.Now()
+		// Queue wait: seal → PUT start. Separates time spent behind the
+		// pipeline window / worker queues from the PUT itself.
+		wait := start - rec.sealAt
+		j.hCommitWait.ObserveTrace(wait, rec.sc.Trace)
 		sp := j.trace.StartChild(rec.sc, "journal.commit", rec.key)
 		sp.SetDir(dj.dir)
+		sp.SetTenant(rec.tenant)
+		sp.SetWait(wait)
 		put := j.trace.StartChild(sp.Context(), "objstore.put", rec.key)
+		put.SetTenant(rec.tenant)
 		err := j.tr.Store().Put(rec.key, wire.EncodeTxn(rec.txn))
 		put.End(err)
 		sp.End(err)
@@ -491,7 +509,7 @@ func (j *Journal) putLoop(q *sim.Chan[*putItem]) {
 			continue
 		}
 		j.cCommits.Inc()
-		j.hCommit.Observe(j.env.Now() - start)
+		j.hCommit.ObserveTrace(j.env.Now()-start, rec.sc.Trace)
 		// The record is durable: from here on a crash must be recoverable by
 		// the next leader's journal replay.
 		j.cfg.Crash.Hit(crashpoint.PostJournalPut)
@@ -579,8 +597,12 @@ func (j *Journal) advanceLocked(dj *dirJournal) {
 		if r.txn == nil {
 			continue // sequence hole: nothing to checkpoint
 		}
+		// Time to watermark: seal → contiguous durability. This is what a
+		// barrier waiting on this record actually experiences.
+		j.hWatermark.ObserveTrace(j.env.Now()-r.sealAt, r.sc.Trace)
 		if !j.ckptQ(dj.dir).Send(&ckptItem{
-			dj: dj, txn: r.txn, seq: r.seq, ops: r.ops, del: []string{r.key}, sc: r.sc,
+			dj: dj, txn: r.txn, seq: r.seq, ops: r.ops, del: []string{r.key},
+			sc: r.sc, tenant: r.tenant,
 		}) {
 			if dj.err == nil {
 				dj.err = fmt.Errorf("journal: shut down before checkpoint of %s: %w", r.key, types.ErrIO)
@@ -754,6 +776,7 @@ func (j *Journal) ckptLoop(q *sim.Chan[*ckptItem]) {
 				ckptStart := j.env.Now()
 				sp := j.trace.StartChild(it.sc, "journal.checkpoint", "")
 				sp.SetDir(it.dj.dir)
+				sp.SetTenant(it.tenant)
 				if err := applyOps(j.env, j.tr, it.dj.dir, it.ops, j.cfg.CheckpointFanout, j.cfg.Crash); err != nil {
 					j.cCkptErrs.Inc()
 					it.dj.mu.Lock()
@@ -767,6 +790,7 @@ func (j *Journal) ckptLoop(q *sim.Chan[*ckptItem]) {
 					j.cfg.Crash.Hit(crashpoint.PostCheckpoint)
 					for _, key := range it.del {
 						del := j.trace.StartChild(sp.Context(), "objstore.delete", key)
+						del.SetTenant(it.tenant)
 						err := j.tr.Store().Delete(key)
 						del.End(err)
 						if err != nil {

@@ -44,7 +44,9 @@ func (j *Journal) WritePrepare(ctx context.Context, dir types.Ino, txid uint64, 
 	key := prt.JournalKey(dir, seq)
 	sp := j.trace.StartChild(obs.SpanContextFrom(ctx), "journal.2pc.prepare", key)
 	sp.SetDir(dir)
+	sp.SetTenant(obs.TenantFrom(ctx))
 	put := j.trace.StartChild(sp.Context(), "objstore.put", key)
+	put.SetTenant(obs.TenantFrom(ctx))
 	err := j.tr.Store().Put(key, wire.EncodeTxn(txn))
 	put.End(err)
 	sp.End(err)
@@ -82,7 +84,9 @@ func (j *Journal) WriteDecision(ctx context.Context, dir types.Ino, txid uint64,
 	key := prt.JournalKey(dir, seq)
 	sp := j.trace.StartChild(obs.SpanContextFrom(ctx), "journal.2pc.decision", key)
 	sp.SetDir(dir)
+	sp.SetTenant(obs.TenantFrom(ctx))
 	put := j.trace.StartChild(sp.Context(), "objstore.put", key)
+	put.SetTenant(obs.TenantFrom(ctx))
 	err := j.tr.Store().Put(key, wire.EncodeTxn(txn))
 	put.End(err)
 	sp.End(err)

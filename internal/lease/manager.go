@@ -314,6 +314,17 @@ func (m *Manager) handle(ctx context.Context, req any) any {
 	// epoch rides the rpc envelope, not the message.
 	parent := obs.RemoteFrom(ctx)
 	epoch := rpc.RingEpochFrom(ctx)
+	// The caller's tenant and this request's inbox wait ride the worker
+	// context; stamping them on the manager span attributes shard queueing
+	// to the tenant that paid for it.
+	tenant := obs.TenantFrom(ctx)
+	wait := obs.QueueWaitFrom(ctx)
+	span := func(op string) *obs.Span {
+		sp := m.tracer.StartChild(parent, op, "")
+		sp.SetTenant(tenant)
+		sp.SetWait(wait)
+		return sp
+	}
 	if m.serviceCost > 0 {
 		// Charged inside the worker goroutine: Workers requests are serviced
 		// concurrently, the rest queue — a real server's CPU, not a delay.
@@ -321,25 +332,25 @@ func (m *Manager) handle(ctx context.Context, req any) any {
 	}
 	switch r := req.(type) {
 	case AcquireReq:
-		sp := m.tracer.StartChild(parent, "lease.Acquire", "")
+		sp := span("lease.Acquire")
 		sp.SetDir(r.Dir)
 		resp := m.acquire(r, epoch)
 		sp.End(nil)
 		return resp
 	case ReleaseReq:
-		sp := m.tracer.StartChild(parent, "lease.Release", "")
+		sp := span("lease.Release")
 		sp.SetDir(r.Dir)
 		resp := m.release(r, epoch)
 		sp.End(nil)
 		return resp
 	case RecoveryDoneReq:
-		sp := m.tracer.StartChild(parent, "lease.RecoveryDone", "")
+		sp := span("lease.RecoveryDone")
 		sp.SetDir(r.Dir)
 		resp := m.recoveryDone(r, epoch)
 		sp.End(nil)
 		return resp
 	case HandoffReq:
-		sp := m.tracer.StartChild(parent, "lease.Handoff", "")
+		sp := span("lease.Handoff")
 		resp := m.acceptHandoff(r)
 		sp.End(nil)
 		return resp

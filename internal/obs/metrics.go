@@ -99,23 +99,36 @@ func bucketFor(d time.Duration) int {
 }
 
 // Histogram is a fixed-bucket latency histogram with lock-free observation.
-// All methods are nil-safe.
+// All methods are nil-safe. Each bucket retains the most recent trace ID
+// observed into it (the SLO exemplar): when a quantile regresses, the bucket
+// names a concrete trace to pull from /traces. Exemplars are last-writer-wins
+// and deliberately excluded from Fingerprint — which trace lands last depends
+// on goroutine interleaving even under virtual time.
 type Histogram struct {
-	counts [histBuckets + 1]atomic.Int64
-	count  atomic.Int64
-	sum    atomic.Int64 // nanoseconds
-	max    atomic.Int64 // nanoseconds, high-water mark
+	counts    [histBuckets + 1]atomic.Int64
+	exemplars [histBuckets + 1]atomic.Uint64 // most recent TraceID per bucket
+	count     atomic.Int64
+	sum       atomic.Int64 // nanoseconds
+	max       atomic.Int64 // nanoseconds, high-water mark
 }
 
 // Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
+func (h *Histogram) Observe(d time.Duration) { h.ObserveTrace(d, 0) }
+
+// ObserveTrace records one latency sample and, when trace is non-zero,
+// retains it as the covering bucket's exemplar.
+func (h *Histogram) ObserveTrace(d time.Duration, trace TraceID) {
 	if h == nil {
 		return
 	}
 	if d < 0 {
 		d = 0
 	}
-	h.counts[bucketFor(d)].Add(1)
+	b := bucketFor(d)
+	h.counts[b].Add(1)
+	if trace != 0 {
+		h.exemplars[b].Store(uint64(trace))
+	}
 	h.count.Add(1)
 	h.sum.Add(int64(d))
 	for {
@@ -163,14 +176,17 @@ func (h *Histogram) quantile(q float64) int64 {
 }
 
 // HistSnapshot is the rendered state of one histogram. Quantiles are bucket
-// upper bounds in nanoseconds.
+// upper bounds in nanoseconds. Exemplars maps a populated bucket's upper
+// bound (rendered as a duration) to the most recent trace ID observed into
+// it; it is omitted when no exemplars were recorded.
 type HistSnapshot struct {
-	Count    int64 `json:"count"`
-	SumNanos int64 `json:"sum_ns"`
-	MaxNanos int64 `json:"max_ns"`
-	P50      int64 `json:"p50_ns"`
-	P95      int64 `json:"p95_ns"`
-	P99      int64 `json:"p99_ns"`
+	Count     int64             `json:"count"`
+	SumNanos  int64             `json:"sum_ns"`
+	MaxNanos  int64             `json:"max_ns"`
+	P50       int64             `json:"p50_ns"`
+	P95       int64             `json:"p95_ns"`
+	P99       int64             `json:"p99_ns"`
+	Exemplars map[string]string `json:"exemplars,omitempty"`
 }
 
 // MeanNanos returns the arithmetic mean sample in nanoseconds.
@@ -179,6 +195,32 @@ func (s HistSnapshot) MeanNanos() int64 {
 		return 0
 	}
 	return s.SumNanos / s.Count
+}
+
+// snapshot renders the histogram's current state, including any bucket
+// exemplars.
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count:    h.count.Load(),
+		SumNanos: h.sum.Load(),
+		MaxNanos: h.max.Load(),
+		P50:      h.quantile(0.50),
+		P95:      h.quantile(0.95),
+		P99:      h.quantile(0.99),
+	}
+	for i := range h.exemplars {
+		if tr := h.exemplars[i].Load(); tr != 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make(map[string]string)
+			}
+			bound := "+inf"
+			if i < histBuckets {
+				bound = time.Duration(bucketBound(i)).String()
+			}
+			s.Exemplars[bound] = TraceID(tr).String()
+		}
+	}
+	return s
 }
 
 // Registry names and owns a process's metrics. The zero value is not usable;
@@ -190,6 +232,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	funcs    map[string][]func() int64 // external counters folded at snapshot
+	tenants  *TenantTable
 }
 
 // NewRegistry creates an empty registry.
@@ -199,7 +242,17 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		funcs:    make(map[string][]func() int64),
+		tenants:  NewTenantTable(DefaultTenantK),
 	}
+}
+
+// Tenants returns the registry's per-tenant accounting table, or nil when
+// the registry itself is nil (the no-op sink).
+func (r *Registry) Tenants() *TenantTable {
+	if r == nil {
+		return nil
+	}
+	return r.tenants
 }
 
 // Counter returns (creating on first use) the named counter, or nil when the
@@ -268,9 +321,10 @@ func (r *Registry) Func(name string, fn func() int64) {
 // Snapshot is a point-in-time rendering of a registry: plain maps, so it
 // marshals to deterministic JSON (encoding/json sorts map keys).
 type Snapshot struct {
-	Counters   map[string]int64        `json:"counters"`
-	Gauges     map[string]int64        `json:"gauges"`
-	Histograms map[string]HistSnapshot `json:"histograms"`
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]int64          `json:"gauges"`
+	Histograms map[string]HistSnapshot   `json:"histograms"`
+	Tenants    map[string]TenantSnapshot `json:"tenants"`
 }
 
 // Snapshot captures the registry's current state. A nil registry yields an
@@ -280,10 +334,12 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistSnapshot{},
+		Tenants:    map[string]TenantSnapshot{},
 	}
 	if r == nil {
 		return s
 	}
+	s.Tenants = r.tenants.Snapshot()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, c := range r.counters {
@@ -300,14 +356,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		s.Histograms[name] = HistSnapshot{
-			Count:    h.count.Load(),
-			SumNanos: h.sum.Load(),
-			MaxNanos: h.max.Load(),
-			P50:      h.quantile(0.50),
-			P95:      h.quantile(0.95),
-			P99:      h.quantile(0.99),
-		}
+		s.Histograms[name] = h.snapshot()
 	}
 	return s
 }
@@ -342,6 +391,22 @@ func (s Snapshot) Fingerprint() string {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Fprintf(&b, "h %s %d\n", k, s.Histograms[k].Count)
+	}
+	// Tenant lines carry the exact per-tenant counts (ops, errors, retries,
+	// bytes read/written). Sketch weights, latency sums, and exemplars are
+	// excluded: they are either interleaving-dependent or duplicate the
+	// counts. The lines are exact — and therefore replayable — whenever the
+	// run's distinct tenants fit the table (no evictions), which the chaos
+	// and stats harnesses guarantee by construction.
+	keys = keys[:0]
+	for k := range s.Tenants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ts := s.Tenants[k]
+		fmt.Fprintf(&b, "t %s %d %d %d %d %d\n", k,
+			ts.Ops, ts.Errs, ts.Retries, ts.BytesRead, ts.BytesWritten)
 	}
 	return b.String()
 }
@@ -390,6 +455,21 @@ func (s Snapshot) Table() string {
 			fmt.Fprintf(&b, "%-44s %10d %12v %12v %12v %12v\n", k, h.Count,
 				time.Duration(h.MeanNanos()), time.Duration(h.P50),
 				time.Duration(h.P95), time.Duration(h.P99))
+		}
+	}
+	keys = keys[:0]
+	for k := range s.Tenants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > 0 {
+		fmt.Fprintf(&b, "%-20s %10s %8s %8s %12s %12s %12s %12s\n",
+			"tenant", "ops", "errs", "retries", "bytes_r", "bytes_w", "p99", "wait_p99")
+		for _, k := range keys {
+			ts := s.Tenants[k]
+			fmt.Fprintf(&b, "%-20s %10d %8d %8d %12d %12d %12v %12v\n", k,
+				ts.Ops, ts.Errs, ts.Retries, ts.BytesRead, ts.BytesWritten,
+				time.Duration(ts.Latency.P99), time.Duration(ts.Wait.P99))
 		}
 	}
 	return b.String()

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTenantK is the tenant-table capacity a fresh registry starts with.
+// Deployments with more concurrent tenants than this keep bounded memory but
+// trade exact counts for space-saving bounds on the cold tail.
+const DefaultTenantK = 64
+
+// TenantTable attributes resource usage to tenants with bounded cardinality:
+// a space-saving top-K sketch. At most K tenants are tracked at once; when a
+// new tenant arrives at a full table, the entry with the smallest sketch
+// weight is evicted and the newcomer inherits weight+1 with that weight
+// recorded as its error bound. Heavy hitters are therefore always present
+// with near-exact counts (exact once admitted and never evicted), while the
+// long tail of cold tenants shares the low-weight slots — fixed memory under
+// millions of distinct clients.
+//
+// Determinism: admissions and evictions depend on arrival order, so the
+// table's contents are only schedule-invariant when the run's distinct
+// tenants fit within K (no evictions ever happen). The seeded harnesses run
+// in that regime, which is what lets tenant counts fold into the chaos
+// fingerprint. Eviction ties break lexicographically so that even degenerate
+// single-threaded overflow runs replay identically.
+//
+// A nil *TenantTable is the disabled sink: every method no-ops.
+type TenantTable struct {
+	k  int
+	mu sync.RWMutex
+	m  map[string]*tenantEntry
+}
+
+// tenantEntry is one tracked tenant. All counters are atomic: the fast path
+// touches the table's RWMutex only for the map lookup.
+type tenantEntry struct {
+	weight   atomic.Int64 // space-saving rank: ops since admission + inherited debt
+	errBound atomic.Int64 // inherited overestimation at admission (0 = exact)
+
+	ops, errs, retries      atomic.Int64
+	bytesRead, bytesWritten atomic.Int64
+	lat, wait, svc          Histogram
+}
+
+// NewTenantTable creates a table tracking at most k tenants (k <= 0 uses
+// DefaultTenantK).
+func NewTenantTable(k int) *TenantTable {
+	if k <= 0 {
+		k = DefaultTenantK
+	}
+	return &TenantTable{k: k, m: make(map[string]*tenantEntry, k)}
+}
+
+// lookup returns the entry for tenant if already tracked.
+func (t *TenantTable) lookup(tenant string) *tenantEntry {
+	t.mu.RLock()
+	e := t.m[tenant]
+	t.mu.RUnlock()
+	return e
+}
+
+// entry returns the entry for tenant, admitting it (and evicting the
+// minimum-weight victim when full) if needed.
+func (t *TenantTable) entry(tenant string) *tenantEntry {
+	if e := t.lookup(tenant); e != nil {
+		return e
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.m[tenant]; e != nil { // raced another admitter
+		return e
+	}
+	e := &tenantEntry{}
+	if len(t.m) >= t.k {
+		// Space-saving eviction: smallest weight, lexicographically smallest
+		// name on ties.
+		var victim string
+		var min int64
+		for name, cand := range t.m {
+			w := cand.weight.Load()
+			if victim == "" || w < min || (w == min && name < victim) {
+				victim, min = name, w
+			}
+		}
+		delete(t.m, victim)
+		e.weight.Store(min)
+		e.errBound.Store(min)
+	}
+	t.m[tenant] = e
+	return e
+}
+
+// Observe accounts one completed operation to tenant: its latency (with the
+// trace as the bucket exemplar), error outcome, and retries consumed. An
+// empty tenant means "unattributed" and is dropped. Nil-safe.
+func (t *TenantTable) Observe(tenant string, d time.Duration, trace TraceID, isErr bool, retries int) {
+	if t == nil || tenant == "" {
+		return
+	}
+	e := t.entry(tenant)
+	e.weight.Add(1)
+	e.ops.Add(1)
+	if isErr {
+		e.errs.Add(1)
+	}
+	if retries > 0 {
+		e.retries.Add(int64(retries))
+	}
+	e.lat.ObserveTrace(d, trace)
+}
+
+// AddBytes accounts data-path bytes to tenant. Nil-safe.
+func (t *TenantTable) AddBytes(tenant string, read, written int64) {
+	if t == nil || tenant == "" {
+		return
+	}
+	e := t.entry(tenant)
+	e.bytesRead.Add(read)
+	e.bytesWritten.Add(written)
+}
+
+// ObserveWait accounts one served request's queue-wait/service-time split to
+// tenant (the enqueue→start and start→done phases). It does not bump the
+// op count: waits are measured at the transport under the op, not once per
+// op. Nil-safe.
+func (t *TenantTable) ObserveWait(tenant string, wait, service time.Duration, trace TraceID) {
+	if t == nil || tenant == "" {
+		return
+	}
+	e := t.entry(tenant)
+	e.wait.ObserveTrace(wait, trace)
+	e.svc.ObserveTrace(service, trace)
+}
+
+// TenantSnapshot is the rendered state of one tracked tenant. Ops, errors,
+// retries, and bytes are exact counts since the tenant was admitted; Weight
+// and ErrBound are the space-saving sketch's rank and overestimation bound
+// (ErrBound 0 means the weight — and every other count — is exact).
+type TenantSnapshot struct {
+	Weight       int64        `json:"weight"`
+	ErrBound     int64        `json:"err_bound"`
+	Ops          int64        `json:"ops"`
+	Errs         int64        `json:"errs"`
+	Retries      int64        `json:"retries"`
+	BytesRead    int64        `json:"bytes_read"`
+	BytesWritten int64        `json:"bytes_written"`
+	Latency      HistSnapshot `json:"latency"`
+	Wait         HistSnapshot `json:"wait"`
+	Service      HistSnapshot `json:"service"`
+}
+
+// Snapshot renders the table as a plain map (sorted on marshal). Nil-safe: a
+// nil table yields an empty non-nil map.
+func (t *TenantTable) Snapshot() map[string]TenantSnapshot {
+	out := map[string]TenantSnapshot{}
+	if t == nil {
+		return out
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for name, e := range t.m {
+		out[name] = TenantSnapshot{
+			Weight:       e.weight.Load(),
+			ErrBound:     e.errBound.Load(),
+			Ops:          e.ops.Load(),
+			Errs:         e.errs.Load(),
+			Retries:      e.retries.Load(),
+			BytesRead:    e.bytesRead.Load(),
+			BytesWritten: e.bytesWritten.Load(),
+			Latency:      e.lat.snapshot(),
+			Wait:         e.wait.snapshot(),
+			Service:      e.svc.snapshot(),
+		}
+	}
+	return out
+}
+
+// Len returns the number of tenants currently tracked (0 for nil).
+func (t *TenantTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTenantTableExactWithinK: while distinct tenants fit in the table, every
+// count is exact and the error bound stays zero — the regime the seeded
+// harnesses rely on for fingerprint determinism.
+func TestTenantTableExactWithinK(t *testing.T) {
+	tt := NewTenantTable(4)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		for j := 0; j <= i; j++ {
+			tt.Observe(name, time.Millisecond, TraceID(100+j), j == 0, j)
+		}
+		tt.AddBytes(name, int64(10*(i+1)), int64(i))
+	}
+	snap := tt.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("tracked %d tenants, want 3", len(snap))
+	}
+	for i := 0; i < 3; i++ {
+		ts := snap[fmt.Sprintf("tenant-%d", i)]
+		if ts.Ops != int64(i+1) {
+			t.Errorf("tenant-%d ops = %d, want %d", i, ts.Ops, i+1)
+		}
+		if ts.Errs != 1 {
+			t.Errorf("tenant-%d errs = %d, want 1", i, ts.Errs)
+		}
+		if ts.ErrBound != 0 {
+			t.Errorf("tenant-%d errBound = %d, want 0 (no evictions)", i, ts.ErrBound)
+		}
+		if ts.Weight != ts.Ops {
+			t.Errorf("tenant-%d weight %d != ops %d without evictions", i, ts.Weight, ts.Ops)
+		}
+		if ts.BytesRead != int64(10*(i+1)) || ts.BytesWritten != int64(i) {
+			t.Errorf("tenant-%d bytes = %d/%d, want %d/%d", i, ts.BytesRead, ts.BytesWritten, 10*(i+1), i)
+		}
+		if ts.Latency.Count != ts.Ops {
+			t.Errorf("tenant-%d latency count %d != ops %d", i, ts.Latency.Count, ts.Ops)
+		}
+	}
+}
+
+// TestTenantTableEviction: at capacity, a newcomer evicts the minimum-weight
+// entry (lexicographically smallest name on ties) and inherits weight+1 with
+// the evicted weight as its error bound — the space-saving invariants.
+func TestTenantTableEviction(t *testing.T) {
+	tt := NewTenantTable(2)
+	for i := 0; i < 5; i++ {
+		tt.Observe("heavy", time.Millisecond, 0, false, 0)
+	}
+	tt.Observe("light", time.Millisecond, 0, false, 0)
+	// Admitting a third evicts "light" (weight 1 < 5).
+	tt.Observe("new", time.Millisecond, 0, false, 0)
+	snap := tt.Snapshot()
+	if _, ok := snap["light"]; ok {
+		t.Fatal("light not evicted")
+	}
+	if _, ok := snap["heavy"]; !ok {
+		t.Fatal("heavy evicted despite maximum weight")
+	}
+	nw := snap["new"]
+	if nw.Weight != 2 { // inherited 1 + its own op
+		t.Fatalf("newcomer weight = %d, want 2 (inherited 1 + 1 op)", nw.Weight)
+	}
+	if nw.ErrBound != 1 {
+		t.Fatalf("newcomer errBound = %d, want 1 (the evicted weight)", nw.ErrBound)
+	}
+	if nw.Ops != 1 {
+		t.Fatalf("newcomer ops = %d, want 1 (ops stay exact-since-admission)", nw.Ops)
+	}
+
+	// Tie-break: two weight-1 entries, the lexicographically smaller goes.
+	tb := NewTenantTable(2)
+	tb.Observe("bbb", time.Millisecond, 0, false, 0)
+	tb.Observe("aaa", time.Millisecond, 0, false, 0)
+	tb.Observe("zzz", time.Millisecond, 0, false, 0)
+	snap = tb.Snapshot()
+	if _, ok := snap["aaa"]; ok {
+		t.Fatal("tie-break evicted the wrong entry: aaa survived")
+	}
+	if _, ok := snap["bbb"]; !ok {
+		t.Fatal("tie-break evicted bbb, want aaa")
+	}
+}
+
+// TestTenantTableNilAndEmpty: the nil table and empty tenant names no-op.
+func TestTenantTableNilAndEmpty(t *testing.T) {
+	var nilT *TenantTable
+	nilT.Observe("x", time.Millisecond, 0, false, 0)
+	nilT.AddBytes("x", 1, 1)
+	nilT.ObserveWait("x", 1, 1, 0)
+	if nilT.Len() != 0 {
+		t.Fatal("nil table has entries")
+	}
+	if snap := nilT.Snapshot(); snap == nil || len(snap) != 0 {
+		t.Fatalf("nil table snapshot = %v, want empty non-nil map", snap)
+	}
+	tt := NewTenantTable(4)
+	tt.Observe("", time.Millisecond, 0, false, 0)
+	if tt.Len() != 0 {
+		t.Fatal("empty tenant name was admitted")
+	}
+}
+
+// TestTenantTableObserveWait: wait/service observations fill their own
+// histograms without inflating the op count.
+func TestTenantTableObserveWait(t *testing.T) {
+	tt := NewTenantTable(4)
+	tt.Observe("a", 2*time.Millisecond, 7, false, 0)
+	tt.ObserveWait("a", time.Millisecond, 3*time.Millisecond, 9)
+	tt.ObserveWait("a", 2*time.Millisecond, time.Millisecond, 0)
+	ts := tt.Snapshot()["a"]
+	if ts.Ops != 1 {
+		t.Fatalf("ops = %d, want 1 (waits must not bump ops)", ts.Ops)
+	}
+	if ts.Wait.Count != 2 || ts.Service.Count != 2 {
+		t.Fatalf("wait/service counts = %d/%d, want 2/2", ts.Wait.Count, ts.Service.Count)
+	}
+	if ts.Wait.SumNanos != int64(3*time.Millisecond) {
+		t.Fatalf("wait sum = %d, want %d", ts.Wait.SumNanos, 3*time.Millisecond)
+	}
+}
+
+// TestHistogramExemplars: ObserveTrace retains the most recent trace per
+// bucket and the snapshot renders it; traceless observations leave no
+// exemplar.
+func TestHistogramExemplars(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond) // no trace: no exemplar
+	if ex := h.snapshot().Exemplars; ex != nil {
+		t.Fatalf("exemplars after traceless observe: %v", ex)
+	}
+	h.ObserveTrace(time.Millisecond, TraceID(0xabc))
+	h.ObserveTrace(time.Millisecond, TraceID(0xdef)) // same bucket: last wins
+	h.ObserveTrace(40*time.Second, TraceID(0x123))   // overflow bucket
+	ex := h.snapshot().Exemplars
+	if len(ex) != 2 {
+		t.Fatalf("exemplar buckets = %d, want 2: %v", len(ex), ex)
+	}
+	if got := ex[time.Duration(bucketBound(bucketFor(time.Millisecond))).String()]; got != TraceID(0xdef).String() {
+		t.Fatalf("ms bucket exemplar = %s, want %s (last writer)", got, TraceID(0xdef))
+	}
+	if got := ex["+inf"]; got != TraceID(0x123).String() {
+		t.Fatalf("overflow exemplar = %s, want %s", got, TraceID(0x123))
+	}
+}
+
+// TestFingerprintTenantLines: the registry fingerprint carries one sorted
+// "t <tenant> ..." line per tracked tenant, and two identically-driven
+// registries produce byte-identical fingerprints.
+func TestFingerprintTenantLines(t *testing.T) {
+	drive := func() *Registry {
+		reg := NewRegistry()
+		reg.Counter("core.ops").Add(3)
+		reg.Tenants().Observe("t-b", time.Millisecond, 5, true, 2)
+		reg.Tenants().Observe("t-a", time.Millisecond, 6, false, 0)
+		reg.Tenants().AddBytes("t-a", 100, 50)
+		// Exemplars and wait splits must NOT perturb the fingerprint: which
+		// trace lands last is interleaving-dependent.
+		reg.Tenants().ObserveWait("t-a", time.Millisecond, time.Millisecond, 99)
+		return reg
+	}
+	fp1 := drive().Snapshot().Fingerprint()
+	fp2 := drive().Snapshot().Fingerprint()
+	if fp1 != fp2 {
+		t.Fatalf("fingerprints differ:\n%s\nvs\n%s", fp1, fp2)
+	}
+	if !strings.Contains(fp1, "t t-a 1 0 0 100 50\n") {
+		t.Fatalf("missing t-a tenant line in fingerprint:\n%s", fp1)
+	}
+	if !strings.Contains(fp1, "t t-b 1 1 2 0 0\n") {
+		t.Fatalf("missing t-b tenant line in fingerprint:\n%s", fp1)
+	}
+	ia, ib := strings.Index(fp1, "t t-a"), strings.Index(fp1, "t t-b")
+	if ia > ib {
+		t.Fatal("tenant lines not sorted")
+	}
+}
+
+// TestRegistrySnapshotTenants: Snapshot folds the tenant table in, and a
+// registry-less (nil) path stays inert.
+func TestRegistrySnapshotTenants(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.Tenants() != nil {
+		t.Fatal("nil registry returned a tenant table")
+	}
+	reg := NewRegistry()
+	reg.Tenants().Observe("x", time.Millisecond, 0, false, 0)
+	snap := reg.Snapshot()
+	if len(snap.Tenants) != 1 || snap.Tenants["x"].Ops != 1 {
+		t.Fatalf("snapshot tenants = %+v, want x with 1 op", snap.Tenants)
+	}
+}

@@ -59,8 +59,10 @@ type Span struct {
 	Path    string        // primary path argument
 	Dir     types.Ino     // directory the op resolved to (nil if unresolved)
 	Route   Route         // local vs remote, set once routed
+	Tenant  string        // tenant the op is attributed to, "" if unknown
 	Retries int           // ESTALE/lease retries consumed
 	Start   time.Duration // environment-clock time at Start
+	Wait    time.Duration // queue wait before service began (enqueue→start)
 	Dur     time.Duration // set at End
 	Err     string        // errno string, "" on success
 
@@ -87,6 +89,21 @@ func (s *Span) SetRoute(r Route) {
 func (s *Span) SetDir(ino types.Ino) {
 	if s != nil {
 		s.Dir = ino
+	}
+}
+
+// SetTenant attributes the span to a tenant. Nil-safe.
+func (s *Span) SetTenant(tenant string) {
+	if s != nil {
+		s.Tenant = tenant
+	}
+}
+
+// SetWait records how long the request sat queued before service began
+// (the enqueue→start phase; Dur covers enqueue→done). Nil-safe.
+func (s *Span) SetWait(d time.Duration) {
+	if s != nil {
+		s.Wait = d
 	}
 }
 
@@ -133,8 +150,15 @@ func (s Span) String() string {
 	if s.Proc != "" {
 		fmt.Fprintf(&b, "proc=%s ", s.Proc)
 	}
-	fmt.Fprintf(&b, "%s %s dir=%s route=%s retries=%d dur=%v %s",
-		s.Op, s.Path, s.Dir.Short(), route, s.Retries, s.Dur, errs)
+	if s.Tenant != "" {
+		fmt.Fprintf(&b, "tenant=%s ", s.Tenant)
+	}
+	fmt.Fprintf(&b, "%s %s dir=%s route=%s retries=%d dur=%v", s.Op, s.Path,
+		s.Dir.Short(), route, s.Retries, s.Dur)
+	if s.Wait > 0 {
+		fmt.Fprintf(&b, " wait=%v", s.Wait)
+	}
+	fmt.Fprintf(&b, " %s", errs)
 	return b.String()
 }
 
@@ -337,9 +361,14 @@ func (t *Tracer) Dump(limit int) string {
 
 // spanKey carries the active local span in a context; remoteKey carries the
 // span context received over the wire when there is no local span object.
+// tenantKey carries the tenant the request is attributed to; waitKey carries
+// the queue wait the transport measured before handing the request to its
+// handler.
 type (
 	spanKey   struct{}
 	remoteKey struct{}
+	tenantKey struct{}
+	waitKey   struct{}
 )
 
 // WithSpan returns ctx carrying span. A nil span is carried as-is; SpanFrom
@@ -383,4 +412,39 @@ func SpanContextFrom(ctx context.Context) SpanContext {
 		return s.Context()
 	}
 	return RemoteFrom(ctx)
+}
+
+// WithTenant returns ctx attributing subsequent work to tenant. An empty
+// tenant is carried as-is and reads back as "unattributed".
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom extracts the tenant the request is attributed to, or "".
+// Nil-ctx-safe. The tenant survives process hops the same way the trace
+// does: CallFromCtx lifts it into the RPC envelope and the serving side
+// re-injects it, so a forwarded op keeps one tenant end to end.
+func TenantFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}
+
+// WithQueueWait returns ctx carrying the queue wait the transport measured
+// between enqueue and the moment a worker picked the request up. Handlers
+// read it back to stamp Span.Wait and split wait from service time.
+func WithQueueWait(ctx context.Context, d time.Duration) context.Context {
+	return context.WithValue(ctx, waitKey{}, d)
+}
+
+// QueueWaitFrom extracts the transport-measured queue wait, or 0.
+// Nil-ctx-safe.
+func QueueWaitFrom(ctx context.Context) time.Duration {
+	if ctx == nil {
+		return 0
+	}
+	d, _ := ctx.Value(waitKey{}).(time.Duration)
+	return d
 }

@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-
-	"arkfs/internal/obs"
 )
 
 // TCP bridging lets the live cmd/ tools run ArkFS components in separate
@@ -45,8 +43,8 @@ var tcpPool = struct {
 }{conns: make(map[string]*TCPClient)}
 
 // callTCP performs a call to a "tcp!host:port" address, carrying the
-// caller's trace identity and ring epoch in the wire envelope.
-func (n *Network) callTCP(sc obs.SpanContext, epoch uint64, to Addr, req any) (any, error) {
+// caller's trace identity, ring epoch, and tenant in the wire envelope.
+func (n *Network) callTCP(meta callMeta, to Addr, req any) (any, error) {
 	hostport := strings.TrimPrefix(string(to), TCPPrefix)
 	tcpPool.mu.Lock()
 	cli := tcpPool.conns[hostport]
@@ -66,7 +64,7 @@ func (n *Network) callTCP(sc obs.SpanContext, epoch uint64, to Addr, req any) (a
 		}
 		tcpPool.mu.Unlock()
 	}
-	resp, err := cli.CallEpoch(sc, epoch, req)
+	resp, err := cli.CallEnvelope(meta.sc, meta.epoch, meta.tenant, req)
 	if err != nil {
 		// Drop the broken connection so the next call re-dials.
 		tcpPool.mu.Lock()

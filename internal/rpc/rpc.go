@@ -16,6 +16,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"time"
 
 	"arkfs/internal/obs"
 	"arkfs/internal/sim"
@@ -59,7 +60,9 @@ type Network struct {
 	cCalls      *obs.Counter
 	cDrops      *obs.Counter
 	cTimeouts   *obs.Counter
-	methodHists sync.Map // method name -> *obs.Histogram
+	hQWait      *obs.Histogram // enqueue→worker-pickup, all servers
+	hQSvc       *obs.Histogram // worker pickup→handler return, all servers
+	methodHists sync.Map       // method name -> *obs.Histogram
 }
 
 // NewNetwork creates a fabric in env; model applies to every message.
@@ -87,12 +90,17 @@ func (n *Network) faultPlan() *FaultPlan {
 // SetObs attaches a metrics registry: every Call records rpc.calls, a
 // per-method latency histogram (rpc.call.<Method>, environment-clock time
 // including fault-plan delays), and rpc.drops / rpc.timeouts on failure.
-// Call before serving traffic; nil detaches.
+// Server workers additionally split each delivered request into queue wait
+// (rpc.queue.wait: enqueue→pickup) and service time (rpc.queue.service:
+// pickup→handler return), attributed per tenant in the registry's tenant
+// table. Call before serving traffic; nil detaches.
 func (n *Network) SetObs(reg *obs.Registry) {
 	n.reg = reg
 	n.cCalls = reg.Counter("rpc.calls")
 	n.cDrops = reg.Counter("rpc.drops")
 	n.cTimeouts = reg.Counter("rpc.timeouts")
+	n.hQWait = reg.Histogram("rpc.queue.wait")
+	n.hQSvc = reg.Histogram("rpc.queue.service")
 	n.methodHists = sync.Map{}
 }
 
@@ -154,10 +162,32 @@ func RingEpochFrom(ctx context.Context) uint64 {
 	return 0
 }
 
+// callMeta is the envelope metadata lifted from the caller's context onto
+// every outgoing call: trace identity, lease-ring epoch, and tenant. It is
+// what crosses process boundaries alongside the payload (in-process and over
+// the TCP bridge alike).
+type callMeta struct {
+	sc     obs.SpanContext // caller's trace identity, zero when untraced
+	epoch  uint64          // caller's ring epoch, 0 when unsharded
+	tenant string          // tenant the op is attributed to, "" when unknown
+}
+
+// metaFromCtx lifts the envelope metadata from a caller context.
+func metaFromCtx(ctx context.Context) callMeta {
+	if ctx == nil {
+		return callMeta{}
+	}
+	return callMeta{
+		sc:     obs.SpanContextFrom(ctx),
+		epoch:  RingEpochFrom(ctx),
+		tenant: obs.TenantFrom(ctx),
+	}
+}
+
 type call struct {
 	req   any
-	sc    obs.SpanContext // caller's trace identity, zero when untraced
-	epoch uint64          // caller's ring epoch, 0 when unsharded
+	meta  callMeta
+	enq   time.Duration // environment-clock time the request was enqueued
 	reply *sim.Chan[any]
 }
 
@@ -197,14 +227,33 @@ func (n *Network) ListenCtx(addr Addr, workers int, h CtxHandler) *Server {
 				if !ok {
 					return
 				}
+				// Queue-wait vs service-time decomposition: the time between
+				// enqueue and this pickup is what the request spent waiting on
+				// the worker pool (the leader's forwarded-op queue, a lease
+				// shard's request queue); everything until the handler returns
+				// is service. The wait rides the handler context so the
+				// serving layer can stamp it on its span.
+				start := n.env.Now()
+				wait := start - c.enq
 				ctx := context.Background()
-				if c.sc.Valid() {
-					ctx = obs.WithRemote(ctx, c.sc)
+				if c.meta.sc.Valid() {
+					ctx = obs.WithRemote(ctx, c.meta.sc)
 				}
-				if c.epoch != 0 {
-					ctx = WithRingEpoch(ctx, c.epoch)
+				if c.meta.epoch != 0 {
+					ctx = WithRingEpoch(ctx, c.meta.epoch)
 				}
-				c.reply.Send(h(ctx, c.req))
+				if c.meta.tenant != "" {
+					ctx = obs.WithTenant(ctx, c.meta.tenant)
+				}
+				ctx = obs.WithQueueWait(ctx, wait)
+				resp := h(ctx, c.req)
+				if n.reg != nil {
+					svc := n.env.Now() - start
+					n.hQWait.ObserveTrace(wait, c.meta.sc.Trace)
+					n.hQSvc.ObserveTrace(svc, c.meta.sc.Trace)
+					n.reg.Tenants().ObserveWait(c.meta.tenant, wait, svc, c.meta.sc.Trace)
+				}
+				c.reply.Send(resp)
 			}
 		})
 	}
@@ -235,7 +284,7 @@ func (n *Network) Call(to Addr, req any) (any, error) {
 // plan apply per-link rules (partitions between address sets) in both the
 // request and the response direction.
 func (n *Network) CallFrom(from, to Addr, req any) (any, error) {
-	return n.dispatch(obs.SpanContext{}, 0, from, to, req)
+	return n.dispatch(callMeta{}, from, to, req)
 }
 
 // CallFromCtx is CallFrom gated on a context: a context that is already done
@@ -243,33 +292,30 @@ func (n *Network) CallFrom(from, to Addr, req any) (any, error) {
 // of a call already in flight is not modeled — virtual-time waits cannot be
 // interrupted by real channels — so ctx acts as a deadline checked at the
 // call boundary, which is where the retry loops in core re-enter. The
-// caller's trace identity (local span or relayed remote context) rides the
-// message so the server side can continue the trace.
+// caller's trace identity (local span or relayed remote context), ring
+// epoch, and tenant ride the message so the server side can continue the
+// trace and keep the attribution.
 func (n *Network) CallFromCtx(ctx context.Context, from, to Addr, req any) (any, error) {
-	var sc obs.SpanContext
-	var epoch uint64
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sc = obs.SpanContextFrom(ctx)
-		epoch = RingEpochFrom(ctx)
 	}
-	return n.dispatch(sc, epoch, from, to, req)
+	return n.dispatch(metaFromCtx(ctx), from, to, req)
 }
 
-func (n *Network) dispatch(sc obs.SpanContext, epoch uint64, from, to Addr, req any) (any, error) {
+func (n *Network) dispatch(meta callMeta, from, to Addr, req any) (any, error) {
 	if n.reg == nil {
-		return n.callFrom(sc, epoch, from, to, req)
+		return n.callFrom(meta, from, to, req)
 	}
 	start := n.env.Now()
-	resp, err := n.callFrom(sc, epoch, from, to, req)
+	resp, err := n.callFrom(meta, from, to, req)
 	n.cCalls.Inc()
-	n.histFor(req).Observe(n.env.Now() - start)
+	n.histFor(req).ObserveTrace(n.env.Now()-start, meta.sc.Trace)
 	return resp, err
 }
 
-func (n *Network) callFrom(sc obs.SpanContext, epoch uint64, from, to Addr, req any) (any, error) {
+func (n *Network) callFrom(meta callMeta, from, to Addr, req any) (any, error) {
 	fault := n.faultPlan()
 	if fault != nil {
 		if err := fault.apply(from, to, "request"); err != nil {
@@ -278,7 +324,7 @@ func (n *Network) callFrom(sc obs.SpanContext, epoch uint64, from, to Addr, req 
 		}
 	}
 	if strings.HasPrefix(string(to), TCPPrefix) {
-		resp, err := n.callTCP(sc, epoch, to, req)
+		resp, err := n.callTCP(meta, to, req)
 		if err != nil {
 			n.cTimeouts.Inc()
 			return resp, err
@@ -303,7 +349,7 @@ func (n *Network) callFrom(sc obs.SpanContext, epoch uint64, from, to Addr, req 
 		size = sz.WireSize()
 	}
 	n.env.Sleep(n.model.TransferTime(size))
-	c := &call{req: req, sc: sc, epoch: epoch, reply: sim.NewChan[any](n.env)}
+	c := &call{req: req, meta: meta, enq: n.env.Now(), reply: sim.NewChan[any](n.env)}
 	if !s.inbox.Send(c) {
 		n.cTimeouts.Inc()
 		return nil, fmt.Errorf("rpc: server %q closed: %w", to, types.ErrTimedOut)

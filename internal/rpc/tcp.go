@@ -16,11 +16,13 @@ import (
 // the TCP analogue of the SpanContext the in-process fabric attaches to each
 // call. RingEpoch carries the caller's lease-ring epoch (0 when unsharded),
 // so a bridged lease shard can detect stale clients exactly like an
-// in-process one.
+// in-process one. Tenant carries the caller's tenant attribution ("" when
+// unknown), so per-tenant accounting survives the hop too.
 type envelope struct {
 	Trace     uint64
 	Span      uint64
 	RingEpoch uint64
+	Tenant    string
 	Payload   any
 }
 
@@ -112,6 +114,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if in.RingEpoch != 0 {
 			ctx = WithRingEpoch(ctx, in.RingEpoch)
 		}
+		if in.Tenant != "" {
+			ctx = obs.WithTenant(ctx, in.Tenant)
+		}
 		out := envelope{Trace: in.Trace, Span: in.Span, Payload: s.handler(ctx, in.Payload)}
 		if err := enc.Encode(&out); err != nil {
 			return
@@ -140,16 +145,24 @@ func DialTCP(addr string) (*TCPClient, error) {
 // Call performs one request/response exchange. sc is the caller's trace
 // identity; pass the zero SpanContext when untraced.
 func (c *TCPClient) Call(sc obs.SpanContext, req any) (any, error) {
-	return c.CallEpoch(sc, 0, req)
+	return c.CallEnvelope(sc, 0, "", req)
 }
 
 // CallEpoch is Call with the caller's lease-ring epoch attached to the
 // envelope (0 when unsharded).
 func (c *TCPClient) CallEpoch(sc obs.SpanContext, ringEpoch uint64, req any) (any, error) {
+	return c.CallEnvelope(sc, ringEpoch, "", req)
+}
+
+// CallEnvelope is Call with the full envelope metadata: the caller's
+// lease-ring epoch (0 when unsharded) and tenant attribution ("" when
+// unknown).
+func (c *TCPClient) CallEnvelope(sc obs.SpanContext, ringEpoch uint64, tenant string, req any) (any, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(&envelope{
-		Trace: uint64(sc.Trace), Span: uint64(sc.Span), RingEpoch: ringEpoch, Payload: req,
+		Trace: uint64(sc.Trace), Span: uint64(sc.Span),
+		RingEpoch: ringEpoch, Tenant: tenant, Payload: req,
 	}); err != nil {
 		return nil, fmt.Errorf("rpc: send: %w: %w", err, types.ErrIO)
 	}
