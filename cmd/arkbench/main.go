@@ -10,11 +10,15 @@
 //
 // Chaos mode: arkbench -chaos -seed N replays the seeded fault scenario
 // exactly; a failing run prints its seed so the sequence can be reproduced.
+// With -overload it instead replays the seeded overload-protection scenario
+// (hostile-tenant flood against the admission/brownout/breaker stack) and
+// asserts its contract: no acked-op loss, polite goodput within 80% of the
+// isolated baseline, typed pushback for the hostile tenant, convergence.
 //
 // Bench mode: arkbench -bench-json out.json -seed N writes the seeded
-// benchmark trajectory (mdtest, fio, scalability, metrics fingerprint) in the
-// stable arkfs-bench/v2 schema; the same seed yields a byte-identical file
-// apart from the sharded sweep, which is stable to ~0.1%.
+// benchmark trajectory (mdtest, fio, scalability, tenant isolation, metrics
+// fingerprint) in the stable arkfs-bench/v3 schema; the same seed yields a
+// byte-identical file apart from the sharded sweep, which is stable to ~0.1%.
 //
 // Fsck mode: arkbench -fsck -seed N deploys and populates a file system,
 // shuts it down cleanly, bit-flips a few objects at rest, and reports what
@@ -42,6 +46,7 @@ import (
 // other; validateFlags rejects the nonsensical ones before any work starts.
 type modeFlags struct {
 	Chaos         bool
+	Overload      bool // -overload (chaos-mode variant)
 	Stats         bool
 	StatsJSON     bool   // -json
 	BenchJSON     string // -bench-json path
@@ -81,6 +86,9 @@ func validateFlags(m modeFlags) error {
 	if m.BenchBaseline != "" && m.BenchJSON == "" {
 		return errors.New("-bench-baseline only checks -bench-json output; add -bench-json")
 	}
+	if m.Overload && !m.Chaos {
+		return errors.New("-overload selects the chaos-mode overload scenario; add -chaos")
+	}
 	return nil
 }
 
@@ -100,6 +108,7 @@ func main() {
 		chaosSeed  = flag.Int64("seed", 1, "chaos/bench/fsck scenario seed; a failing run prints the seed to replay")
 		chaosData  = flag.Bool("chaos-data", false, "chaos: write file contents and verify byte-exact read-back")
 		chaosVerbo = flag.Bool("chaos-log", false, "chaos: print the full run narration")
+		overload   = flag.Bool("overload", false, "chaos: run the seeded overload-protection scenario (hostile-tenant flood) instead of the fault scenario")
 
 		stats     = flag.Bool("stats", false, "run an instrumented deployment and print its metrics")
 		statsJSON = flag.Bool("json", false, "stats: emit the snapshot as JSON instead of a table")
@@ -108,8 +117,8 @@ func main() {
 		fsckMode   = flag.Bool("fsck", false, "run a seeded corruption/scrub drill instead of an experiment")
 		fsckRepair = flag.Bool("repair", false, "fsck: scrub-repair the corrupted image and fail unless it re-checks clean")
 
-		benchJSON     = flag.String("bench-json", "", "run the seeded benchmark trajectory and write the arkfs-bench/v2 report to this file (- for stdout)")
-		benchBaseline = flag.String("bench-baseline", "", "bench: compare the run against this committed arkfs-bench/v2 report and fail on a metadata-throughput regression")
+		benchJSON     = flag.String("bench-json", "", "run the seeded benchmark trajectory and write the arkfs-bench/v3 report to this file (- for stdout)")
+		benchBaseline = flag.String("bench-baseline", "", "bench: compare the run against this committed arkfs-bench/v3 report and fail on a metadata-throughput regression")
 		debugAddr     = flag.String("debug-addr", "", "serve /metrics, /stats.json, /healthz and pprof on this address while running (empty: off)")
 	)
 	flag.Usage = func() {
@@ -118,8 +127,9 @@ func main() {
 	}
 	flag.Parse()
 	if err := validateFlags(modeFlags{
-		Chaos: *chaos, Stats: *stats, StatsJSON: *statsJSON, BenchJSON: *benchJSON,
-		BenchBaseline: *benchBaseline, Fsck: *fsckMode, FsckRepair: *fsckRepair,
+		Chaos: *chaos, Overload: *overload, Stats: *stats, StatsJSON: *statsJSON,
+		BenchJSON: *benchJSON, BenchBaseline: *benchBaseline,
+		Fsck: *fsckMode, FsckRepair: *fsckRepair,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "arkbench: %v\n", err)
 		flag.Usage()
@@ -192,6 +202,14 @@ func main() {
 	}
 	if *fsckMode {
 		rep := harness.RunFsck(harness.FsckConfig{Seed: *chaosSeed, Repair: *fsckRepair})
+		fmt.Print(rep.Summary())
+		if rep.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaos && *overload {
+		rep := harness.RunOverload(harness.OverloadConfig{Seed: *chaosSeed})
 		fmt.Print(rep.Summary())
 		if rep.Failed() {
 			os.Exit(1)

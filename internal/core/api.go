@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"time"
 
@@ -36,8 +35,11 @@ type opTrack struct {
 // it returns ctx unchanged and a nil tracker; end is nil-safe, so call sites
 // never branch. This is where the tenant attribution is minted: the root
 // span carries it and the context propagates it through every forward (the
-// RPC envelope lifts it on each hop).
+// RPC envelope lifts it on each hop). The operation's shared retry budget is
+// minted here too, so every retry loop under this call — and, via the
+// envelope, under its forwarded hops — draws from one pool.
 func (c *Client) startOp(ctx context.Context, op, path string) (context.Context, *opTrack) {
+	ctx = c.withOpBudget(ctx)
 	if c.obsReg == nil {
 		return ctx, nil
 	}
@@ -319,22 +321,18 @@ func (c *Client) create(ctx context.Context, parent types.Ino, req CreateReq) (*
 		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
 		resp, err := c.callLeader(ctx, leader, parent, req)
-		if err = retryable(err, attempt); err != nil {
-			return nil, err
-		} else if resp == nil {
-			sp.AddRetry()
-			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
-			continue
+		if err != nil {
+			if c.shouldRetry(ctx, parent, err, attempt) {
+				continue
+			}
+			return nil, fmt.Errorf("core: forwarded op: %w", err)
 		}
 		cr := resp.(CreateResp)
 		rerr := errFromString(cr.Err)
-		if errors.Is(rerr, types.ErrStale) && attempt < maxOpRetries {
-			sp.AddRetry()
-			c.invalidateLeader(parent)
-			c.retryBackoff(attempt)
-			continue
-		}
 		if rerr != nil {
+			if c.shouldRetry(ctx, parent, rerr, attempt) {
+				continue
+			}
 			return nil, rerr
 		}
 		node, err := wire.DecodeInode(cr.Inode)
@@ -365,19 +363,15 @@ func (c *Client) unlink(ctx context.Context, parent types.Ino, req UnlinkReq) er
 		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
 		resp, err := c.callLeader(ctx, leader, parent, req)
-		if err = retryable(err, attempt); err != nil {
-			return err
-		} else if resp == nil {
-			sp.AddRetry()
-			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
-			continue
+		if err != nil {
+			if c.shouldRetry(ctx, parent, err, attempt) {
+				continue
+			}
+			return fmt.Errorf("core: forwarded op: %w", err)
 		}
 		ur := resp.(UnlinkResp)
 		rerr := errFromString(ur.Err)
-		if errors.Is(rerr, types.ErrStale) && attempt < maxOpRetries {
-			sp.AddRetry()
-			c.invalidateLeader(parent)
-			c.retryBackoff(attempt)
+		if rerr != nil && c.shouldRetry(ctx, parent, rerr, attempt) {
 			continue
 		}
 		return rerr
@@ -438,22 +432,18 @@ func (c *Client) setAttrIno(ctx context.Context, dir types.Ino, name string, pat
 		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
 		resp, err := c.callLeader(ctx, leader, dir, req)
-		if err = retryable(err, attempt); err != nil {
-			return nil, err
-		} else if resp == nil {
-			sp.AddRetry()
-			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
-			continue
+		if err != nil {
+			if c.shouldRetry(ctx, dir, err, attempt) {
+				continue
+			}
+			return nil, fmt.Errorf("core: forwarded op: %w", err)
 		}
 		sr := resp.(SetAttrResp)
 		rerr := errFromString(sr.Err)
-		if errors.Is(rerr, types.ErrStale) && attempt < maxOpRetries {
-			sp.AddRetry()
-			c.invalidateLeader(dir)
-			c.retryBackoff(attempt)
-			continue
-		}
 		if rerr != nil {
+			if c.shouldRetry(ctx, dir, rerr, attempt) {
+				continue
+			}
 			return nil, rerr
 		}
 		return wire.DecodeInode(sr.Inode)
@@ -480,37 +470,20 @@ func (c *Client) readdirIno(ctx context.Context, dir types.Ino) ([]wire.Dentry, 
 		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
 		resp, err := c.callLeader(ctx, leader, dir, req)
-		if err = retryable(err, attempt); err != nil {
-			return nil, err
-		} else if resp == nil {
-			sp.AddRetry()
-			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
-			continue
+		if err != nil {
+			if c.shouldRetry(ctx, dir, err, attempt) {
+				continue
+			}
+			return nil, fmt.Errorf("core: forwarded op: %w", err)
 		}
 		rr := resp.(ReaddirResp)
 		rerr := errFromString(rr.Err)
-		if errors.Is(rerr, types.ErrStale) && attempt < maxOpRetries {
-			sp.AddRetry()
-			c.invalidateLeader(dir)
-			c.retryBackoff(attempt)
-			continue
-		}
 		if rerr != nil {
+			if c.shouldRetry(ctx, dir, rerr, attempt) {
+				continue
+			}
 			return nil, rerr
 		}
 		return rr.Entries, nil
 	}
-}
-
-// retryable maps a callLeader error to retry/stop: leadership changes
-// (ErrStale) retry by returning (nil error, nil resp signal); anything else
-// stops. attempt counting guards against livelock.
-func retryable(err error, attempt int) error {
-	if err == nil {
-		return nil
-	}
-	if errors.Is(err, types.ErrStale) && attempt < maxOpRetries {
-		return nil
-	}
-	return fmt.Errorf("core: forwarded op: %w", err)
 }

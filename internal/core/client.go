@@ -16,6 +16,7 @@ import (
 	"arkfs/internal/objstore"
 	"arkfs/internal/obs"
 	"arkfs/internal/prt"
+	"arkfs/internal/qos"
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
@@ -87,7 +88,37 @@ type Options struct {
 	// derives "tenant-<ID>", so single-tenant deployments attribute per
 	// client without configuration.
 	Tenant string
+	// QoS, when non-nil, is the leader-side admission controller: every
+	// forwarded operation is charged to its caller's tenant bucket, and
+	// refusals answer with typed EAGAIN pushback carrying a retry-after
+	// hint. Nil admits everything.
+	QoS *qos.Limiter
+	// Brownout, when non-nil, enables graceful leader brownout: when the
+	// journal's commit pipeline backs up past the ladder's thresholds,
+	// expensive forwarded operations (readdir, rename 2PC) are shed with
+	// typed EAGAIN before cheap ones (stat, lookup), which are never shed.
+	Brownout *qos.BrownoutLadder
+	// OpBudget is the shared retry budget of one public operation: the total
+	// retries every loop under it — op-level ESTALE retries, leader
+	// rediscovery, lease-acquire waits, EAGAIN backoff — may spend together,
+	// replacing the multiplicative per-loop caps that amplify retry storms.
+	// Zero applies DefaultOpBudget; negative disables budgeting.
+	OpBudget int
+	// ServerLimits bounds the leader-side RPC service: inbox depth and
+	// queue-wait shedding (see rpc.ServerLimits). Zero value means no limits.
+	ServerLimits rpc.ServerLimits
+	// Breaker, when non-nil, mounts a circuit breaker under the client's
+	// store retry layer (base → breaker → retry): repeated transient backend
+	// failures trip it open and round-trips fast-fail with typed EAGAIN
+	// until a seeded half-open probe succeeds.
+	Breaker *qos.BreakerConfig
 }
+
+// DefaultOpBudget is the per-operation retry budget when Options.OpBudget is
+// zero: generous enough that fault-recovery retries (leadership moves, lease
+// waits) converge as before, small enough that the multiplied worst case —
+// every loop maxing out at once — cannot happen.
+const DefaultOpBudget = 64
 
 // Client is one ArkFS mount: the public near-POSIX API plus the leader-side
 // metadata service for the directories this client leads.
@@ -95,7 +126,8 @@ type Client struct {
 	env         sim.Env
 	net         *rpc.Network
 	tr          *prt.Translator
-	retry       *objstore.RetryStore // non-nil when Options.Retry is set
+	retry       *objstore.RetryStore   // non-nil when Options.Retry is set
+	breaker     *objstore.BreakerStore // non-nil when Options.Breaker is set
 	jrnl        *journal.Journal
 	data        *cache.Cache
 	lm          *lease.Client
@@ -133,6 +165,12 @@ type Client struct {
 	cBytesWrite  *obs.Counter
 	cWBErrs      *obs.Counter
 	hAcquireWait *obs.Histogram
+
+	// Overload-protection sinks (nil-safe no-ops when Options.Obs is nil).
+	cShedAdmit      *obs.Counter // leader admission refusals
+	cShedBrownout   *obs.Counter // brownout sheds
+	cBudgetExhaust  *obs.Counter // retries refused by an exhausted op budget
+	cPushbackHonors *obs.Counter // EAGAIN hints honored (slept and retried)
 }
 
 // opNames are the public operations with per-op latency histograms
@@ -234,6 +272,14 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 		// counting when the simulated process dies.
 		tr = prt.New(objstore.Instrument(tr.Store(), opts.Obs), tr.ChunkSize())
 	}
+	var breaker *objstore.BreakerStore
+	if opts.Breaker != nil {
+		// The breaker sits under the retry layer: once a dying backend trips
+		// it, the remaining retry attempts fast-fail with typed EAGAIN (which
+		// Retryable classifies as permanent) instead of hammering it further.
+		breaker = objstore.NewBreakerStore(env, tr.Store(), *opts.Breaker)
+		tr = prt.New(breaker, tr.ChunkSize())
+	}
 	var retry *objstore.RetryStore
 	if opts.Retry != nil {
 		// Mount the robustness layer under everything this client does to
@@ -269,6 +315,7 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 		net:     net,
 		tr:      tr,
 		retry:   retry,
+		breaker: breaker,
 		jrnl:    journal.New(env, tr, jcfg),
 		data:    cache.New(env, tr, opts.Cache),
 		addr:    rpc.Addr("arkfs-" + opts.ID),
@@ -311,13 +358,30 @@ func New(net *rpc.Network, tr *prt.Translator, opts Options) *Client {
 			opts.Obs.Func("objstore.retries", rs.Retries)
 			opts.Obs.Func("objstore.retries.exhausted", rs.Exhausted.Load)
 		}
+		c.cShedAdmit = opts.Obs.Counter("qos.shed.core.admission")
+		c.cShedBrownout = opts.Obs.Counter("qos.shed.core.brownout")
+		c.cBudgetExhaust = opts.Obs.Counter("qos.budget.exhausted")
+		c.cPushbackHonors = opts.Obs.Counter("qos.pushback.honored")
+		if breaker != nil {
+			bs := breaker.BreakerStats()
+			opts.Obs.Func("qos.breaker.trips", bs.Tripped.Load)
+			opts.Obs.Func("qos.breaker.fastfails", bs.FastFails.Load)
+			opts.Obs.Func("qos.breaker.probes", bs.Probes.Load)
+		}
+		if opts.Retry != nil && opts.Retry.Budget != nil {
+			rb := opts.Retry.Budget
+			opts.Obs.Func("qos.retry.budget.retries", func() int64 {
+				_, retries := rb.Stats()
+				return retries
+			})
+		}
 	}
 	c.lm = &lease.Client{Net: net, Mgr: opts.LeaseMgr, Self: c.addr, Router: opts.LeaseRouter}
 	c.serviceName = rpc.Addr("arkfs-svc-" + opts.ID)
 	if opts.Advertise == "" {
 		c.serviceName = c.addr
 	}
-	c.server = net.ListenCtx(c.serviceName, opts.RPCWorkers, c.serve)
+	c.server = net.ListenCtx(c.serviceName, opts.RPCWorkers, c.serve, opts.ServerLimits)
 	env.Go(c.leaseKeeper)
 	env.Go(c.twopcResolver)
 	return c
@@ -573,8 +637,9 @@ func (c *Client) acquireLease(ctx context.Context, dir types.Ino) (*ledDir, rpc.
 			// A lost or timed-out manager round trip is not fatal: burn one
 			// acquire attempt and ask again. The retry stays inside the
 			// operation's span, so a flaky link shows up as a retry count on
-			// one trace, not a failed op (or a second trace).
-			if errors.Is(err, types.ErrTimedOut) && attempt < c.opts.AcquireRetries-1 {
+			// one trace, not a failed op (or a second trace). It also spends
+			// one token of the operation's shared retry budget.
+			if errors.Is(err, types.ErrTimedOut) && attempt < c.opts.AcquireRetries-1 && c.spendRetry(ctx) {
 				obs.SpanFrom(ctx).AddRetry()
 				attempt++
 				c.retryBackoff(attempt)
@@ -607,6 +672,13 @@ func (c *Client) acquireLease(ctx context.Context, dir types.Ino) (*ledDir, rpc.
 			delay := resp.RetryAfter - c.env.Now()
 			if delay < time.Millisecond {
 				delay = time.Millisecond
+			}
+			// Waiting out the manager's hint is a retry like any other: it
+			// draws on the operation's shared budget, and once that is gone
+			// the wait surfaces as typed pushback instead of blocking on.
+			if !c.spendRetry(ctx) {
+				return nil, "", fmt.Errorf("core: lease acquire for %s: %w",
+					dir.Short(), types.AgainAfter(delay, "lease"))
 			}
 			c.hAcquireWait.Observe(delay)
 			c.env.Sleep(delay)
@@ -796,6 +868,95 @@ func (c *Client) ReleaseDir(dir types.Ino) error {
 // arrive (thundering herd on a new directory).
 func (c *Client) retryBackoff(attempt int) {
 	c.env.Sleep(time.Duration(1<<uint(attempt)) * 500 * time.Microsecond)
+}
+
+// qosNow maps the environment clock onto the wall-clock origin the qos
+// primitives expect; only differences matter, so the origin is arbitrary.
+func (c *Client) qosNow() time.Time { return time.Unix(0, int64(c.env.Now())) }
+
+// withOpBudget attaches a fresh shared retry budget to a public operation's
+// context — unless the caller already carries one (a forwarded operation
+// executing leader-side keeps drawing from the originator's budget, which the
+// RPC layer rehydrated into ctx).
+func (c *Client) withOpBudget(ctx context.Context) context.Context {
+	if c.opts.OpBudget < 0 || qos.BudgetFrom(ctx) != nil {
+		return ctx
+	}
+	n := c.opts.OpBudget
+	if n == 0 {
+		n = DefaultOpBudget
+	}
+	return qos.WithBudget(ctx, qos.NewBudget(n))
+}
+
+// spendRetry charges one retry to the operation's shared budget, reporting
+// whether the retry may proceed. Unbudgeted contexts (no budget attached, or
+// budgeting disabled) always proceed — the per-loop attempt caps still bound
+// them, as before this layer existed.
+func (c *Client) spendRetry(ctx context.Context) bool {
+	b := qos.BudgetFrom(ctx)
+	if b == nil {
+		return true
+	}
+	if !b.TrySpend(c.qosNow()) {
+		c.cBudgetExhaust.Inc()
+		return false
+	}
+	return true
+}
+
+// shouldRetry decides whether a forwarded-op loop may go around again after
+// err: leadership moves (ESTALE) re-resolve after the standard backoff, and
+// typed EAGAIN pushback — leader admission refusals, brownout sheds, fabric
+// queue sheds — retries after honoring the server's retry-after hint. Every
+// retry spends one token of the op's shared budget; an exhausted budget stops
+// the loop so the typed pushback surfaces to the caller instead of feeding
+// the retry storm.
+func (c *Client) shouldRetry(ctx context.Context, dir types.Ino, err error, attempt int) bool {
+	if err == nil || attempt >= maxOpRetries || ctx.Err() != nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, types.ErrStale):
+		if !c.spendRetry(ctx) {
+			return false
+		}
+		obs.SpanFrom(ctx).AddRetry()
+		c.invalidateLeader(dir)
+		c.retryBackoff(attempt)
+		return true
+	case errors.Is(err, types.ErrAgain):
+		if !c.spendRetry(ctx) {
+			return false
+		}
+		obs.SpanFrom(ctx).AddRetry()
+		c.cPushbackHonors.Inc()
+		if d, ok := types.RetryAfter(err); ok && d > 0 {
+			c.env.Sleep(d)
+		} else {
+			c.retryBackoff(attempt)
+		}
+		return true
+	}
+	return false
+}
+
+// BreakerState reports the store-path circuit breaker's state; BreakerClosed
+// when no breaker is mounted.
+func (c *Client) BreakerState() qos.BreakerState {
+	if c.breaker == nil {
+		return qos.BreakerClosed
+	}
+	return c.breaker.State()
+}
+
+// BreakerStats exposes the circuit breaker's counters; nil when
+// Options.Breaker was not set.
+func (c *Client) BreakerStats() *objstore.BreakerStats {
+	if c.breaker == nil {
+		return nil
+	}
+	return c.breaker.BreakerStats()
 }
 
 // errnoWrap adds operation context while preserving errors.Is matching.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -87,19 +86,15 @@ func (c *Client) Rename(ctx context.Context, src, dst string) error {
 		sp.SetRoute(obs.RouteRemote)
 		c.stats.RemoteMetaOps.Add(1)
 		resp, err := c.callLeader(ctx, leader, sres.parent, req)
-		if err = retryable(err, attempt); err != nil {
-			return op.end(errnoWrap("rename", src, err))
-		} else if resp == nil {
-			sp.AddRetry()
-			c.retryBackoff(attempt) // stale route (leader moved or unreachable)
-			continue
+		if err != nil {
+			if c.shouldRetry(ctx, sres.parent, err, attempt) {
+				continue
+			}
+			return op.end(errnoWrap("rename", src, fmt.Errorf("core: forwarded op: %w", err)))
 		}
 		rr := resp.(RenameResp)
 		rerr := errFromString(rr.Err)
-		if errors.Is(rerr, types.ErrStale) && attempt < maxOpRetries {
-			sp.AddRetry()
-			c.invalidateLeader(sres.parent)
-			c.retryBackoff(attempt)
+		if rerr != nil && c.shouldRetry(ctx, sres.parent, rerr, attempt) {
 			continue
 		}
 		return op.end(errnoWrap("rename", src, rerr))

@@ -125,20 +125,17 @@ func (c *Client) statDir(ctx context.Context, dir types.Ino) (*types.Inode, erro
 		}
 		resp, err := c.callLeader(ctx, leader, dir, StatReq{Dir: dir, Cred: c.opts.Cred})
 		if err != nil {
-			if errors.Is(err, types.ErrStale) && attempt < maxOpRetries {
-				c.retryBackoff(attempt)
+			if c.shouldRetry(ctx, dir, err, attempt) {
 				continue
 			}
 			return nil, err
 		}
 		sr := resp.(StatResp)
 		serr := errFromString(sr.Err)
-		if errors.Is(serr, types.ErrStale) && attempt < maxOpRetries {
-			c.invalidateLeader(dir)
-			c.retryBackoff(attempt)
-			continue
-		}
 		if serr != nil {
+			if c.shouldRetry(ctx, dir, serr, attempt) {
+				continue
+			}
 			return nil, serr
 		}
 		node, err := wire.DecodeInode(sr.Inode)
@@ -186,17 +183,14 @@ func (c *Client) lookup(ctx context.Context, dir types.Ino, name string) (*types
 			Dir: dir, Name: name, Cred: c.opts.Cred, WantDirInode: c.opts.PermCache,
 		})
 		if err != nil {
-			if errors.Is(err, types.ErrStale) && attempt < maxOpRetries {
-				c.retryBackoff(attempt)
-				continue // we became the leader mid-call
+			if c.shouldRetry(ctx, dir, err, attempt) {
+				continue // we became the leader mid-call, or honored pushback
 			}
 			return nil, err
 		}
 		lr := resp.(LookupResp)
 		lerr := errFromString(lr.Err)
-		if errors.Is(lerr, types.ErrStale) && attempt < maxOpRetries {
-			c.invalidateLeader(dir)
-			c.retryBackoff(attempt)
+		if lerr != nil && !isNotExist(lerr) && c.shouldRetry(ctx, dir, lerr, attempt) {
 			continue
 		}
 		if c.opts.PermCache && len(lr.DirInode) > 0 {
@@ -236,6 +230,13 @@ func (c *Client) callLeader(ctx context.Context, leader rpc.Addr, dir types.Ino,
 		// instead of burning the retry budget on a dead context.
 		return nil, cerr
 	}
+	if errors.Is(err, types.ErrAgain) {
+		// Typed pushback (inbox bound, queue-wait shed) is not a routing
+		// problem either: the leader is alive and asking for backoff.
+		// Rediscovering through the lease manager would only add load where
+		// the hint asks for less; surface it to the caller's budgeted loop.
+		return nil, err
+	}
 	// The leader may have vanished; invalidate and rediscover once.
 	c.invalidateLeader(dir)
 	ld, newLeader, lerr := c.leaderFor(ctx, dir)
@@ -251,6 +252,9 @@ func (c *Client) callLeader(ctx context.Context, leader rpc.Addr, dir types.Ino,
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
+		}
+		if errors.Is(err, types.ErrAgain) {
+			return nil, err // pushback from the rediscovered leader
 		}
 		// Still unreachable. The lease manager vouched for this leader, so
 		// the fault is on the path, not the route — but the route is all we

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"arkfs/internal/obs"
+	"arkfs/internal/qos"
 	"arkfs/internal/types"
 	"arkfs/internal/wire"
 )
@@ -24,9 +25,87 @@ func (c *Client) serve(ctx context.Context, req any) any {
 		sp.SetWait(obs.QueueWaitFrom(ctx))
 		ctx = obs.WithSpan(ctx, sp)
 	}
+	if err := c.admit(ctx, req); err != nil {
+		resp := shedResp(req, err)
+		sp.End(err)
+		return resp
+	}
 	resp := c.dispatch(ctx, req)
 	sp.End(errFromString(respErr(resp)))
 	return resp
+}
+
+// admit is the leader-side overload gate, run before a forwarded operation
+// dispatches: per-tenant token-bucket admission control first, then the
+// brownout ladder against the journal's commit-pipeline pressure. Refusals
+// return a typed EAGAIN whose retry-after hint rides the response's errno
+// string back to the caller. Protocol-internal messages are exempt: a 2PC
+// decision or a cache-flush broadcast is the cleanup half of work already
+// admitted, and refusing it would turn overload into stuck transactions.
+func (c *Client) admit(ctx context.Context, req any) error {
+	switch req.(type) {
+	case DecideRenameReq, FlushCacheReq, CloseFileReq:
+		return nil
+	}
+	if c.opts.QoS != nil {
+		if ok, after := c.opts.QoS.Admit(obs.TenantFrom(ctx), c.qosNow()); !ok {
+			c.cShedAdmit.Inc()
+			return types.AgainAfter(after, "admission")
+		}
+	}
+	if c.opts.Brownout != nil {
+		if shed, after := c.opts.Brownout.Sheds(c.jrnl.Pressure(), opCost(req)); shed {
+			c.cShedBrownout.Inc()
+			return types.AgainAfter(after, "brownout")
+		}
+	}
+	return nil
+}
+
+// opCost classifies a forwarded operation for the brownout ladder: reads of
+// single entries are cheap (never shed — they are also how clients discover
+// that pressure dropped), mutations are normal, and full-directory listings
+// plus 2PC renames — the ops that hold locks longest and feed the journal
+// most — are expensive, shed first.
+func opCost(req any) qos.OpCost {
+	switch req.(type) {
+	case LookupReq, StatReq:
+		return qos.CostCheap
+	case ReaddirReq, RenameReq, PrepareRenameReq:
+		return qos.CostExpensive
+	default:
+		return qos.CostNormal
+	}
+}
+
+// shedResp wraps a typed refusal in the response type matching req, so the
+// pushback travels the same errno channel every other error uses.
+func shedResp(req any, err error) any {
+	e := errString(err)
+	switch req.(type) {
+	case LookupReq:
+		return LookupResp{Err: e}
+	case CreateReq:
+		return CreateResp{Err: e}
+	case UnlinkReq:
+		return UnlinkResp{Err: e}
+	case StatReq:
+		return StatResp{Err: e}
+	case SetAttrReq:
+		return SetAttrResp{Err: e}
+	case ReaddirReq:
+		return ReaddirResp{Err: e}
+	case RenameReq:
+		return RenameResp{Err: e}
+	case PrepareRenameReq:
+		return PrepareRenameResp{Err: e}
+	case OpenReq:
+		return OpenResp{Err: e}
+	case WriteLeaseReq:
+		return WriteLeaseResp{Err: e}
+	default:
+		return StatResp{Err: e}
+	}
 }
 
 func (c *Client) dispatch(ctx context.Context, req any) any {

@@ -13,8 +13,9 @@ import (
 
 // BenchSchema identifies the BenchReport JSON layout. Bump the suffix on any
 // field change: downstream tooling (CI artifact diffing, EXPERIMENTS.md
-// tables) keys on it. v2 added the sharded lease-cluster scalability sweep.
-const BenchSchema = "arkfs-bench/v2"
+// tables) keys on it. v2 added the sharded lease-cluster scalability sweep;
+// v3 added the tenant-isolation (overload protection on/off) comparison.
+const BenchSchema = "arkfs-bench/v3"
 
 // BenchConfig parameterizes one benchmark trajectory. The zero value runs the
 // committed BENCH_seed.json configuration.
@@ -114,6 +115,34 @@ type BenchShardPoint struct {
 	CreatePerSec float64 `json:"create_per_sec"`
 }
 
+// BenchIsolationSide is one half of the tenant-isolation comparison: the
+// polite tenants' aggregate outcome in the contended overload scenario, with
+// overload protection either on or off.
+type BenchIsolationSide struct {
+	// PoliteGoodput is the polite tenants' summed acked ops/sec under
+	// contention; PoliteIsolated is the same tenants' baseline without the
+	// hostile tenant. Their ratio is the isolation headline.
+	PoliteGoodput  float64 `json:"polite_goodput_ops_per_sec"`
+	PoliteIsolated float64 `json:"polite_isolated_ops_per_sec"`
+	// PoliteP99NS is the worst polite tenant's p99 submission latency under
+	// contention, virtual-clock nanoseconds.
+	PoliteP99NS    int64 `json:"polite_p99_ns"`
+	PoliteTimeouts int   `json:"polite_timeouts"`
+	// Hostile outcome: typed retry-after pushback vs timeouts vs acks. With
+	// protection on, pushback dominates and timeouts are zero; off, the
+	// flood is absorbed (or times out) instead of being refused.
+	HostileAcked    int `json:"hostile_acked"`
+	HostilePushback int `json:"hostile_pushback"`
+	HostileTimeouts int `json:"hostile_timeouts"`
+}
+
+// BenchIsolation is the overload-protection comparison: the same seeded
+// hostile-tenant burst run with the full protection stack and with none.
+type BenchIsolation struct {
+	QoSOn  BenchIsolationSide `json:"qos_on"`
+	QoSOff BenchIsolationSide `json:"qos_off"`
+}
+
 // BenchReport is the stable -bench-json output. Every number derives from the
 // virtual clock and seeded IDs, so the same (schema, seed, config) yields a
 // byte-identical report.
@@ -143,6 +172,9 @@ type BenchReport struct {
 	// queueing delays. CI compares them with a tolerance instead of
 	// byte-diffing.
 	ShardedScalability []BenchShardPoint `json:"sharded_scalability"`
+	// Isolation is the tenant-isolation comparison from the seeded overload
+	// scenario (see harness/overload.go): protection on vs off.
+	Isolation BenchIsolation `json:"isolation"`
 	// MetricsFingerprint is the instrumented mdtest deployment's
 	// obs.Snapshot.Fingerprint() — the full sorted counter list.
 	MetricsFingerprint string `json:"metrics_fingerprint"`
@@ -330,5 +362,46 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			}
 		}
 	}
+
+	// Phase 5: tenant isolation — the seeded overload scenario (hostile
+	// tenant at ~4× its admitted rate) with the protection stack on, then the
+	// identical burst with it off. The QoS-off side has no oracle (there is
+	// no contract to hold without protection); it is the "what overload does
+	// to the unprotected system" reference the on-side is compared against.
+	for _, off := range []bool{false, true} {
+		orep := RunOverload(OverloadConfig{Seed: cfg.Seed, QoSOff: off})
+		if !off && orep.Failed() {
+			return nil, fmt.Errorf("bench: isolation scenario violated its contract:\n%s", orep.Summary())
+		}
+		side := isolationSide(orep)
+		if off {
+			rep.Isolation.QoSOff = side
+		} else {
+			rep.Isolation.QoSOn = side
+		}
+	}
 	return rep, nil
+}
+
+// isolationSide condenses an overload report into the bench schema's
+// per-side summary.
+func isolationSide(r *OverloadReport) BenchIsolationSide {
+	var s BenchIsolationSide
+	for _, t := range r.Isolated {
+		s.PoliteIsolated += Goodput(t)
+	}
+	for _, t := range r.Contended {
+		if t.Hostile {
+			s.HostileAcked += t.Acked
+			s.HostilePushback += t.Pushback
+			s.HostileTimeouts += t.Timeout
+			continue
+		}
+		s.PoliteGoodput += Goodput(t)
+		if p99 := t.P99().Nanoseconds(); p99 > s.PoliteP99NS {
+			s.PoliteP99NS = p99
+		}
+		s.PoliteTimeouts += t.Timeout
+	}
+	return s
 }

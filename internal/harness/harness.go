@@ -19,6 +19,7 @@ import (
 	"arkfs/internal/objstore"
 	"arkfs/internal/obs"
 	"arkfs/internal/prt"
+	"arkfs/internal/qos"
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
@@ -199,6 +200,32 @@ type ArkFSOptions struct {
 	// aggregates several clients per tenant. Zero keeps the per-client
 	// default ("tenant-<ID>").
 	Tenants int
+	// QoSRate > 0 attaches per-tenant token-bucket admission control to
+	// every client's leader serve path: each serving client admits at most
+	// QoSRate forwarded operations per second per tenant, with QoSBurst
+	// bucket depth (default 8). Refusals surface as typed retry-after
+	// pushback. QoSTenants pins per-tenant overrides on every limiter.
+	QoSRate    float64
+	QoSBurst   float64
+	QoSTenants map[string]qos.Limits
+	// LeaseQoSRate > 0 applies the same per-tenant admission control to the
+	// lease manager's Acquire path, answered through the existing
+	// Wait/RetryAfter protocol.
+	LeaseQoSRate  float64
+	LeaseQoSBurst float64
+	// Brownout enables the leader brownout ladder: under journal-pipeline
+	// pressure expensive forwarded ops shed before cheap ones.
+	Brownout bool
+	// OpBudget caps one public operation's total internal retries across
+	// all of its retry loops (0: core.DefaultOpBudget; negative: disabled).
+	OpBudget int
+	// MaxInbox / ShedWait bound every client's leader-side RPC service and
+	// the lease manager(s): see rpc.ServerLimits.
+	MaxInbox int
+	ShedWait time.Duration
+	// Breaker mounts a seeded circuit breaker under each client's store
+	// retry path.
+	Breaker bool
 }
 
 // BuildArkFS deploys ArkFS with n clients on the given storage profile.
@@ -241,7 +268,18 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 		net.SetObs(o.Obs)
 	}
 	d.close = append(d.close, cluster.Close)
-	lo := lease.Options{Period: cal.LeasePeriod, Workers: 8, ServiceCost: cal.LeaseOp, Obs: o.Obs}
+	lo := lease.Options{Period: cal.LeasePeriod, Workers: 8, ServiceCost: cal.LeaseOp, Obs: o.Obs,
+		Limits: rpc.ServerLimits{MaxInbox: o.MaxInbox, ShedWait: o.ShedWait}}
+	if o.LeaseQoSRate > 0 {
+		burst := o.LeaseQoSBurst
+		if burst <= 0 {
+			burst = 8
+		}
+		lo.QoS = qos.NewLimiter(qos.Limits{Rate: o.LeaseQoSRate, Burst: burst})
+		for t, lim := range o.QoSTenants {
+			lo.QoS.SetTenant(t, lim)
+		}
+	}
 	if o.LeaseShards > 1 {
 		co := lease.ClusterOptions{Shards: o.LeaseShards, Manager: lo}
 		if o.LeasePersist {
@@ -263,6 +301,27 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 		var tenant string
 		if o.Tenants > 0 {
 			tenant = fmt.Sprintf("tenant-%02d", i%o.Tenants)
+		}
+		// Each serving client enforces admission on its own leader path, so a
+		// tenant's allowance is per leader, matching how capacity is owned.
+		var limiter *qos.Limiter
+		if o.QoSRate > 0 {
+			burst := o.QoSBurst
+			if burst <= 0 {
+				burst = 8
+			}
+			limiter = qos.NewLimiter(qos.Limits{Rate: o.QoSRate, Burst: burst})
+			for t, lim := range o.QoSTenants {
+				limiter.SetTenant(t, lim)
+			}
+		}
+		var ladder *qos.BrownoutLadder
+		if o.Brownout {
+			ladder = &qos.BrownoutLadder{}
+		}
+		var breaker *qos.BreakerConfig
+		if o.Breaker {
+			breaker = &qos.BreakerConfig{Seed: o.Seed + int64(i)*104729}
 		}
 		c := core.New(net, tr, core.Options{
 			ID:           fmt.Sprintf("%04d", i),
@@ -291,11 +350,16 @@ func BuildArkFS(env sim.Env, cal Calibration, prof objstore.Profile, n int, o Ar
 				PrefetchParallelism: 24,
 				Cost:                sim.CostModel{MemCopyPerByte: cal.MemCopyPerByte},
 			},
-			RPCWorkers:  cal.RPCWorkers,
-			LeasePeriod: cal.LeasePeriod,
-			Retry:       o.Retry,
-			Obs:         o.Obs,
-			Seed:        o.Seed + int64(1000+i),
+			RPCWorkers:   cal.RPCWorkers,
+			LeasePeriod:  cal.LeasePeriod,
+			Retry:        o.Retry,
+			Obs:          o.Obs,
+			Seed:         o.Seed + int64(1000+i),
+			QoS:          limiter,
+			Brownout:     ladder,
+			OpBudget:     o.OpBudget,
+			Breaker:      breaker,
+			ServerLimits: rpc.ServerLimits{MaxInbox: o.MaxInbox, ShedWait: o.ShedWait},
 		})
 		d.Mounts = append(d.Mounts, fsapi.Adapt(c))
 		d.Ark = append(d.Ark, c)

@@ -126,6 +126,12 @@ type Journal struct {
 	seqs   atomic.Uint64 // txn id counter
 	idBase atomic.Uint64 // client-unique high bits for txn ids
 
+	// backlog counts sealed records that are not yet durable (queued behind
+	// the pipeline window plus in flight), across all directories. Unlike the
+	// gauges above it is maintained even without a metrics registry: it is the
+	// overload signal Pressure() feeds the leader's brownout ladder.
+	backlog atomic.Int64
+
 	mu     sync.Mutex
 	closed bool
 	dirs   map[types.Ino]*dirJournal
@@ -338,11 +344,27 @@ func (j *Journal) SetNextSeq(dir types.Ino, seq uint64) {
 	dj.stale = nil
 	dj.err = nil
 	dj.gen++
+	j.backlog.Add(-int64(len(dj.queued)))
 	dj.queued = nil
 	for s := range dj.landed {
 		delete(dj.landed, s)
 	}
 	dj.mu.Unlock()
+}
+
+// Pressure reports how far the commit pipeline is backed up: the number of
+// sealed-but-not-yet-durable records (in flight plus parked behind full
+// per-directory windows) relative to the aggregate pipeline capacity,
+// CommitWorkers × PipelineDepth. 0 means idle, 1 means every pipeline slot
+// the journal could use is occupied, and values above 1 mean records are
+// queuing faster than the object store lands them — the overload signal the
+// leader's brownout ladder sheds expensive operations on.
+func (j *Journal) Pressure() float64 {
+	window := j.cfg.CommitWorkers * j.cfg.PipelineDepth
+	if window <= 0 {
+		window = 1
+	}
+	return float64(j.backlog.Load()) / float64(window)
 }
 
 // NewTxnID returns a fresh transaction id for 2PC: the client-unique base
@@ -466,6 +488,7 @@ func (j *Journal) sealLocked(dj *dirJournal) bool {
 // Records of one directory spread over the put workers by sequence, which is
 // what lets record N+1's PUT start while N's is still in flight.
 func (j *Journal) dispatchLocked(dj *dirJournal, rec *record) {
+	j.backlog.Add(1)
 	if dj.inflight >= j.cfg.PipelineDepth {
 		dj.queued = append(dj.queued, rec)
 		return
@@ -476,6 +499,7 @@ func (j *Journal) dispatchLocked(dj *dirJournal, rec *record) {
 	if !q.Send(&putItem{dj: dj, rec: rec}) {
 		dj.inflight--
 		j.gInflight.Add(-1)
+		j.backlog.Add(-1)
 		j.poisonLocked(dj, fmt.Errorf("journal: shut down during commit of %s: %w", rec.key, types.ErrIO))
 	}
 }
@@ -526,6 +550,7 @@ func (j *Journal) putLanded(dj *dirJournal, rec *record) {
 	dj.mu.Lock()
 	dj.inflight--
 	j.gInflight.Add(-1)
+	j.backlog.Add(-1)
 	if rec.gen != dj.gen {
 		doomed = append(doomed, rec.key)
 	} else {
@@ -534,6 +559,7 @@ func (j *Journal) putLanded(dj *dirJournal, rec *record) {
 		for len(dj.queued) > 0 && dj.inflight < j.cfg.PipelineDepth {
 			next := dj.queued[0]
 			dj.queued = dj.queued[1:]
+			j.backlog.Add(-1) // re-counted by dispatchLocked
 			j.dispatchLocked(dj, next)
 		}
 	}
@@ -550,6 +576,7 @@ func (j *Journal) putFailed(dj *dirJournal, rec *record, err error) {
 	dj.mu.Lock()
 	dj.inflight--
 	j.gInflight.Add(-1)
+	j.backlog.Add(-1)
 	if rec.gen == dj.gen {
 		doomed = j.poisonLocked(dj, fmt.Errorf("journal: commit %s: %w", rec.key, err))
 	}
@@ -577,6 +604,7 @@ func (j *Journal) poisonLocked(dj *dirJournal, err error) (doomed []string) {
 		}
 		delete(dj.landed, seq)
 	}
+	j.backlog.Add(-int64(len(dj.queued)))
 	dj.queued = nil
 	dj.durableTo = dj.nextSeq
 	j.wakeLocked(dj)

@@ -1,0 +1,61 @@
+package journal
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"arkfs/internal/objstore"
+	"arkfs/internal/prt"
+	"arkfs/internal/sim"
+	"arkfs/internal/types"
+)
+
+// TestPressureTracksBacklog: Pressure() is the sealed-but-not-durable backlog
+// normalized by the pipeline window — the signal the leader's brownout ladder
+// sheds on. Idle it reads 0; with the store slowed it climbs past 1 as sealed
+// records queue behind in-flight PUTs; once everything drains it returns to 0.
+func TestPressureTracksBacklog(t *testing.T) {
+	env := sim.NewRealEnv()
+	defer env.Shutdown()
+	fault := objstore.NewFaultStore(objstore.NewMemStore())
+	tr := prt.New(fault, 64)
+	j := New(env, tr, Config{
+		CommitInterval: time.Millisecond,
+		CommitWorkers:  1, CheckpointWorkers: 1, PipelineDepth: 1,
+	})
+	defer j.Close()
+
+	if p := j.Pressure(); p != 0 {
+		t.Fatalf("idle pressure = %v, want 0", p)
+	}
+	// Slow every store op so sealed records pile up behind the single
+	// in-flight PUT (window = workers × depth = 1).
+	fault.InjectLatency(env, 30*time.Millisecond)
+	src := types.NewInoSource(1)
+	dir := src.Next()
+	for i := 0; i < 8; i++ {
+		child := mkFileInode(src, 1)
+		j.Log(context.Background(), dir, createOps(dir, "f"+string(rune('a'+i)), child))
+		// Let the group-commit timer seal this batch before the next append,
+		// so each loop iteration becomes its own queued journal record.
+		time.Sleep(3 * time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Pressure() <= 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pressure never exceeded 1 (now %v)", j.Pressure())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fault.InjectLatency(env, 0)
+	if err := j.Flush(dir); err != nil {
+		t.Fatal(err)
+	}
+	for j.Pressure() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pressure stuck at %v after drain", j.Pressure())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

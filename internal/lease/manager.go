@@ -10,6 +10,7 @@ import (
 
 	"arkfs/internal/objstore"
 	"arkfs/internal/obs"
+	"arkfs/internal/qos"
 	"arkfs/internal/rpc"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
@@ -98,6 +99,9 @@ type Manager struct {
 	snapSeq  uint64     // bumped under mu by every persist-worthy mutation
 	snapWrit uint64     // highest seq durably written (under pmu)
 
+	// qos rate-limits Acquire per tenant (nil admits everything).
+	qos *qos.Limiter
+
 	stats ManagerStats
 	// Registry counters (nil-safe). Named counters are shared across sharded
 	// managers attached to the same registry, so they aggregate cluster-wide.
@@ -106,7 +110,8 @@ type Manager struct {
 	cRingRedirects                     *obs.Counter
 	cHandoffOut, cHandoffIn            *obs.Counter
 	cPersists, cPersistErrs, cResumed  *obs.Counter
-	tracer                             *obs.Tracer // nil without Options.Obs
+	cShed                              *obs.Counter // admission refusals
+	tracer                             *obs.Tracer  // nil without Options.Obs
 }
 
 // Options configures a Manager.
@@ -146,6 +151,14 @@ type Options struct {
 	// TraceSeed overrides the trace-ID stream seed (default: a hash of the
 	// manager's address, deterministic across replays).
 	TraceSeed uint64
+	// QoS, when non-nil, rate-limits Acquire requests per tenant: a refusal
+	// answers with the existing Wait/RetryAfter mechanism, so the client's
+	// budgeted wait loop absorbs it without new protocol. Release, recovery
+	// handshakes, and handoffs are never limited — they shrink load.
+	QoS *qos.Limiter
+	// Limits bounds the manager's RPC inbox and queue wait (see
+	// rpc.ServerLimits). Zero value means no limits.
+	Limits rpc.ServerLimits
 }
 
 // addrSeed derives a deterministic trace seed from an address: FNV-1a, so a
@@ -182,6 +195,7 @@ func NewManager(net *rpc.Network, opts Options) *Manager {
 		serviceCost: opts.ServiceCost,
 		dirs:        make(map[types.Ino]*dirState),
 		ring:        opts.Ring,
+		qos:         opts.QoS,
 	}
 	m.cAcquires = opts.Obs.Counter("lease.acquires")
 	m.cExtensions = opts.Obs.Counter("lease.extensions")
@@ -195,6 +209,7 @@ func NewManager(net *rpc.Network, opts Options) *Manager {
 	m.cPersists = opts.Obs.Counter("lease.persist.writes")
 	m.cPersistErrs = opts.Obs.Counter("lease.persist.errors")
 	m.cResumed = opts.Obs.Counter("lease.resume.dirs")
+	m.cShed = opts.Obs.Counter("qos.shed.lease")
 	if opts.Store != nil {
 		m.store = opts.Store
 		m.snapKey = SnapshotKey(opts.Addr)
@@ -216,7 +231,7 @@ func NewManager(net *rpc.Network, opts Options) *Manager {
 		m.tracer.SetSeed(seed)
 		opts.Obs.Func("obs.trace.spans", m.tracer.Total)
 	}
-	m.server = net.ListenCtx(opts.Addr, opts.Workers, m.handle)
+	m.server = net.ListenCtx(opts.Addr, opts.Workers, m.handle, opts.Limits)
 	return m
 }
 
@@ -334,6 +349,17 @@ func (m *Manager) handle(ctx context.Context, req any) any {
 	case AcquireReq:
 		sp := span("lease.Acquire")
 		sp.SetDir(r.Dir)
+		// Per-tenant admission rides the existing Wait/RetryAfter protocol:
+		// a refused Acquire looks exactly like a busy directory, which the
+		// client's budgeted wait loop already knows how to absorb.
+		if m.qos != nil {
+			if ok, after := m.qos.Admit(tenant, time.Unix(0, int64(m.env.Now()))); !ok {
+				m.cShed.Inc()
+				resp := AcquireResp{Wait: true, RetryAfter: m.env.Now() + after}
+				sp.End(nil)
+				return resp
+			}
+		}
 		resp := m.acquire(r, epoch)
 		sp.End(nil)
 		return resp

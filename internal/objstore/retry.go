@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"arkfs/internal/qos"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
 )
@@ -31,6 +32,13 @@ type RetryPolicy struct {
 	AttemptBudget time.Duration
 	// Seed seeds the jitter RNG so virtual-time runs are reproducible.
 	Seed int64
+	// Budget, when non-nil, is a client-wide retry-rate budget shared by
+	// every operation on this store: once retries-so-far reach its
+	// burst + ratio × attempts ceiling, further retries are refused even if
+	// the per-operation attempt budget has room. This is the store-layer
+	// arm of the shared-budget rule — the Store API carries no context, so
+	// the global rate budget stands in for the per-op token pool.
+	Budget *qos.RetryBudget
 }
 
 // DefaultRetryPolicy mirrors common object-store client defaults (e.g. the
@@ -66,14 +74,18 @@ func (s *RetryStats) Retries() int64 {
 // Retryable classifies a store error: semantic errors the file-system layer
 // interprets (missing object, bad argument, permission) are permanent, while
 // ErrIO-class failures (and unknown backend errors, which real REST gateways
-// produce for throttling and timeouts) are transient.
+// produce for timeouts) are transient. Typed EAGAIN pushback (gateway 429,
+// open circuit breaker) is deliberately NOT retryable here: hammering an
+// endpoint that just asked for backoff is the retry storm this layer must not
+// amplify — the budgeted loops above honor the retry-after hint instead.
 func Retryable(err error) bool {
 	switch {
 	case err == nil:
 		return false
 	case errors.Is(err, types.ErrNotExist), errors.Is(err, types.ErrExist),
 		errors.Is(err, types.ErrInval), errors.Is(err, types.ErrAccess),
-		errors.Is(err, types.ErrPerm), errors.Is(err, types.ErrNoSpace):
+		errors.Is(err, types.ErrPerm), errors.Is(err, types.ErrNoSpace),
+		errors.Is(err, types.ErrAgain):
 		return false
 	}
 	return true
@@ -152,6 +164,7 @@ func (r *RetryStore) backoff(retry int) time.Duration {
 
 // do runs op under the retry budget, counting re-issues in counter.
 func (r *RetryStore) do(verb, key string, counter *atomic.Int64, op func() error) error {
+	r.policy.Budget.OnAttempt()
 	deadline := time.Duration(-1)
 	if r.policy.AttemptBudget > 0 {
 		deadline = r.env.Now() + r.policy.AttemptBudget
@@ -164,8 +177,11 @@ func (r *RetryStore) do(verb, key string, counter *atomic.Int64, op func() error
 		if attempt < r.policy.MaxAttempts && !r.env.Stopped() {
 			wait := r.backoff(attempt - 1)
 			// Sleeping past the deadline only delays the failure report, so
-			// the budget check includes the upcoming backoff.
-			if deadline < 0 || r.env.Now()+wait < deadline {
+			// the budget check includes the upcoming backoff. The global
+			// retry-rate budget is consulted last: when the fleet-wide retry
+			// ratio is already at its ceiling, adding more retry load would
+			// deepen the overload that caused the failures.
+			if (deadline < 0 || r.env.Now()+wait < deadline) && r.policy.Budget.Allow() {
 				counter.Add(1)
 				r.env.Sleep(wait)
 				continue

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"arkfs/internal/qos"
 )
 
 // TCP bridging lets the live cmd/ tools run ArkFS components in separate
@@ -30,6 +32,11 @@ func (n *Network) Bridge(bind string, target Addr) (*TCPServer, error) {
 	return ListenTCP(bind, func(ctx context.Context, req any) any {
 		resp, err := n.CallFromCtx(ctx, "", target, req)
 		if err != nil {
+			// Typed pushback must survive the bridge: re-encode it as the
+			// Shed payload so the remote fabric rehydrates the same EAGAIN.
+			if sh := shedPayload(err); sh != nil {
+				return sh
+			}
 			return nil // the caller surfaces a decode/transport error
 		}
 		return resp
@@ -64,7 +71,7 @@ func (n *Network) callTCP(meta callMeta, to Addr, req any) (any, error) {
 		}
 		tcpPool.mu.Unlock()
 	}
-	resp, err := cli.CallEnvelope(meta.sc, meta.epoch, meta.tenant, req)
+	resp, err := cli.CallEnvelope(meta.sc, meta.epoch, meta.tenant, qos.Wire(meta.bud), req)
 	if err != nil {
 		// Drop the broken connection so the next call re-dials.
 		tcpPool.mu.Lock()

@@ -12,6 +12,8 @@ package rpc
 
 import (
 	"context"
+	"encoding/gob"
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
@@ -19,9 +21,45 @@ import (
 	"time"
 
 	"arkfs/internal/obs"
+	"arkfs/internal/qos"
 	"arkfs/internal/sim"
 	"arkfs/internal/types"
 )
+
+func init() {
+	gob.Register(&Shed{})
+}
+
+// Shed is the fabric-level pushback payload: a server that refuses a request
+// before (or instead of) running its handler replies with a Shed, which the
+// calling side converts into a typed types.ErrAgain retry-after error. Being
+// a gob-registered payload, it crosses the TCP bridge intact, so
+// errors.Is(err, types.ErrAgain) — and the retry-after hint — hold across
+// process boundaries.
+type Shed struct {
+	AfterNS int64  // retry-after hint, nanoseconds
+	Reason  string // shed reason ("inbox", "queue-wait", ...), for counters
+}
+
+// Err converts the payload into the typed client-side error.
+func (s *Shed) Err() error {
+	return fmt.Errorf("rpc: request shed: %w",
+		types.AgainAfter(time.Duration(s.AfterNS), s.Reason))
+}
+
+// shedPayload converts a typed EAGAIN error back into the wire payload (for
+// the TCP bridge, whose handler can only return payloads). Returns nil when
+// err is not a shed.
+func shedPayload(err error) *Shed {
+	var ra *types.RetryAfterError
+	if errors.As(err, &ra) {
+		return &Shed{AfterNS: int64(ra.After), Reason: ra.Reason}
+	}
+	if errors.Is(err, types.ErrAgain) {
+		return &Shed{}
+	}
+	return nil
+}
 
 // Addr names an endpoint on a Network, e.g. "leasemgr" or "client-7".
 type Addr string
@@ -60,6 +98,8 @@ type Network struct {
 	cCalls      *obs.Counter
 	cDrops      *obs.Counter
 	cTimeouts   *obs.Counter
+	cShedInbox  *obs.Counter   // requests refused at the inbox bound
+	cShedWait   *obs.Counter   // requests shed at pickup for excessive wait
 	hQWait      *obs.Histogram // enqueue→worker-pickup, all servers
 	hQSvc       *obs.Histogram // worker pickup→handler return, all servers
 	methodHists sync.Map       // method name -> *obs.Histogram
@@ -99,6 +139,8 @@ func (n *Network) SetObs(reg *obs.Registry) {
 	n.cCalls = reg.Counter("rpc.calls")
 	n.cDrops = reg.Counter("rpc.drops")
 	n.cTimeouts = reg.Counter("rpc.timeouts")
+	n.cShedInbox = reg.Counter("qos.shed.rpc.inbox")
+	n.cShedWait = reg.Counter("qos.shed.rpc.wait")
 	n.hQWait = reg.Histogram("rpc.queue.wait")
 	n.hQSvc = reg.Histogram("rpc.queue.service")
 	n.methodHists = sync.Map{}
@@ -170,6 +212,7 @@ type callMeta struct {
 	sc     obs.SpanContext // caller's trace identity, zero when untraced
 	epoch  uint64          // caller's ring epoch, 0 when unsharded
 	tenant string          // tenant the op is attributed to, "" when unknown
+	bud    *qos.Budget     // the op's shared retry budget, nil when unbudgeted
 }
 
 // metaFromCtx lifts the envelope metadata from a caller context.
@@ -181,6 +224,7 @@ func metaFromCtx(ctx context.Context) callMeta {
 		sc:     obs.SpanContextFrom(ctx),
 		epoch:  RingEpochFrom(ctx),
 		tenant: obs.TenantFrom(ctx),
+		bud:    qos.BudgetFrom(ctx),
 	}
 }
 
@@ -191,28 +235,62 @@ type call struct {
 	reply *sim.Chan[any]
 }
 
+// ServerLimits bounds a server's inbox and queue wait; the zero value keeps
+// the historical unbounded behavior.
+type ServerLimits struct {
+	// MaxInbox caps the requests queued awaiting a worker; excess calls are
+	// refused immediately with a typed EAGAIN (0: unbounded). A bounded
+	// inbox turns queue growth — the collapse mode under overload — into
+	// prompt pushback the client's retry budget absorbs.
+	MaxInbox int
+	// ShedWait sheds a request at worker pickup when its measured
+	// enqueue→pickup wait already exceeds this threshold: by then the
+	// caller has likely timed out or retried, so running the handler only
+	// burns service capacity on a dead request (0: never shed).
+	ShedWait time.Duration
+	// RetryAfter is the hint attached to inbox-bound refusals (default:
+	// ShedWait when set, else 5ms).
+	RetryAfter time.Duration
+}
+
+func (l *ServerLimits) retryAfter() time.Duration {
+	switch {
+	case l.RetryAfter > 0:
+		return l.RetryAfter
+	case l.ShedWait > 0:
+		return l.ShedWait
+	default:
+		return 5 * time.Millisecond
+	}
+}
+
 // Server is a registered endpoint with a pool of worker goroutines.
 type Server struct {
 	net    *Network
 	addr   Addr
 	inbox  *sim.Chan[*call]
+	limits ServerLimits
 	closed sync.Once
 }
 
 // Listen registers addr with workers goroutines running h. It panics on a
-// duplicate address, which is always a wiring bug.
-func (n *Network) Listen(addr Addr, workers int, h Handler) *Server {
-	return n.ListenCtx(addr, workers, func(_ context.Context, req any) any { return h(req) })
+// duplicate address, which is always a wiring bug. Optional limits bound the
+// inbox and queue wait (at most one ServerLimits applies).
+func (n *Network) Listen(addr Addr, workers int, h Handler, limits ...ServerLimits) *Server {
+	return n.ListenCtx(addr, workers, func(_ context.Context, req any) any { return h(req) }, limits...)
 }
 
 // ListenCtx is Listen for trace-aware handlers: each request's handler
 // context carries the caller's span identity (retrieve with obs.RemoteFrom
 // or parent children via the ambient helpers).
-func (n *Network) ListenCtx(addr Addr, workers int, h CtxHandler) *Server {
+func (n *Network) ListenCtx(addr Addr, workers int, h CtxHandler, limits ...ServerLimits) *Server {
 	if workers <= 0 {
 		workers = 1
 	}
 	s := &Server{net: n, addr: addr, inbox: sim.NewChan[*call](n.env)}
+	if len(limits) > 0 {
+		s.limits = limits[0]
+	}
 	n.mu.Lock()
 	if _, dup := n.servers[addr]; dup {
 		n.mu.Unlock()
@@ -235,6 +313,18 @@ func (n *Network) ListenCtx(addr Addr, workers int, h CtxHandler) *Server {
 				// serving layer can stamp it on its span.
 				start := n.env.Now()
 				wait := start - c.enq
+				if sw := s.limits.ShedWait; sw > 0 && wait > sw {
+					// The request aged out in the queue; shed it without
+					// spending handler service time. The hint tells the
+					// client how stale its wait already is.
+					n.cShedWait.Inc()
+					if n.reg != nil {
+						n.hQWait.ObserveTrace(wait, c.meta.sc.Trace)
+						n.reg.Tenants().ObserveWait(c.meta.tenant, wait, 0, c.meta.sc.Trace)
+					}
+					c.reply.Send(&Shed{AfterNS: int64(wait), Reason: "queue-wait"})
+					continue
+				}
 				ctx := context.Background()
 				if c.meta.sc.Valid() {
 					ctx = obs.WithRemote(ctx, c.meta.sc)
@@ -244,6 +334,12 @@ func (n *Network) ListenCtx(addr Addr, workers int, h CtxHandler) *Server {
 				}
 				if c.meta.tenant != "" {
 					ctx = obs.WithTenant(ctx, c.meta.tenant)
+				}
+				if c.meta.bud != nil {
+					// In-process the budget object itself is shared, so
+					// server-side retries draw from the same pool as the
+					// caller's loops.
+					ctx = qos.WithBudget(ctx, c.meta.bud)
 				}
 				ctx = obs.WithQueueWait(ctx, wait)
 				resp := h(ctx, c.req)
@@ -335,6 +431,9 @@ func (n *Network) callFrom(meta callMeta, from, to Addr, req any) (any, error) {
 				return nil, ferr
 			}
 		}
+		if sh, ok := resp.(*Shed); ok {
+			return nil, sh.Err()
+		}
 		return resp, nil
 	}
 	n.mu.Lock()
@@ -349,6 +448,13 @@ func (n *Network) callFrom(meta callMeta, from, to Addr, req any) (any, error) {
 		size = sz.WireSize()
 	}
 	n.env.Sleep(n.model.TransferTime(size))
+	if max := s.limits.MaxInbox; max > 0 && s.inbox.Len() >= max {
+		// Bounded inbox: refuse at the door instead of queueing without
+		// bound. The refusal is typed EAGAIN so budgeted clients back off.
+		n.cShedInbox.Inc()
+		return nil, fmt.Errorf("rpc: server %q inbox full: %w", to,
+			types.AgainAfter(s.limits.retryAfter(), "inbox"))
+	}
 	c := &call{req: req, meta: meta, enq: n.env.Now(), reply: sim.NewChan[any](n.env)}
 	if !s.inbox.Send(c) {
 		n.cTimeouts.Inc()
@@ -372,5 +478,8 @@ func (n *Network) callFrom(meta callMeta, from, to Addr, req any) (any, error) {
 		respSize = sz.WireSize()
 	}
 	n.env.Sleep(n.model.TransferTime(respSize))
+	if sh, ok := resp.(*Shed); ok {
+		return nil, sh.Err()
+	}
 	return resp, nil
 }

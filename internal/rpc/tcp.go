@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"arkfs/internal/obs"
+	"arkfs/internal/qos"
 	"arkfs/internal/types"
 )
 
@@ -17,12 +18,16 @@ import (
 // call. RingEpoch carries the caller's lease-ring epoch (0 when unsharded),
 // so a bridged lease shard can detect stale clients exactly like an
 // in-process one. Tenant carries the caller's tenant attribution ("" when
-// unknown), so per-tenant accounting survives the hop too.
+// unknown), so per-tenant accounting survives the hop too. Budget carries the
+// caller's remaining retry-budget tokens (qos.NoBudget when unbudgeted): the
+// server side derives a budget from it, so nested retries in another process
+// still cannot exceed what the originating operation had left.
 type envelope struct {
 	Trace     uint64
 	Span      uint64
 	RingEpoch uint64
 	Tenant    string
+	Budget    int64
 	Payload   any
 }
 
@@ -117,6 +122,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if in.Tenant != "" {
 			ctx = obs.WithTenant(ctx, in.Tenant)
 		}
+		if b := qos.BudgetFromWire(in.Budget); b != nil {
+			ctx = qos.WithBudget(ctx, b)
+		}
 		out := envelope{Trace: in.Trace, Span: in.Span, Payload: s.handler(ctx, in.Payload)}
 		if err := enc.Encode(&out); err != nil {
 			return
@@ -145,24 +153,24 @@ func DialTCP(addr string) (*TCPClient, error) {
 // Call performs one request/response exchange. sc is the caller's trace
 // identity; pass the zero SpanContext when untraced.
 func (c *TCPClient) Call(sc obs.SpanContext, req any) (any, error) {
-	return c.CallEnvelope(sc, 0, "", req)
+	return c.CallEnvelope(sc, 0, "", qos.NoBudget, req)
 }
 
 // CallEpoch is Call with the caller's lease-ring epoch attached to the
 // envelope (0 when unsharded).
 func (c *TCPClient) CallEpoch(sc obs.SpanContext, ringEpoch uint64, req any) (any, error) {
-	return c.CallEnvelope(sc, ringEpoch, "", req)
+	return c.CallEnvelope(sc, ringEpoch, "", qos.NoBudget, req)
 }
 
 // CallEnvelope is Call with the full envelope metadata: the caller's
-// lease-ring epoch (0 when unsharded) and tenant attribution ("" when
-// unknown).
-func (c *TCPClient) CallEnvelope(sc obs.SpanContext, ringEpoch uint64, tenant string, req any) (any, error) {
+// lease-ring epoch (0 when unsharded), tenant attribution ("" when unknown),
+// and remaining retry-budget tokens (qos.NoBudget when unbudgeted).
+func (c *TCPClient) CallEnvelope(sc obs.SpanContext, ringEpoch uint64, tenant string, budget int64, req any) (any, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(&envelope{
 		Trace: uint64(sc.Trace), Span: uint64(sc.Span),
-		RingEpoch: ringEpoch, Tenant: tenant, Payload: req,
+		RingEpoch: ringEpoch, Tenant: tenant, Budget: budget, Payload: req,
 	}); err != nil {
 		return nil, fmt.Errorf("rpc: send: %w: %w", err, types.ErrIO)
 	}

@@ -3,6 +3,9 @@ package types
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
+	"time"
 )
 
 // The POSIX-style error set. ArkFS components wrap these with context via
@@ -27,6 +30,7 @@ var (
 	ErrXDev        = errors.New("invalid cross-device link")         // EXDEV
 	ErrTimedOut    = errors.New("operation timed out")               // ETIMEDOUT
 	ErrReadOnly    = errors.New("read-only file system")             // EROFS
+	ErrAgain       = errors.New("resource temporarily unavailable")  // EAGAIN
 	ErrNotLeader   = errors.New("not the directory leader")          // ArkFS-internal
 	ErrLeaseLost   = errors.New("directory lease lost")              // ArkFS-internal
 )
@@ -36,6 +40,40 @@ var (
 // ErrIO so legacy errors.Is(err, ErrIO) checks keep matching, while readers
 // that care can distinguish detected corruption from plain I/O failure.
 var ErrIntegrity = fmt.Errorf("data integrity check failed: %w", ErrIO)
+
+// RetryAfterError is the typed EAGAIN carrier: an admission controller,
+// load shedder, or circuit breaker rejected the operation and suggests
+// retrying after a delay. It wraps ErrAgain so errors.Is(err, ErrAgain)
+// matches, and it survives the string-encoded RPC boundary: Errno renders it
+// as "EAGAIN@<ns>" and FromErrno rehydrates the hint on the far side.
+type RetryAfterError struct {
+	After  time.Duration // suggested backoff before retrying
+	Reason string        // local shed-reason tag (not carried over the wire)
+}
+
+func (e *RetryAfterError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("%v (%s, retry after %v)", ErrAgain, e.Reason, e.After)
+	}
+	return fmt.Sprintf("%v (retry after %v)", ErrAgain, e.After)
+}
+
+func (e *RetryAfterError) Unwrap() error { return ErrAgain }
+
+// AgainAfter builds a typed retry-after pushback error.
+func AgainAfter(after time.Duration, reason string) error {
+	return &RetryAfterError{After: after, Reason: reason}
+}
+
+// RetryAfter extracts the retry-after hint from a typed EAGAIN, reporting
+// whether one was present.
+func RetryAfter(err error) (time.Duration, bool) {
+	var ra *RetryAfterError
+	if errors.As(err, &ra) {
+		return ra.After, true
+	}
+	return 0, false
+}
 
 // Errno returns the Linux errno-style symbolic name for a wrapped error,
 // or "EIO" for anything unrecognized; benchmark harnesses and the CLI use it
@@ -78,6 +116,11 @@ func Errno(err error) string {
 		return "ETIMEDOUT"
 	case errors.Is(err, ErrReadOnly):
 		return "EROFS"
+	case errors.Is(err, ErrAgain):
+		if d, ok := RetryAfter(err); ok && d > 0 {
+			return "EAGAIN@" + strconv.FormatInt(d.Nanoseconds(), 10)
+		}
+		return "EAGAIN"
 	case errors.Is(err, ErrIntegrity):
 		// Must precede any ErrIO fallback: ErrIntegrity wraps ErrIO.
 		return "EINTEGRITY"
@@ -113,6 +156,7 @@ var errnoTable = map[string]error{
 	"EXDEV":        ErrXDev,
 	"ETIMEDOUT":    ErrTimedOut,
 	"EROFS":        ErrReadOnly,
+	"EAGAIN":       ErrAgain,
 	"EINTEGRITY":   ErrIntegrity,
 	"ENOTLEADER":   ErrNotLeader,
 	"ELEASELOST":   ErrLeaseLost,
@@ -124,6 +168,12 @@ var errnoTable = map[string]error{
 func FromErrno(name string) error {
 	if name == "OK" {
 		return nil
+	}
+	if rest, ok := strings.CutPrefix(name, "EAGAIN@"); ok {
+		if ns, err := strconv.ParseInt(rest, 10, 64); err == nil && ns >= 0 {
+			return &RetryAfterError{After: time.Duration(ns)}
+		}
+		return ErrAgain
 	}
 	if err, ok := errnoTable[name]; ok {
 		return err

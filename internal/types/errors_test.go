@@ -1,0 +1,61 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestAgainAfterRoundTrip: the typed retry-after pushback survives the
+// string-encoded RPC boundary — Errno renders EAGAIN@<ns> and FromErrno
+// rehydrates the same sentinel and hint, so errors.Is and the backoff hint
+// behave identically on a redirected client.
+func TestAgainAfterRoundTrip(t *testing.T) {
+	err := AgainAfter(7*time.Millisecond, "admission")
+	if !errors.Is(err, ErrAgain) {
+		t.Fatal("AgainAfter must wrap ErrAgain")
+	}
+	if d, ok := RetryAfter(err); !ok || d != 7*time.Millisecond {
+		t.Fatalf("RetryAfter = %v/%v", d, ok)
+	}
+	name := Errno(err)
+	if name != "EAGAIN@7000000" {
+		t.Fatalf("Errno = %q", name)
+	}
+	back := FromErrno(name)
+	if !errors.Is(back, ErrAgain) {
+		t.Fatalf("rehydrated error %v is not EAGAIN", back)
+	}
+	if d, ok := RetryAfter(back); !ok || d != 7*time.Millisecond {
+		t.Fatalf("hint lost in round trip: %v/%v", d, ok)
+	}
+	// Wrapping on either side must not break the round trip.
+	wrapped := fmt.Errorf("core: create /x: %w", err)
+	if Errno(wrapped) != name {
+		t.Fatalf("Errno(wrapped) = %q, want %q", Errno(wrapped), name)
+	}
+}
+
+// TestAgainEdgeCases: hint-free EAGAIN and malformed wire strings degrade
+// safely instead of panicking or losing the errno class.
+func TestAgainEdgeCases(t *testing.T) {
+	if Errno(ErrAgain) != "EAGAIN" {
+		t.Fatalf("plain EAGAIN renders %q", Errno(ErrAgain))
+	}
+	if !errors.Is(FromErrno("EAGAIN"), ErrAgain) {
+		t.Fatal("plain EAGAIN does not rehydrate")
+	}
+	if _, ok := RetryAfter(ErrAgain); ok {
+		t.Fatal("plain EAGAIN must carry no hint")
+	}
+	if !errors.Is(FromErrno("EAGAIN@garbage"), ErrAgain) {
+		t.Fatal("malformed hint must degrade to plain EAGAIN")
+	}
+	if !errors.Is(FromErrno("EAGAIN@-5"), ErrAgain) {
+		t.Fatal("negative hint must degrade to plain EAGAIN")
+	}
+	if zero := AgainAfter(0, ""); Errno(zero) != "EAGAIN" {
+		t.Fatalf("zero-hint pushback renders %q", Errno(zero))
+	}
+}
